@@ -1,0 +1,126 @@
+//! **Figure 5** — the fastest strategy per cell for four constraint pairs,
+//! accuracy × {EO, privacy, #features, safety}, on the Adult dataset.
+//!
+//! The paper draws four colored grids; this harness prints each grid with
+//! the winning strategy's name per cell (`-` when no strategy satisfied the
+//! cell's constraint pair within budget).
+//!
+//! Run: `cargo bench --bench fig5_constraint_grid`
+
+use dfs_bench::corpus::{bench_settings, build_splits, CorpusConfig};
+use dfs_bench::print_table;
+use dfs_core::prelude::*;
+use dfs_core::runner::run_benchmark;
+use dfs_rankings::RankingKind;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The strategies shown in the paper's Figure 5 legend.
+fn fig5_arms() -> Vec<Arm> {
+    vec![
+        Arm::Strategy(StrategyId::TpeRanking(RankingKind::Variance)),
+        Arm::Strategy(StrategyId::TpeRanking(RankingKind::Chi2)),
+        Arm::Strategy(StrategyId::TpeRanking(RankingKind::Fcbf)),
+        Arm::Strategy(StrategyId::TpeRanking(RankingKind::Mim)),
+        Arm::Strategy(StrategyId::TpeNr),
+        Arm::Strategy(StrategyId::SaNr),
+        Arm::Strategy(StrategyId::Sfs),
+        Arm::Strategy(StrategyId::Sffs),
+    ]
+}
+
+#[derive(Clone, Copy)]
+enum Pair {
+    Eo,
+    Privacy,
+    Features,
+    Safety,
+}
+
+impl Pair {
+    fn label(&self) -> &'static str {
+        match self {
+            Pair::Eo => "min F1 x min EO",
+            Pair::Privacy => "min F1 x privacy epsilon",
+            Pair::Features => "min F1 x max feature fraction",
+            Pair::Safety => "min F1 x min safety",
+        }
+    }
+
+    /// Grid values for the second axis (paper: a grid over the constraint's
+    /// plausible range).
+    fn axis(&self) -> Vec<f64> {
+        match self {
+            Pair::Eo => vec![0.80, 0.87, 0.93, 0.99],
+            Pair::Privacy => vec![5.0, 1.0, 0.3, 0.1], // stricter rightward
+            Pair::Features => vec![0.8, 0.5, 0.3, 0.1],
+            Pair::Safety => vec![0.80, 0.87, 0.93, 0.99],
+        }
+    }
+
+    fn apply(&self, c: &mut ConstraintSet, v: f64) {
+        match self {
+            Pair::Eo => c.min_eo = Some(v),
+            Pair::Privacy => c.privacy_epsilon = Some(v),
+            Pair::Features => c.max_feature_frac = Some(v),
+            Pair::Safety => c.min_safety = Some(v),
+        }
+    }
+}
+
+fn main() {
+    let cfg = CorpusConfig::default();
+    let splits = build_splits(&cfg);
+    let settings = bench_settings();
+    let arms = fig5_arms();
+    let f1_axis = [0.50, 0.59, 0.68, 0.77];
+
+    for pair in [Pair::Eo, Pair::Privacy, Pair::Features, Pair::Safety] {
+        // One scenario per grid cell.
+        let mut scenarios = Vec::new();
+        for (i, &min_f1) in f1_axis.iter().enumerate() {
+            for (j, &v) in pair.axis().iter().enumerate() {
+                let mut constraints =
+                    ConstraintSet::accuracy_only(min_f1, Duration::from_millis(350));
+                pair.apply(&mut constraints, v);
+                scenarios.push(MlScenario {
+                    dataset: "adult".into(),
+                    model: ModelKind::LogisticRegression,
+                    hpo: false, // grid cells are many; default params keep it fast
+                    constraints,
+                    utility_f1: false,
+                    seed: 9000 + (i * 10 + j) as u64,
+                });
+            }
+        }
+        let matrix = run_benchmark(&splits, scenarios, &arms, &settings, cfg.threads);
+        let fastest: HashMap<usize, usize> =
+            matrix.fastest_arm_per_scenario().into_iter().collect();
+
+        let mut header: Vec<String> = vec!["min F1 \\ axis".into()];
+        header.extend(pair.axis().iter().map(|v| format!("{v}")));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut rows = Vec::new();
+        for (i, &min_f1) in f1_axis.iter().enumerate() {
+            let mut row = vec![format!("{min_f1:.2}")];
+            for j in 0..pair.axis().len() {
+                let idx = i * pair.axis().len() + j;
+                row.push(match fastest.get(&idx) {
+                    Some(&arm) => matrix.arms[arm].name(),
+                    None => "-".into(),
+                });
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Figure 5: fastest strategy, {} (Adult)", pair.label()),
+            &header_refs,
+            &rows,
+        );
+    }
+    println!(
+        "\n[shape-check] paper: ranking strategies win the permissive cells; high-EO cells go to \
+         binary-vector strategies (TPE(NR)/SA(NR)) that can prune specific biased features; \
+         restrictive privacy/feature cells favor rankings with stronger priors."
+    );
+}

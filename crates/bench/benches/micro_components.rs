@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the per-component costs that drive the
+//! study's runtime findings: ranking computation (cheap χ² vs heavy
+//! ReliefF/MCFS), model fits, the evasion attack, and optimizer iterations.
+//!
+//! Run: `cargo bench --bench micro_components`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dfs_data::split::stratified_three_way;
+use dfs_data::synthetic::{generate, spec_by_name};
+use dfs_linalg::Matrix;
+use dfs_metrics::{empirical_safety, AttackConfig};
+use dfs_models::{ModelKind, ModelSpec};
+use dfs_rankings::RankingKind;
+use dfs_search::sa::{simulated_annealing, SaConfig};
+use dfs_search::tpe::{tpe_binary, TpeConfig};
+use std::hint::black_box;
+
+fn bench_data() -> (Matrix, Vec<bool>) {
+    let mut spec = spec_by_name("german_credit").expect("suite dataset");
+    spec.rows = 400;
+    let ds = generate(&spec, 3);
+    (ds.x, ds.y)
+}
+
+fn rankings(c: &mut Criterion) {
+    let (x, y) = bench_data();
+    let mut group = c.benchmark_group("rankings");
+    group.sample_size(10);
+    for kind in [
+        RankingKind::Chi2,
+        RankingKind::Variance,
+        RankingKind::Fisher,
+        RankingKind::Mim,
+        RankingKind::Fcbf,
+        RankingKind::ReliefF,
+        RankingKind::Mcfs,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(kind.compute(&x, &y, 1)));
+        });
+    }
+    group.finish();
+}
+
+fn model_fits(c: &mut Criterion) {
+    let (x, y) = bench_data();
+    let mut group = c.benchmark_group("model_fit");
+    group.sample_size(10);
+    for kind in ModelKind::PRIMARY {
+        group.bench_function(kind.short_name(), |b| {
+            b.iter(|| black_box(ModelSpec::default_for(kind).fit(&x, &y)));
+        });
+    }
+    group.bench_function("LR_dp", |b| {
+        b.iter(|| black_box(ModelSpec::Lr { c: 1.0 }.fit_dp(&x, &y, 1.0, 7)));
+    });
+    group.finish();
+}
+
+fn attack(c: &mut Criterion) {
+    let spec = spec_by_name("compas").expect("suite dataset");
+    let ds = generate(&spec, 5);
+    let split = stratified_three_way(&ds, 5);
+    let model = ModelSpec::default_for(ModelKind::LogisticRegression)
+        .fit(&split.train.x, &split.train.y);
+    let cfg = AttackConfig { max_points: 8, ..AttackConfig::default() };
+    c.bench_function("evasion_attack_8pts", |b| {
+        b.iter(|| {
+            let predict = |row: &[f64]| model.predict_one(row);
+            black_box(empirical_safety(&predict, &split.val.x, &split.val.y, &cfg))
+        });
+    });
+}
+
+fn optimizers(c: &mut Criterion) {
+    let target: Vec<bool> = (0..24).map(|i| i % 3 == 0).collect();
+    let mut group = c.benchmark_group("search_100_evals");
+    group.sample_size(20);
+    group.bench_function("sa", |b| {
+        b.iter_batched(
+            || target.clone(),
+            |t| {
+                let mut eval = |bits: &[bool]| {
+                    Some(bits.iter().zip(&t).filter(|(a, b)| a != b).count() as f64)
+                };
+                let cfg =
+                    SaConfig { max_iters: 100, stop_at: None, ..Default::default() };
+                black_box(simulated_annealing(24, &mut eval, &cfg))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("tpe", |b| {
+        b.iter_batched(
+            || target.clone(),
+            |t| {
+                let mut eval = |bits: &[bool]| {
+                    Some(bits.iter().zip(&t).filter(|(a, b)| a != b).count() as f64)
+                };
+                let cfg =
+                    TpeConfig { max_iters: 100, stop_at: None, ..Default::default() };
+                black_box(tpe_binary(24, &mut eval, &cfg))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, rankings, model_fits, attack, optimizers);
+criterion_main!(benches);

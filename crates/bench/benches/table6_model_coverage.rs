@@ -1,0 +1,53 @@
+//! **Table 6** — coverage per classification model (LR, NB, DT).
+//!
+//! Run: `cargo bench --bench table6_model_coverage`
+
+use dfs_bench::corpus::compute_or_load_matrix;
+use dfs_bench::{print_table, BenchVersion, CorpusConfig};
+use dfs_core::prelude::*;
+
+fn main() {
+    let cfg = CorpusConfig::default();
+    let (matrix, _) = compute_or_load_matrix(&cfg, BenchVersion::Hpo);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (arm_idx, arm) in matrix.arms.iter().enumerate() {
+        let per_model: Vec<String> = ModelKind::PRIMARY
+            .iter()
+            .map(|&kind| {
+                format!("{:.2}", matrix.coverage_where(arm_idx, |s| s.model == kind))
+            })
+            .collect();
+        let mut row = vec![arm.name()];
+        row.extend(per_model);
+        rows.push(row);
+    }
+    print_table(
+        "Table 6: Model-dependent coverage",
+        &["Strategy", "LR", "NB", "DT"],
+        &rows,
+    );
+
+    // Shape checks (paper § 6.3, Model-Specific Effectiveness):
+    let cov = |arm: Arm, kind: ModelKind| {
+        matrix
+            .arm_index(arm)
+            .map(|i| matrix.coverage_where(i, |s| s.model == kind))
+            .unwrap_or(0.0)
+    };
+    // 1. RFE under NB needs permutation importance -> time overhead -> lower
+    //    coverage than under LR.
+    let rfe_nb = cov(Arm::Strategy(StrategyId::Rfe), ModelKind::GaussianNb);
+    let rfe_lr = cov(Arm::Strategy(StrategyId::Rfe), ModelKind::LogisticRegression);
+    println!(
+        "\n[shape-check] RFE: NB {rfe_nb:.2} vs LR {rfe_lr:.2} — paper: NB much lower (0.16 vs 0.44): {}",
+        if rfe_nb <= rfe_lr { "REPRODUCED" } else { "NOT reproduced" }
+    );
+    // 2. Binary-vector strategies prefer LR (cheapest model = most evals).
+    let sa_lr = cov(Arm::Strategy(StrategyId::SaNr), ModelKind::LogisticRegression);
+    let sa_nb = cov(Arm::Strategy(StrategyId::SaNr), ModelKind::GaussianNb);
+    println!(
+        "[shape-check] SA(NR): LR {sa_lr:.2} vs NB {sa_nb:.2} — paper: LR higher (0.59 vs 0.30): {}",
+        if sa_lr >= sa_nb { "REPRODUCED" } else { "NOT reproduced" }
+    );
+}

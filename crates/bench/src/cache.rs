@@ -1,0 +1,266 @@
+//! On-disk cache for computed outcome matrices (compact TSV codec).
+//!
+//! The matrix computation is the expensive part of the harness; every bench
+//! that needs it first looks here. The format is a line-oriented TSV keyed
+//! by a config fingerprint, written atomically (temp file + rename).
+
+use crate::corpus::{BenchVersion, CorpusConfig};
+use dfs_constraints::ConstraintSet;
+use dfs_core::runner::{Arm, BenchmarkMatrix, CellResult};
+use dfs_core::MlScenario;
+use dfs_models::ModelKind;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Cache file location for a (config, version) pair.
+pub fn cache_path(cfg: &CorpusConfig, version: BenchVersion) -> PathBuf {
+    let dir = std::env::var("DFS_BENCH_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir().join("dfs-bench-cache"));
+    let fingerprint = fingerprint(cfg);
+    dir.join(format!("matrix-{}-{fingerprint:016x}.tsv", version.tag()))
+}
+
+fn fingerprint(cfg: &CorpusConfig) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut mix = |v: u64| {
+        h = (h ^ v).wrapping_mul(0x100000001b3);
+    };
+    for (name, cap) in &cfg.datasets {
+        for b in name.bytes() {
+            mix(b as u64);
+        }
+        mix(*cap as u64);
+    }
+    mix(cfg.scenarios_per_dataset as u64);
+    mix(cfg.time_range.0.as_millis() as u64);
+    mix(cfg.time_range.1.as_millis() as u64);
+    mix(cfg.seed);
+    h
+}
+
+/// Serializes a matrix to the TSV codec.
+pub fn encode(matrix: &BenchmarkMatrix) -> String {
+    let mut out = String::new();
+    let canonical = Arm::all();
+    assert_eq!(matrix.arms, canonical, "cache codec assumes canonical arm order");
+    let _ = writeln!(out, "#dfs-matrix\tv1\t{}\t{}", matrix.scenarios.len(), matrix.arms.len());
+    for (s, row) in matrix.scenarios.iter().zip(&matrix.results) {
+        let c = &s.constraints;
+        let _ = writeln!(
+            out,
+            "S\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            s.dataset,
+            s.model.short_name(),
+            s.hpo as u8,
+            s.utility_f1 as u8,
+            s.seed,
+            c.min_f1,
+            c.max_search_time.as_secs_f64(),
+            c.max_feature_frac.unwrap_or(-1.0),
+            c.min_eo.unwrap_or(-1.0),
+            c.min_safety.unwrap_or(-1.0),
+            c.privacy_epsilon.unwrap_or(-1.0),
+        );
+        for cell in row {
+            let _ = writeln!(
+                out,
+                "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                cell.success as u8,
+                cell.elapsed.as_secs_f64(),
+                cell.val_distance,
+                cell.test_distance,
+                cell.evaluations,
+                cell.test_f1,
+                cell.subset_size,
+            );
+        }
+    }
+    out
+}
+
+/// Parses the TSV codec back into a matrix.
+pub fn decode(s: &str) -> Result<BenchmarkMatrix, String> {
+    let mut lines = s.lines();
+    let header = lines.next().ok_or("empty cache file")?;
+    let head: Vec<&str> = header.split('\t').collect();
+    if head.len() != 4 || head[0] != "#dfs-matrix" || head[1] != "v1" {
+        return Err(format!("bad header '{header}'"));
+    }
+    let n_scenarios: usize = head[2].parse().map_err(|e| format!("bad count: {e}"))?;
+    let n_arms: usize = head[3].parse().map_err(|e| format!("bad arm count: {e}"))?;
+    let arms = Arm::all();
+    if arms.len() != n_arms {
+        return Err(format!("arm count {n_arms} != canonical {}", arms.len()));
+    }
+
+    let mut scenarios = Vec::with_capacity(n_scenarios);
+    let mut results: Vec<Vec<CellResult>> = Vec::with_capacity(n_scenarios);
+    for line in lines {
+        let cells: Vec<&str> = line.split('\t').collect();
+        match cells.first() {
+            Some(&"S") => {
+                if cells.len() != 12 {
+                    return Err(format!("bad scenario line '{line}'"));
+                }
+                let opt = |v: f64| if v < 0.0 { None } else { Some(v) };
+                let parse =
+                    |i: usize| -> Result<f64, String> { cells[i].parse().map_err(|e| format!("{line}: {e}")) };
+                let model = match cells[2] {
+                    "LR" => ModelKind::LogisticRegression,
+                    "NB" => ModelKind::GaussianNb,
+                    "DT" => ModelKind::DecisionTree,
+                    "SVM" => ModelKind::LinearSvm,
+                    other => return Err(format!("unknown model '{other}'")),
+                };
+                scenarios.push(MlScenario {
+                    dataset: cells[1].to_string(),
+                    model,
+                    hpo: cells[3] == "1",
+                    utility_f1: cells[4] == "1",
+                    seed: cells[5].parse().map_err(|e| format!("{line}: {e}"))?,
+                    constraints: ConstraintSet {
+                        min_f1: parse(6)?,
+                        max_search_time: Duration::from_secs_f64(parse(7)?),
+                        max_feature_frac: opt(parse(8)?),
+                        min_eo: opt(parse(9)?),
+                        min_safety: opt(parse(10)?),
+                        privacy_epsilon: opt(parse(11)?),
+                    },
+                });
+                results.push(Vec::with_capacity(n_arms));
+            }
+            Some(&"R") => {
+                if cells.len() != 8 {
+                    return Err(format!("bad result line '{line}'"));
+                }
+                let parse =
+                    |i: usize| -> Result<f64, String> { cells[i].parse().map_err(|e| format!("{line}: {e}")) };
+                let row = results.last_mut().ok_or("result before scenario")?;
+                row.push(CellResult {
+                    success: cells[1] == "1",
+                    elapsed: Duration::from_secs_f64(parse(2)?),
+                    val_distance: parse(3)?,
+                    test_distance: parse(4)?,
+                    evaluations: cells[5].parse().map_err(|e| format!("{line}: {e}"))?,
+                    test_f1: parse(6)?,
+                    subset_size: cells[7].parse().map_err(|e| format!("{line}: {e}"))?,
+                });
+            }
+            _ => return Err(format!("unknown line kind '{line}'")),
+        }
+    }
+    if scenarios.len() != n_scenarios {
+        return Err(format!("expected {n_scenarios} scenarios, got {}", scenarios.len()));
+    }
+    if results.iter().any(|r| r.len() != n_arms) {
+        return Err("ragged result rows".into());
+    }
+    Ok(BenchmarkMatrix { arms, scenarios, results })
+}
+
+/// Loads a cached matrix; `None` when missing or unreadable.
+pub fn load(path: &Path) -> Option<BenchmarkMatrix> {
+    let s = std::fs::read_to_string(path).ok()?;
+    match decode(&s) {
+        Ok(m) => Some(m),
+        Err(e) => {
+            eprintln!("[dfs-bench] ignoring corrupt cache {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Saves a matrix atomically.
+pub fn save(path: &Path, matrix: &BenchmarkMatrix) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, encode(matrix)).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs_fs::StrategyId;
+
+    fn sample_matrix() -> BenchmarkMatrix {
+        let arms = Arm::all();
+        let scenario = MlScenario {
+            dataset: "compas".into(),
+            model: ModelKind::GaussianNb,
+            hpo: true,
+            utility_f1: false,
+            seed: 42,
+            constraints: ConstraintSet {
+                min_f1: 0.6,
+                max_search_time: Duration::from_millis(250),
+                max_feature_frac: Some(0.4),
+                min_eo: None,
+                min_safety: Some(0.85),
+                privacy_epsilon: None,
+            },
+        };
+        let row: Vec<CellResult> = (0..arms.len())
+            .map(|i| CellResult {
+                success: i % 3 == 0,
+                elapsed: Duration::from_micros(100 + i as u64),
+                val_distance: 0.01 * i as f64,
+                test_distance: 0.02 * i as f64,
+                evaluations: i,
+                test_f1: 0.5 + 0.01 * i as f64,
+                subset_size: i + 1,
+            })
+            .collect();
+        BenchmarkMatrix { arms, scenarios: vec![scenario], results: vec![row] }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let m = sample_matrix();
+        let decoded = decode(&encode(&m)).expect("roundtrip");
+        assert_eq!(decoded.scenarios.len(), 1);
+        let s = &decoded.scenarios[0];
+        assert_eq!(s.dataset, "compas");
+        assert_eq!(s.model, ModelKind::GaussianNb);
+        assert!(s.hpo);
+        assert_eq!(s.constraints.min_f1, 0.6);
+        assert_eq!(s.constraints.max_feature_frac, Some(0.4));
+        assert_eq!(s.constraints.min_eo, None);
+        assert_eq!(s.constraints.min_safety, Some(0.85));
+        for (a, b) in m.results[0].iter().zip(&decoded.results[0]) {
+            assert_eq!(a.success, b.success);
+            assert_eq!(a.evaluations, b.evaluations);
+            assert_eq!(a.subset_size, b.subset_size);
+            assert!((a.val_distance - b.val_distance).abs() < 1e-12);
+        }
+        // The canonical arm set includes Original + 16 strategies.
+        assert_eq!(decoded.arms.len(), 17);
+        assert!(decoded.arms.contains(&Arm::Strategy(StrategyId::Sffs)));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode("").is_err());
+        assert!(decode("#dfs-matrix\tv2\t0\t17\n").is_err());
+        assert!(decode("#dfs-matrix\tv1\t1\t17\nX\tfoo\n").is_err());
+        // Wrong arm count.
+        assert!(decode("#dfs-matrix\tv1\t0\t3\n").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_via_save_load() {
+        let m = sample_matrix();
+        let dir = std::env::temp_dir().join("dfs-cache-test");
+        let path = dir.join("m.tsv");
+        save(&path, &m);
+        let loaded = load(&path).expect("load");
+        assert_eq!(loaded.scenarios[0].seed, 42);
+        std::fs::remove_file(&path).ok();
+        assert!(load(&path).is_none());
+    }
+}

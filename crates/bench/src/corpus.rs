@@ -1,0 +1,217 @@
+//! Benchmark corpus: datasets, scenario sampling, and matrix computation.
+
+use dfs_core::prelude::*;
+use dfs_core::runner::run_benchmark;
+use dfs_data::split::{stratified_three_way, Split};
+use dfs_data::synthetic::{generate, spec_by_name};
+use dfs_linalg::rng::rng_from_seed;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The three benchmark versions of § 6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchVersion {
+    /// Default model hyperparameters (paper: 1500 scenarios).
+    DefaultParams,
+    /// Grid-search HPO per evaluation (paper: 3318 scenarios).
+    Hpo,
+    /// F1-as-utility subject to the other constraints (paper: 957).
+    Utility,
+}
+
+impl BenchVersion {
+    /// Cache-file tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BenchVersion::DefaultParams => "default",
+            BenchVersion::Hpo => "hpo",
+            BenchVersion::Utility => "utility",
+        }
+    }
+}
+
+/// Corpus configuration.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Dataset names (subset of the 19-dataset suite) and a per-dataset
+    /// row cap that keeps the harness laptop-scale while preserving the
+    /// relative size ordering.
+    pub datasets: Vec<(&'static str, usize)>,
+    /// Scenarios sampled per dataset.
+    pub scenarios_per_dataset: usize,
+    /// Search-time range (the scaled-down Listing 1 budget).
+    pub time_range: (Duration, Duration),
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads for matrix computation.
+    pub threads: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        let scenarios_per_dataset = std::env::var("DFS_BENCH_SCENARIOS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8);
+        Self {
+            // Ten datasets spanning the suite's size range; the traffic
+            // stand-in stays the largest so the scalability findings
+            // (heavy rankings / backward selection dying there) reproduce.
+            // Widths span 11..160 features. The paper's two extreme
+            // datasets (KDD: 526, PBC: 723 one-hot features) are omitted:
+            // at this harness's budget scale a single forward-selection
+            // round over 500+ features exceeds the whole budget, which
+            // would distort the forward/backward comparison rather than
+            // scale it (see DESIGN.md on budget scaling).
+            datasets: vec![
+                ("traffic_violations", 8000),
+                ("airlines_codrna_adult", 6000),
+                ("adult", 4800),
+                ("german_credit", 1000),
+                ("thyroid_disease", 3772),
+                ("telco_churn", 4300),
+                ("students", 3892),
+                ("compas", 4200),
+                ("irish_educational", 500),
+                ("indian_liver_patient", 583),
+            ],
+            scenarios_per_dataset,
+            time_range: (Duration::from_millis(80), Duration::from_millis(2000)),
+            seed: 2021,
+            threads: std::thread::available_parallelism().map(|p| p.get().min(8)).unwrap_or(4),
+        }
+    }
+}
+
+/// Generates and splits every corpus dataset (seeded, deterministic).
+pub fn build_splits(cfg: &CorpusConfig) -> HashMap<String, Split> {
+    cfg.datasets
+        .iter()
+        .map(|&(name, row_cap)| {
+            let mut spec = spec_by_name(name)
+                .unwrap_or_else(|| panic!("unknown dataset '{name}'"));
+            spec.rows = spec.rows.min(row_cap);
+            let ds = generate(&spec, cfg.seed ^ hash_name(name));
+            let split = stratified_three_way(&ds, cfg.seed ^ 0x5517);
+            (name.to_string(), split)
+        })
+        .collect()
+}
+
+/// Samples the scenario corpus for one benchmark version (Listing 1).
+pub fn build_scenarios(cfg: &CorpusConfig, version: BenchVersion) -> Vec<MlScenario> {
+    let sampler = SamplerConfig {
+        time_range: cfg.time_range,
+        hpo: version != BenchVersion::DefaultParams,
+        utility_f1: version == BenchVersion::Utility,
+    };
+    let mut rng = rng_from_seed(cfg.seed ^ 0xC0FFEE ^ version.tag().len() as u64);
+    let mut scenarios = Vec::new();
+    let mut id = 0u64;
+    for &(name, _) in &cfg.datasets {
+        for _ in 0..cfg.scenarios_per_dataset {
+            scenarios.push(sample_scenario(name, &sampler, &mut rng, id));
+            id += 1;
+        }
+    }
+    scenarios
+}
+
+/// Scenario-execution settings used by all benches.
+pub fn bench_settings() -> ScenarioSettings {
+    let mut s = ScenarioSettings::default_bench();
+    // The wall clock (the scenario's Max Search Time) is the binding
+    // budget, as in the paper; the evaluation cap is only a runaway guard.
+    s.max_evals = 5_000;
+    s.max_train_rows = 350;
+    s.attack.max_points = 12;
+    s
+}
+
+/// Computes the outcome matrix for a version, or loads it from the disk
+/// cache when the same configuration was computed before.
+pub fn compute_or_load_matrix(
+    cfg: &CorpusConfig,
+    version: BenchVersion,
+) -> (BenchmarkMatrix, HashMap<String, Split>) {
+    let splits = build_splits(cfg);
+    let path = crate::cache::cache_path(cfg, version);
+    if let Some(matrix) = crate::cache::load(&path) {
+        eprintln!("[dfs-bench] loaded cached matrix from {}", path.display());
+        return (matrix, splits);
+    }
+    eprintln!(
+        "[dfs-bench] computing {} matrix: {} scenarios x {} arms ({} threads)…",
+        version.tag(),
+        cfg.datasets.len() * cfg.scenarios_per_dataset,
+        Arm::all().len(),
+        cfg.threads
+    );
+    let scenarios = build_scenarios(cfg, version);
+    let settings = bench_settings();
+    let matrix = run_benchmark(&splits, scenarios, &Arm::all(), &settings, cfg.threads);
+    crate::cache::save(&path, &matrix);
+    (matrix, splits)
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> CorpusConfig {
+        CorpusConfig {
+            datasets: vec![("compas", 200), ("indian_liver_patient", 150)],
+            scenarios_per_dataset: 2,
+            time_range: (Duration::from_millis(20), Duration::from_millis(50)),
+            seed: 7,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn splits_are_built_for_every_dataset() {
+        let cfg = tiny_cfg();
+        let splits = build_splits(&cfg);
+        assert_eq!(splits.len(), 2);
+        let compas = &splits["compas"];
+        assert_eq!(compas.n_features(), 19); // matches Table 2
+        assert!(compas.train.n_rows() > compas.val.n_rows());
+    }
+
+    #[test]
+    fn scenario_corpus_is_deterministic_and_versioned() {
+        let cfg = tiny_cfg();
+        let a = build_scenarios(&cfg, BenchVersion::Hpo);
+        let b = build_scenarios(&cfg, BenchVersion::Hpo);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].constraints.min_f1, b[0].constraints.min_f1);
+        assert!(a.iter().all(|s| s.hpo && !s.utility_f1));
+        let u = build_scenarios(&cfg, BenchVersion::Utility);
+        assert!(u.iter().all(|s| s.hpo && s.utility_f1));
+        let d = build_scenarios(&cfg, BenchVersion::DefaultParams);
+        assert!(d.iter().all(|s| !s.hpo));
+    }
+
+    #[test]
+    fn end_to_end_matrix_on_a_micro_corpus() {
+        let cfg = tiny_cfg();
+        let splits = build_splits(&cfg);
+        let scenarios = build_scenarios(&cfg, BenchVersion::DefaultParams);
+        let mut settings = bench_settings();
+        settings.max_evals = 15;
+        // Two cheap arms keep the test quick.
+        let arms = vec![Arm::Original, Arm::Strategy(StrategyId::Sfs)];
+        let matrix = run_benchmark(&splits, scenarios, &arms, &settings, 2);
+        assert_eq!(matrix.results.len(), 4);
+        assert_eq!(matrix.results[0].len(), 2);
+        for row in &matrix.results {
+            for cell in row {
+                assert!(cell.val_distance >= 0.0 || cell.val_distance.is_infinite());
+            }
+        }
+    }
+}

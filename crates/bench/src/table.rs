@@ -1,0 +1,52 @@
+//! Plain-text table formatting for the bench harnesses.
+
+/// Formats a `(mean, std)` pair the way the paper prints cells:
+/// `0.60 ± 0.22`.
+pub fn fmt_mean_std((mean, std): (f64, f64)) -> String {
+    format!("{mean:.2} \u{00b1} {std:.2}")
+}
+
+/// Prints a titled, column-aligned table to stdout.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    println!("\n== {title} ==");
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_formatting_matches_paper_style() {
+        assert_eq!(fmt_mean_std((0.6049, 0.2201)), "0.60 \u{00b1} 0.22");
+        assert_eq!(fmt_mean_std((1.0, 0.0)), "1.00 \u{00b1} 0.00");
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_inputs() {
+        print_table(
+            "t",
+            &["a", "long-header"],
+            &[vec!["x".into(), "y".into()], vec!["wide-cell".into(), "z".into()]],
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! ML application constraints: taxonomy, constraint sets, and the search
+//! objective that guides feature selection toward satisfying them.
+//!
+//! A *metric* (F1, equal opportunity, safety, …) becomes a *constraint* once
+//! the user declares a threshold (paper § 3). This crate defines:
+//!
+//! - [`ConstraintKind`] and its [`Taxonomy`] — the paper's Table 1
+//!   (evaluation dependence, feature-set-size dependence, required inputs);
+//! - [`ConstraintSet`] — a user-declared scenario's thresholds. Min Accuracy
+//!   (F1) and Max Search Time are mandatory; Max Feature Set Size, Min EO,
+//!   Min Safety, and the privacy budget ε are optional;
+//! - [`Evaluation`] — the measured metrics of one candidate feature subset;
+//! - the aggregated squared-distance objective of Eq. 1 and its
+//!   utility-maximizing extension of Eq. 2.
+
+use std::time::Duration;
+
+/// The constraint types of the study (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintKind {
+    /// Maximum wall-clock time for the feature-subset search (mandatory).
+    MaxSearchTime,
+    /// Maximum number of selected features (complexity/interpretability).
+    MaxFeatureSetSize,
+    /// Minimum F1 score (mandatory; the paper's accuracy metric).
+    MinAccuracy,
+    /// Minimum equal opportunity (fairness).
+    MinEqualOpportunity,
+    /// Differential-privacy budget ε (satisfied by construction — the
+    /// scenario trains the DP model variant).
+    MinPrivacy,
+    /// Minimum empirical robustness against evasion attacks.
+    MinSafety,
+}
+
+/// Inputs a constraint's metric needs, per Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequiredInputs {
+    /// Needs the feature values.
+    pub features: bool,
+    /// Needs the ground-truth target.
+    pub target: bool,
+    /// Needs query access to the trained model.
+    pub model: bool,
+    /// Needs the model's predictions.
+    pub predictions: bool,
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Taxonomy {
+    /// The constraint this row describes.
+    pub kind: ConstraintKind,
+    /// Whether checking the constraint requires training + evaluating.
+    pub evaluation_dependent: bool,
+    /// Correlation of satisfaction with the number of features:
+    /// `+1` (helps), `-1` (hurts), `0` (none / structural).
+    pub feature_dependence: i8,
+    /// Inputs required to compute the metric.
+    pub inputs: RequiredInputs,
+}
+
+impl ConstraintKind {
+    /// The taxonomy row for this constraint (paper Table 1).
+    pub fn taxonomy(self) -> Taxonomy {
+        use ConstraintKind::*;
+        match self {
+            MaxSearchTime => Taxonomy {
+                kind: self,
+                evaluation_dependent: false,
+                feature_dependence: 0,
+                inputs: RequiredInputs::default(),
+            },
+            MaxFeatureSetSize => Taxonomy {
+                kind: self,
+                evaluation_dependent: false,
+                feature_dependence: 0,
+                inputs: RequiredInputs { features: true, ..Default::default() },
+            },
+            MinAccuracy => Taxonomy {
+                kind: self,
+                evaluation_dependent: true,
+                feature_dependence: 1,
+                inputs: RequiredInputs { target: true, predictions: true, ..Default::default() },
+            },
+            MinEqualOpportunity => Taxonomy {
+                kind: self,
+                evaluation_dependent: true,
+                feature_dependence: -1,
+                inputs: RequiredInputs { features: true, target: true, predictions: true, ..Default::default() },
+            },
+            MinPrivacy => Taxonomy {
+                kind: self,
+                evaluation_dependent: false,
+                feature_dependence: -1,
+                inputs: RequiredInputs::default(),
+            },
+            MinSafety => Taxonomy {
+                kind: self,
+                evaluation_dependent: true,
+                feature_dependence: -1,
+                inputs: RequiredInputs { features: true, target: true, model: true, predictions: true },
+            },
+        }
+    }
+
+    /// All constraint kinds, in Table 1 order.
+    pub const ALL: [ConstraintKind; 6] = [
+        ConstraintKind::MaxSearchTime,
+        ConstraintKind::MaxFeatureSetSize,
+        ConstraintKind::MinAccuracy,
+        ConstraintKind::MinEqualOpportunity,
+        ConstraintKind::MinPrivacy,
+        ConstraintKind::MinSafety,
+    ];
+}
+
+/// A user-declared constraint set for one ML scenario.
+///
+/// Thresholds follow the paper's Listing 1 template: `min_f1` and
+/// `max_search_time` are mandatory; everything else is optional.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintSet {
+    /// Minimum F1 score on the validation/test split (mandatory).
+    pub min_f1: f64,
+    /// Maximum wall-clock search time (mandatory).
+    pub max_search_time: Duration,
+    /// Maximum selected-feature *fraction* of the full feature set, in
+    /// `(0, 1]` (the paper samples `max_features` as a fraction).
+    pub max_feature_frac: Option<f64>,
+    /// Minimum equal opportunity.
+    pub min_eo: Option<f64>,
+    /// Minimum empirical safety.
+    pub min_safety: Option<f64>,
+    /// Differential-privacy budget ε; when set, the DP model variant is
+    /// trained and the constraint holds by construction.
+    pub privacy_epsilon: Option<f64>,
+}
+
+impl ConstraintSet {
+    /// A permissive baseline set: only the mandatory constraints, with an
+    /// effectively-unbounded budget. Useful as a starting point in examples.
+    pub fn accuracy_only(min_f1: f64, max_search_time: Duration) -> Self {
+        Self {
+            min_f1,
+            max_search_time,
+            max_feature_frac: None,
+            min_eo: None,
+            min_safety: None,
+            privacy_epsilon: None,
+        }
+    }
+
+    /// Which optional constraints are active (used by Table 5's breakdown).
+    pub fn active_optional(&self) -> Vec<ConstraintKind> {
+        let mut kinds = Vec::new();
+        if self.max_feature_frac.is_some() {
+            kinds.push(ConstraintKind::MaxFeatureSetSize);
+        }
+        if self.min_eo.is_some() {
+            kinds.push(ConstraintKind::MinEqualOpportunity);
+        }
+        if self.min_safety.is_some() {
+            kinds.push(ConstraintKind::MinSafety);
+        }
+        if self.privacy_epsilon.is_some() {
+            kinds.push(ConstraintKind::MinPrivacy);
+        }
+        kinds
+    }
+
+    /// Maximum number of features allowed for a dataset with `n_total`
+    /// features (at least 1), or `n_total` when unconstrained.
+    ///
+    /// Evaluation-independent: strategies use this to *prune* the search
+    /// space before any training (Table 1's taxonomy).
+    pub fn max_features_count(&self, n_total: usize) -> usize {
+        if n_total == 0 {
+            return 0;
+        }
+        match self.max_feature_frac {
+            Some(frac) => ((frac * n_total as f64).floor() as usize).clamp(1, n_total),
+            None => n_total,
+        }
+    }
+
+    /// Whether EO must be measured for this set.
+    pub fn needs_eo(&self) -> bool {
+        self.min_eo.is_some()
+    }
+
+    /// Whether the evasion attack must be run for this set.
+    pub fn needs_safety(&self) -> bool {
+        self.min_safety.is_some()
+    }
+
+    /// Validates threshold ranges; returns a description on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.min_f1) {
+            return Err(format!("min_f1 {} outside [0,1]", self.min_f1));
+        }
+        if let Some(f) = self.max_feature_frac {
+            if !(0.0 < f && f <= 1.0) {
+                return Err(format!("max_feature_frac {f} outside (0,1]"));
+            }
+        }
+        for (name, v) in [("min_eo", self.min_eo), ("min_safety", self.min_safety)] {
+            if let Some(v) = v {
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!("{name} {v} outside [0,1]"));
+                }
+            }
+        }
+        if let Some(eps) = self.privacy_epsilon {
+            if eps <= 0.0 {
+                return Err(format!("privacy_epsilon {eps} must be positive"));
+            }
+        }
+        if self.max_search_time.is_zero() {
+            return Err("max_search_time must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Measured metrics of one candidate feature subset.
+///
+/// `eo`/`safety` are `None` when the constraint set did not require
+/// measuring them (they are expensive); a present constraint with a missing
+/// measurement counts as a full violation so bugs surface loudly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// F1 score on the evaluation split.
+    pub f1: f64,
+    /// Equal opportunity, when measured.
+    pub eo: Option<f64>,
+    /// Empirical safety, when measured.
+    pub safety: Option<f64>,
+    /// Number of selected features.
+    pub n_selected: usize,
+    /// Total number of features in the dataset.
+    pub n_total: usize,
+}
+
+impl ConstraintSet {
+    /// The aggregated squared distance of Eq. 1: `Σ_m (δ_m − c_m)²` over
+    /// violated constraints, `0` iff every constraint holds.
+    ///
+    /// All thresholds live in `[0, 1]`, so the terms are commensurable and
+    /// "we treat all constraints equally" (paper § 4.3). The
+    /// feature-set-size term uses fractions for the same reason. Privacy is
+    /// excluded: it holds by construction.
+    pub fn distance(&self, eval: &Evaluation) -> f64 {
+        let mut d = 0.0;
+        d += shortfall(eval.f1, self.min_f1);
+        if let Some(min_eo) = self.min_eo {
+            d += shortfall(eval.eo.unwrap_or(0.0), min_eo);
+        }
+        if let Some(min_safety) = self.min_safety {
+            d += shortfall(eval.safety.unwrap_or(0.0), min_safety);
+        }
+        if let Some(frac) = self.max_feature_frac {
+            // The effective cap floors at one feature (an empty subset is
+            // no model at all), so a subset within `max_features_count` is
+            // never penalized even when the raw fraction exceeds the
+            // threshold — keeps Eq. 1 consistent with the
+            // evaluation-independent pruning boundary.
+            if eval.n_selected > self.max_features_count(eval.n_total) {
+                let used = eval.n_selected as f64 / eval.n_total.max(1) as f64;
+                d += shortfall(frac, used); // violated when used > frac
+            }
+        }
+        d
+    }
+
+    /// `true` iff the evaluation satisfies every declared constraint.
+    pub fn is_satisfied(&self, eval: &Evaluation) -> bool {
+        self.distance(eval) == 0.0
+    }
+
+    /// The search objective of Eq. 2 (to be *minimized*): the distance while
+    /// any constraint is violated; once satisfied, the negated sum of
+    /// utilities so optimization continues to improve them.
+    pub fn objective(&self, eval: &Evaluation, utilities: &[f64]) -> f64 {
+        let d = self.distance(eval);
+        if d > 0.0 {
+            d
+        } else {
+            -utilities.iter().sum::<f64>()
+        }
+    }
+}
+
+/// Squared shortfall of `achieved` below `threshold` (0 when satisfied).
+#[inline]
+fn shortfall(achieved: f64, threshold: f64) -> f64 {
+    if achieved >= threshold {
+        0.0
+    } else {
+        let gap = achieved - threshold;
+        gap * gap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> ConstraintSet {
+        ConstraintSet {
+            min_f1: 0.7,
+            max_search_time: Duration::from_secs(1),
+            max_feature_frac: Some(0.5),
+            min_eo: Some(0.9),
+            min_safety: None,
+            privacy_epsilon: None,
+        }
+    }
+
+    fn eval(f1: f64, eo: f64, selected: usize) -> Evaluation {
+        Evaluation { f1, eo: Some(eo), safety: None, n_selected: selected, n_total: 10 }
+    }
+
+    #[test]
+    fn distance_is_zero_iff_satisfied() {
+        let c = set();
+        let good = eval(0.8, 0.95, 4);
+        assert_eq!(c.distance(&good), 0.0);
+        assert!(c.is_satisfied(&good));
+        let bad = eval(0.6, 0.95, 4);
+        assert!(c.distance(&bad) > 0.0);
+        assert!(!c.is_satisfied(&bad));
+    }
+
+    #[test]
+    fn distance_sums_squared_gaps() {
+        let c = set();
+        // f1 short by 0.1, eo short by 0.2, size ok.
+        let e = eval(0.6, 0.7, 3);
+        let expected = 0.1f64 * 0.1 + 0.2 * 0.2;
+        assert!((c.distance(&e) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_size_violation_uses_fractions() {
+        let c = set();
+        // 8/10 = 0.8 used vs cap 0.5 -> (0.5 - 0.8)^2.
+        let e = eval(0.9, 0.95, 8);
+        assert!((c.distance(&e) - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_measurement_counts_as_violation() {
+        let c = set();
+        let e = Evaluation { f1: 0.9, eo: None, safety: None, n_selected: 2, n_total: 10 };
+        // eo missing but constrained at 0.9 -> (0 - 0.9)^2.
+        assert!((c.distance(&e) - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unconstrained_metrics_are_ignored() {
+        let mut c = set();
+        c.min_eo = None;
+        c.max_feature_frac = None;
+        let e = Evaluation { f1: 0.75, eo: Some(0.1), safety: Some(0.0), n_selected: 10, n_total: 10 };
+        assert_eq!(c.distance(&e), 0.0);
+    }
+
+    #[test]
+    fn objective_switches_to_utility_when_satisfied() {
+        let c = set();
+        let good = eval(0.8, 0.95, 4);
+        assert_eq!(c.objective(&good, &[0.8]), -0.8);
+        let bad = eval(0.6, 0.95, 4);
+        assert!(c.objective(&bad, &[0.8]) > 0.0);
+    }
+
+    #[test]
+    fn max_features_count_rounds_down_with_floor_one() {
+        let c = set(); // frac 0.5
+        assert_eq!(c.max_features_count(10), 5);
+        assert_eq!(c.max_features_count(3), 1);
+        let mut tiny = set();
+        tiny.max_feature_frac = Some(0.01);
+        assert_eq!(tiny.max_features_count(10), 1);
+        let mut open = set();
+        open.max_feature_frac = None;
+        assert_eq!(open.max_features_count(10), 10);
+    }
+
+    #[test]
+    fn taxonomy_matches_table1() {
+        use ConstraintKind::*;
+        assert!(!MaxSearchTime.taxonomy().evaluation_dependent);
+        assert!(!MaxFeatureSetSize.taxonomy().evaluation_dependent);
+        assert!(MinAccuracy.taxonomy().evaluation_dependent);
+        assert!(MinEqualOpportunity.taxonomy().evaluation_dependent);
+        assert!(!MinPrivacy.taxonomy().evaluation_dependent);
+        assert!(MinSafety.taxonomy().evaluation_dependent);
+        // Accuracy benefits from features; EO and safety suffer.
+        assert_eq!(MinAccuracy.taxonomy().feature_dependence, 1);
+        assert_eq!(MinEqualOpportunity.taxonomy().feature_dependence, -1);
+        assert_eq!(MinSafety.taxonomy().feature_dependence, -1);
+        // Safety needs everything.
+        let safety_inputs = MinSafety.taxonomy().inputs;
+        assert!(safety_inputs.features && safety_inputs.target && safety_inputs.model && safety_inputs.predictions);
+        // Accuracy needs only target + predictions.
+        let acc = MinAccuracy.taxonomy().inputs;
+        assert!(!acc.features && acc.target && !acc.model && acc.predictions);
+        assert_eq!(ConstraintKind::ALL.len(), 6);
+    }
+
+    #[test]
+    fn active_optional_reports_declared_constraints() {
+        let mut c = set();
+        c.privacy_epsilon = Some(0.5);
+        let active = c.active_optional();
+        assert!(active.contains(&ConstraintKind::MaxFeatureSetSize));
+        assert!(active.contains(&ConstraintKind::MinEqualOpportunity));
+        assert!(active.contains(&ConstraintKind::MinPrivacy));
+        assert!(!active.contains(&ConstraintKind::MinSafety));
+    }
+
+    #[test]
+    fn validation_catches_bad_thresholds() {
+        let mut c = set();
+        assert!(c.validate().is_ok());
+        c.min_f1 = 1.5;
+        assert!(c.validate().is_err());
+        c.min_f1 = 0.7;
+        c.max_feature_frac = Some(0.0);
+        assert!(c.validate().is_err());
+        c.max_feature_frac = Some(0.5);
+        c.privacy_epsilon = Some(-1.0);
+        assert!(c.validate().is_err());
+        c.privacy_epsilon = None;
+        c.max_search_time = Duration::ZERO;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the constraint-distance objective.
+
+use dfs_constraints::{ConstraintSet, Evaluation};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn arb_set() -> impl Strategy<Value = ConstraintSet> {
+    (
+        0.0..1.0f64,
+        prop::option::of(0.01..1.0f64),
+        prop::option::of(0.0..1.0f64),
+        prop::option::of(0.0..1.0f64),
+        prop::option::of(0.01..100.0f64),
+    )
+        .prop_map(|(min_f1, frac, eo, safety, eps)| ConstraintSet {
+            min_f1,
+            max_search_time: Duration::from_secs(1),
+            max_feature_frac: frac,
+            min_eo: eo,
+            min_safety: safety,
+            privacy_epsilon: eps,
+        })
+}
+
+fn arb_eval() -> impl Strategy<Value = Evaluation> {
+    (0.0..=1.0f64, 0.0..=1.0f64, 0.0..=1.0f64, 0usize..=20, 1usize..=20).prop_map(
+        |(f1, eo, safety, sel, extra)| Evaluation {
+            f1,
+            eo: Some(eo),
+            safety: Some(safety),
+            n_selected: sel.min(sel + extra),
+            n_total: sel + extra,
+        },
+    )
+}
+
+proptest! {
+    /// Eq. 1 is non-negative, zero exactly on satisfaction, and bounded by
+    /// the number of declared constraints (each term is a squared gap in
+    /// [0,1]).
+    #[test]
+    fn distance_is_sound(c in arb_set(), e in arb_eval()) {
+        let d = c.distance(&e);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d.is_finite());
+        prop_assert_eq!(d == 0.0, c.is_satisfied(&e));
+        let n_terms = 1 // accuracy
+            + c.min_eo.is_some() as usize
+            + c.min_safety.is_some() as usize
+            + c.max_feature_frac.is_some() as usize;
+        prop_assert!(d <= n_terms as f64 + 1e-9);
+    }
+
+    /// Distance is monotone: improving any single metric never increases it.
+    #[test]
+    fn distance_is_monotone_in_each_metric(c in arb_set(), e in arb_eval(), bump in 0.0..0.5f64) {
+        let base = c.distance(&e);
+        let mut better_f1 = e;
+        better_f1.f1 = (e.f1 + bump).min(1.0);
+        prop_assert!(c.distance(&better_f1) <= base + 1e-12);
+
+        let mut better_eo = e;
+        better_eo.eo = e.eo.map(|v| (v + bump).min(1.0));
+        prop_assert!(c.distance(&better_eo) <= base + 1e-12);
+
+        let mut fewer = e;
+        fewer.n_selected = e.n_selected.saturating_sub(1);
+        prop_assert!(c.distance(&fewer) <= base + 1e-12);
+    }
+
+    /// Eq. 2 equals Eq. 1 while violated, and switches to the negated
+    /// utility sum exactly at satisfaction.
+    #[test]
+    fn objective_is_consistent(c in arb_set(), e in arb_eval(), u in 0.0..1.0f64) {
+        let d = c.distance(&e);
+        let obj = c.objective(&e, &[u]);
+        if d > 0.0 {
+            prop_assert_eq!(obj, d);
+        } else {
+            prop_assert!((obj + u).abs() < 1e-12);
+        }
+    }
+
+    /// The evaluation-independent feature cap agrees with the distance's
+    /// size term: a subset within the cap never pays a size penalty.
+    #[test]
+    fn cap_and_distance_agree(c in arb_set(), total in 1usize..200) {
+        let cap = c.max_features_count(total);
+        prop_assert!(cap >= 1 && cap <= total);
+        let eval = Evaluation {
+            f1: 1.0,
+            eo: Some(1.0),
+            safety: Some(1.0),
+            n_selected: cap,
+            n_total: total,
+        };
+        prop_assert_eq!(c.distance(&eval), 0.0,
+            "cap {} of {} should satisfy frac {:?}", cap, total, c.max_feature_frac);
+    }
+}

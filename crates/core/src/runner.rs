@@ -1,0 +1,589 @@
+//! Benchmark execution and aggregation: the outcome matrix behind
+//! Tables 3–8.
+//!
+//! [`run_benchmark`] executes every (scenario × arm) cell of the study —
+//! an *arm* is either one of the 16 strategies or the Original-Features
+//! baseline — optionally across threads (each cell is independent, matching
+//! the paper's embarrassingly-parallel setup). [`BenchmarkMatrix`] then
+//! aggregates:
+//!
+//! - **coverage** — fraction of satisfiable scenarios an arm solved
+//!   (mean ± std across datasets, as the paper reports);
+//! - **fastest fraction** — how often an arm was the quickest solver;
+//! - **failure distances** (Table 4), **per-constraint** (Table 5) and
+//!   **per-model** (Table 6) breakdowns, **normalized F1** for the utility
+//!   benchmark, and the **greedy portfolios** of Table 8.
+
+use crate::scenario::{MlScenario, ScenarioSettings};
+use crate::workflow::{run_dfs, run_original_features, DfsOutcome};
+use dfs_data::split::Split;
+use dfs_fs::StrategyId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One column of the benchmark matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arm {
+    /// The full feature set with no selection.
+    Original,
+    /// One of the 16 FS strategies.
+    Strategy(StrategyId),
+}
+
+impl Arm {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            Arm::Original => "Original Features".into(),
+            Arm::Strategy(s) => s.name(),
+        }
+    }
+
+    /// The Original baseline followed by all 16 strategies.
+    pub fn all() -> Vec<Arm> {
+        let mut arms = vec![Arm::Original];
+        arms.extend(StrategyId::all().into_iter().map(Arm::Strategy));
+        arms
+    }
+}
+
+/// One cell: the outcome of one arm on one scenario.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Constraints satisfied on validation and confirmed on test.
+    pub success: bool,
+    /// Wall-clock search time.
+    pub elapsed: Duration,
+    /// Eq. 1 distance of the returned subset on validation.
+    pub val_distance: f64,
+    /// Eq. 1 distance of the returned subset on test.
+    pub test_distance: f64,
+    /// Wrapper evaluations consumed.
+    pub evaluations: usize,
+    /// Test F1 of the returned subset (utility benchmark).
+    pub test_f1: f64,
+    /// Size of the returned subset (0 when none).
+    pub subset_size: usize,
+}
+
+impl From<&DfsOutcome> for CellResult {
+    fn from(o: &DfsOutcome) -> Self {
+        CellResult {
+            success: o.success,
+            elapsed: o.elapsed,
+            val_distance: o.val_distance,
+            test_distance: o.test_distance,
+            evaluations: o.evaluations,
+            test_f1: o.test_eval.map(|e| e.f1).unwrap_or(0.0),
+            subset_size: o.subset.as_ref().map(|s| s.len()).unwrap_or(0),
+        }
+    }
+}
+
+/// The full benchmark outcome matrix.
+#[derive(Debug, Clone)]
+pub struct BenchmarkMatrix {
+    /// Column labels.
+    pub arms: Vec<Arm>,
+    /// Row scenarios (dataset name inside).
+    pub scenarios: Vec<MlScenario>,
+    /// `results[scenario][arm]`.
+    pub results: Vec<Vec<CellResult>>,
+}
+
+/// Executes every (scenario × arm) cell.
+///
+/// `splits` maps dataset names to prepared splits. `threads = 1` runs
+/// sequentially (most precise timings); more threads fan scenarios out via
+/// crossbeam scoped workers.
+pub fn run_benchmark(
+    splits: &HashMap<String, Split>,
+    scenarios: Vec<MlScenario>,
+    arms: &[Arm],
+    settings: &ScenarioSettings,
+    threads: usize,
+) -> BenchmarkMatrix {
+    let n = scenarios.len();
+    let results: Mutex<Vec<Option<Vec<CellResult>>>> = Mutex::new(vec![None; n]);
+    let next: Mutex<usize> = Mutex::new(0);
+
+    let run_row = |scenario: &MlScenario| -> Vec<CellResult> {
+        let split = splits
+            .get(&scenario.dataset)
+            .unwrap_or_else(|| panic!("no split for dataset '{}'", scenario.dataset));
+        arms.iter()
+            .map(|arm| match arm {
+                Arm::Original => CellResult::from(&run_original_features(scenario, split, settings)),
+                Arm::Strategy(id) => CellResult::from(&run_dfs(scenario, split, settings, *id)),
+            })
+            .collect()
+    };
+
+    if threads <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for s in &scenarios {
+            out.push(run_row(s));
+        }
+        return BenchmarkMatrix { arms: arms.to_vec(), scenarios, results: out };
+    }
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = {
+                    let mut guard = next.lock();
+                    if *guard >= n {
+                        break;
+                    }
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                let row = run_row(&scenarios[i]);
+                results.lock()[i] = Some(row);
+            });
+        }
+    })
+    .expect("benchmark worker panicked");
+
+    let results = results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all rows computed"))
+        .collect();
+    BenchmarkMatrix { arms: arms.to_vec(), scenarios, results }
+}
+
+/// Portfolio objective for [`BenchmarkMatrix::greedy_portfolio`] (Table 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortfolioObjective {
+    /// Maximize the fraction of satisfiable scenarios covered by the union.
+    Coverage,
+    /// Maximize the fraction of scenarios where the portfolio contains the
+    /// overall-fastest strategy.
+    Fastest,
+}
+
+impl BenchmarkMatrix {
+    /// Index of an arm.
+    pub fn arm_index(&self, arm: Arm) -> Option<usize> {
+        self.arms.iter().position(|a| *a == arm)
+    }
+
+    /// Scenario indices where at least one *strategy* arm succeeded — the
+    /// denominator of every coverage number (the paper "focuses on the ML
+    /// scenarios where at least one FS strategy found a feature set").
+    pub fn satisfiable(&self) -> Vec<usize> {
+        (0..self.scenarios.len())
+            .filter(|&i| {
+                self.arms
+                    .iter()
+                    .zip(&self.results[i])
+                    .any(|(arm, cell)| matches!(arm, Arm::Strategy(_)) && cell.success)
+            })
+            .collect()
+    }
+
+    /// Distinct dataset names, in first-appearance order.
+    pub fn datasets(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for s in &self.scenarios {
+            if !names.contains(&s.dataset) {
+                names.push(s.dataset.clone());
+            }
+        }
+        names
+    }
+
+    /// Per-dataset coverage of one arm over the satisfiable scenarios.
+    pub fn coverage_by_dataset(&self, arm_idx: usize) -> Vec<(String, f64)> {
+        let satisfiable = self.satisfiable();
+        self.datasets()
+            .into_iter()
+            .filter_map(|ds| {
+                let rows: Vec<usize> = satisfiable
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.scenarios[i].dataset == ds)
+                    .collect();
+                if rows.is_empty() {
+                    return None;
+                }
+                let wins = rows.iter().filter(|&&i| self.results[i][arm_idx].success).count();
+                Some((ds, wins as f64 / rows.len() as f64))
+            })
+            .collect()
+    }
+
+    /// Coverage mean ± std across datasets (the paper's Table 3 format).
+    pub fn coverage_stats(&self, arm_idx: usize) -> (f64, f64) {
+        mean_std(&self.coverage_by_dataset(arm_idx).iter().map(|(_, c)| *c).collect::<Vec<_>>())
+    }
+
+    /// For each satisfiable scenario, the arm that succeeded fastest.
+    pub fn fastest_arm_per_scenario(&self) -> Vec<(usize, usize)> {
+        self.satisfiable()
+            .into_iter()
+            .filter_map(|i| {
+                self.results[i]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.success)
+                    .min_by(|(_, a), (_, b)| a.elapsed.cmp(&b.elapsed))
+                    .map(|(arm, _)| (i, arm))
+            })
+            .collect()
+    }
+
+    /// Fastest-fraction mean ± std across datasets for one arm.
+    pub fn fastest_stats(&self, arm_idx: usize) -> (f64, f64) {
+        let fastest = self.fastest_arm_per_scenario();
+        let per_ds: Vec<f64> = self
+            .datasets()
+            .into_iter()
+            .filter_map(|ds| {
+                let rows: Vec<&(usize, usize)> =
+                    fastest.iter().filter(|(i, _)| self.scenarios[*i].dataset == ds).collect();
+                if rows.is_empty() {
+                    return None;
+                }
+                let wins = rows.iter().filter(|(_, a)| *a == arm_idx).count();
+                Some(wins as f64 / rows.len() as f64)
+            })
+            .collect();
+        mean_std(&per_ds)
+    }
+
+    /// Aggregate coverage of one arm over a filtered subset of satisfiable
+    /// scenarios (Tables 5 and 6).
+    pub fn coverage_where(&self, arm_idx: usize, pred: impl Fn(&MlScenario) -> bool) -> f64 {
+        let rows: Vec<usize> =
+            self.satisfiable().into_iter().filter(|&i| pred(&self.scenarios[i])).collect();
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let wins = rows.iter().filter(|&&i| self.results[i][arm_idx].success).count();
+        wins as f64 / rows.len() as f64
+    }
+
+    /// Mean ± std of validation/test distance over an arm's *failed*
+    /// satisfiable scenarios (Table 4).
+    pub fn failure_distances(&self, arm_idx: usize) -> ((f64, f64), (f64, f64)) {
+        let mut val = Vec::new();
+        let mut test = Vec::new();
+        for i in self.satisfiable() {
+            let cell = &self.results[i][arm_idx];
+            if !cell.success && cell.val_distance.is_finite() {
+                val.push(cell.val_distance);
+                test.push(cell.test_distance);
+            }
+        }
+        (mean_std(&val), mean_std(&test))
+    }
+
+    /// Mean ± std (across datasets) of the normalized test-F1 of one arm —
+    /// the utility benchmark's metric: each scenario's F1 is divided by the
+    /// best F1 any arm achieved on that scenario.
+    pub fn normalized_f1_stats(&self, arm_idx: usize) -> (f64, f64) {
+        let per_ds: Vec<f64> = self
+            .datasets()
+            .into_iter()
+            .filter_map(|ds| {
+                let mut vals = Vec::new();
+                for i in 0..self.scenarios.len() {
+                    if self.scenarios[i].dataset != ds {
+                        continue;
+                    }
+                    let best = self.results[i]
+                        .iter()
+                        .map(|c| c.test_f1)
+                        .fold(0.0f64, f64::max);
+                    if best > 0.0 {
+                        vals.push(self.results[i][arm_idx].test_f1 / best);
+                    }
+                }
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+                }
+            })
+            .collect();
+        mean_std(&per_ds)
+    }
+
+    /// Greedy top-k portfolio construction (Table 8): starting empty,
+    /// repeatedly add the arm with the greatest marginal gain under the
+    /// objective. Returns `(arm index, achieved mean, achieved std)` after
+    /// each addition. Only strategy arms participate for Coverage (the
+    /// paper's Fastest portfolio includes Original Features).
+    pub fn greedy_portfolio(&self, objective: PortfolioObjective) -> Vec<(usize, f64, f64)> {
+        let candidates: Vec<usize> = match objective {
+            PortfolioObjective::Coverage => self
+                .arms
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| matches!(a, Arm::Strategy(_)))
+                .map(|(i, _)| i)
+                .collect(),
+            PortfolioObjective::Fastest => (0..self.arms.len()).collect(),
+        };
+        let mut chosen: Vec<usize> = Vec::new();
+        let mut out = Vec::new();
+        loop {
+            let mut best: Option<(usize, f64, f64)> = None;
+            for &c in &candidates {
+                if chosen.contains(&c) {
+                    continue;
+                }
+                let mut trial = chosen.clone();
+                trial.push(c);
+                let (mean, std) = self.portfolio_score(&trial, objective);
+                if best.map(|(_, m, _)| mean > m).unwrap_or(true) {
+                    best = Some((c, mean, std));
+                }
+            }
+            match best {
+                Some((c, mean, std)) => {
+                    chosen.push(c);
+                    out.push((c, mean, std));
+                    if mean >= 1.0 - 1e-12 {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Mean ± std (across datasets) of a portfolio's objective.
+    pub fn portfolio_score(&self, portfolio: &[usize], objective: PortfolioObjective) -> (f64, f64) {
+        let satisfiable = self.satisfiable();
+        let fastest: HashMap<usize, usize> = self.fastest_arm_per_scenario().into_iter().collect();
+        let per_ds: Vec<f64> = self
+            .datasets()
+            .into_iter()
+            .filter_map(|ds| {
+                let rows: Vec<usize> = satisfiable
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.scenarios[i].dataset == ds)
+                    .collect();
+                if rows.is_empty() {
+                    return None;
+                }
+                let wins = rows
+                    .iter()
+                    .filter(|&&i| match objective {
+                        PortfolioObjective::Coverage => {
+                            portfolio.iter().any(|&a| self.results[i][a].success)
+                        }
+                        PortfolioObjective::Fastest => {
+                            fastest.get(&i).is_some_and(|f| portfolio.contains(f))
+                        }
+                    })
+                    .count();
+                Some(wins as f64 / rows.len() as f64)
+            })
+            .collect();
+        mean_std(&per_ds)
+    }
+
+    /// Coverage (mean ± std across datasets) achieved by a per-scenario arm
+    /// choice — used to score the meta-learning DFS optimizer, which picks
+    /// one strategy per scenario.
+    pub fn choice_coverage(&self, choices: &HashMap<usize, usize>) -> (f64, f64) {
+        let satisfiable = self.satisfiable();
+        let per_ds: Vec<f64> = self
+            .datasets()
+            .into_iter()
+            .filter_map(|ds| {
+                let rows: Vec<usize> = satisfiable
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.scenarios[i].dataset == ds)
+                    .collect();
+                if rows.is_empty() {
+                    return None;
+                }
+                let wins = rows
+                    .iter()
+                    .filter(|&&i| {
+                        choices.get(&i).is_some_and(|&a| self.results[i][a].success)
+                    })
+                    .count();
+                Some(wins as f64 / rows.len() as f64)
+            })
+            .collect();
+        mean_std(&per_ds)
+    }
+}
+
+/// Mean and population standard deviation; `(0, 0)` for empty input.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs_constraints::ConstraintSet;
+    use dfs_models::ModelKind;
+
+    /// Builds a tiny hand-crafted matrix (no real execution) to test the
+    /// aggregations exactly.
+    fn toy_matrix() -> BenchmarkMatrix {
+        let arms = vec![
+            Arm::Original,
+            Arm::Strategy(StrategyId::Sfs),
+            Arm::Strategy(StrategyId::Sbs),
+        ];
+        let mk_scenario = |ds: &str, model: ModelKind| MlScenario {
+            dataset: ds.into(),
+            model,
+            hpo: false,
+            constraints: ConstraintSet::accuracy_only(0.5, Duration::from_secs(1)),
+            utility_f1: false,
+            seed: 0,
+        };
+        let cell = |success: bool, ms: u64, f1: f64| CellResult {
+            success,
+            elapsed: Duration::from_millis(ms),
+            val_distance: if success { 0.0 } else { 0.1 },
+            test_distance: if success { 0.0 } else { 0.2 },
+            evaluations: 5,
+            test_f1: f1,
+            subset_size: 2,
+        };
+        BenchmarkMatrix {
+            arms,
+            scenarios: vec![
+                mk_scenario("a", ModelKind::LogisticRegression),
+                mk_scenario("a", ModelKind::GaussianNb),
+                mk_scenario("b", ModelKind::LogisticRegression),
+                mk_scenario("b", ModelKind::DecisionTree),
+            ],
+            results: vec![
+                // s0: SFS fastest success, SBS slower success.
+                vec![cell(false, 1, 0.5), cell(true, 10, 0.8), cell(true, 20, 0.7)],
+                // s1: only SBS succeeds.
+                vec![cell(false, 1, 0.4), cell(false, 10, 0.5), cell(true, 30, 0.9)],
+                // s2: nothing succeeds (not satisfiable).
+                vec![cell(false, 1, 0.3), cell(false, 10, 0.2), cell(false, 30, 0.1)],
+                // s3: SFS succeeds.
+                vec![cell(false, 1, 0.6), cell(true, 5, 0.9), cell(false, 30, 0.3)],
+            ],
+        }
+    }
+
+    #[test]
+    fn satisfiable_excludes_all_fail_rows_and_original_only_rows() {
+        let m = toy_matrix();
+        assert_eq!(m.satisfiable(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn coverage_stats_average_across_datasets() {
+        let m = toy_matrix();
+        let sfs = m.arm_index(Arm::Strategy(StrategyId::Sfs)).unwrap();
+        // Dataset a: 1/2 satisfiable covered; dataset b: 1/1.
+        let by_ds = m.coverage_by_dataset(sfs);
+        assert_eq!(by_ds, vec![("a".to_string(), 0.5), ("b".to_string(), 1.0)]);
+        let (mean, std) = m.coverage_stats(sfs);
+        assert!((mean - 0.75).abs() < 1e-12);
+        assert!((std - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fastest_assignment_prefers_min_elapsed_success() {
+        let m = toy_matrix();
+        let fastest = m.fastest_arm_per_scenario();
+        let sfs = m.arm_index(Arm::Strategy(StrategyId::Sfs)).unwrap();
+        let sbs = m.arm_index(Arm::Strategy(StrategyId::Sbs)).unwrap();
+        assert_eq!(fastest, vec![(0, sfs), (1, sbs), (3, sfs)]);
+        let (mean, _) = m.fastest_stats(sfs);
+        // a: 1/2; b: 1/1 -> 0.75.
+        assert!((mean - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_where_filters_by_model() {
+        let m = toy_matrix();
+        let sbs = m.arm_index(Arm::Strategy(StrategyId::Sbs)).unwrap();
+        let nb_cov =
+            m.coverage_where(sbs, |s| s.model == ModelKind::GaussianNb);
+        assert_eq!(nb_cov, 1.0);
+        let dt_cov =
+            m.coverage_where(sbs, |s| s.model == ModelKind::DecisionTree);
+        assert_eq!(dt_cov, 0.0);
+    }
+
+    #[test]
+    fn failure_distances_cover_failed_cells_only() {
+        let m = toy_matrix();
+        let sfs = m.arm_index(Arm::Strategy(StrategyId::Sfs)).unwrap();
+        let ((val_mean, _), (test_mean, _)) = m.failure_distances(sfs);
+        // SFS failed only on s1 among satisfiable rows.
+        assert!((val_mean - 0.1).abs() < 1e-12);
+        assert!((test_mean - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_portfolio_reaches_full_coverage() {
+        let m = toy_matrix();
+        let steps = m.greedy_portfolio(PortfolioObjective::Coverage);
+        assert!(!steps.is_empty());
+        let last = steps.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 1e-12, "final coverage {}", last.1);
+        // Two strategies suffice here.
+        assert!(steps.len() <= 2);
+    }
+
+    #[test]
+    fn greedy_fastest_portfolio_accumulates_wins() {
+        let m = toy_matrix();
+        let steps = m.greedy_portfolio(PortfolioObjective::Fastest);
+        let last = steps.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 1e-12);
+        // First pick must be SFS (fastest on 2 of 3).
+        let sfs = m.arm_index(Arm::Strategy(StrategyId::Sfs)).unwrap();
+        assert_eq!(steps[0].0, sfs);
+    }
+
+    #[test]
+    fn choice_coverage_scores_per_scenario_choices() {
+        let m = toy_matrix();
+        let sfs = m.arm_index(Arm::Strategy(StrategyId::Sfs)).unwrap();
+        let sbs = m.arm_index(Arm::Strategy(StrategyId::Sbs)).unwrap();
+        // Perfect choices: sfs, sbs, sfs.
+        let choices: HashMap<usize, usize> = [(0, sfs), (1, sbs), (3, sfs)].into();
+        let (mean, _) = m.choice_coverage(&choices);
+        assert!((mean - 1.0).abs() < 1e-12);
+        // Bad choices: always sfs -> a: 1/2, b: 1/1.
+        let bad: HashMap<usize, usize> = [(0, sfs), (1, sfs), (3, sfs)].into();
+        let (mean_bad, _) = m.choice_coverage(&bad);
+        assert!((mean_bad - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_f1_is_one_for_the_per_scenario_best() {
+        let m = toy_matrix();
+        let sbs = m.arm_index(Arm::Strategy(StrategyId::Sbs)).unwrap();
+        let (mean, _) = m.normalized_f1_stats(sbs);
+        assert!(mean > 0.0 && mean <= 1.0);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        let (m, s) = mean_std(&[2.0, 4.0]);
+        assert_eq!((m, s), (3.0, 1.0));
+    }
+}

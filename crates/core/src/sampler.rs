@@ -1,0 +1,163 @@
+//! Randomized scenario sampling — the paper's Listing 1.
+//!
+//! "To estimate the performance for the entire query space … we pick a
+//! random constraint set and let all described strategies search for
+//! features that satisfy this constraint set on a randomly picked dataset"
+//! (domain-aware randomized fuzzing after SQLsmith).
+//!
+//! The constraint-space template mirrors Listing 1 verbatim, with the
+//! wall-clock range scaled down from the paper's 10 s – 3 h to laptop-scale
+//! milliseconds (see `DESIGN.md` § 2 — coverage is defined *relative to*
+//! the budget, so scaling data and budget together preserves which
+//! strategies exhaust it).
+
+use crate::scenario::MlScenario;
+use dfs_constraints::ConstraintSet;
+use dfs_linalg::rng::{derive_seed, log_normal, uniform};
+use dfs_models::ModelKind;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::Duration;
+
+/// Sampler knobs.
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Wall-clock search-time range (log-uniform; the paper used 10 s–3 h).
+    pub time_range: (Duration, Duration),
+    /// Model HPO on or off (the two arms of Table 3).
+    pub hpo: bool,
+    /// Eq. 2 utility mode (the third benchmark version).
+    pub utility_f1: bool,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        Self {
+            time_range: (Duration::from_millis(40), Duration::from_millis(1500)),
+            hpo: true,
+            utility_f1: false,
+        }
+    }
+}
+
+/// Samples one ML scenario per Listing 1: a classifier, a mandatory
+/// Min-F1 ∈ U(0.5, 1) and Max-Search-Time, and optional feature-fraction /
+/// EO / safety / privacy constraints.
+pub fn sample_scenario(dataset: &str, cfg: &SamplerConfig, rng: &mut StdRng, id: u64) -> MlScenario {
+    let model = match rng.random_range(0..3) {
+        0 => ModelKind::LogisticRegression,
+        1 => ModelKind::DecisionTree,
+        _ => ModelKind::GaussianNb,
+    };
+    // 'min_f1': hp.uniform('val', 0.5, 1)
+    let min_f1 = uniform(0.5, 1.0, rng);
+    // max search time: log-uniform over the configured range.
+    let (lo, hi) = (cfg.time_range.0.as_secs_f64(), cfg.time_range.1.as_secs_f64());
+    let t = (uniform(lo.ln(), hi.ln(), rng)).exp();
+    let max_search_time = Duration::from_secs_f64(t);
+    // 'max_features': hp.choice('?', [1, hp.uniform('val', 0, 1)])
+    let max_feature_frac = if rng.random::<bool>() {
+        None // fraction 1 = unconstrained
+    } else {
+        let f = uniform(0.0, 1.0, rng);
+        (f > 0.0).then_some(f)
+    };
+    // 'min_EO': hp.choice('?', [0, hp.uniform('val', 0.8, 1)])
+    let min_eo = rng.random::<bool>().then(|| uniform(0.8, 1.0, rng));
+    // 'min_safety': hp.choice('?', [0, hp.uniform('val', 0.8, 1)])
+    let min_safety = rng.random::<bool>().then(|| uniform(0.8, 1.0, rng));
+    // 'privacy_ε': hp.choice('?', [None, hp.lognormal('val', 0, 1)])
+    let privacy_epsilon = rng.random::<bool>().then(|| log_normal(0.0, 1.0, rng));
+
+    let constraints = ConstraintSet {
+        min_f1,
+        max_search_time,
+        max_feature_frac,
+        min_eo,
+        min_safety,
+        privacy_epsilon,
+    };
+    debug_assert!(constraints.validate().is_ok());
+    MlScenario {
+        dataset: dataset.to_string(),
+        model,
+        hpo: cfg.hpo,
+        constraints,
+        utility_f1: cfg.utility_f1,
+        seed: derive_seed(0xD0F5, id),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs_linalg::rng::rng_from_seed;
+
+    fn sample_many(n: usize) -> Vec<MlScenario> {
+        let cfg = SamplerConfig::default();
+        let mut rng = rng_from_seed(99);
+        (0..n).map(|i| sample_scenario("ds", &cfg, &mut rng, i as u64)).collect()
+    }
+
+    #[test]
+    fn mandatory_constraints_always_present_and_in_range() {
+        for s in sample_many(200) {
+            assert!((0.5..=1.0).contains(&s.constraints.min_f1));
+            assert!(s.constraints.max_search_time >= Duration::from_millis(39));
+            assert!(s.constraints.max_search_time <= Duration::from_millis(1510));
+            assert!(s.constraints.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn optional_constraints_appear_about_half_the_time() {
+        let scenarios = sample_many(400);
+        let eo = scenarios.iter().filter(|s| s.constraints.min_eo.is_some()).count();
+        let safety = scenarios.iter().filter(|s| s.constraints.min_safety.is_some()).count();
+        let privacy = scenarios.iter().filter(|s| s.constraints.privacy_epsilon.is_some()).count();
+        for (name, count) in [("eo", eo), ("safety", safety), ("privacy", privacy)] {
+            assert!(
+                (120..=280).contains(&count),
+                "{name} appeared {count}/400 times, expected ~200"
+            );
+        }
+    }
+
+    #[test]
+    fn optional_thresholds_follow_listing1_ranges() {
+        for s in sample_many(300) {
+            if let Some(eo) = s.constraints.min_eo {
+                assert!((0.8..=1.0).contains(&eo));
+            }
+            if let Some(sf) = s.constraints.min_safety {
+                assert!((0.8..=1.0).contains(&sf));
+            }
+            if let Some(eps) = s.constraints.privacy_epsilon {
+                assert!(eps > 0.0);
+            }
+            if let Some(f) = s.constraints.max_feature_frac {
+                assert!(f > 0.0 && f <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn all_three_models_get_sampled() {
+        let scenarios = sample_many(100);
+        for kind in ModelKind::PRIMARY {
+            assert!(
+                scenarios.iter().any(|s| s.model == kind),
+                "{kind:?} never sampled"
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_seeds_differ_per_id() {
+        let cfg = SamplerConfig::default();
+        let mut rng = rng_from_seed(1);
+        let a = sample_scenario("d", &cfg, &mut rng, 0);
+        let b = sample_scenario("d", &cfg, &mut rng, 1);
+        assert_ne!(a.seed, b.seed);
+    }
+}

@@ -1,0 +1,548 @@
+//! ML scenarios and the subset evaluator that powers every strategy.
+
+use dfs_constraints::{ConstraintSet, Evaluation};
+use dfs_data::split::Split;
+use dfs_fs::SubsetEvaluator;
+use dfs_linalg::rng::derive_seed;
+use dfs_linalg::Matrix;
+use dfs_metrics::{empirical_safety, equal_opportunity, f1_score, AttackConfig};
+use dfs_models::hpo::fit_maybe_hpo;
+use dfs_models::importance::importance_or_permutation;
+use dfs_models::{ModelKind, ModelSpec, TrainedModel};
+use dfs_search::Budget;
+use std::collections::HashMap;
+
+/// A fully specified ML scenario `Z = (φ, D, D_train, D_val, D_test, C)`.
+#[derive(Debug, Clone)]
+pub struct MlScenario {
+    /// Dataset name (for reporting; the data itself travels as a [`Split`]).
+    pub dataset: String,
+    /// Classification model family φ.
+    pub model: ModelKind,
+    /// Whether hyperparameters are grid-searched per evaluation (the two
+    /// arms of Table 3) .
+    pub hpo: bool,
+    /// The declared constraint set `C`.
+    pub constraints: ConstraintSet,
+    /// Eq. 2 mode: once constraints hold, keep maximizing F1.
+    pub utility_f1: bool,
+    /// Seed for all stochastic components of this scenario.
+    pub seed: u64,
+}
+
+/// Execution knobs that are *not* part of the declared scenario: evaluation
+/// caps (determinism), attack budget, subsample sizes.
+#[derive(Debug, Clone)]
+pub struct ScenarioSettings {
+    /// Hard cap on wrapper evaluations (besides the wall-clock constraint).
+    pub max_evals: usize,
+    /// Evasion-attack budget for the Min Safety metric.
+    pub attack: AttackConfig,
+    /// Cap on training rows per model fit (subsampling keeps the
+    /// reproduction laptop-scale; 0 = no cap).
+    pub max_train_rows: usize,
+}
+
+impl ScenarioSettings {
+    /// Benchmark-scale defaults.
+    pub fn default_bench() -> Self {
+        Self {
+            max_evals: 400,
+            attack: AttackConfig { max_points: 16, ..AttackConfig::default() },
+            max_train_rows: 600,
+        }
+    }
+
+    /// Tiny budgets for unit tests and doc examples.
+    pub fn fast() -> Self {
+        Self {
+            max_evals: 60,
+            attack: AttackConfig {
+                max_points: 6,
+                init_trials: 8,
+                boundary_steps: 6,
+                iterations: 2,
+                grad_queries: 6,
+                seed: 0,
+            },
+            max_train_rows: 200,
+        }
+    }
+}
+
+/// Cached result of one wrapper evaluation.
+#[derive(Debug, Clone)]
+struct CachedEval {
+    score: f64,
+    eval: Evaluation,
+    /// `true` when the score came from the evaluation-independent pruning
+    /// shortcut (no model was trained).
+    pruned: bool,
+}
+
+/// The wrapper evaluator for one scenario: trains the scenario's model on a
+/// candidate feature subset and measures every constrained metric on the
+/// validation split. Implements [`SubsetEvaluator`] for the strategies.
+///
+/// Behaviour mandated by the paper:
+/// - **Evaluation-independent pruning** (Table 1): subsets violating the
+///   Max Feature Set Size constraint are scored *without* training and
+///   without consuming budget;
+/// - **DP by construction**: when ε is declared, the DP model variant is
+///   trained, so Min Privacy never appears in the distance;
+/// - **Caching**: repeated proposals of the same subset are free (the
+///   reference implementation caches evaluations the same way).
+pub struct ScenarioContext<'a> {
+    scenario: &'a MlScenario,
+    split: &'a Split,
+    settings: &'a ScenarioSettings,
+    budget: Budget,
+    cache: HashMap<Vec<usize>, CachedEval>,
+    eval_counter: u64,
+    train_rows: Vec<usize>,
+}
+
+impl<'a> ScenarioContext<'a> {
+    /// Creates the evaluator; the budget clock starts now.
+    pub fn new(scenario: &'a MlScenario, split: &'a Split, settings: &'a ScenarioSettings) -> Self {
+        let budget = Budget::new(scenario.constraints.max_search_time, settings.max_evals);
+        let n = split.train.n_rows();
+        let cap = if settings.max_train_rows == 0 { n } else { settings.max_train_rows.min(n) };
+        // Deterministic head of a stratified split is already shuffled
+        // within strata; take a simple prefix for the train subsample.
+        let train_rows: Vec<usize> = (0..cap).collect();
+        Self { scenario, split, settings, budget, cache: HashMap::new(), eval_counter: 0, train_rows }
+    }
+
+    /// The scenario under evaluation.
+    pub fn scenario(&self) -> &MlScenario {
+        self.scenario
+    }
+
+    /// Evaluations consumed so far.
+    pub fn evals_used(&self) -> usize {
+        self.budget.evals_used()
+    }
+
+    /// Elapsed search time.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.budget.elapsed()
+    }
+
+    /// Trains the scenario's model on a subset (train split only) and
+    /// returns it along with its validation predictions.
+    fn train_on(&mut self, subset: &[usize], x_train: &Matrix, y_train: &[bool], x_val: &Matrix, y_val: &[bool]) -> TrainedModel {
+        self.eval_counter += 1;
+        match self.scenario.constraints.privacy_epsilon {
+            Some(eps) => {
+                // DP variant; HPO would multiply the privacy spend, so DP
+                // training always uses default hyperparameters (one train
+                // run per evaluation — the paper's setting trains the DP
+                // alternative of the chosen model).
+                let spec = ModelSpec::default_for(self.scenario.model);
+                let dp_seed = derive_seed(self.scenario.seed, hash_subset(subset));
+                spec.fit_dp(x_train, y_train, eps, dp_seed)
+            }
+            None => {
+                let (_, model) =
+                    fit_maybe_hpo(self.scenario.model, self.scenario.hpo, x_train, y_train, x_val, y_val);
+                model
+            }
+        }
+    }
+
+    /// Full (train + measure on a given evaluation split) pass for a subset.
+    /// Used for both validation (during search) and test (confirmation).
+    fn measure(&mut self, subset: &[usize], eval_on_test: bool) -> Evaluation {
+        let x_train_full = self.split.train.x.select_cols(subset);
+        let x_train = x_train_full.select_rows(&self.train_rows);
+        let y_train: Vec<bool> =
+            self.train_rows.iter().map(|&i| self.split.train.y[i]).collect();
+        let part = if eval_on_test { &self.split.test } else { &self.split.val };
+        let x_eval = part.x.select_cols(subset);
+        let y_eval = &part.y;
+
+        // HPO always scores on validation, never on test.
+        let x_val = self.split.val.x.select_cols(subset);
+        let model = self.train_on(subset, &x_train, &y_train, &x_val, &self.split.val.y);
+
+        let preds = model.predict(&x_eval);
+        let f1 = f1_score(&preds, y_eval);
+        let eo = self
+            .scenario
+            .constraints
+            .needs_eo()
+            .then(|| equal_opportunity(&preds, y_eval, &part.protected));
+        let safety = self.scenario.constraints.needs_safety().then(|| {
+            let mut cfg = self.settings.attack.clone();
+            cfg.seed = derive_seed(self.scenario.seed, 0xA77AC4 ^ hash_subset(subset));
+            let predict = |row: &[f64]| model.predict_one(row);
+            empirical_safety(&predict, &x_eval, y_eval, &cfg)
+        });
+        Evaluation {
+            f1,
+            eo,
+            safety,
+            n_selected: subset.len(),
+            n_total: self.split.n_features(),
+        }
+    }
+
+    /// Scores a subset against the constraint set (Eq. 1 / Eq. 2), without
+    /// budget or caching concerns. Internal; use `evaluate`.
+    fn objective_of(&self, eval: &Evaluation) -> f64 {
+        if self.scenario.utility_f1 {
+            self.scenario.constraints.objective(eval, &[eval.f1])
+        } else {
+            self.scenario.constraints.distance(eval)
+        }
+    }
+
+    /// The measured metrics of the best evaluation of `subset` if it was
+    /// evaluated during search.
+    pub fn cached_evaluation(&self, subset: &[usize]) -> Option<Evaluation> {
+        self.cache.get(subset).map(|c| c.eval)
+    }
+
+    /// Confirms a subset on the **test** split (the final workflow step).
+    /// Does not consume search budget — the search is already over.
+    pub fn confirm_on_test(&mut self, subset: &[usize]) -> (Evaluation, f64) {
+        let eval = self.measure(subset, true);
+        let distance = self.scenario.constraints.distance(&eval);
+        (eval, distance)
+    }
+
+    /// Pruned (evaluation-independent) scoring for over-cap subsets: no
+    /// training, pessimistic metric placeholders, strong size gradient.
+    fn pruned_score(&self, subset: &[usize]) -> (f64, Evaluation) {
+        let c = &self.scenario.constraints;
+        let eval = Evaluation {
+            f1: 0.0,
+            eo: c.needs_eo().then_some(0.0),
+            safety: c.needs_safety().then_some(0.0),
+            n_selected: subset.len(),
+            n_total: self.split.n_features(),
+        };
+        (c.distance(&eval), eval)
+    }
+}
+
+fn hash_subset(subset: &[usize]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &f in subset {
+        h ^= f as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl SubsetEvaluator for ScenarioContext<'_> {
+    fn n_features(&self) -> usize {
+        self.split.n_features()
+    }
+
+    fn max_features(&self) -> usize {
+        self.scenario.constraints.max_features_count(self.split.n_features())
+    }
+
+    fn evaluate(&mut self, subset: &[usize]) -> Option<f64> {
+        assert!(!subset.is_empty(), "evaluate: empty subset");
+        // The wall clock gates *everything*, including cache hits and
+        // pruned evaluations — otherwise a strategy whose proposals are all
+        // pruned (e.g. TPE(NR) under a tight feature cap) would spin far
+        // past the declared Max Search Time doing "free" work.
+        if self.budget.exhausted() {
+            return None;
+        }
+        if let Some(cached) = self.cache.get(subset) {
+            return Some(cached.score);
+        }
+        // Evaluation-independent pruning (no budget *count*, no training).
+        if subset.len() > self.max_features() {
+            let (score, eval) = self.pruned_score(subset);
+            self.cache.insert(subset.to_vec(), CachedEval { score, eval, pruned: true });
+            return Some(score);
+        }
+        if !self.budget.try_consume() {
+            return None;
+        }
+        let eval = self.measure(subset, false);
+        let score = self.objective_of(&eval);
+        self.cache.insert(subset.to_vec(), CachedEval { score, eval, pruned: false });
+        Some(score)
+    }
+
+    fn evaluate_no_prune(&mut self, subset: &[usize]) -> Option<f64> {
+        assert!(!subset.is_empty(), "evaluate_no_prune: empty subset");
+        if self.budget.exhausted() {
+            return None;
+        }
+        // A full (trained) evaluation may be reused; a pruned shortcut may
+        // not — the caller insists on the wrapper approach.
+        if let Some(cached) = self.cache.get(subset) {
+            if !cached.pruned {
+                return Some(cached.score);
+            }
+        }
+        if !self.budget.try_consume() {
+            return None;
+        }
+        let eval = self.measure(subset, false);
+        let score = self.objective_of(&eval);
+        self.cache.insert(subset.to_vec(), CachedEval { score, eval, pruned: false });
+        Some(score)
+    }
+
+    fn evaluate_multi(&mut self, subset: &[usize]) -> Option<Vec<f64>> {
+        // One objective per declared constraint, in a fixed order:
+        // [accuracy, EO?, safety?, feature-size?]. Each component is the
+        // squared shortfall, zero when satisfied.
+        let score_and_eval = {
+            if self.budget.exhausted() {
+                None
+            } else if let Some(cached) = self.cache.get(subset) {
+                Some((cached.score, cached.eval))
+            } else if subset.len() > self.max_features() {
+                let (score, eval) = self.pruned_score(subset);
+                self.cache.insert(subset.to_vec(), CachedEval { score, eval, pruned: true });
+                Some((score, eval))
+            } else if !self.budget.try_consume() {
+                None
+            } else {
+                let eval = self.measure(subset, false);
+                let score = self.objective_of(&eval);
+                self.cache.insert(subset.to_vec(), CachedEval { score, eval, pruned: false });
+                Some((score, eval))
+            }
+        };
+        let (_, eval) = score_and_eval?;
+        let c = &self.scenario.constraints;
+        let mut objectives = vec![sq_shortfall(eval.f1, c.min_f1)];
+        if let Some(min_eo) = c.min_eo {
+            objectives.push(sq_shortfall(eval.eo.unwrap_or(0.0), min_eo));
+        }
+        if let Some(min_safety) = c.min_safety {
+            objectives.push(sq_shortfall(eval.safety.unwrap_or(0.0), min_safety));
+        }
+        if let Some(frac) = c.max_feature_frac {
+            let used = eval.n_selected as f64 / eval.n_total.max(1) as f64;
+            objectives.push(sq_shortfall(frac, used));
+        }
+        Some(objectives)
+    }
+
+    fn stop_at(&self) -> Option<f64> {
+        if self.scenario.utility_f1 {
+            None
+        } else {
+            Some(0.0)
+        }
+    }
+
+    fn ranking_data(&self) -> (&Matrix, &[bool]) {
+        (&self.split.train.x, &self.split.train.y)
+    }
+
+    fn importances(&mut self, subset: &[usize]) -> Option<Vec<f64>> {
+        if !self.budget.try_consume() {
+            return None;
+        }
+        let x_train_full = self.split.train.x.select_cols(subset);
+        let x_train = x_train_full.select_rows(&self.train_rows);
+        let y_train: Vec<bool> =
+            self.train_rows.iter().map(|&i| self.split.train.y[i]).collect();
+        // RFE trains with default hyperparameters (the ranking step is not
+        // HPO'd in the reference implementation either).
+        let spec = ModelSpec::default_for(self.scenario.model);
+        let model = spec.fit(&x_train, &y_train);
+        let x_val = self.split.val.x.select_cols(subset);
+        let seed = derive_seed(self.scenario.seed, 0x1339 ^ hash_subset(subset));
+        Some(importance_or_permutation(&model, &x_val, &self.split.val.y, seed))
+    }
+
+    fn seed(&self) -> u64 {
+        self.scenario.seed
+    }
+}
+
+#[inline]
+fn sq_shortfall(achieved: f64, threshold: f64) -> f64 {
+    if achieved >= threshold {
+        0.0
+    } else {
+        (achieved - threshold) * (achieved - threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs_data::split::stratified_three_way;
+    use dfs_data::synthetic::{generate, tiny_spec};
+    use std::time::Duration;
+
+    fn setup() -> (dfs_data::Dataset, Split) {
+        let ds = generate(&tiny_spec(), 3);
+        let split = stratified_three_way(&ds, 3);
+        (ds, split)
+    }
+
+    fn scenario(constraints: ConstraintSet) -> MlScenario {
+        MlScenario {
+            dataset: "tiny".into(),
+            model: ModelKind::LogisticRegression,
+            hpo: false,
+            constraints,
+            utility_f1: false,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn full_feature_set_reaches_reasonable_f1() {
+        let (ds, split) = setup();
+        let sc = scenario(ConstraintSet::accuracy_only(0.99, Duration::from_secs(10)));
+        let settings = ScenarioSettings::fast();
+        let mut ctx = ScenarioContext::new(&sc, &split, &settings);
+        let all: Vec<usize> = (0..ds.n_features()).collect();
+        let score = ctx.evaluate(&all).expect("budget available");
+        let eval = ctx.cached_evaluation(&all).expect("cached");
+        assert!(eval.f1 > 0.6, "full-set F1 {}", eval.f1);
+        // min_f1 = 0.99 is out of reach -> positive distance.
+        assert!(score > 0.0);
+    }
+
+    #[test]
+    fn caching_avoids_budget_double_spend() {
+        let (_, split) = setup();
+        let sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        let settings = ScenarioSettings::fast();
+        let mut ctx = ScenarioContext::new(&sc, &split, &settings);
+        let s1 = ctx.evaluate(&[0, 1, 2]).unwrap();
+        let used = ctx.evals_used();
+        let s2 = ctx.evaluate(&[0, 1, 2]).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(ctx.evals_used(), used, "cache hit must not consume budget");
+    }
+
+    #[test]
+    fn over_cap_subsets_are_pruned_without_budget() {
+        let (ds, split) = setup();
+        let mut c = ConstraintSet::accuracy_only(0.5, Duration::from_secs(10));
+        c.max_feature_frac = Some(2.0 / ds.n_features() as f64 + 1e-9);
+        let sc = scenario(c);
+        let settings = ScenarioSettings::fast();
+        let mut ctx = ScenarioContext::new(&sc, &split, &settings);
+        let all: Vec<usize> = (0..ds.n_features()).collect();
+        let score = ctx.evaluate(&all).expect("pruning always answers");
+        assert!(score > 0.0);
+        assert_eq!(ctx.evals_used(), 0, "pruned evaluation must be free");
+    }
+
+    #[test]
+    fn eval_cap_exhausts_budget() {
+        let (_, split) = setup();
+        let sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(30)));
+        let mut settings = ScenarioSettings::fast();
+        settings.max_evals = 2;
+        let mut ctx = ScenarioContext::new(&sc, &split, &settings);
+        assert!(ctx.evaluate(&[0]).is_some());
+        assert!(ctx.evaluate(&[1]).is_some());
+        assert!(ctx.evaluate(&[2]).is_none(), "third evaluation must be denied");
+    }
+
+    #[test]
+    fn eo_and_safety_only_measured_when_constrained() {
+        let (_, split) = setup();
+        let sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        let settings = ScenarioSettings::fast();
+        let mut ctx = ScenarioContext::new(&sc, &split, &settings);
+        ctx.evaluate(&[0, 1]).unwrap();
+        let eval = ctx.cached_evaluation(&[0, 1]).unwrap();
+        assert!(eval.eo.is_none());
+        assert!(eval.safety.is_none());
+
+        let mut c = ConstraintSet::accuracy_only(0.5, Duration::from_secs(10));
+        c.min_eo = Some(0.8);
+        c.min_safety = Some(0.8);
+        let sc2 = scenario(c);
+        let mut ctx2 = ScenarioContext::new(&sc2, &split, &settings);
+        ctx2.evaluate(&[0, 1]).unwrap();
+        let eval2 = ctx2.cached_evaluation(&[0, 1]).unwrap();
+        assert!(eval2.eo.is_some());
+        assert!(eval2.safety.is_some());
+    }
+
+    #[test]
+    fn privacy_trains_dp_variant_and_degrades_with_tiny_epsilon() {
+        let (_, split) = setup();
+        let mut generous = ConstraintSet::accuracy_only(0.5, Duration::from_secs(10));
+        generous.privacy_epsilon = Some(1000.0);
+        let mut strict = generous.clone();
+        strict.privacy_epsilon = Some(1e-4);
+        let settings = ScenarioSettings::fast();
+
+        let subset: Vec<usize> = (0..5).collect();
+        let sc_g = scenario(generous);
+        let mut ctx = ScenarioContext::new(&sc_g, &split, &settings);
+        ctx.evaluate(&subset).unwrap();
+        let f1_generous = ctx.cached_evaluation(&subset).unwrap().f1;
+
+        let sc_s = scenario(strict);
+        let mut ctx = ScenarioContext::new(&sc_s, &split, &settings);
+        ctx.evaluate(&subset).unwrap();
+        let f1_strict = ctx.cached_evaluation(&subset).unwrap().f1;
+        assert!(
+            f1_generous > f1_strict - 0.05,
+            "generous ε ({f1_generous}) should not trail strict ε ({f1_strict}) much"
+        );
+    }
+
+    #[test]
+    fn multi_objective_layout_follows_declared_constraints() {
+        let (ds, split) = setup();
+        let mut c = ConstraintSet::accuracy_only(0.5, Duration::from_secs(10));
+        c.min_eo = Some(0.9);
+        c.max_feature_frac = Some(0.3);
+        let sc = scenario(c);
+        let settings = ScenarioSettings::fast();
+        let mut ctx = ScenarioContext::new(&sc, &split, &settings);
+        let objs = ctx.evaluate_multi(&[0, 1]).unwrap();
+        // accuracy, EO, feature-size (no safety).
+        assert_eq!(objs.len(), 3);
+        for o in &objs {
+            assert!(*o >= 0.0);
+        }
+        // Feature-size objective must be zero: 2 features < 30% of total.
+        assert!(ds.n_features() as f64 * 0.3 > 2.0);
+        assert_eq!(objs[2], 0.0);
+    }
+
+    #[test]
+    fn confirm_on_test_reports_test_distance() {
+        let (_, split) = setup();
+        let sc = scenario(ConstraintSet::accuracy_only(0.4, Duration::from_secs(10)));
+        let settings = ScenarioSettings::fast();
+        let mut ctx = ScenarioContext::new(&sc, &split, &settings);
+        let subset: Vec<usize> = (0..4).collect();
+        let (eval, distance) = ctx.confirm_on_test(&subset);
+        assert_eq!(eval.n_selected, 4);
+        assert!(distance >= 0.0);
+    }
+
+    #[test]
+    fn utility_mode_returns_negative_objective_when_satisfied() {
+        let (_, split) = setup();
+        let mut sc = scenario(ConstraintSet::accuracy_only(0.3, Duration::from_secs(10)));
+        sc.utility_f1 = true;
+        let settings = ScenarioSettings::fast();
+        let mut ctx = ScenarioContext::new(&sc, &split, &settings);
+        let subset: Vec<usize> = (0..6).collect();
+        let score = ctx.evaluate(&subset).unwrap();
+        let eval = ctx.cached_evaluation(&subset).unwrap();
+        if eval.f1 >= 0.3 {
+            assert!(score < 0.0, "satisfied utility objective must be negative");
+            assert!((score + eval.f1).abs() < 1e-12);
+        }
+    }
+}

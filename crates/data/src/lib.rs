@@ -1,0 +1,43 @@
+//! Datasets, preprocessing, splits and the synthetic benchmark suite.
+//!
+//! The paper evaluates on 19 binary-classification datasets from OpenML,
+//! each with a binary protected attribute (Table 2 of the paper). Those CSVs
+//! are not available offline, so this crate ships **seeded synthetic
+//! generators** that match each dataset's shape and — more importantly — the
+//! structural properties the study exercises: group-conditional label bias,
+//! protected-attribute proxies ("ZIP code is a proxy for race"), redundant
+//! feature groups, pure-noise features, class imbalance, categorical columns
+//! that expand under one-hot encoding, and missing values. See `DESIGN.md`
+//! § 2 for the substitution rationale.
+//!
+//! # Pipeline
+//!
+//! ```text
+//! RawDataset (typed columns, missing values)
+//!   --Preprocessor--> Dataset (dense f64 matrix in [0,1], binary target,
+//!                              instance-level protected-group membership)
+//!   --stratified_three_way--> Split { train : val : test = 3 : 1 : 1 }
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use dfs_data::synthetic::{generate, paper_suite};
+//! use dfs_data::split::stratified_three_way;
+//!
+//! let spec = &paper_suite()[6]; // COMPAS-like
+//! assert_eq!(spec.name, "compas");
+//! let ds = generate(spec, 42);
+//! let split = stratified_three_way(&ds, 7);
+//! assert_eq!(ds.n_features(), split.train.n_features());
+//! ```
+
+pub mod csv;
+pub mod dataset;
+pub mod preprocess;
+pub mod split;
+pub mod synthetic;
+
+pub use dataset::{Dataset, RawDataset};
+pub use preprocess::Preprocessor;
+pub use split::Split;

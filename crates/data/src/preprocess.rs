@@ -1,0 +1,201 @@
+//! Standard preprocessing: one-hot encoding, mean imputation, min–max scaling.
+//!
+//! Mirrors the paper's § 6.1 pipeline: "For each dataset, we apply standard
+//! preprocessing transformations such as one-hot encoding for all categorical
+//! attributes. For all numerical attributes, we apply min-max scaling and
+//! mean value imputation." The transform is fitted once on the whole dataset
+//! (as in the reference implementation) and keeps the feature space
+//! interpretable — no hashing or PCA.
+
+use crate::dataset::{Column, Dataset, RawDataset};
+use dfs_linalg::stats::{mean_ignore_nan, min_max};
+use dfs_linalg::Matrix;
+
+/// Fitted per-numeric-column statistics.
+#[derive(Debug, Clone)]
+struct NumericTransform {
+    mean: f64,
+    lo: f64,
+    hi: f64,
+}
+
+/// A fitted preprocessing transform.
+///
+/// [`Preprocessor::fit`] learns imputation means and scaling ranges;
+/// [`Preprocessor::transform`] densifies any raw dataset with the same
+/// schema. `fit_transform` is the common path.
+#[derive(Debug, Clone)]
+pub struct Preprocessor {
+    numeric: Vec<Option<NumericTransform>>, // per attribute; None for categoricals
+    widths: Vec<usize>,
+    feature_names: Vec<String>,
+}
+
+impl Preprocessor {
+    /// Learns the transform from a raw dataset.
+    pub fn fit(raw: &RawDataset) -> Self {
+        let mut numeric = Vec::with_capacity(raw.columns.len());
+        let mut widths = Vec::with_capacity(raw.columns.len());
+        let mut feature_names = Vec::new();
+        for (name, col) in &raw.columns {
+            match col {
+                Column::Numeric(values) => {
+                    let mean = mean_ignore_nan(values);
+                    let imputed: Vec<f64> =
+                        values.iter().map(|&v| if v.is_nan() { mean } else { v }).collect();
+                    let (lo, hi) = min_max(&imputed);
+                    numeric.push(Some(NumericTransform { mean, lo, hi }));
+                    widths.push(1);
+                    feature_names.push(name.clone());
+                }
+                Column::Categorical { cardinality, .. } => {
+                    numeric.push(None);
+                    widths.push(*cardinality as usize);
+                    for c in 0..*cardinality {
+                        feature_names.push(format!("{name}={c}"));
+                    }
+                }
+            }
+        }
+        Self { numeric, widths, feature_names }
+    }
+
+    /// Applies the fitted transform, producing a dense [`Dataset`].
+    ///
+    /// # Panics
+    /// Panics when `raw`'s schema (column count / kinds) differs from the
+    /// fitted one.
+    pub fn transform(&self, raw: &RawDataset) -> Dataset {
+        assert_eq!(raw.columns.len(), self.numeric.len(), "transform: schema mismatch");
+        let n = raw.n_rows();
+        let width: usize = self.widths.iter().sum();
+        let mut x = Matrix::zeros(n, width);
+        let mut offset = 0usize;
+        for (attr, (_, col)) in raw.columns.iter().enumerate() {
+            match (col, &self.numeric[attr]) {
+                (Column::Numeric(values), Some(t)) => {
+                    let range = t.hi - t.lo;
+                    for (i, &v) in values.iter().enumerate() {
+                        let v = if v.is_nan() { t.mean } else { v };
+                        x[(i, offset)] = if range <= dfs_linalg::EPS {
+                            0.0
+                        } else {
+                            ((v - t.lo) / range).clamp(0.0, 1.0)
+                        };
+                    }
+                }
+                (Column::Categorical { codes, cardinality }, None) => {
+                    debug_assert_eq!(*cardinality as usize, self.widths[attr]);
+                    for (i, code) in codes.iter().enumerate() {
+                        if let Some(c) = code {
+                            x[(i, offset + *c as usize)] = 1.0;
+                        }
+                        // Missing categorical -> all-zero one-hot block.
+                    }
+                }
+                _ => panic!("transform: column kind mismatch at attribute {attr}"),
+            }
+            offset += self.widths[attr];
+        }
+        Dataset {
+            name: raw.name.clone(),
+            x,
+            y: raw.target.clone(),
+            protected: raw.protected_membership(),
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Names of the expanded features, in matrix column order.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+}
+
+/// Fits and applies the standard pipeline in one call.
+pub fn fit_transform(raw: &RawDataset) -> Dataset {
+    Preprocessor::fit(raw).transform(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw() -> RawDataset {
+        RawDataset {
+            name: "t".into(),
+            columns: vec![
+                ("age".into(), Column::Numeric(vec![10.0, 20.0, f64::NAN, 40.0])),
+                (
+                    "city".into(),
+                    Column::Categorical {
+                        codes: vec![Some(1), Some(0), None, Some(2)],
+                        cardinality: 3,
+                    },
+                ),
+                ("sex".into(), Column::Numeric(vec![1.0, 0.0, 0.0, 0.0])),
+            ],
+            target: vec![true, false, true, false],
+            protected_attr: 2,
+        }
+    }
+
+    #[test]
+    fn one_hot_expansion_and_names() {
+        let ds = fit_transform(&raw());
+        assert_eq!(ds.n_features(), 5);
+        assert_eq!(
+            ds.feature_names,
+            vec!["age", "city=0", "city=1", "city=2", "sex"]
+        );
+        assert!(ds.validate().is_ok());
+    }
+
+    #[test]
+    fn min_max_scales_to_unit_interval() {
+        let ds = fit_transform(&raw());
+        let age = ds.x.col(0);
+        // Imputed mean of {10,20,40} = 23.333; range [10,40].
+        assert!((age[0] - 0.0).abs() < 1e-12);
+        assert!((age[3] - 1.0).abs() < 1e-12);
+        assert!((age[2] - (23.333333333333332 - 10.0) / 30.0).abs() < 1e-9);
+        for v in ds.x.as_slice() {
+            assert!((0.0..=1.0).contains(v), "value {v} outside [0,1]");
+        }
+    }
+
+    #[test]
+    fn missing_categorical_is_all_zero() {
+        let ds = fit_transform(&raw());
+        assert_eq!(ds.x.row(2)[1..4], [0.0, 0.0, 0.0]);
+        // Present categorical sets exactly one bit.
+        assert_eq!(ds.x.row(0)[1..4], [0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn constant_numeric_column_maps_to_zero() {
+        let mut r = raw();
+        r.columns[0].1 = Column::Numeric(vec![7.0; 4]);
+        let ds = fit_transform(&r);
+        assert_eq!(ds.x.col(0), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn transform_reuses_fitted_statistics() {
+        let train = raw();
+        let pre = Preprocessor::fit(&train);
+        // New data outside the fitted range gets clamped.
+        let mut fresh = raw();
+        fresh.columns[0].1 = Column::Numeric(vec![-100.0, 100.0, 25.0, 10.0]);
+        let ds = pre.transform(&fresh);
+        assert_eq!(ds.x[(0, 0)], 0.0);
+        assert_eq!(ds.x[(1, 0)], 1.0);
+        assert!((ds.x[(2, 0)] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn protected_membership_flows_through() {
+        let ds = fit_transform(&raw());
+        assert_eq!(ds.protected, vec![true, false, false, false]);
+    }
+}

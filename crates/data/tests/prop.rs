@@ -1,0 +1,114 @@
+//! Property-based tests for preprocessing, splits and generators.
+
+use dfs_data::preprocess::fit_transform;
+use dfs_data::split::{stratified_k_fold, stratified_split, stratified_three_way};
+use dfs_data::synthetic::{generate, generate_raw, SyntheticSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
+    (
+        40usize..150,
+        1usize..5,
+        0usize..3,
+        0usize..3,
+        0usize..3,
+        0.2..0.5f64,
+        0.0..1.0f64,
+        0.2..0.6f64,
+        0.0..0.15f64,
+    )
+        .prop_map(
+            |(rows, inf, red, prox, noise, minority, bias, pos, missing)| SyntheticSpec {
+                name: "prop",
+                rows,
+                informative: inf,
+                redundant: red,
+                proxies: prox,
+                noise,
+                categorical: vec![(3, true)],
+                minority_rate: minority,
+                label_bias: bias,
+                positive_rate: pos,
+                missing_rate: missing,
+                label_noise: 0.8,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Preprocessing invariants: no NaN, everything in [0,1], shape matches
+    /// the spec arithmetic, for any generator parameters.
+    #[test]
+    fn generated_datasets_are_clean(spec in arb_spec(), seed in 0u64..500) {
+        let raw = generate_raw(&spec, seed);
+        prop_assert!(raw.validate().is_ok());
+        prop_assert_eq!(raw.n_attributes(), spec.n_attributes());
+        prop_assert_eq!(raw.n_expanded_features(), spec.n_features());
+
+        let ds = fit_transform(&raw);
+        prop_assert!(ds.validate().is_ok());
+        prop_assert_eq!(ds.n_rows(), spec.rows);
+        for v in ds.x.as_slice() {
+            prop_assert!((0.0..=1.0).contains(v), "value {v} outside [0,1]");
+        }
+    }
+
+    /// Split invariants: disjoint cover with 3:1:1 proportions and
+    /// stratification drift bounded.
+    #[test]
+    fn three_way_split_invariants(spec in arb_spec(), seed in 0u64..500) {
+        let ds = generate(&spec, seed);
+        let split = stratified_three_way(&ds, seed ^ 1);
+        let total = split.train.n_rows() + split.val.n_rows() + split.test.n_rows();
+        prop_assert_eq!(total, ds.n_rows());
+        prop_assert!(split.train.n_rows() >= split.val.n_rows());
+        prop_assert!(split.train.n_rows() >= split.test.n_rows());
+        // Feature width preserved everywhere.
+        prop_assert_eq!(split.train.n_features(), ds.n_features());
+        prop_assert_eq!(split.val.n_features(), ds.n_features());
+        prop_assert_eq!(split.test.n_features(), ds.n_features());
+        // Class balance within 20 points of the parent (tiny strata can
+        // drift on small generated datasets).
+        let parent = ds.positive_rate();
+        for part in [&split.train, &split.val, &split.test] {
+            prop_assert!((part.positive_rate() - parent).abs() <= 0.2);
+        }
+    }
+
+    /// Generic stratified split with arbitrary weights partitions the rows.
+    #[test]
+    fn weighted_split_partitions(
+        spec in arb_spec(),
+        seed in 0u64..100,
+        w1 in 1usize..4,
+        w2 in 1usize..4,
+    ) {
+        let ds = generate(&spec, seed);
+        let parts = stratified_split(&ds, &[w1, w2], seed);
+        prop_assert_eq!(parts.len(), 2);
+        prop_assert_eq!(parts[0].n_rows() + parts[1].n_rows(), ds.n_rows());
+    }
+
+    /// k-fold covers every index exactly once.
+    #[test]
+    fn k_fold_is_a_partition(n in 10usize..80, k in 2usize..6, seed in 0u64..100) {
+        let y: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let folds = stratified_k_fold(&y, k, seed);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    /// CSV roundtrip is lossless for arbitrary generated datasets.
+    #[test]
+    fn csv_roundtrip(spec in arb_spec(), seed in 0u64..200) {
+        let raw = generate_raw(&spec, seed);
+        let parsed = dfs_data::csv::from_csv_string(&dfs_data::csv::to_csv_string(&raw))
+            .expect("roundtrip parse");
+        prop_assert_eq!(&parsed.target, &raw.target);
+        prop_assert_eq!(parsed.n_attributes(), raw.n_attributes());
+        prop_assert_eq!(parsed.protected_membership(), raw.protected_membership());
+    }
+}

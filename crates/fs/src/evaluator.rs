@@ -1,0 +1,150 @@
+//! The evaluator abstraction connecting strategies to scenarios.
+
+use dfs_linalg::Matrix;
+
+/// Wrapper-approach access to an ML scenario.
+///
+/// Implemented by `dfs-core`'s `ScenarioContext`; strategies know nothing
+/// about models, metrics or datasets beyond this interface.
+pub trait SubsetEvaluator {
+    /// Total number of features in the dataset.
+    fn n_features(&self) -> usize;
+
+    /// Maximum allowed subset size (from the evaluation-independent Max
+    /// Feature Set Size constraint; equals `n_features()` when absent).
+    /// Strategies use this to prune the search space before any training.
+    fn max_features(&self) -> usize;
+
+    /// Scores a feature subset (indices into the feature matrix, sorted,
+    /// non-empty): the constraint-distance objective of Eq. 1, or the
+    /// utility objective of Eq. 2 in utility mode. Lower is better;
+    /// `score <= 0.0` means every constraint is satisfied.
+    ///
+    /// Returns `None` once the search budget is exhausted.
+    fn evaluate(&mut self, subset: &[usize]) -> Option<f64>;
+
+    /// Like [`SubsetEvaluator::evaluate`], but *without* the
+    /// evaluation-independent size pruning: the subset is always trained and
+    /// measured (consuming budget). Plain backward selection uses this —
+    /// the paper notes that SBS/SBFS "do not benefit from the optimizations
+    /// based on the maximum feature set size" and must wrap through the
+    /// over-cap region the slow way.
+    fn evaluate_no_prune(&mut self, subset: &[usize]) -> Option<f64> {
+        self.evaluate(subset)
+    }
+
+    /// Per-constraint shortfall vector for multi-objective search
+    /// (NSGA-II treats each constraint as one objective). Each component is
+    /// `0` when the corresponding constraint holds.
+    fn evaluate_multi(&mut self, subset: &[usize]) -> Option<Vec<f64>>;
+
+    /// Early-stop target for single-objective optimizers: `Some(0.0)` for
+    /// plain constraint satisfaction, `None` in utility mode (keep
+    /// optimizing until the budget runs out — Eq. 2).
+    fn stop_at(&self) -> Option<f64>;
+
+    /// Training data for ranking computation (features, labels).
+    fn ranking_data(&self) -> (&Matrix, &[bool]);
+
+    /// Model feature-importance scores on a subset (native scores, or
+    /// permutation importance when the model has none — the paper's RFE
+    /// rule). Consumes budget like an evaluation; `None` when exhausted.
+    fn importances(&mut self, subset: &[usize]) -> Option<Vec<f64>>;
+
+    /// Deterministic seed for the strategy's own randomness.
+    fn seed(&self) -> u64;
+}
+
+/// Result of one strategy run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The satisfying subset (validation-satisfied, sorted), when found.
+    /// In utility mode this is the best-utility satisfying subset seen.
+    pub satisfied: Option<Vec<usize>>,
+    /// Best-scoring subset seen (equals `satisfied` when it exists).
+    pub best_subset: Vec<usize>,
+    /// Best objective value seen.
+    pub best_score: f64,
+    /// Evaluations this strategy consumed.
+    pub evaluations: usize,
+}
+
+impl SearchOutcome {
+    /// An outcome that has seen nothing yet.
+    pub fn empty() -> Self {
+        Self { satisfied: None, best_subset: Vec::new(), best_score: f64::INFINITY, evaluations: 0 }
+    }
+
+    /// Records one evaluated subset.
+    pub fn observe(&mut self, subset: &[usize], score: f64) {
+        self.evaluations += 1;
+        if score < self.best_score {
+            self.best_score = score;
+            self.best_subset = subset.to_vec();
+            self.best_subset.sort_unstable();
+        }
+        if score <= 0.0 {
+            // Satisfied; in utility mode, later satisfying subsets with
+            // better (more negative) scores replace earlier ones via the
+            // branch above, so keep `satisfied` in sync with `best_subset`.
+            if self.best_score == score {
+                self.satisfied = Some(self.best_subset.clone());
+            } else if self.satisfied.is_none() {
+                let mut s = subset.to_vec();
+                s.sort_unstable();
+                self.satisfied = Some(s);
+            }
+        }
+    }
+}
+
+/// Converts a binary decision vector into a sorted index subset.
+pub fn bits_to_subset(bits: &[bool]) -> Vec<usize> {
+    bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect()
+}
+
+/// Converts a sorted index subset back into a binary decision vector.
+pub fn subset_to_bits(subset: &[usize], d: usize) -> Vec<bool> {
+    let mut bits = vec![false; d];
+    for &f in subset {
+        bits[f] = true;
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_tracks_best_and_satisfied() {
+        let mut o = SearchOutcome::empty();
+        o.observe(&[2, 0], 0.5);
+        assert_eq!(o.best_subset, vec![0, 2]);
+        assert!(o.satisfied.is_none());
+        o.observe(&[1], 0.0);
+        assert_eq!(o.satisfied.as_deref(), Some(&[1usize][..]));
+        assert_eq!(o.best_score, 0.0);
+        // A worse score later must not displace the satisfying subset.
+        o.observe(&[3, 4], 0.2);
+        assert_eq!(o.satisfied.as_deref(), Some(&[1usize][..]));
+        assert_eq!(o.evaluations, 3);
+    }
+
+    #[test]
+    fn utility_mode_improves_satisfied_subset() {
+        let mut o = SearchOutcome::empty();
+        o.observe(&[1], -0.1); // satisfied, small utility
+        o.observe(&[1, 2], -0.3); // satisfied, better utility
+        assert_eq!(o.satisfied.as_deref(), Some(&[1usize, 2][..]));
+        assert_eq!(o.best_score, -0.3);
+    }
+
+    #[test]
+    fn bits_subset_roundtrip() {
+        let bits = vec![true, false, true, true, false];
+        let subset = bits_to_subset(&bits);
+        assert_eq!(subset, vec![0, 2, 3]);
+        assert_eq!(subset_to_bits(&subset, 5), bits);
+    }
+}

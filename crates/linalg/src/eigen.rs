@@ -1,0 +1,193 @@
+//! Symmetric eigen-decomposition via power iteration with deflation.
+//!
+//! The MCFS ranking (Cai et al., 2010) needs the top-K eigenvectors of a
+//! graph Laplacian built over a k-NN graph. The matrices involved are small
+//! (bounded by the subsample size used for rankings), so orthogonal power
+//! iteration is plenty.
+
+use crate::rng::{rng_from_seed, standard_normal};
+use crate::{dot, norm2, Matrix};
+
+/// One eigenpair of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct EigenPair {
+    /// Eigenvalue (by construction the dominant remaining one at extraction).
+    pub value: f64,
+    /// Unit-norm eigenvector.
+    pub vector: Vec<f64>,
+}
+
+/// Computes the top-`k` eigenpairs (largest |λ|) of a symmetric matrix.
+///
+/// Power iteration with Gram–Schmidt deflation against already-extracted
+/// vectors. `iters` bounds the per-vector iteration count; `seed` controls
+/// the random start vectors so results are deterministic.
+///
+/// # Panics
+/// Panics when `m` is not square.
+pub fn top_eigenpairs(m: &Matrix, k: usize, iters: usize, seed: u64) -> Vec<EigenPair> {
+    let n = m.nrows();
+    assert_eq!(n, m.ncols(), "top_eigenpairs: matrix must be square");
+    let k = k.min(n);
+    let mut rng = rng_from_seed(seed);
+    let mut pairs: Vec<EigenPair> = Vec::with_capacity(k);
+
+    for _ in 0..k {
+        let mut v: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        orthogonalize(&mut v, &pairs);
+        let nv = norm2(&v);
+        if nv <= crate::EPS {
+            break;
+        }
+        for x in &mut v {
+            *x /= nv;
+        }
+
+        let mut lambda = 0.0;
+        for _ in 0..iters {
+            let mut w = m.matvec(&v);
+            orthogonalize(&mut w, &pairs);
+            let nw = norm2(&w);
+            if nw <= crate::EPS {
+                break;
+            }
+            for x in &mut w {
+                *x /= nw;
+            }
+            lambda = dot(&w, &m.matvec(&w));
+            let delta: f64 = w.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            v = w;
+            if delta < 1e-10 {
+                break;
+            }
+        }
+        pairs.push(EigenPair { value: lambda, vector: v });
+    }
+    pairs
+}
+
+/// Computes the `k` eigenvectors of a symmetric PSD matrix with the
+/// *smallest* eigenvalues, excluding (near-)null directions if requested.
+///
+/// Spectral embeddings want the bottom of the Laplacian spectrum. We obtain
+/// it by inverting the spectrum: for a PSD matrix `L` with spectral bound
+/// `s >= λ_max`, the top eigenvectors of `s·I − L` are the bottom
+/// eigenvectors of `L`.
+pub fn bottom_eigenpairs(l: &Matrix, k: usize, iters: usize, seed: u64) -> Vec<EigenPair> {
+    let n = l.nrows();
+    assert_eq!(n, l.ncols(), "bottom_eigenpairs: matrix must be square");
+    // Gershgorin bound on λ_max.
+    let mut s = 0.0f64;
+    for i in 0..n {
+        let radius: f64 = l.row(i).iter().map(|x| x.abs()).sum();
+        s = s.max(radius);
+    }
+    s += 1.0;
+    let mut shifted = l.map(|x| -x);
+    for i in 0..n {
+        shifted[(i, i)] += s;
+    }
+    let mut pairs = top_eigenpairs(&shifted, k, iters, seed);
+    for p in &mut pairs {
+        p.value = s - p.value; // map back to L's spectrum
+    }
+    pairs
+}
+
+fn orthogonalize(v: &mut [f64], basis: &[EigenPair]) {
+    for p in basis {
+        let proj = dot(v, &p.vector);
+        for (x, &b) in v.iter_mut().zip(&p.vector) {
+            *x -= proj * b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn diag(values: &[f64]) -> Matrix {
+        let n = values.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &v) in values.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    #[test]
+    fn recovers_diagonal_spectrum() {
+        let m = diag(&[5.0, 2.0, 1.0]);
+        let pairs = top_eigenpairs(&m, 2, 500, 7);
+        assert_eq!(pairs.len(), 2);
+        assert!(approx_eq(pairs[0].value, 5.0, 1e-6), "λ0 = {}", pairs[0].value);
+        assert!(approx_eq(pairs[1].value, 2.0, 1e-6), "λ1 = {}", pairs[1].value);
+        assert!(approx_eq(pairs[0].vector[0].abs(), 1.0, 1e-5));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        // Symmetric non-diagonal matrix.
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
+        let pairs = top_eigenpairs(&m, 3, 1000, 1);
+        for i in 0..pairs.len() {
+            assert!(approx_eq(norm2(&pairs[i].vector), 1.0, 1e-6));
+            for j in 0..i {
+                assert!(dot(&pairs[i].vector, &pairs[j].vector).abs() < 1e-5);
+            }
+        }
+        // Trace equals eigenvalue sum.
+        let trace = 4.0 + 3.0 + 2.0;
+        let sum: f64 = pairs.iter().map(|p| p.value).sum();
+        assert!(approx_eq(trace, sum, 1e-4), "trace {trace} vs {sum}");
+    }
+
+    #[test]
+    fn eigen_equation_holds() {
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let pairs = top_eigenpairs(&m, 2, 1000, 3);
+        for p in &pairs {
+            let mv = m.matvec(&p.vector);
+            for (a, b) in mv.iter().zip(&p.vector) {
+                assert!(approx_eq(*a, p.value * b, 1e-5), "Av = λv violated");
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_eigenpairs_find_smallest() {
+        let m = diag(&[5.0, 2.0, 0.5]);
+        let pairs = bottom_eigenpairs(&m, 2, 500, 9);
+        assert!(approx_eq(pairs[0].value, 0.5, 1e-5), "λ0 = {}", pairs[0].value);
+        assert!(approx_eq(pairs[1].value, 2.0, 1e-5), "λ1 = {}", pairs[1].value);
+    }
+
+    #[test]
+    fn laplacian_bottom_vector_is_constant() {
+        // Path graph on 4 nodes: L = D - A; null space is the constant vector.
+        let a = Matrix::from_rows(&[
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![1.0, 0.0, 1.0, 0.0],
+            vec![0.0, 1.0, 0.0, 1.0],
+            vec![0.0, 0.0, 1.0, 0.0],
+        ]);
+        let n = 4;
+        let mut l = a.map(|x| -x);
+        for i in 0..n {
+            let deg: f64 = a.row(i).iter().sum();
+            l[(i, i)] += deg;
+        }
+        let pairs = bottom_eigenpairs(&l, 1, 2000, 11);
+        assert!(pairs[0].value.abs() < 1e-5, "λ0 = {}", pairs[0].value);
+        let v = &pairs[0].vector;
+        for x in v {
+            assert!(approx_eq(x.abs(), 0.5, 1e-4), "constant vector expected, got {v:?}");
+        }
+    }
+}

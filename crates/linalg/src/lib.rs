@@ -1,0 +1,127 @@
+//! Dense linear algebra and numerical primitives for the DFS reproduction.
+//!
+//! Everything in this workspace that needs vectors, matrices, column
+//! statistics, eigen-decompositions (for the MCFS spectral embedding), sparse
+//! regression (lasso, for MCFS feature scoring), or seeded randomness goes
+//! through this crate. The implementations favour clarity and determinism
+//! over raw speed — datasets in the benchmark are laptop-scale by design —
+//! but avoid gratuitous allocation on hot paths (see the workspace's
+//! performance notes in `DESIGN.md`).
+//!
+//! # Layout
+//!
+//! - [`matrix`] — row-major dense [`Matrix`] with the operations the rest of
+//!   the workspace needs (products, transposes, row/column selection).
+//! - [`stats`] — column statistics, correlations, and histogram helpers used
+//!   by rankings and preprocessing.
+//! - [`rng`] — deterministic random-number utilities (shuffles, subsampling,
+//!   Laplace/Gaussian noise for differential privacy).
+//! - [`eigen`] — symmetric eigen-solver (power iteration with deflation) used
+//!   by the MCFS spectral embedding.
+//! - [`solvers`] — coordinate-descent lasso used by MCFS's per-eigenvector
+//!   sparse regressions.
+
+pub mod eigen;
+pub mod matrix;
+pub mod rng;
+pub mod solvers;
+pub mod stats;
+
+pub use matrix::Matrix;
+
+/// Tolerance used across the workspace when comparing floating-point scores.
+pub const EPS: f64 = 1e-12;
+
+/// Returns `true` when two floats are equal within `tol`.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds when the slices differ in length.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm of a slice.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "sq_dist: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Manhattan (L1) distance between two equal-length slices.
+#[inline]
+pub fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "l1_dist: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// `log(1 + exp(z))` computed without overflow.
+#[inline]
+pub fn log1p_exp(z: f64) -> f64 {
+    if z > 0.0 {
+        z + (-z).exp().ln_1p()
+    } else {
+        z.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!(approx_eq(norm2(&[3.0, 4.0]), 5.0, 1e-12));
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(l1_dist(&[0.0, 0.0], &[3.0, -4.0]), 7.0);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_symmetric() {
+        assert!(approx_eq(sigmoid(0.0), 0.5, 1e-12));
+        assert!(sigmoid(1000.0) <= 1.0 && sigmoid(1000.0) > 0.999);
+        assert!(sigmoid(-1000.0) >= 0.0 && sigmoid(-1000.0) < 1e-6);
+        for z in [-5.0, -1.0, 0.3, 2.0] {
+            assert!(approx_eq(sigmoid(z) + sigmoid(-z), 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn log1p_exp_matches_naive_in_safe_range() {
+        for z in [-10.0, -1.0, 0.0, 1.0, 10.0] {
+            assert!(approx_eq(log1p_exp(z), (1.0 + z.exp()).ln(), 1e-9));
+        }
+        // Must not overflow for large z.
+        assert!(approx_eq(log1p_exp(800.0), 800.0, 1e-9));
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic randomness utilities.
+//!
+//! Every stochastic component in the workspace (search algorithms, synthetic
+//! data generators, DP noise, the adversarial attack) receives an explicit
+//! seed so experiments reproduce bit-for-bit. This module wraps
+//! `rand::rngs::StdRng` with the handful of sampling helpers the workspace
+//! needs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Creates a seeded RNG. The single entry point for randomness.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream index.
+///
+/// Used to hand independent deterministic streams to sub-components (e.g.
+/// one per scenario, one per strategy) without correlated sequences.
+/// SplitMix64-style mixing.
+pub fn derive_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fisher–Yates shuffle of indices `0..n`.
+pub fn shuffled_indices(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx
+}
+
+/// Samples `k` distinct indices from `0..n` (k clamped to n).
+pub fn sample_without_replacement(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let k = k.min(n);
+    let mut idx = shuffled_indices(n, rng);
+    idx.truncate(k);
+    idx
+}
+
+/// Uniform draw from `[lo, hi)`.
+pub fn uniform(lo: f64, hi: f64, rng: &mut StdRng) -> f64 {
+    if hi <= lo {
+        return lo;
+    }
+    rng.random_range(lo..hi)
+}
+
+/// Standard normal draw via Box–Muller.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    // Draw u1 in (0, 1] to keep ln well-defined.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal draw with the given mean and standard deviation.
+pub fn normal(mean: f64, std: f64, rng: &mut StdRng) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Laplace(0, scale) draw — the differential-privacy noise distribution.
+pub fn laplace(scale: f64, rng: &mut StdRng) -> f64 {
+    // Inverse CDF: u in (-1/2, 1/2), x = -scale * sign(u) * ln(1 - 2|u|)
+    let u: f64 = rng.random::<f64>() - 0.5;
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// Log-normal draw with parameters `mu`, `sigma` of the underlying normal.
+///
+/// The paper samples the privacy budget ε from LogNormal(0, 1) (Listing 1).
+pub fn log_normal(mu: f64, sigma: f64, rng: &mut StdRng) -> f64 {
+    normal(mu, sigma, rng).exp()
+}
+
+/// Samples an index proportionally to the given non-negative weights.
+///
+/// Falls back to uniform when all weights are zero.
+pub fn weighted_index(weights: &[f64], rng: &mut StdRng) -> usize {
+    assert!(!weights.is_empty(), "weighted_index: empty weights");
+    let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    if total <= 0.0 {
+        return rng.random_range(0..weights.len());
+    }
+    let mut t = uniform(0.0, total, rng);
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w.max(0.0);
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a: Vec<f64> = {
+            let mut r = rng_from_seed(42);
+            (0..5).map(|_| r.random::<f64>()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng_from_seed(42);
+            (0..5).map(|_| r.random::<f64>()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derive_seed_changes_per_stream() {
+        let s = 7u64;
+        assert_ne!(derive_seed(s, 0), derive_seed(s, 1));
+        assert_eq!(derive_seed(s, 3), derive_seed(s, 3));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = rng_from_seed(1);
+        let mut idx = shuffled_indices(100, &mut r);
+        idx.sort_unstable();
+        assert_eq!(idx, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampling_without_replacement_is_distinct() {
+        let mut r = rng_from_seed(2);
+        let s = sample_without_replacement(50, 20, &mut r);
+        assert_eq!(s.len(), 20);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 20);
+        // Clamp when k > n.
+        assert_eq!(sample_without_replacement(3, 10, &mut r).len(), 3);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = rng_from_seed(3);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(2.0, 3.0, &mut r)).collect();
+        let m = crate::stats::mean(&xs);
+        let s = crate::stats::std_dev(&xs);
+        assert!((m - 2.0).abs() < 0.1, "mean {m}");
+        assert!((s - 3.0).abs() < 0.1, "std {s}");
+    }
+
+    #[test]
+    fn laplace_is_centered_with_correct_spread() {
+        let mut r = rng_from_seed(4);
+        let xs: Vec<f64> = (0..20_000).map(|_| laplace(2.0, &mut r)).collect();
+        let m = crate::stats::mean(&xs);
+        // Var of Laplace(0, b) is 2 b^2 = 8.
+        let v = crate::stats::variance(&xs);
+        assert!(m.abs() < 0.15, "mean {m}");
+        assert!((v - 8.0).abs() < 0.8, "var {v}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = rng_from_seed(5);
+        for _ in 0..1000 {
+            assert!(log_normal(0.0, 1.0, &mut r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng_from_seed(6);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_index(&[1.0, 0.0, 3.0], &mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+        // All-zero weights fall back to uniform without panicking.
+        let _ = weighted_index(&[0.0, 0.0], &mut r);
+    }
+}

@@ -1,0 +1,223 @@
+//! Regression solvers: coordinate-descent lasso and ridge.
+//!
+//! MCFS scores features by regressing each spectral-embedding dimension onto
+//! the features with an L1 penalty and taking the maximum absolute
+//! coefficient per feature. Ridge is used as a cheap stable fallback and in
+//! tests.
+
+use crate::Matrix;
+
+/// Fits `min_w ||y - X w||^2 / (2n) + alpha * ||w||_1` by cyclic coordinate
+/// descent. No intercept: callers are expected to center `y` and the columns
+/// of `x` (the spectral embedding pipeline does).
+///
+/// Returns the coefficient vector (one entry per column of `x`).
+pub fn lasso_coordinate_descent(x: &Matrix, y: &[f64], alpha: f64, max_iter: usize, tol: f64) -> Vec<f64> {
+    let (n, d) = x.shape();
+    assert_eq!(n, y.len(), "lasso: row/target mismatch");
+    assert!(alpha >= 0.0, "lasso: alpha must be non-negative");
+    if n == 0 || d == 0 {
+        return vec![0.0; d];
+    }
+    let nf = n as f64;
+
+    // Precompute column norms: z_j = sum_i x_ij^2 / n.
+    let mut col_sq = vec![0.0; d];
+    for row in x.rows_iter() {
+        for (c, &v) in col_sq.iter_mut().zip(row) {
+            *c += v * v;
+        }
+    }
+    for c in &mut col_sq {
+        *c /= nf;
+    }
+
+    let mut w = vec![0.0; d];
+    // residual r = y - X w (starts at y).
+    let mut r: Vec<f64> = y.to_vec();
+
+    for _ in 0..max_iter {
+        let mut max_delta = 0.0f64;
+        for j in 0..d {
+            if col_sq[j] <= crate::EPS {
+                continue;
+            }
+            // rho = (1/n) * x_j . (r + w_j * x_j)
+            let mut rho = 0.0;
+            for i in 0..n {
+                rho += x[(i, j)] * r[i];
+            }
+            rho = rho / nf + w[j] * col_sq[j];
+            let w_new = soft_threshold(rho, alpha) / col_sq[j];
+            let delta = w_new - w[j];
+            if delta != 0.0 {
+                for i in 0..n {
+                    r[i] -= delta * x[(i, j)];
+                }
+                w[j] = w_new;
+                max_delta = max_delta.max(delta.abs());
+            }
+        }
+        if max_delta < tol {
+            break;
+        }
+    }
+    w
+}
+
+/// Soft-thresholding operator `S(z, g) = sign(z) * max(|z| - g, 0)`.
+#[inline]
+pub fn soft_threshold(z: f64, gamma: f64) -> f64 {
+    if z > gamma {
+        z - gamma
+    } else if z < -gamma {
+        z + gamma
+    } else {
+        0.0
+    }
+}
+
+/// Solves the ridge system `(X^T X + lambda I) w = X^T y` by Cholesky
+/// decomposition. `lambda > 0` guarantees positive definiteness.
+pub fn ridge(x: &Matrix, y: &[f64], lambda: f64) -> Vec<f64> {
+    let (n, d) = x.shape();
+    assert_eq!(n, y.len(), "ridge: row/target mismatch");
+    assert!(lambda > 0.0, "ridge: lambda must be positive");
+    // Build A = X^T X + lambda I and b = X^T y.
+    let xt = x.transpose();
+    let mut a = xt.matmul(x);
+    for i in 0..d {
+        a[(i, i)] += lambda;
+    }
+    let b = x.t_matvec(y);
+    cholesky_solve(&a, &b)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+///
+/// # Panics
+/// Panics when `A` is not positive definite (within tolerance).
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "cholesky_solve: matrix must be square");
+    assert_eq!(n, b.len(), "cholesky_solve: rhs size mismatch");
+    // L lower-triangular with A = L L^T.
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                assert!(s > 0.0, "cholesky_solve: matrix is not positive definite");
+                l[(i, j)] = s.sqrt();
+            } else {
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+    }
+    // Forward solve L z = b.
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[(i, k)] * z[k];
+        }
+        z[i] = s / l[(i, i)];
+    }
+    // Back solve L^T x = z.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = z[i];
+        for k in i + 1..n {
+            s -= l[(k, i)] * x[k];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::rng::{normal, rng_from_seed};
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn cholesky_solves_known_system() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let x = cholesky_solve(&a, &[8.0, 7.0]);
+        // Solution of [[4,2],[2,3]] x = [8,7] is [1.25, 1.5].
+        assert!(approx_eq(x[0], 1.25, 1e-10));
+        assert!(approx_eq(x[1], 1.5, 1e-10));
+    }
+
+    #[test]
+    #[should_panic(expected = "not positive definite")]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let _ = cholesky_solve(&a, &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn ridge_recovers_coefficients() {
+        let mut rng = rng_from_seed(10);
+        let n = 200;
+        let true_w = [2.0, -1.0, 0.0];
+        let mut x = Matrix::zeros(n, 3);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..3 {
+                x[(i, j)] = normal(0.0, 1.0, &mut rng);
+            }
+            y[i] = crate::dot(x.row(i), &true_w) + normal(0.0, 0.01, &mut rng);
+        }
+        let w = ridge(&x, &y, 1e-6);
+        for (est, truth) in w.iter().zip(true_w) {
+            assert!(approx_eq(*est, truth, 0.02), "est {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn lasso_zeroes_irrelevant_features_and_keeps_signal() {
+        let mut rng = rng_from_seed(11);
+        let n = 300;
+        let d = 6;
+        // Only features 0 and 2 matter.
+        let mut x = Matrix::zeros(n, d);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..d {
+                x[(i, j)] = normal(0.0, 1.0, &mut rng);
+            }
+            y[i] = 3.0 * x[(i, 0)] - 2.0 * x[(i, 2)] + normal(0.0, 0.05, &mut rng);
+        }
+        let w = lasso_coordinate_descent(&x, &y, 0.1, 500, 1e-8);
+        assert!(w[0] > 2.0, "w0 = {}", w[0]);
+        assert!(w[2] < -1.0, "w2 = {}", w[2]);
+        for j in [1, 3, 4, 5] {
+            assert!(w[j].abs() < 0.1, "w{j} = {}", w[j]);
+        }
+    }
+
+    #[test]
+    fn lasso_with_huge_alpha_is_all_zero() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let w = lasso_coordinate_descent(&x, &[1.0, 2.0, 3.0], 1e6, 100, 1e-10);
+        assert_eq!(w, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn lasso_handles_empty_input() {
+        let x = Matrix::zeros(0, 3);
+        assert_eq!(lasso_coordinate_descent(&x, &[], 0.1, 10, 1e-8), vec![0.0; 3]);
+    }
+}

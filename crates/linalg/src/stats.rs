@@ -1,0 +1,293 @@
+//! Column statistics, correlation and discretization helpers.
+//!
+//! These primitives back both preprocessing (`dfs-data`) and the statistical
+//! feature rankings (`dfs-rankings`).
+
+use crate::Matrix;
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; `0.0` for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// `(min, max)` of a slice, ignoring NaNs; `(0, 0)` when all-NaN or empty.
+pub fn min_max(xs: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        if x.is_nan() {
+            continue;
+        }
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if lo > hi {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Mean of the non-NaN entries; `0.0` when there are none.
+///
+/// Used for mean imputation, where NaN marks a missing value.
+pub fn mean_ignore_nan(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &x in xs {
+        if !x.is_nan() {
+            sum += x;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Pearson correlation coefficient; `0.0` when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= crate::EPS || vy <= crate::EPS {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Per-column means of a matrix.
+pub fn column_means(m: &Matrix) -> Vec<f64> {
+    let (rows, cols) = m.shape();
+    let mut out = vec![0.0; cols];
+    for row in m.rows_iter() {
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o += x;
+        }
+    }
+    if rows > 0 {
+        for o in &mut out {
+            *o /= rows as f64;
+        }
+    }
+    out
+}
+
+/// Per-column population variances of a matrix.
+pub fn column_variances(m: &Matrix) -> Vec<f64> {
+    let (rows, cols) = m.shape();
+    if rows < 2 {
+        return vec![0.0; cols];
+    }
+    let means = column_means(m);
+    let mut out = vec![0.0; cols];
+    for row in m.rows_iter() {
+        for j in 0..cols {
+            let d = row[j] - means[j];
+            out[j] += d * d;
+        }
+    }
+    for o in &mut out {
+        *o /= rows as f64;
+    }
+    out
+}
+
+/// Discretizes a column into `bins` equal-width bins over its observed range.
+///
+/// Constant columns map everything to bin 0. Used by the information-theoretic
+/// rankings (MIM, FCBF) and the χ² test, which operate on discrete features.
+pub fn equal_width_bins(xs: &[f64], bins: usize) -> Vec<usize> {
+    assert!(bins >= 1, "equal_width_bins: need at least one bin");
+    let (lo, hi) = min_max(xs);
+    let width = (hi - lo) / bins as f64;
+    if width <= crate::EPS {
+        return vec![0; xs.len()];
+    }
+    xs.iter()
+        .map(|&x| {
+            let b = ((x - lo) / width) as usize;
+            b.min(bins - 1)
+        })
+        .collect()
+}
+
+/// Shannon entropy (nats) of a discrete label sequence.
+pub fn entropy(labels: &[usize]) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let max = labels.iter().copied().max().unwrap_or(0);
+    let mut counts = vec![0usize; max + 1];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    let n = labels.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Mutual information (nats) between two discrete sequences.
+pub fn mutual_information(xs: &[usize], ys: &[usize]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "mutual_information: length mismatch");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let xm = xs.iter().copied().max().unwrap_or(0) + 1;
+    let ym = ys.iter().copied().max().unwrap_or(0) + 1;
+    let mut joint = vec![0usize; xm * ym];
+    let mut px = vec![0usize; xm];
+    let mut py = vec![0usize; ym];
+    for (&x, &y) in xs.iter().zip(ys) {
+        joint[x * ym + y] += 1;
+        px[x] += 1;
+        py[y] += 1;
+    }
+    let n = xs.len() as f64;
+    let mut mi = 0.0;
+    for x in 0..xm {
+        for y in 0..ym {
+            let c = joint[x * ym + y];
+            if c == 0 {
+                continue;
+            }
+            let pxy = c as f64 / n;
+            let p = pxy / ((px[x] as f64 / n) * (py[y] as f64 / n));
+            mi += pxy * p.ln();
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Symmetrical uncertainty `SU(X, Y) = 2 * I(X;Y) / (H(X) + H(Y))` in `[0, 1]`.
+///
+/// The redundancy/relevance measure at the heart of FCBF (Yu & Liu, 2003).
+pub fn symmetrical_uncertainty(xs: &[usize], ys: &[usize]) -> f64 {
+    let hx = entropy(xs);
+    let hy = entropy(ys);
+    if hx + hy <= crate::EPS {
+        return 0.0;
+    }
+    (2.0 * mutual_information(xs, ys) / (hx + hy)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!(approx_eq(mean(&xs), 5.0, 1e-12));
+        assert!(approx_eq(variance(&xs), 4.0, 1e-12));
+        assert!(approx_eq(std_dev(&xs), 2.0, 1e-12));
+    }
+
+    #[test]
+    fn empty_and_constant_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(min_max(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn min_max_skips_nan() {
+        assert_eq!(min_max(&[f64::NAN, 2.0, -1.0, f64::NAN]), (-1.0, 2.0));
+        assert_eq!(mean_ignore_nan(&[f64::NAN, 2.0, 4.0]), 3.0);
+        assert_eq!(mean_ignore_nan(&[f64::NAN]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!(approx_eq(pearson(&xs, &ys), 1.0, 1e-12));
+        let zs: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!(approx_eq(pearson(&xs, &zs), -1.0, 1e-12));
+    }
+
+    #[test]
+    fn column_stats_match_per_column() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 20.0]]);
+        let means = column_means(&m);
+        assert!(approx_eq(means[0], 3.0, 1e-12));
+        assert!(approx_eq(means[1], 20.0, 1e-12));
+        let vars = column_variances(&m);
+        assert!(approx_eq(vars[0], variance(&m.col(0)), 1e-12));
+        assert!(approx_eq(vars[1], variance(&m.col(1)), 1e-12));
+    }
+
+    #[test]
+    fn binning_is_monotone_and_bounded() {
+        let xs = [0.0, 0.1, 0.5, 0.9, 1.0];
+        let b = equal_width_bins(&xs, 4);
+        assert_eq!(b, vec![0, 0, 2, 3, 3]);
+        assert_eq!(equal_width_bins(&[5.0, 5.0, 5.0], 4), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn entropy_of_uniform_binary_is_ln2() {
+        assert!(approx_eq(entropy(&[0, 1, 0, 1]), (2.0f64).ln(), 1e-12));
+        assert_eq!(entropy(&[1, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn mi_identical_equals_entropy_and_independent_is_zero() {
+        let xs = [0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(approx_eq(mutual_information(&xs, &xs), entropy(&xs), 1e-12));
+        let ys = [0, 0, 1, 1, 0, 0, 1, 1];
+        assert!(mutual_information(&xs, &ys) < 1e-12);
+    }
+
+    #[test]
+    fn su_is_one_for_identical_and_zero_for_independent() {
+        let xs = [0, 1, 0, 1, 0, 1];
+        assert!(approx_eq(symmetrical_uncertainty(&xs, &xs), 1.0, 1e-12));
+        let ys = [0, 0, 1, 1, 0, 0];
+        // xs/ys constructed independent on this support
+        assert!(symmetrical_uncertainty(&xs[..4], &ys[..4]) < 1e-9);
+        assert_eq!(symmetrical_uncertainty(&[0, 0], &[0, 0]), 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the linear-algebra primitives.
+
+use dfs_linalg::rng::rng_from_seed;
+use dfs_linalg::solvers::{cholesky_solve, soft_threshold};
+use dfs_linalg::stats::{
+    entropy, equal_width_bins, mean, mutual_information, pearson, symmetrical_uncertainty,
+    variance,
+};
+use dfs_linalg::{approx_eq, dot, Matrix};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, len)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(a in finite_vec(8), b in finite_vec(8)) {
+        prop_assert!(approx_eq(dot(&a, &b), dot(&b, &a), 1e-9));
+    }
+
+    #[test]
+    fn variance_is_nonnegative_and_shift_invariant(xs in finite_vec(16), shift in -100.0..100.0f64) {
+        let v = variance(&xs);
+        prop_assert!(v >= 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!(approx_eq(variance(&shifted), v, 1e-6 * (1.0 + v)));
+    }
+
+    #[test]
+    fn mean_is_between_min_and_max(xs in finite_vec(12)) {
+        let m = mean(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(xs in finite_vec(10), ys in finite_vec(10)) {
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        prop_assert!(approx_eq(r, pearson(&ys, &xs), 1e-9));
+    }
+
+    #[test]
+    fn pearson_is_scale_invariant(xs in finite_vec(10), ys in finite_vec(10), s in 0.1..10.0f64) {
+        let scaled: Vec<f64> = ys.iter().map(|y| y * s).collect();
+        prop_assert!(approx_eq(pearson(&xs, &ys), pearson(&xs, &scaled), 1e-6));
+    }
+
+    #[test]
+    fn bins_are_in_range(xs in finite_vec(20), bins in 1usize..10) {
+        for b in equal_width_bins(&xs, bins) {
+            prop_assert!(b < bins);
+        }
+    }
+
+    #[test]
+    fn entropy_nonneg_and_mi_bounded(labels in prop::collection::vec(0usize..4, 2..40)) {
+        let h = entropy(&labels);
+        prop_assert!(h >= 0.0);
+        // I(X;X) = H(X)
+        prop_assert!(approx_eq(mutual_information(&labels, &labels), h, 1e-9));
+        // SU in [0, 1]
+        let su = symmetrical_uncertainty(&labels, &labels);
+        prop_assert!((0.0..=1.0).contains(&su));
+    }
+
+    #[test]
+    fn soft_threshold_shrinks_toward_zero(z in -100.0..100.0f64, g in 0.0..50.0f64) {
+        let s = soft_threshold(z, g);
+        prop_assert!(s.abs() <= z.abs() + 1e-12);
+        prop_assert!(s == 0.0 || s.signum() == z.signum());
+    }
+
+    #[test]
+    fn transpose_preserves_entries(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        use dfs_linalg::rng::standard_normal;
+        let mut rng = rng_from_seed(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = standard_normal(&mut rng);
+            }
+        }
+        let t = m.transpose();
+        for i in 0..rows {
+            for j in 0..cols {
+                prop_assert_eq!(m[(i, j)], t[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solution_satisfies_system(n in 1usize..5, seed in 0u64..500) {
+        use dfs_linalg::rng::standard_normal;
+        let mut rng = rng_from_seed(seed);
+        // Build SPD A = B B^T + I.
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                b[(i, j)] = standard_normal(&mut rng);
+            }
+        }
+        let mut a = b.matmul(&b.transpose());
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        let rhs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let x = cholesky_solve(&a, &rhs);
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&rhs) {
+            prop_assert!(approx_eq(*l, *r, 1e-6));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Binary classification metrics.
+
+/// 2×2 confusion counts for binary classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// Predicted positive, actually positive.
+    pub tp: usize,
+    /// Predicted positive, actually negative.
+    pub fp: usize,
+    /// Predicted negative, actually negative.
+    pub tn: usize,
+    /// Predicted negative, actually positive.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Total number of instances.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+}
+
+/// Tallies a confusion matrix from predictions and ground truth.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+pub fn confusion(predicted: &[bool], actual: &[bool]) -> ConfusionMatrix {
+    assert_eq!(predicted.len(), actual.len(), "confusion: length mismatch");
+    let mut m = ConfusionMatrix::default();
+    for (&p, &a) in predicted.iter().zip(actual) {
+        match (p, a) {
+            (true, true) => m.tp += 1,
+            (true, false) => m.fp += 1,
+            (false, false) => m.tn += 1,
+            (false, true) => m.fn_ += 1,
+        }
+    }
+    m
+}
+
+/// Fraction of correct predictions; `0.0` on empty input.
+pub fn accuracy(predicted: &[bool], actual: &[bool]) -> f64 {
+    let m = confusion(predicted, actual);
+    if m.total() == 0 {
+        return 0.0;
+    }
+    (m.tp + m.tn) as f64 / m.total() as f64
+}
+
+/// Precision `tp / (tp + fp)`; `0.0` when nothing was predicted positive.
+pub fn precision(predicted: &[bool], actual: &[bool]) -> f64 {
+    let m = confusion(predicted, actual);
+    if m.tp + m.fp == 0 {
+        0.0
+    } else {
+        m.tp as f64 / (m.tp + m.fp) as f64
+    }
+}
+
+/// Recall `tp / (tp + fn)`; `0.0` when there are no positives.
+pub fn recall(predicted: &[bool], actual: &[bool]) -> f64 {
+    let m = confusion(predicted, actual);
+    if m.tp + m.fn_ == 0 {
+        0.0
+    } else {
+        m.tp as f64 / (m.tp + m.fn_) as f64
+    }
+}
+
+/// F1 score — the paper's accuracy metric ("Min Accuracy" constraint).
+///
+/// Harmonic mean of precision and recall; `0.0` when both are zero.
+pub fn f1_score(predicted: &[bool], actual: &[bool]) -> f64 {
+    let m = confusion(predicted, actual);
+    let denom = 2 * m.tp + m.fp + m.fn_;
+    if denom == 0 {
+        0.0
+    } else {
+        2.0 * m.tp as f64 / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: bool = true;
+    const F: bool = false;
+
+    #[test]
+    fn confusion_counts() {
+        let m = confusion(&[T, T, F, F, T], &[T, F, F, T, T]);
+        assert_eq!(m, ConfusionMatrix { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(m.total(), 5);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [T, F, T, F];
+        assert_eq!(accuracy(&y, &y), 1.0);
+        assert_eq!(f1_score(&y, &y), 1.0);
+        assert_eq!(precision(&y, &y), 1.0);
+        assert_eq!(recall(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn all_wrong_is_zero() {
+        let p = [T, F];
+        let a = [F, T];
+        assert_eq!(accuracy(&p, &a), 0.0);
+        assert_eq!(f1_score(&p, &a), 0.0);
+    }
+
+    #[test]
+    fn f1_matches_hand_computation() {
+        // tp=2 fp=1 fn=1 -> precision 2/3, recall 2/3, f1 = 2/3
+        let p = [T, T, T, F, F];
+        let a = [T, T, F, T, F];
+        assert!((f1_score(&p, &a) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((precision(&p, &a) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((recall(&p, &a) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_return_zero() {
+        assert_eq!(f1_score(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        // No predicted positives.
+        assert_eq!(precision(&[F, F], &[T, F]), 0.0);
+        // No actual positives.
+        assert_eq!(recall(&[T, F], &[F, F]), 0.0);
+    }
+
+    #[test]
+    fn f1_is_robust_to_imbalance_vs_accuracy() {
+        // 95 negatives predicted correctly, all 5 positives missed:
+        // accuracy is high, F1 is zero — the reason the paper uses F1.
+        let mut p = vec![F; 100];
+        let mut a = vec![F; 100];
+        for item in a.iter_mut().take(5) {
+            *item = T;
+        }
+        p[..].fill(F);
+        assert!(accuracy(&p, &a) > 0.9);
+        assert_eq!(f1_score(&p, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = confusion(&[T], &[T, F]);
+    }
+}

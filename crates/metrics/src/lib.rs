@@ -1,0 +1,28 @@
+//! Evaluation metrics for the DFS constraint set.
+//!
+//! The paper's constraints (§ 3) are thresholds over these metrics:
+//!
+//! - **Min Accuracy** — the F1 score on binary classification ([`f1_score`]),
+//!   chosen for its robustness to class imbalance;
+//! - **Min Equal Opportunity** — the fairness metric of Hardt et al.
+//!   ([`equal_opportunity`]): one minus the absolute true-positive-rate gap
+//!   between minority and majority group;
+//! - **Min Safety** — empirical robustness against a black-box evasion
+//!   attack ([`attack`] module): `1 − (F1_original − F1_attacked)`;
+//! - **Max Feature Set Size / Max Search Time / Min Privacy** are
+//!   evaluation-independent and need no metric here (see `dfs-constraints`).
+//!
+//! All classification metrics operate on plain prediction/label slices so
+//! this crate stays independent of any model implementation; the attack
+//! interrogates the model through a `Fn(&[f64]) -> bool` closure.
+
+pub mod attack;
+pub mod classification;
+pub mod fairness;
+
+pub use attack::{empirical_safety, AttackConfig};
+pub use classification::{accuracy, confusion, f1_score, precision, recall, ConfusionMatrix};
+pub use fairness::{
+    discrimination_ratio, equal_opportunity, generalized_entropy_index, group_tpr,
+    statistical_parity,
+};

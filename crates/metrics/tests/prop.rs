@@ -1,0 +1,96 @@
+//! Property-based tests for the evaluation metrics.
+
+use dfs_metrics::{accuracy, equal_opportunity, f1_score, group_tpr, precision, recall};
+use proptest::prelude::*;
+
+fn labels(len: usize) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), len)
+}
+
+proptest! {
+    /// All classification metrics live in [0, 1].
+    #[test]
+    fn metrics_are_unit_bounded(pred in labels(24), actual in labels(24)) {
+        for m in [
+            accuracy(&pred, &actual),
+            precision(&pred, &actual),
+            recall(&pred, &actual),
+            f1_score(&pred, &actual),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&m), "metric {m} out of range");
+        }
+    }
+
+    /// F1 is the harmonic mean of precision and recall whenever both exist.
+    #[test]
+    fn f1_is_harmonic_mean(pred in labels(30), actual in labels(30)) {
+        let p = precision(&pred, &actual);
+        let r = recall(&pred, &actual);
+        let f = f1_score(&pred, &actual);
+        if p + r > 0.0 {
+            prop_assert!((f - 2.0 * p * r / (p + r)).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(f, 0.0);
+        }
+    }
+
+    /// Metrics are invariant under a consistent permutation of instances.
+    #[test]
+    fn metrics_are_permutation_invariant(
+        pred in labels(16),
+        actual in labels(16),
+        rot in 0usize..16,
+    ) {
+        let rotate = |v: &[bool]| -> Vec<bool> {
+            let mut out = v.to_vec();
+            out.rotate_left(rot % v.len().max(1));
+            out
+        };
+        prop_assert_eq!(f1_score(&pred, &actual), f1_score(&rotate(&pred), &rotate(&actual)));
+        prop_assert_eq!(accuracy(&pred, &actual), accuracy(&rotate(&pred), &rotate(&actual)));
+    }
+
+    /// Equal opportunity is bounded, symmetric in the group labeling, and
+    /// perfect for group-blind perfect predictions.
+    #[test]
+    fn eo_properties(pred in labels(20), actual in labels(20), group in labels(20)) {
+        let eo = equal_opportunity(&pred, &actual, &group);
+        prop_assert!((0.0..=1.0).contains(&eo));
+        // Swapping minority/majority must not change the gap.
+        let flipped: Vec<bool> = group.iter().map(|&g| !g).collect();
+        prop_assert!((eo - equal_opportunity(&pred, &actual, &flipped)).abs() < 1e-12);
+        // Perfect predictions are perfectly fair.
+        prop_assert_eq!(equal_opportunity(&actual, &actual, &group), 1.0);
+    }
+
+    /// EO depends only on positives: flipping predictions on actual
+    /// negatives never changes it.
+    #[test]
+    fn eo_ignores_negative_instances(
+        pred in labels(20),
+        actual in labels(20),
+        group in labels(20),
+        flip_mask in labels(20),
+    ) {
+        let base = equal_opportunity(&pred, &actual, &group);
+        let tweaked: Vec<bool> = pred
+            .iter()
+            .zip(&actual)
+            .zip(&flip_mask)
+            .map(|((&p, &a), &f)| if !a && f { !p } else { p })
+            .collect();
+        prop_assert!((base - equal_opportunity(&tweaked, &actual, &group)).abs() < 1e-12);
+    }
+
+    /// group_tpr is None exactly when the group has no positives.
+    #[test]
+    fn group_tpr_none_iff_no_positives(pred in labels(15), actual in labels(15), group in labels(15)) {
+        for side in [true, false] {
+            let has_pos = actual
+                .iter()
+                .zip(&group)
+                .any(|(&a, &g)| a && g == side);
+            prop_assert_eq!(group_tpr(&pred, &actual, &group, side).is_some(), has_pos);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Random forest with class balancing.
+//!
+//! The meta-learning DFS optimizer (paper § 6.2) uses "a random forest
+//! classifier with default parameters and class balancing" to predict which
+//! FS strategy will satisfy a scenario. This implementation bags
+//! depth-limited CART trees over **balanced bootstraps** (equal-size
+//! with-replacement samples from each class) with per-tree random feature
+//! subspaces (√d features, the usual default).
+
+use crate::tree::DecisionTree;
+use dfs_linalg::rng::{rng_from_seed, sample_without_replacement};
+use dfs_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Depth limit per tree.
+    pub max_depth: usize,
+    /// Balanced bootstrap (equal per-class sampling).
+    pub balanced: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self { n_trees: 50, max_depth: 8, balanced: true, seed: 0 }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<(Vec<usize>, DecisionTree)>, // (feature subset, tree)
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Fits the forest.
+    pub fn fit(x: &Matrix, y: &[bool], cfg: &ForestConfig) -> Self {
+        let (n, d) = x.shape();
+        assert_eq!(n, y.len(), "RandomForest: row/label mismatch");
+        assert!(n > 0, "RandomForest: empty training set");
+        let mut rng = rng_from_seed(cfg.seed);
+        let subspace = ((d as f64).sqrt().ceil() as usize).clamp(1, d);
+
+        let pos_idx: Vec<usize> = (0..n).filter(|&i| y[i]).collect();
+        let neg_idx: Vec<usize> = (0..n).filter(|&i| !y[i]).collect();
+
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        for _ in 0..cfg.n_trees {
+            let sample = if cfg.balanced && !pos_idx.is_empty() && !neg_idx.is_empty() {
+                balanced_bootstrap(&pos_idx, &neg_idx, &mut rng)
+            } else {
+                (0..n).map(|_| rng.random_range(0..n)).collect()
+            };
+            let mut features = sample_without_replacement(d, subspace, &mut rng);
+            features.sort_unstable();
+            let xs = x.select_rows(&sample).select_cols(&features);
+            let ys: Vec<bool> = sample.iter().map(|&i| y[i]).collect();
+            let tree = DecisionTree::fit(&xs, &ys, cfg.max_depth);
+            trees.push((features, tree));
+        }
+        Self { trees, n_features: d }
+    }
+
+    /// Mean positive-class probability across trees.
+    pub fn proba_one(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features, "RandomForest: feature width mismatch");
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        let mut sum = 0.0;
+        let mut projected = Vec::new();
+        for (features, tree) in &self.trees {
+            projected.clear();
+            projected.extend(features.iter().map(|&f| x[f]));
+            sum += tree.proba_one(&projected);
+        }
+        sum / self.trees.len() as f64
+    }
+
+    /// Predicted label at the 0.5 threshold.
+    pub fn predict_one(&self, x: &[f64]) -> bool {
+        self.proba_one(x) > 0.5
+    }
+
+    /// Predicts every row.
+    pub fn predict(&self, x: &Matrix) -> Vec<bool> {
+        x.rows_iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+fn balanced_bootstrap(pos: &[usize], neg: &[usize], rng: &mut StdRng) -> Vec<usize> {
+    let per_class = pos.len().min(neg.len()).max(1);
+    let mut out = Vec::with_capacity(2 * per_class);
+    for _ in 0..per_class {
+        out.push(pos[rng.random_range(0..pos.len())]);
+        out.push(neg[rng.random_range(0..neg.len())]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_problem() -> (Matrix, Vec<bool>) {
+        // Nonlinear: positive iff the point is near the center.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = (i as f64 * 0.6180339887) % 1.0;
+            let b = (i as f64 * 0.7548776662) % 1.0;
+            rows.push(vec![a, b]);
+            y.push(((a - 0.5).powi(2) + (b - 0.5).powi(2)).sqrt() < 0.25);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn learns_nonlinear_boundary() {
+        let (x, y) = ring_problem();
+        let f = RandomForest::fit(&x, &y, &ForestConfig::default());
+        let preds = f.predict(&x);
+        let acc =
+            preds.iter().zip(&y).filter(|(p, a)| p == a).count() as f64 / y.len() as f64;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_average_trees() {
+        let (x, y) = ring_problem();
+        let f = RandomForest::fit(&x, &y, &ForestConfig { n_trees: 10, ..Default::default() });
+        for row in x.rows_iter().take(20) {
+            let p = f.proba_one(row);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert_eq!(f.n_trees(), 10);
+    }
+
+    #[test]
+    fn balanced_forest_recalls_rare_class() {
+        // 10:1 imbalance; balanced bootstraps should keep recall up.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..220 {
+            let minority = i % 11 == 0;
+            let base = if minority { 0.8 } else { 0.2 };
+            rows.push(vec![base + 0.05 * ((i as f64 * 0.37) % 1.0)]);
+            y.push(minority);
+        }
+        let x = Matrix::from_rows(&rows);
+        let f = RandomForest::fit(&x, &y, &ForestConfig::default());
+        let recall = x
+            .rows_iter()
+            .zip(&y)
+            .filter(|(_, &l)| l)
+            .filter(|(r, _)| f.predict_one(r))
+            .count() as f64
+            / y.iter().filter(|&&l| l).count() as f64;
+        assert!(recall > 0.9, "minority recall {recall}");
+    }
+
+    #[test]
+    fn single_class_training_is_stable() {
+        let x = Matrix::from_rows(&[vec![0.1], vec![0.2], vec![0.3], vec![0.4]]);
+        let y = vec![true; 4];
+        let f = RandomForest::fit(&x, &y, &ForestConfig { n_trees: 5, ..Default::default() });
+        assert!(f.predict_one(&[0.25]));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = ring_problem();
+        let cfg = ForestConfig { n_trees: 8, seed: 42, ..Default::default() };
+        let a = RandomForest::fit(&x, &y, &cfg).predict(&x);
+        let b = RandomForest::fit(&x, &y, &cfg).predict(&x);
+        assert_eq!(a, b);
+    }
+}

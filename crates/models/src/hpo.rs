@@ -1,0 +1,150 @@
+//! Grid-search hyperparameter optimization.
+//!
+//! Mirrors the paper's § 6.1: "For HPO, we optimize for F1 score using grid
+//! search. For LR, we optimize the regularization strength
+//! C ∈ {10^n | n ∈ [−2:3]}. For NB, we optimize the smoothing variable
+//! var_smoothing ∈ [1e−12 : 1e−6]. For DT, we optimize the maximum tree
+//! depth td ∈ [1:7]."
+
+use crate::{ModelKind, ModelSpec, TrainedModel};
+use dfs_linalg::Matrix;
+use dfs_metrics::f1_score;
+
+/// The paper's hyperparameter grid for a model family.
+pub fn grid(kind: ModelKind) -> Vec<ModelSpec> {
+    match kind {
+        ModelKind::LogisticRegression => {
+            (-2..=3).map(|n| ModelSpec::Lr { c: 10f64.powi(n) }).collect()
+        }
+        ModelKind::GaussianNb => {
+            // Log-spaced 1e-12 .. 1e-6 (7 points).
+            (-12..=-6).map(|n| ModelSpec::Nb { var_smoothing: 10f64.powi(n) }).collect()
+        }
+        ModelKind::DecisionTree => (1..=7).map(|d| ModelSpec::Dt { max_depth: d }).collect(),
+        ModelKind::LinearSvm => (-2..=3).map(|n| ModelSpec::Svm { c: 10f64.powi(n) }).collect(),
+    }
+}
+
+/// Result of a grid search.
+#[derive(Debug, Clone)]
+pub struct HpoResult {
+    /// The winning hyperparameters.
+    pub spec: ModelSpec,
+    /// The model retrained with the winning hyperparameters.
+    pub model: TrainedModel,
+    /// Validation F1 of the winner.
+    pub val_f1: f64,
+    /// Number of grid points evaluated.
+    pub evaluations: usize,
+}
+
+/// Grid-searches a model family, optimizing validation F1.
+///
+/// Trains each grid point on `(x_train, y_train)`, scores on
+/// `(x_val, y_val)`, returns the best. Ties keep the earlier (more
+/// regularized / simpler) grid point, matching grid-search convention.
+pub fn grid_search(
+    kind: ModelKind,
+    x_train: &Matrix,
+    y_train: &[bool],
+    x_val: &Matrix,
+    y_val: &[bool],
+) -> HpoResult {
+    let specs = grid(kind);
+    let mut best: Option<(f64, ModelSpec, TrainedModel)> = None;
+    let evaluations = specs.len();
+    for spec in specs {
+        let model = spec.fit(x_train, y_train);
+        let f1 = f1_score(&model.predict(x_val), y_val);
+        let better = match &best {
+            None => true,
+            Some((best_f1, _, _)) => f1 > *best_f1,
+        };
+        if better {
+            best = Some((f1, spec, model));
+        }
+    }
+    let (val_f1, spec, model) = best.expect("grids are non-empty");
+    HpoResult { spec, model, val_f1, evaluations }
+}
+
+/// Fits a model either with default hyperparameters or with grid-search HPO,
+/// matching the two arms of the paper's Table 3.
+pub fn fit_maybe_hpo(
+    kind: ModelKind,
+    hpo: bool,
+    x_train: &Matrix,
+    y_train: &[bool],
+    x_val: &Matrix,
+    y_val: &[bool],
+) -> (ModelSpec, TrainedModel) {
+    if hpo {
+        let result = grid_search(kind, x_train, y_train, x_val, y_val);
+        (result.spec, result.model)
+    } else {
+        let spec = ModelSpec::default_for(kind);
+        let model = spec.fit(x_train, y_train);
+        (spec, model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_match_paper() {
+        let lr = grid(ModelKind::LogisticRegression);
+        assert_eq!(lr.len(), 6);
+        assert_eq!(lr[0], ModelSpec::Lr { c: 0.01 });
+        assert_eq!(lr[5], ModelSpec::Lr { c: 1000.0 });
+
+        let nb = grid(ModelKind::GaussianNb);
+        assert_eq!(nb.len(), 7);
+        assert_eq!(nb[0], ModelSpec::Nb { var_smoothing: 1e-12 });
+        assert_eq!(nb[6], ModelSpec::Nb { var_smoothing: 1e-6 });
+
+        let dt = grid(ModelKind::DecisionTree);
+        assert_eq!(dt.len(), 7);
+        assert_eq!(dt[0], ModelSpec::Dt { max_depth: 1 });
+        assert_eq!(dt[6], ModelSpec::Dt { max_depth: 7 });
+    }
+
+    fn xorish() -> (Matrix, Vec<bool>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..160 {
+            let a = ((i % 2) as f64) * 0.8 + 0.05 * ((i as f64 * 0.37) % 1.0);
+            let b = (((i / 2) % 2) as f64) * 0.8 + 0.05 * ((i as f64 * 0.73) % 1.0);
+            rows.push(vec![a, b]);
+            y.push((a > 0.4) != (b > 0.4));
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn hpo_beats_underfit_default_on_xor() {
+        let (x, y) = xorish();
+        let (x_train, y_train) = (x.select_rows(&(0..120).collect::<Vec<_>>()), y[..120].to_vec());
+        let (x_val, y_val) = (x.select_rows(&(120..160).collect::<Vec<_>>()), y[120..].to_vec());
+        let result = grid_search(ModelKind::DecisionTree, &x_train, &y_train, &x_val, &y_val);
+        // Depth 1 cannot solve XOR, the grid must pick depth >= 2.
+        match result.spec {
+            ModelSpec::Dt { max_depth } => assert!(max_depth >= 2, "picked depth {max_depth}"),
+            other => panic!("unexpected spec {other:?}"),
+        }
+        assert!(result.val_f1 > 0.9, "val f1 {}", result.val_f1);
+        assert_eq!(result.evaluations, 7);
+    }
+
+    #[test]
+    fn fit_maybe_hpo_dispatches() {
+        let (x, y) = xorish();
+        let (spec_default, _) =
+            fit_maybe_hpo(ModelKind::DecisionTree, false, &x, &y, &x, &y);
+        assert_eq!(spec_default, ModelSpec::default_for(ModelKind::DecisionTree));
+        let (spec_hpo, model) = fit_maybe_hpo(ModelKind::DecisionTree, true, &x, &y, &x, &y);
+        assert!(matches!(spec_hpo, ModelSpec::Dt { .. }));
+        assert_eq!(model.predict(&x).len(), x.nrows());
+    }
+}

@@ -1,0 +1,122 @@
+//! Permutation feature importance (Breiman, 2001).
+//!
+//! The paper's RFE(Model) uses the model's native feature-importance scores
+//! when available; when the model "does not provide feature importance
+//! scores, we estimate these scores using the permutation importance" —
+//! NB is the case in question. Importance of feature `j` is the drop in F1
+//! when column `j` is shuffled.
+
+use crate::TrainedModel;
+use dfs_linalg::rng::{rng_from_seed, shuffled_indices};
+use dfs_linalg::Matrix;
+use dfs_metrics::f1_score;
+
+/// Permutation importances of every feature for a trained model.
+///
+/// `repeats` shuffles are averaged per feature. Scores can be slightly
+/// negative for irrelevant features (shuffling noise); callers treating them
+/// as a ranking may clamp at zero.
+pub fn permutation_importance(
+    model: &TrainedModel,
+    x: &Matrix,
+    y: &[bool],
+    repeats: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let (n, d) = x.shape();
+    assert_eq!(n, y.len(), "permutation_importance: row/label mismatch");
+    assert!(repeats >= 1, "permutation_importance: need at least one repeat");
+    let baseline = f1_score(&model.predict(x), y);
+    let mut rng = rng_from_seed(seed);
+    let mut importances = vec![0.0; d];
+    let mut work = x.clone();
+
+    for j in 0..d {
+        let original = x.col(j);
+        let mut total_drop = 0.0;
+        for _ in 0..repeats {
+            let perm = shuffled_indices(n, &mut rng);
+            for (i, &p) in perm.iter().enumerate() {
+                work[(i, j)] = original[p];
+            }
+            let shuffled_f1 = f1_score(&model.predict(&work), y);
+            total_drop += baseline - shuffled_f1;
+        }
+        importances[j] = total_drop / repeats as f64;
+        // Restore the column.
+        for (i, &v) in original.iter().enumerate() {
+            work[(i, j)] = v;
+        }
+    }
+    importances
+}
+
+/// Importances for any model: native scores when present, permutation
+/// importance otherwise (the paper's RFE fallback rule).
+pub fn importance_or_permutation(
+    model: &TrainedModel,
+    x: &Matrix,
+    y: &[bool],
+    seed: u64,
+) -> Vec<f64> {
+    match model.feature_importance() {
+        Some(scores) => scores,
+        None => permutation_importance(model, x, y, 3, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelSpec;
+
+    fn one_signal_feature() -> (Matrix, Vec<bool>) {
+        // Feature 0 decides the label, feature 1 is noise.
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|i| vec![if i % 2 == 0 { 0.2 } else { 0.8 }, (i as f64 * 0.31) % 1.0])
+            .collect();
+        let y = (0..120).map(|i| i % 2 == 1).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn signal_feature_dominates() {
+        let (x, y) = one_signal_feature();
+        let model = ModelSpec::Nb { var_smoothing: 1e-9 }.fit(&x, &y);
+        let imp = permutation_importance(&model, &x, &y, 3, 0);
+        assert!(imp[0] > 0.3, "importances {imp:?}");
+        assert!(imp[1].abs() < 0.1, "importances {imp:?}");
+    }
+
+    #[test]
+    fn fallback_kicks_in_for_nb_only() {
+        let (x, y) = one_signal_feature();
+        let nb = ModelSpec::Nb { var_smoothing: 1e-9 }.fit(&x, &y);
+        let lr = ModelSpec::Lr { c: 1.0 }.fit(&x, &y);
+        // NB has no native importance -> permutation path.
+        assert!(nb.feature_importance().is_none());
+        let imp_nb = importance_or_permutation(&nb, &x, &y, 1);
+        assert_eq!(imp_nb.len(), 2);
+        // LR path returns |weights| untouched.
+        let imp_lr = importance_or_permutation(&lr, &x, &y, 1);
+        assert_eq!(imp_lr, lr.feature_importance().unwrap());
+    }
+
+    #[test]
+    fn does_not_mutate_input_matrix() {
+        let (x, y) = one_signal_feature();
+        let snapshot = x.clone();
+        let model = ModelSpec::Dt { max_depth: 3 }.fit(&x, &y);
+        let _ = permutation_importance(&model, &x, &y, 2, 5);
+        assert_eq!(x, snapshot);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = one_signal_feature();
+        let model = ModelSpec::Dt { max_depth: 3 }.fit(&x, &y);
+        let a = permutation_importance(&model, &x, &y, 2, 9);
+        let b = permutation_importance(&model, &x, &y, 2, 9);
+        assert_eq!(a, b);
+    }
+}

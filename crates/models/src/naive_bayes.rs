@@ -1,0 +1,223 @@
+//! Gaussian naive Bayes.
+//!
+//! Per-class Gaussian likelihoods per feature with a `var_smoothing` additive
+//! stabilizer (scikit-learn semantics: the smoothing added to every variance
+//! is `var_smoothing * max_j Var(x_j)`, floored to an absolute minimum so
+//! one-hot columns with zero variance stay well-defined).
+
+use dfs_linalg::Matrix;
+
+/// Per-class sufficient statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// Log prior `log P(y = class)`.
+    pub log_prior: f64,
+    /// Per-feature means.
+    pub means: Vec<f64>,
+    /// Per-feature variances (already smoothed).
+    pub vars: Vec<f64>,
+}
+
+/// A trained Gaussian naive Bayes model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianNb {
+    /// Statistics for the negative class (`y = false`).
+    pub neg: ClassStats,
+    /// Statistics for the positive class (`y = true`).
+    pub pos: ClassStats,
+}
+
+/// Absolute variance floor protecting against degenerate columns.
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNb {
+    /// Fits the model. `var_smoothing` follows scikit-learn's meaning.
+    pub fn fit(x: &Matrix, y: &[bool], var_smoothing: f64) -> Self {
+        let (n, d) = x.shape();
+        assert_eq!(n, y.len(), "GaussianNb: row/label mismatch");
+        assert!(n > 0, "GaussianNb: empty training set");
+        assert!(var_smoothing >= 0.0, "GaussianNb: negative smoothing");
+
+        let mut stats = [new_acc(d), new_acc(d)];
+        for (row, &label) in x.rows_iter().zip(y) {
+            let acc = &mut stats[label as usize];
+            acc.count += 1;
+            for (j, &v) in row.iter().enumerate() {
+                acc.sum[j] += v;
+                acc.sum_sq[j] += v * v;
+            }
+        }
+
+        // Global max variance for the smoothing term.
+        let global = finalize(&merge(&stats[0], &stats[1]), 0.0);
+        let max_var = global.vars.iter().cloned().fold(0.0f64, f64::max);
+        let smoothing = (var_smoothing * max_var).max(VAR_FLOOR);
+
+        Self {
+            neg: finalize_class(&stats[0], n, smoothing),
+            pos: finalize_class(&stats[1], n, smoothing),
+        }
+    }
+
+    /// Builds a model from externally supplied (e.g. DP-noised) statistics.
+    pub fn from_stats(neg: ClassStats, pos: ClassStats) -> Self {
+        assert_eq!(neg.means.len(), pos.means.len(), "GaussianNb: stats width mismatch");
+        Self { neg, pos }
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.pos.means.len()
+    }
+
+    fn log_likelihood(&self, stats: &ClassStats, x: &[f64]) -> f64 {
+        let mut ll = stats.log_prior;
+        for ((&v, &m), &var) in x.iter().zip(&stats.means).zip(&stats.vars) {
+            let var = var.max(VAR_FLOOR);
+            let diff = v - m;
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+        }
+        ll
+    }
+
+    /// `P(y = 1 | x)` via the normalized class posteriors.
+    pub fn proba_one(&self, x: &[f64]) -> f64 {
+        let lp = self.log_likelihood(&self.pos, x);
+        let ln = self.log_likelihood(&self.neg, x);
+        let m = lp.max(ln);
+        let ep = (lp - m).exp();
+        let en = (ln - m).exp();
+        ep / (ep + en)
+    }
+
+    /// Predicted label.
+    pub fn predict_one(&self, x: &[f64]) -> bool {
+        self.proba_one(x) > 0.5
+    }
+}
+
+struct Acc {
+    count: usize,
+    sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+}
+
+fn new_acc(d: usize) -> Acc {
+    Acc { count: 0, sum: vec![0.0; d], sum_sq: vec![0.0; d] }
+}
+
+fn merge(a: &Acc, b: &Acc) -> Acc {
+    Acc {
+        count: a.count + b.count,
+        sum: a.sum.iter().zip(&b.sum).map(|(x, y)| x + y).collect(),
+        sum_sq: a.sum_sq.iter().zip(&b.sum_sq).map(|(x, y)| x + y).collect(),
+    }
+}
+
+fn finalize(acc: &Acc, smoothing: f64) -> ClassStats {
+    let c = acc.count.max(1) as f64;
+    let means: Vec<f64> = acc.sum.iter().map(|s| s / c).collect();
+    let vars: Vec<f64> = acc
+        .sum_sq
+        .iter()
+        .zip(&means)
+        .map(|(ss, m)| (ss / c - m * m).max(0.0) + smoothing)
+        .collect();
+    ClassStats { log_prior: 0.0, means, vars }
+}
+
+fn finalize_class(acc: &Acc, total: usize, smoothing: f64) -> ClassStats {
+    let mut stats = finalize(acc, smoothing);
+    // Laplace-style prior smoothing keeps empty classes finite.
+    stats.log_prior = ((acc.count as f64 + 1.0) / (total as f64 + 2.0)).ln();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_blobs() -> (Matrix, Vec<bool>) {
+        // Two well-separated 2-D blobs laid out deterministically.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let t = (i as f64 * 0.104729) % 1.0; // pseudo-random in [0,1)
+            let u = (i as f64 * 0.224737) % 1.0;
+            if i % 2 == 0 {
+                rows.push(vec![0.2 + 0.1 * t, 0.2 + 0.1 * u]);
+                y.push(false);
+            } else {
+                rows.push(vec![0.8 + 0.1 * t, 0.8 + 0.1 * u]);
+                y.push(true);
+            }
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let (x, y) = gaussian_blobs();
+        let m = GaussianNb::fit(&x, &y, 1e-9);
+        for (row, &label) in x.rows_iter().zip(&y) {
+            assert_eq!(m.predict_one(row), label);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_implicitly() {
+        let (x, y) = gaussian_blobs();
+        let m = GaussianNb::fit(&x, &y, 1e-9);
+        for row in x.rows_iter() {
+            let p = m.proba_one(row);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        // Ambiguous midpoint gets an intermediate probability.
+        let p_mid = m.proba_one(&[0.55, 0.55]);
+        assert!(p_mid > 0.01 && p_mid < 0.99, "p_mid = {p_mid}");
+    }
+
+    #[test]
+    fn zero_variance_columns_are_survivable() {
+        // One-hot style constant-per-class column.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.3],
+            vec![1.0, 0.2],
+            vec![0.0, 0.8],
+            vec![0.0, 0.9],
+        ]);
+        let y = vec![false, false, true, true];
+        let m = GaussianNb::fit(&x, &y, 1e-9);
+        assert!(!m.predict_one(&[1.0, 0.25]));
+        assert!(m.predict_one(&[0.0, 0.85]));
+    }
+
+    #[test]
+    fn heavier_smoothing_softens_probabilities() {
+        let (x, y) = gaussian_blobs();
+        let sharp = GaussianNb::fit(&x, &y, 1e-9);
+        let soft = GaussianNb::fit(&x, &y, 10.0);
+        let p_sharp = sharp.proba_one(&[0.85, 0.85]);
+        let p_soft = soft.proba_one(&[0.85, 0.85]);
+        assert!(p_sharp > p_soft, "sharp {p_sharp} <= soft {p_soft}");
+    }
+
+    #[test]
+    fn priors_reflect_class_balance() {
+        let (x, mut y) = gaussian_blobs();
+        // Flip most labels to negative; prior should tilt the ambiguous zone.
+        for l in y.iter_mut().take(50) {
+            *l = false;
+        }
+        let m = GaussianNb::fit(&x, &y, 1e-9);
+        assert!(m.neg.log_prior > m.pos.log_prior);
+    }
+
+    #[test]
+    fn single_class_training_does_not_panic() {
+        let x = Matrix::from_rows(&[vec![0.1], vec![0.2], vec![0.3]]);
+        let y = vec![true, true, true];
+        let m = GaussianNb::fit(&x, &y, 1e-9);
+        assert!(m.predict_one(&[0.15]));
+    }
+}

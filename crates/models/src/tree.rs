@@ -1,0 +1,333 @@
+//! CART decision tree with Gini impurity.
+//!
+//! Depth-limited binary tree over continuous features. Candidate thresholds
+//! are the midpoints between consecutive distinct values, evaluated in O(1)
+//! each via prefix sums. Feature importances accumulate the
+//! instance-weighted impurity decrease per feature, normalized to sum to 1 —
+//! the same notion scikit-learn exposes.
+
+use dfs_linalg::Matrix;
+
+/// Nodes stop splitting below this many instances.
+const MIN_SAMPLES_SPLIT: usize = 4;
+
+/// A tree node (arena storage; `usize` child links).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// Terminal node carrying `P(y = 1)` among its training instances.
+    Leaf {
+        /// Positive-class probability at this leaf.
+        proba: f64,
+    },
+    /// Internal test `x[feature] <= threshold` → left, else right.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Arena index of the left child (`<=`).
+        left: usize,
+        /// Arena index of the right child (`>`).
+        right: usize,
+    },
+}
+
+/// A trained decision tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    importances: Vec<f64>,
+    max_depth: usize,
+}
+
+impl DecisionTree {
+    /// Fits a depth-limited CART tree.
+    pub fn fit(x: &Matrix, y: &[bool], max_depth: usize) -> Self {
+        Self::fit_weighted(x, y, max_depth, None)
+    }
+
+    /// Fits with optional per-instance weights (used for class balancing by
+    /// the random forest).
+    pub fn fit_weighted(x: &Matrix, y: &[bool], max_depth: usize, weights: Option<&[f64]>) -> Self {
+        let (n, d) = x.shape();
+        assert_eq!(n, y.len(), "DecisionTree: row/label mismatch");
+        assert!(n > 0, "DecisionTree: empty training set");
+        let max_depth = max_depth.max(1);
+        let w: Vec<f64> = match weights {
+            Some(w) => {
+                assert_eq!(w.len(), n, "DecisionTree: weight length mismatch");
+                w.to_vec()
+            }
+            None => vec![1.0; n],
+        };
+        let mut builder = Builder { x, y, w: &w, nodes: Vec::new(), importances: vec![0.0; d], max_depth };
+        let all: Vec<usize> = (0..n).collect();
+        builder.build(&all, 0);
+        let total: f64 = builder.importances.iter().sum();
+        if total > 0.0 {
+            for imp in &mut builder.importances {
+                *imp /= total;
+            }
+        }
+        DecisionTree { nodes: builder.nodes, importances: builder.importances, max_depth }
+    }
+
+    /// Assembles a tree from raw parts (used by the DP random tree).
+    pub fn from_parts(nodes: Vec<Node>, importances: Vec<f64>, max_depth: usize) -> Self {
+        assert!(!nodes.is_empty(), "DecisionTree: empty node arena");
+        DecisionTree { nodes, importances, max_depth }
+    }
+
+    /// Normalized impurity-decrease importances (sum to 1 when nonzero).
+    pub fn importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Depth limit the tree was trained with.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Number of nodes in the tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `P(y = 1 | x)` from the reached leaf.
+    pub fn proba_one(&self, x: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { proba } => return *proba,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Predicted label at the 0.5 threshold.
+    pub fn predict_one(&self, x: &[f64]) -> bool {
+        self.proba_one(x) > 0.5
+    }
+}
+
+struct Builder<'a> {
+    x: &'a Matrix,
+    y: &'a [bool],
+    w: &'a [f64],
+    nodes: Vec<Node>,
+    importances: Vec<f64>,
+    max_depth: usize,
+}
+
+impl Builder<'_> {
+    /// Builds the subtree over `idx`, returning its arena index.
+    fn build(&mut self, idx: &[usize], depth: usize) -> usize {
+        let (w_pos, w_total) = self.weighted_counts(idx);
+        let proba = if w_total > 0.0 { w_pos / w_total } else { 0.5 };
+        let node_gini = gini(w_pos, w_total);
+
+        if depth >= self.max_depth
+            || idx.len() < MIN_SAMPLES_SPLIT
+            || node_gini <= dfs_linalg::EPS
+        {
+            return self.push(Node::Leaf { proba });
+        }
+
+        match self.best_split(idx, node_gini, w_total) {
+            None => self.push(Node::Leaf { proba }),
+            Some(split) => {
+                self.importances[split.feature] += split.gain * w_total;
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+                    .iter()
+                    .partition(|&&i| self.x[(i, split.feature)] <= split.threshold);
+                // Reserve this node's slot before recursing.
+                let me = self.push(Node::Leaf { proba });
+                let left = self.build(&left_idx, depth + 1);
+                let right = self.build(&right_idx, depth + 1);
+                self.nodes[me] =
+                    Node::Split { feature: split.feature, threshold: split.threshold, left, right };
+                me
+            }
+        }
+    }
+
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn weighted_counts(&self, idx: &[usize]) -> (f64, f64) {
+        let mut pos = 0.0;
+        let mut total = 0.0;
+        for &i in idx {
+            total += self.w[i];
+            if self.y[i] {
+                pos += self.w[i];
+            }
+        }
+        (pos, total)
+    }
+
+    fn best_split(&self, idx: &[usize], node_gini: f64, w_total: f64) -> Option<SplitChoice> {
+        let d = self.x.ncols();
+        let (w_pos, _) = self.weighted_counts(idx);
+        let mut best: Option<SplitChoice> = None;
+        let mut values: Vec<(f64, f64, bool)> = Vec::with_capacity(idx.len());
+        for feature in 0..d {
+            values.clear();
+            values.extend(idx.iter().map(|&i| (self.x[(i, feature)], self.w[i], self.y[i])));
+            values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            if values.first().map(|v| v.0) == values.last().map(|v| v.0) {
+                continue; // constant feature
+            }
+            // Prefix sums over the sorted order: left_pos[k] / left_total[k]
+            // cover values[0..k].
+            let len = values.len();
+            let mut prefix_pos = vec![0.0; len + 1];
+            let mut prefix_total = vec![0.0; len + 1];
+            for (k, v) in values.iter().enumerate() {
+                prefix_total[k + 1] = prefix_total[k] + v.1;
+                prefix_pos[k + 1] = prefix_pos[k] + if v.2 { v.1 } else { 0.0 };
+            }
+            // Candidate boundaries: every position where the value changes.
+            // Prefix sums make each check O(1), so no subsampling is needed.
+            for k in (1..len).filter(|&k| values[k].0 > values[k - 1].0) {
+                let threshold = 0.5 * (values[k - 1].0 + values[k].0);
+                let left_total = prefix_total[k];
+                let right_total = w_total - left_total;
+                if left_total <= 0.0 || right_total <= 0.0 {
+                    continue;
+                }
+                let left_pos = prefix_pos[k];
+                let right_pos = w_pos - left_pos;
+                let child =
+                    (left_total * gini(left_pos, left_total) + right_total * gini(right_pos, right_total))
+                        / w_total;
+                // Like scikit-learn, zero-gain splits are allowed (depth and
+                // purity are the stopping rules) — this is what lets a depth-2
+                // tree solve XOR, whose root split has exactly zero Gini gain.
+                let gain = (node_gini - child).max(0.0);
+                if best.as_ref().map(|b| gain > b.gain).unwrap_or(true) {
+                    best = Some(SplitChoice { feature, threshold, gain });
+                }
+            }
+        }
+        best
+    }
+}
+
+struct SplitChoice {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+/// Gini impurity of a (weighted) binary node.
+fn gini(pos: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `y = (x0 > 0.5) AND (x1 > 0.5)` — solvable exactly by greedy CART at
+    /// depth 2 (unlike balanced XOR, whose root split has zero Gini gain and
+    /// defeats any greedy splitter, scikit-learn included).
+    fn and_problem() -> (Matrix, Vec<bool>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..80 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            let ja = 0.05 * ((i as f64 * 0.37) % 1.0);
+            let jb = 0.05 * ((i as f64 * 0.73) % 1.0);
+            rows.push(vec![a * 0.9 + ja, b * 0.9 + jb]);
+            y.push(a > 0.5 && b > 0.5);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn learns_conjunction_with_depth_two() {
+        let (x, y) = and_problem();
+        let t = DecisionTree::fit(&x, &y, 2);
+        for (row, &label) in x.rows_iter().zip(&y) {
+            assert_eq!(t.predict_one(row), label, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn depth_one_stump_cannot_solve_conjunction() {
+        let (x, y) = and_problem();
+        let t = DecisionTree::fit(&x, &y, 1);
+        let errors = x
+            .rows_iter()
+            .zip(&y)
+            .filter(|(row, &label)| t.predict_one(row) != label)
+            .count();
+        assert!(errors >= 15, "stump should fail on AND, errors = {errors}");
+    }
+
+    #[test]
+    fn importances_sum_to_one_and_pick_signal() {
+        // Only feature 1 matters.
+        let rows: Vec<Vec<f64>> =
+            (0..60).map(|i| vec![(i as f64 * 0.17) % 1.0, if i % 2 == 0 { 0.2 } else { 0.8 }]).collect();
+        let y: Vec<bool> = (0..60).map(|i| i % 2 == 1).collect();
+        let t = DecisionTree::fit(&Matrix::from_rows(&rows), &y, 3);
+        let imp = t.importances();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[1] > 0.9, "importances {imp:?}");
+    }
+
+    #[test]
+    fn pure_node_is_a_single_leaf() {
+        let x = Matrix::from_rows(&[vec![0.1], vec![0.5], vec![0.9]]);
+        let t = DecisionTree::fit(&x, &[true, true, true], 5);
+        assert_eq!(t.n_nodes(), 1);
+        assert!(t.predict_one(&[0.3]));
+    }
+
+    #[test]
+    fn weighted_fit_shifts_the_decision() {
+        // Same data, but weight the positive class heavily -> ambiguous
+        // region should flip to positive.
+        let x = Matrix::from_rows(&[
+            vec![0.4],
+            vec![0.45],
+            vec![0.5],
+            vec![0.55],
+            vec![0.6],
+            vec![0.65],
+        ]);
+        let y = vec![false, false, false, true, true, true];
+        let heavy_pos = vec![1.0, 1.0, 1.0, 10.0, 10.0, 10.0];
+        let t = DecisionTree::fit_weighted(&x, &y, 1, Some(&heavy_pos));
+        // The stump must still separate cleanly at ~0.525.
+        assert!(!t.predict_one(&[0.4]));
+        assert!(t.predict_one(&[0.6]));
+    }
+
+    #[test]
+    fn probabilities_reflect_leaf_composition() {
+        let x = Matrix::from_rows(&[vec![0.1], vec![0.2], vec![0.3], vec![0.9]]);
+        let y = vec![true, true, false, false];
+        // Depth 1: left leaf (low x) is 2/3 positive if split lands at ~0.6.
+        let t = DecisionTree::fit(&x, &y, 1);
+        let p = t.proba_one(&[0.15]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let (x, y) = and_problem();
+        assert_eq!(DecisionTree::fit(&x, &y, 4), DecisionTree::fit(&x, &y, 4));
+    }
+}

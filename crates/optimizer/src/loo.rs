@@ -1,0 +1,261 @@
+//! Leave-one-dataset-out evaluation of the DFS optimizer.
+//!
+//! The paper evaluates the optimizer "by always considering the experiments
+//! of one dataset as the test set" (§ 6.1). For every dataset we train on
+//! the remaining scenarios, recommend a strategy per held-out scenario, and
+//! score (a) the resulting coverage against the recorded outcome matrix
+//! (Table 3's "DFS Optimizer" row) and (b) the per-strategy success
+//! classifiers' precision/recall/F1 (Table 9).
+
+use crate::{featurize, DfsOptimizer, OptimizerConfig};
+use dfs_core::runner::{Arm, BenchmarkMatrix};
+use dfs_data::split::Split;
+use dfs_fs::StrategyId;
+use std::collections::HashMap;
+
+/// Precision/recall/F1 of one strategy's success classifier, aggregated
+/// across leave-one-out folds (mean ± std).
+#[derive(Debug, Clone)]
+pub struct StrategyPrf {
+    /// The strategy whose classifier is scored.
+    pub strategy: StrategyId,
+    /// Precision mean ± std across folds.
+    pub precision: (f64, f64),
+    /// Recall mean ± std across folds.
+    pub recall: (f64, f64),
+    /// F1 mean ± std across folds.
+    pub f1: (f64, f64),
+}
+
+/// Full leave-one-dataset-out report.
+#[derive(Debug, Clone)]
+pub struct LooReport {
+    /// Per-scenario recommended arm index (into `matrix.arms`).
+    pub choices: HashMap<usize, usize>,
+    /// Per-strategy classification quality (Table 9).
+    pub per_strategy: Vec<StrategyPrf>,
+    /// Fraction of satisfiable scenarios where the recommendation was the
+    /// overall-fastest strategy.
+    pub fastest_fraction: f64,
+}
+
+/// Runs the leave-one-dataset-out protocol, evaluating on `matrix`.
+pub fn leave_one_dataset_out(
+    matrix: &BenchmarkMatrix,
+    splits: &HashMap<String, Split>,
+    config: &OptimizerConfig,
+) -> LooReport {
+    leave_one_dataset_out_pooled(matrix, &[], splits, config)
+}
+
+/// Leave-one-dataset-out with extra training corpora pooled in (e.g. the
+/// default-parameters benchmark when evaluating on the HPO one). Choices
+/// and classification quality are always measured against `matrix`.
+pub fn leave_one_dataset_out_pooled(
+    matrix: &BenchmarkMatrix,
+    extra_training: &[&BenchmarkMatrix],
+    splits: &HashMap<String, Split>,
+    config: &OptimizerConfig,
+) -> LooReport {
+    let datasets = matrix.datasets();
+    let strategies: Vec<StrategyId> = matrix
+        .arms
+        .iter()
+        .filter_map(|a| match a {
+            Arm::Strategy(s) => Some(*s),
+            Arm::Original => None,
+        })
+        .collect();
+    let arm_of: HashMap<StrategyId, usize> = matrix
+        .arms
+        .iter()
+        .enumerate()
+        .filter_map(|(i, a)| match a {
+            Arm::Strategy(s) => Some((*s, i)),
+            Arm::Original => None,
+        })
+        .collect();
+
+    let mut choices: HashMap<usize, usize> = HashMap::new();
+    // Per strategy, per fold: (tp, fp, fn) counts.
+    let mut fold_counts: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); strategies.len()];
+
+    for held_out in &datasets {
+        // Skip folds whose training side would be empty.
+        if matrix.scenarios.iter().all(|s| &s.dataset == held_out) {
+            continue;
+        }
+        let mut training: Vec<&BenchmarkMatrix> = vec![matrix];
+        training.extend(extra_training.iter().copied());
+        let opt =
+            DfsOptimizer::fit_from_matrices(&training, splits, config.clone(), Some(held_out));
+        let mut counts = vec![(0usize, 0usize, 0usize); strategies.len()];
+        for (i, scenario) in matrix.scenarios.iter().enumerate() {
+            if &scenario.dataset != held_out {
+                continue;
+            }
+            let split = &splits[&scenario.dataset];
+            // Recommendation for Table 3 / Figure 4.
+            let recommended = opt.recommend(scenario, split);
+            choices.insert(i, arm_of[&recommended]);
+            // Per-strategy classification for Table 9.
+            let x = featurize(scenario, split, &config.featurizer);
+            debug_assert!(!x.is_empty());
+            for (s_idx, (strategy, predicted)) in
+                opt.predict_success(scenario, split).into_iter().enumerate()
+            {
+                debug_assert_eq!(strategies[s_idx], strategy);
+                let actual = matrix.results[i][arm_of[&strategy]].success;
+                match (predicted, actual) {
+                    (true, true) => counts[s_idx].0 += 1,
+                    (true, false) => counts[s_idx].1 += 1,
+                    (false, true) => counts[s_idx].2 += 1,
+                    (false, false) => {}
+                }
+            }
+        }
+        for (s_idx, c) in counts.into_iter().enumerate() {
+            fold_counts[s_idx].push(c);
+        }
+    }
+
+    let per_strategy = strategies
+        .iter()
+        .zip(&fold_counts)
+        .map(|(&strategy, folds)| {
+            let mut ps = Vec::new();
+            let mut rs = Vec::new();
+            let mut fs = Vec::new();
+            for &(tp, fp, fn_) in folds {
+                if tp + fp + fn_ == 0 {
+                    // No positives predicted or present in this fold; the
+                    // classifier was vacuously right — skip the fold rather
+                    // than score it 0 (the paper averages over informative
+                    // folds the same way).
+                    continue;
+                }
+                let p = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+                let r = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+                let f = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+                ps.push(p);
+                rs.push(r);
+                fs.push(f);
+            }
+            StrategyPrf {
+                strategy,
+                precision: dfs_core::runner::mean_std(&ps),
+                recall: dfs_core::runner::mean_std(&rs),
+                f1: dfs_core::runner::mean_std(&fs),
+            }
+        })
+        .collect();
+
+    // How often the recommendation was the overall-fastest strategy.
+    let fastest: HashMap<usize, usize> = matrix.fastest_arm_per_scenario().into_iter().collect();
+    let satisfiable = matrix.satisfiable();
+    let fastest_hits = satisfiable
+        .iter()
+        .filter(|&&i| {
+            choices.get(&i).is_some_and(|&chosen| fastest.get(&i) == Some(&chosen))
+        })
+        .count();
+    let fastest_fraction = if satisfiable.is_empty() {
+        0.0
+    } else {
+        fastest_hits as f64 / satisfiable.len() as f64
+    };
+
+    LooReport { choices, per_strategy, fastest_fraction }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs_constraints::ConstraintSet;
+    use dfs_core::runner::CellResult;
+    use dfs_core::MlScenario;
+    use dfs_data::split::stratified_three_way;
+    use dfs_data::synthetic::{generate, tiny_spec};
+    use dfs_models::ModelKind;
+    use std::time::Duration;
+
+    /// Builds a synthetic matrix over two "datasets" (same split data, two
+    /// names) where Sfs succeeds iff min_f1 < 0.7 and TpeNr always succeeds.
+    fn synthetic_world() -> (BenchmarkMatrix, HashMap<String, Split>) {
+        let mut splits = HashMap::new();
+        for (i, name) in ["alpha", "beta"].iter().enumerate() {
+            let mut spec = tiny_spec();
+            spec.rows = 200;
+            let mut ds = generate(&spec, 10 + i as u64);
+            ds.name = name.to_string();
+            splits.insert(name.to_string(), stratified_three_way(&ds, 10));
+        }
+        let arms = vec![Arm::Strategy(StrategyId::Sfs), Arm::Strategy(StrategyId::TpeNr)];
+        let mut scenarios = Vec::new();
+        let mut results = Vec::new();
+        for (d, name) in ["alpha", "beta"].iter().enumerate() {
+            for k in 0..14 {
+                let min_f1 = 0.5 + 0.03 * k as f64;
+                scenarios.push(MlScenario {
+                    dataset: name.to_string(),
+                    model: ModelKind::LogisticRegression,
+                    hpo: false,
+                    constraints: ConstraintSet::accuracy_only(
+                        min_f1,
+                        Duration::from_millis(100),
+                    ),
+                    utility_f1: false,
+                    seed: (d * 100 + k) as u64,
+                });
+                let cell = |success: bool, ms: u64| CellResult {
+                    success,
+                    elapsed: Duration::from_millis(ms),
+                    val_distance: if success { 0.0 } else { 0.2 },
+                    test_distance: if success { 0.0 } else { 0.2 },
+                    evaluations: 3,
+                    test_f1: 0.7,
+                    subset_size: 2,
+                };
+                results.push(vec![cell(min_f1 < 0.7, 5), cell(true, 50)]);
+            }
+        }
+        (BenchmarkMatrix { arms, scenarios, results }, splits)
+    }
+
+    #[test]
+    fn loo_choices_cover_every_heldout_scenario() {
+        let (matrix, splits) = synthetic_world();
+        let report = leave_one_dataset_out(&matrix, &splits, &OptimizerConfig::default());
+        assert_eq!(report.choices.len(), matrix.scenarios.len());
+        // The learned choices must reach full coverage: TpeNr always works,
+        // so any sane argmax beats random.
+        let (cov, _) = matrix.choice_coverage(&report.choices);
+        assert!(cov > 0.85, "optimizer coverage {cov}");
+    }
+
+    #[test]
+    fn loo_reports_prf_for_every_strategy() {
+        let (matrix, splits) = synthetic_world();
+        let report = leave_one_dataset_out(&matrix, &splits, &OptimizerConfig::default());
+        assert_eq!(report.per_strategy.len(), 2);
+        for prf in &report.per_strategy {
+            assert!((0.0..=1.0).contains(&prf.precision.0), "{prf:?}");
+            assert!((0.0..=1.0).contains(&prf.recall.0), "{prf:?}");
+            assert!((0.0..=1.0).contains(&prf.f1.0), "{prf:?}");
+        }
+        // TpeNr always succeeds -> its classifier should be near-perfect.
+        let tpe = report
+            .per_strategy
+            .iter()
+            .find(|p| p.strategy == StrategyId::TpeNr)
+            .unwrap();
+        assert!(tpe.f1.0 > 0.9, "TpeNr classifier F1 {:?}", tpe.f1);
+    }
+
+    #[test]
+    fn fastest_fraction_is_a_fraction() {
+        let (matrix, splits) = synthetic_world();
+        let report = leave_one_dataset_out(&matrix, &splits, &OptimizerConfig::default());
+        assert!((0.0..=1.0).contains(&report.fastest_fraction));
+    }
+}

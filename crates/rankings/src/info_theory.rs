@@ -1,0 +1,149 @@
+//! Information-theoretic rankings: MIM and FCBF.
+
+use dfs_linalg::stats::{equal_width_bins, mutual_information, symmetrical_uncertainty};
+use dfs_linalg::Matrix;
+
+/// Bins used when discretizing continuous features for MI estimation.
+const BINS: usize = 8;
+
+/// Mutual-information maximization (Lewis, 1992): `I(X_j ; Y)` per feature,
+/// with features discretized into equal-width bins. MIM ignores
+/// feature–feature redundancy by design (the paper contrasts it with FCBF).
+pub fn mim_scores(x: &Matrix, y: &[bool]) -> Vec<f64> {
+    let (n, d) = x.shape();
+    assert_eq!(n, y.len(), "mim_scores: row/label mismatch");
+    let labels: Vec<usize> = y.iter().map(|&b| b as usize).collect();
+    (0..d)
+        .map(|j| {
+            let bins = equal_width_bins(&x.col(j), BINS);
+            mutual_information(&bins, &labels)
+        })
+        .collect()
+}
+
+/// Fast correlation-based filter (Yu & Liu, 2003).
+///
+/// 1. Compute the symmetric uncertainty `SU(f, y)` of every feature with the
+///    label and order features by it (descending).
+/// 2. Walk the list: each surviving feature `f_p` eliminates every later
+///    feature `f_q` with `SU(f_p, f_q) ≥ SU(f_q, y)` (i.e. `f_q` is more
+///    correlated with an already-chosen feature than with the label —
+///    redundant).
+///
+/// Returns a best-first order over *all* features: the FCBF-selected
+/// (predominant) features in SU order, followed by the eliminated ones in SU
+/// order — so a top-`k` cutoff first exhausts the non-redundant features.
+pub fn fcbf_order(x: &Matrix, y: &[bool]) -> Vec<usize> {
+    let (n, d) = x.shape();
+    assert_eq!(n, y.len(), "fcbf_order: row/label mismatch");
+    let labels: Vec<usize> = y.iter().map(|&b| b as usize).collect();
+    let binned: Vec<Vec<usize>> = (0..d).map(|j| equal_width_bins(&x.col(j), BINS)).collect();
+    let relevance: Vec<f64> =
+        binned.iter().map(|b| symmetrical_uncertainty(b, &labels)).collect();
+
+    let mut by_su: Vec<usize> = (0..d).collect();
+    by_su.sort_by(|&a, &b| {
+        relevance[b].partial_cmp(&relevance[a]).expect("finite SU").then(a.cmp(&b))
+    });
+
+    let mut eliminated = vec![false; d];
+    let mut selected = Vec::new();
+    for (pos, &fp) in by_su.iter().enumerate() {
+        if eliminated[fp] {
+            continue;
+        }
+        selected.push(fp);
+        for &fq in &by_su[pos + 1..] {
+            if eliminated[fq] {
+                continue;
+            }
+            let su_pq = symmetrical_uncertainty(&binned[fp], &binned[fq]);
+            if su_pq >= relevance[fq] {
+                eliminated[fq] = true;
+            }
+        }
+    }
+    // Demoted redundant features keep their SU order after the survivors.
+    let mut order = selected;
+    order.extend(by_su.iter().copied().filter(|&f| eliminated[f]));
+    debug_assert_eq!(order.len(), d);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_with_redundancy() -> (Matrix, Vec<bool>) {
+        // f0: signal; f1: copy of f0 (redundant); f2: noise.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            let label = i % 2 == 0;
+            let v = if label { 0.8 } else { 0.2 };
+            rows.push(vec![v, v, (i as f64 * 0.618) % 1.0]);
+            y.push(label);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn mim_scores_signal_over_noise() {
+        let (x, y) = data_with_redundancy();
+        let s = mim_scores(&x, &y);
+        assert!(s[0] > 0.5, "scores {s:?}");
+        assert!(s[2] < 0.1, "scores {s:?}");
+    }
+
+    #[test]
+    fn mim_does_not_discount_redundancy() {
+        // MIM's defining property: the redundant copy scores as high as the
+        // original.
+        let (x, y) = data_with_redundancy();
+        let s = mim_scores(&x, &y);
+        assert!((s[0] - s[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fcbf_demotes_redundant_copy() {
+        let (x, y) = data_with_redundancy();
+        let order = fcbf_order(&x, &y);
+        assert_eq!(order.len(), 3);
+        // f0 (or f1) first; its copy must be ranked LAST despite high SU,
+        // because it is dominated by the first pick.
+        assert_eq!(order[0], 0, "order {order:?}");
+        assert_eq!(*order.last().expect("non-empty"), 1, "order {order:?}");
+    }
+
+    #[test]
+    fn fcbf_keeps_complementary_features() {
+        // Two independent informative features must both survive.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..120 {
+            let a = i % 2 == 0;
+            let b = (i / 2) % 2 == 0;
+            rows.push(vec![if a { 0.9 } else { 0.1 }, if b { 0.9 } else { 0.1 }]);
+            y.push(a && b);
+        }
+        let order = fcbf_order(&Matrix::from_rows(&rows), &y);
+        // Neither should be eliminated: both are more label- than
+        // feature-correlated, so the order is simply by SU.
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn fcbf_is_a_permutation() {
+        let (x, y) = data_with_redundancy();
+        let mut order = fcbf_order(&x, &y);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn handles_empty_matrix() {
+        let x = Matrix::zeros(0, 0);
+        assert!(mim_scores(&x, &[]).is_empty());
+        assert!(fcbf_order(&x, &[]).is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Feature rankings (paper § 4.1–4.2).
+//!
+//! The paper's taxonomy groups rankings into four families; one or more
+//! representatives of each are implemented here:
+//!
+//! | family | ranking | module |
+//! |---|---|---|
+//! | statistical | variance, χ² | [`statistical`] |
+//! | similarity-based | Fisher score, ReliefF | [`similarity`] |
+//! | information-theoretic | MIM, FCBF | [`info_theory`] |
+//! | sparse-learning | MCFS | [`mcfs`] |
+//!
+//! Every ranking produces a [`Ranking`]: per-feature scores plus a best-first
+//! feature order. The TPE(ranking) strategies then search for the best
+//! top-`k` cutoff over that order. FCBF's order is special: redundant
+//! features (dominated by an earlier feature's symmetric uncertainty) are
+//! demoted behind all non-redundant ones.
+
+pub mod info_theory;
+pub mod mcfs;
+pub mod similarity;
+pub mod statistical;
+
+use dfs_linalg::Matrix;
+
+/// The ranking algorithms of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankingKind {
+    /// χ² test statistic between (non-negative) feature and label.
+    Chi2,
+    /// Per-feature variance.
+    Variance,
+    /// Fisher score (between-class over within-class scatter).
+    Fisher,
+    /// Mutual-information maximization.
+    Mim,
+    /// Fast correlation-based filter (symmetric uncertainty + redundancy
+    /// elimination).
+    Fcbf,
+    /// ReliefF (k-nearest-neighbour margin voting).
+    ReliefF,
+    /// Multi-cluster feature selection (spectral embedding + lasso).
+    Mcfs,
+}
+
+impl RankingKind {
+    /// All rankings used by the benchmark's TPE(ranking) strategies.
+    pub const ALL: [RankingKind; 7] = [
+        RankingKind::Chi2,
+        RankingKind::Variance,
+        RankingKind::Fisher,
+        RankingKind::Mim,
+        RankingKind::Fcbf,
+        RankingKind::ReliefF,
+        RankingKind::Mcfs,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RankingKind::Chi2 => "Chi2",
+            RankingKind::Variance => "Variance",
+            RankingKind::Fisher => "Fisher",
+            RankingKind::Mim => "MIM",
+            RankingKind::Fcbf => "FCBF",
+            RankingKind::ReliefF => "ReliefF",
+            RankingKind::Mcfs => "MCFS",
+        }
+    }
+
+    /// Computes the ranking on `(x, y)`.
+    ///
+    /// `seed` feeds the stochastic rankings (ReliefF instance sampling,
+    /// MCFS eigen initialization); deterministic rankings ignore it.
+    pub fn compute(&self, x: &Matrix, y: &[bool], seed: u64) -> Ranking {
+        let scores = match self {
+            RankingKind::Chi2 => statistical::chi2_scores(x, y),
+            RankingKind::Variance => statistical::variance_scores(x),
+            RankingKind::Fisher => similarity::fisher_scores(x, y),
+            RankingKind::Mim => info_theory::mim_scores(x, y),
+            RankingKind::Fcbf => {
+                return Ranking::from_order(info_theory::fcbf_order(x, y), x.ncols());
+            }
+            RankingKind::ReliefF => similarity::relieff_scores(x, y, 10, seed),
+            RankingKind::Mcfs => mcfs::mcfs_scores(x, y, seed),
+        };
+        Ranking::from_scores(scores)
+    }
+}
+
+/// A computed feature ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranking {
+    /// Per-feature scores (higher = more important). For order-only
+    /// rankings (FCBF) the scores are synthetic rank weights.
+    pub scores: Vec<f64>,
+    /// Feature indices, best first.
+    pub order: Vec<usize>,
+}
+
+impl Ranking {
+    /// Builds a ranking from raw scores (ties broken by feature index so
+    /// ranking is deterministic).
+    pub fn from_scores(scores: Vec<f64>) -> Self {
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).expect("finite ranking scores").then(a.cmp(&b))
+        });
+        Self { scores, order }
+    }
+
+    /// Builds a ranking from an explicit best-first order.
+    pub fn from_order(order: Vec<usize>, n_features: usize) -> Self {
+        assert_eq!(order.len(), n_features, "Ranking::from_order: incomplete order");
+        let mut scores = vec![0.0; n_features];
+        for (rank, &f) in order.iter().enumerate() {
+            scores[f] = (n_features - rank) as f64;
+        }
+        Self { scores, order }
+    }
+
+    /// The top-`k` features (clamped to the feature count).
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let k = k.min(self.order.len()).max(1.min(self.order.len()));
+        let mut out = self.order[..k].to_vec();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of ranked features.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when no features are ranked.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_scores_orders_descending_with_stable_ties() {
+        let r = Ranking::from_scores(vec![0.5, 2.0, 0.5, 1.0]);
+        assert_eq!(r.order, vec![1, 3, 0, 2]);
+        assert_eq!(r.top_k(2), vec![1, 3]);
+    }
+
+    #[test]
+    fn from_order_synthesizes_rank_scores() {
+        let r = Ranking::from_order(vec![2, 0, 1], 3);
+        assert_eq!(r.order, vec![2, 0, 1]);
+        assert!(r.scores[2] > r.scores[0] && r.scores[0] > r.scores[1]);
+    }
+
+    #[test]
+    fn top_k_clamps() {
+        let r = Ranking::from_scores(vec![1.0, 2.0]);
+        assert_eq!(r.top_k(10), vec![0, 1]);
+        assert_eq!(r.top_k(1), vec![1]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn every_ranking_kind_runs_and_ranks_signal_high() {
+        // Feature 0: strong signal; feature 1: constant; feature 2: noise.
+        let n = 120;
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2 == 0;
+            rows.push(vec![
+                if label { 0.85 } else { 0.15 } + 0.02 * ((i as f64 * 0.37) % 1.0),
+                0.5,
+                (i as f64 * 0.618) % 1.0,
+            ]);
+            y.push(label);
+        }
+        let x = Matrix::from_rows(&rows);
+        for kind in RankingKind::ALL {
+            let r = kind.compute(&x, &y, 7);
+            assert_eq!(r.len(), 3, "{}", kind.name());
+            // Variance ranks by spread only; all others must put the signal
+            // feature above the constant one.
+            if kind != RankingKind::Variance {
+                let pos_signal = r.order.iter().position(|&f| f == 0).expect("present");
+                let pos_const = r.order.iter().position(|&f| f == 1).expect("present");
+                assert!(
+                    pos_signal < pos_const,
+                    "{}: signal ranked {pos_signal}, constant {pos_const} ({:?})",
+                    kind.name(),
+                    r.scores
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Similarity-based rankings: Fisher score and ReliefF.
+
+use dfs_linalg::rng::{rng_from_seed, sample_without_replacement};
+use dfs_linalg::{sq_dist, Matrix};
+
+/// Fisher score (Duda, Hart & Stork): between-class scatter over
+/// within-class scatter, per feature:
+///
+/// `F_j = Σ_c n_c (μ_cj − μ_j)² / Σ_c n_c σ²_cj`.
+///
+/// Features whose class-conditional means differ strongly relative to their
+/// class-conditional spread score high. Zero within-class variance with
+/// separated means yields a large finite score via an ε guard.
+pub fn fisher_scores(x: &Matrix, y: &[bool]) -> Vec<f64> {
+    let (n, d) = x.shape();
+    assert_eq!(n, y.len(), "fisher_scores: row/label mismatch");
+    if n == 0 {
+        return vec![0.0; d];
+    }
+    let mut count = [0usize; 2];
+    let mut sum = [vec![0.0; d], vec![0.0; d]];
+    let mut sum_sq = [vec![0.0; d], vec![0.0; d]];
+    for (row, &label) in x.rows_iter().zip(y) {
+        let c = label as usize;
+        count[c] += 1;
+        for j in 0..d {
+            sum[c][j] += row[j];
+            sum_sq[c][j] += row[j] * row[j];
+        }
+    }
+    (0..d)
+        .map(|j| {
+            let total_mean = (sum[0][j] + sum[1][j]) / n as f64;
+            let mut between = 0.0;
+            let mut within = 0.0;
+            for c in 0..2 {
+                if count[c] == 0 {
+                    continue;
+                }
+                let nc = count[c] as f64;
+                let mean_c = sum[c][j] / nc;
+                let var_c = (sum_sq[c][j] / nc - mean_c * mean_c).max(0.0);
+                between += nc * (mean_c - total_mean).powi(2);
+                within += nc * var_c;
+            }
+            between / within.max(1e-9)
+        })
+        .collect()
+}
+
+/// ReliefF (Robnik-Šikonja & Kononenko, 2003) with `k` nearest neighbours.
+///
+/// For each of up to `MAX_ITERS` sampled instances, find the `k` nearest
+/// *hits* (same class) and `k` nearest *misses* (other class) by Euclidean
+/// distance over all features, and move each feature's weight down by its
+/// distance to hits and up by its distance to misses. Neighbour search runs
+/// over the full dataset, so the cost scales as `O(m · n · d)` — the
+/// non-scalability on the largest datasets that the paper reports is real
+/// here too.
+pub fn relieff_scores(x: &Matrix, y: &[bool], k: usize, seed: u64) -> Vec<f64> {
+    const MAX_ITERS: usize = 100;
+    let (n, d) = x.shape();
+    assert_eq!(n, y.len(), "relieff_scores: row/label mismatch");
+    if n < 2 {
+        return vec![0.0; d];
+    }
+    let k = k.max(1);
+    let mut rng = rng_from_seed(seed);
+    let m = n.min(MAX_ITERS);
+    let picks = sample_without_replacement(n, m, &mut rng);
+
+    let mut weights = vec![0.0; d];
+    let mut dists: Vec<(f64, usize)> = Vec::with_capacity(n);
+    for &i in &picks {
+        let anchor = x.row(i);
+        dists.clear();
+        for j in 0..n {
+            if j != i {
+                dists.push((sq_dist(anchor, x.row(j)), j));
+            }
+        }
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+
+        let mut hits = 0usize;
+        let mut misses = 0usize;
+        for &(_, j) in dists.iter() {
+            let is_hit = y[j] == y[i];
+            if is_hit && hits < k {
+                hits += 1;
+                for (w, (&a, &b)) in weights.iter_mut().zip(anchor.iter().zip(x.row(j))) {
+                    *w -= (a - b).abs();
+                }
+            } else if !is_hit && misses < k {
+                misses += 1;
+                for (w, (&a, &b)) in weights.iter_mut().zip(anchor.iter().zip(x.row(j))) {
+                    *w += (a - b).abs();
+                }
+            }
+            if hits >= k && misses >= k {
+                break;
+            }
+        }
+    }
+    let norm = (m * k) as f64;
+    for w in &mut weights {
+        *w /= norm;
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled_data() -> (Matrix, Vec<bool>) {
+        // Feature 0 separates classes; feature 1 is shared noise.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..80 {
+            let label = i % 2 == 0;
+            let noise = (i as f64 * 0.618) % 1.0;
+            rows.push(vec![if label { 0.8 } else { 0.2 } + 0.05 * noise, noise]);
+            y.push(label);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn fisher_prefers_separating_feature() {
+        let (x, y) = labeled_data();
+        let s = fisher_scores(&x, &y);
+        assert!(s[0] > 10.0 * s[1].max(1e-9), "scores {s:?}");
+    }
+
+    #[test]
+    fn fisher_zero_for_identical_class_distributions() {
+        let x = Matrix::from_rows(&[vec![0.3], vec![0.7], vec![0.3], vec![0.7]]);
+        let y = vec![true, true, false, false];
+        let s = fisher_scores(&x, &y);
+        assert!(s[0] < 1e-9, "scores {s:?}");
+    }
+
+    #[test]
+    fn fisher_handles_single_class() {
+        let x = Matrix::from_rows(&[vec![0.1], vec![0.9]]);
+        let s = fisher_scores(&x, &[true, true]);
+        assert!(s[0].is_finite());
+    }
+
+    #[test]
+    fn relieff_prefers_separating_feature() {
+        let (x, y) = labeled_data();
+        let s = relieff_scores(&x, &y, 10, 1);
+        assert!(s[0] > s[1], "scores {s:?}");
+        assert!(s[0] > 0.1, "separating feature should have positive weight: {s:?}");
+    }
+
+    #[test]
+    fn relieff_noise_feature_weight_is_small() {
+        let (x, y) = labeled_data();
+        let s = relieff_scores(&x, &y, 10, 2);
+        assert!(s[1].abs() < 0.25, "noise weight {}", s[1]);
+    }
+
+    #[test]
+    fn relieff_deterministic_per_seed() {
+        let (x, y) = labeled_data();
+        assert_eq!(relieff_scores(&x, &y, 5, 9), relieff_scores(&x, &y, 5, 9));
+    }
+
+    #[test]
+    fn relieff_tiny_inputs() {
+        let x = Matrix::from_rows(&[vec![0.1]]);
+        assert_eq!(relieff_scores(&x, &[true], 3, 0), vec![0.0]);
+        let x2 = Matrix::from_rows(&[vec![0.1], vec![0.9]]);
+        let s = relieff_scores(&x2, &[true, false], 3, 0);
+        assert!(s[0] > 0.0, "two opposite-class points give positive weight: {s:?}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Statistics-based rankings: variance and the χ² score.
+
+use dfs_linalg::stats::column_variances;
+use dfs_linalg::Matrix;
+
+/// Per-feature variance (Li et al.'s "low variance = low information").
+pub fn variance_scores(x: &Matrix) -> Vec<f64> {
+    column_variances(x)
+}
+
+/// χ² test statistic between each non-negative feature and the class label
+/// (Liu & Setiono, 1995; scikit-learn's `chi2` formulation, which treats the
+/// feature values as event frequencies).
+///
+/// For each feature `j`: observed per-class totals `O_cj = Σ_{i: y_i=c} x_ij`,
+/// expected `E_cj = P(c) · Σ_i x_ij`, score `Σ_c (O_cj − E_cj)² / E_cj`.
+///
+/// Features must be non-negative (the workspace scales everything to
+/// `[0, 1]`); constant-zero features score 0.
+pub fn chi2_scores(x: &Matrix, y: &[bool]) -> Vec<f64> {
+    let (n, d) = x.shape();
+    assert_eq!(n, y.len(), "chi2_scores: row/label mismatch");
+    if n == 0 {
+        return vec![0.0; d];
+    }
+    let n_pos = y.iter().filter(|&&b| b).count() as f64;
+    let p_pos = n_pos / n as f64;
+    let p_neg = 1.0 - p_pos;
+
+    let mut observed_pos = vec![0.0; d];
+    let mut total = vec![0.0; d];
+    for (row, &label) in x.rows_iter().zip(y) {
+        for j in 0..d {
+            debug_assert!(row[j] >= 0.0, "chi2 requires non-negative features");
+            total[j] += row[j];
+            if label {
+                observed_pos[j] += row[j];
+            }
+        }
+    }
+
+    (0..d)
+        .map(|j| {
+            let e_pos = total[j] * p_pos;
+            let e_neg = total[j] * p_neg;
+            if e_pos <= dfs_linalg::EPS || e_neg <= dfs_linalg::EPS {
+                return 0.0;
+            }
+            let o_pos = observed_pos[j];
+            let o_neg = total[j] - o_pos;
+            (o_pos - e_pos).powi(2) / e_pos + (o_neg - e_neg).powi(2) / e_neg
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_ranks_spread() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.5], vec![1.0, 0.5], vec![0.0, 0.5], vec![1.0, 0.5]]);
+        let v = variance_scores(&x);
+        assert!(v[0] > v[1]);
+        assert_eq!(v[1], 0.0);
+    }
+
+    #[test]
+    fn chi2_detects_class_association() {
+        // Feature 0 fires only for positives; feature 1 fires uniformly.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+        ]);
+        let y = vec![true, true, false, false];
+        let s = chi2_scores(&x, &y);
+        assert!(s[0] > 1.0, "scores {s:?}");
+        assert!(s[1] < 1e-9, "scores {s:?}");
+    }
+
+    #[test]
+    fn chi2_matches_hand_computation() {
+        // One feature, 3 positives contribute 1.0 each, 1 negative 1.0.
+        // total = 4, p_pos = 0.5 -> E_pos = 2, O_pos = 3.
+        // chi2 = (3-2)^2/2 + (1-2)^2/2 = 1.
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]]);
+        let y = vec![true, true, true, false];
+        let p_pos = 0.75;
+        let e_pos = 4.0 * p_pos;
+        let expected = (3.0f64 - e_pos).powi(2) / e_pos + (1.0f64 - (4.0 - e_pos)).powi(2) / (4.0 - e_pos);
+        let s = chi2_scores(&x, &y);
+        assert!((s[0] - expected).abs() < 1e-12, "{} vs {expected}", s[0]);
+    }
+
+    #[test]
+    fn chi2_zero_for_empty_or_constant_zero() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0]]);
+        assert_eq!(chi2_scores(&x, &[true, false]), vec![0.0]);
+        let empty = Matrix::zeros(0, 2);
+        assert_eq!(chi2_scores(&empty, &[]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn chi2_is_scale_covariant_not_order_changing() {
+        // Scaling a feature scales its chi2 but must not flip relative order
+        // between a discriminative and a non-discriminative feature.
+        let x = Matrix::from_rows(&[
+            vec![0.9, 0.5],
+            vec![0.8, 0.5],
+            vec![0.1, 0.5],
+            vec![0.2, 0.5],
+        ]);
+        let y = vec![true, true, false, false];
+        let s = chi2_scores(&x, &y);
+        assert!(s[0] > s[1]);
+    }
+}

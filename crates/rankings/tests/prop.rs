@@ -1,0 +1,101 @@
+//! Property-based tests for the feature rankings.
+
+use dfs_linalg::rng::{normal, rng_from_seed};
+use dfs_linalg::Matrix;
+use dfs_rankings::{Ranking, RankingKind};
+use proptest::prelude::*;
+
+fn make_data(n: usize, d: usize, signal: usize, seed: u64) -> (Matrix, Vec<bool>) {
+    let mut rng = rng_from_seed(seed);
+    let mut x = Matrix::zeros(n, d);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % 2 == 0;
+        for j in 0..d {
+            x[(i, j)] = if j < signal {
+                (if label { 0.8 } else { 0.2 }) + normal(0.0, 0.08, &mut rng)
+            } else {
+                normal(0.5, 0.25, &mut rng)
+            }
+            .clamp(0.0, 1.0);
+        }
+        y.push(label);
+    }
+    (x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Every ranking produces a complete permutation with finite scores and
+    /// is deterministic per seed.
+    #[test]
+    fn rankings_are_complete_and_deterministic(
+        n in 20usize..70,
+        d in 2usize..8,
+        seed in 0u64..200,
+    ) {
+        let signal = 1usize.max(d / 3);
+        let (x, y) = make_data(n, d, signal, seed);
+        for kind in RankingKind::ALL {
+            let r = kind.compute(&x, &y, seed);
+            prop_assert_eq!(r.len(), d, "{} incomplete", kind.name());
+            let mut order = r.order.clone();
+            order.sort_unstable();
+            prop_assert_eq!(order, (0..d).collect::<Vec<_>>(), "{} not a permutation", kind.name());
+            for s in &r.scores {
+                prop_assert!(s.is_finite(), "{} produced {s}", kind.name());
+            }
+            let again = kind.compute(&x, &y, seed);
+            prop_assert_eq!(r.order, again.order, "{} nondeterministic", kind.name());
+        }
+    }
+
+    /// Supervised rankings put at least one signal feature into the top
+    /// half when the signal is strong and isolated.
+    #[test]
+    fn supervised_rankings_find_signal(n in 40usize..90, d in 4usize..8, seed in 0u64..100) {
+        let (x, y) = make_data(n, d, 1, seed);
+        for kind in [
+            RankingKind::Chi2,
+            RankingKind::Fisher,
+            RankingKind::Mim,
+            RankingKind::Fcbf,
+            RankingKind::ReliefF,
+        ] {
+            let r = kind.compute(&x, &y, seed);
+            let pos = r.order.iter().position(|&f| f == 0).expect("feature 0 ranked");
+            prop_assert!(
+                pos < d.div_ceil(2),
+                "{}: signal ranked {pos} of {d} ({:?})",
+                kind.name(),
+                r.scores
+            );
+        }
+    }
+
+    /// `Ranking::top_k` is a sorted, duplicate-free prefix consistent with
+    /// the order.
+    #[test]
+    fn top_k_is_consistent(scores in prop::collection::vec(-10.0..10.0f64, 1..12), k in 1usize..12) {
+        let r = Ranking::from_scores(scores.clone());
+        let top = r.top_k(k);
+        prop_assert!(top.len() <= k.min(scores.len()));
+        prop_assert!(top.windows(2).all(|w| w[0] < w[1]), "unsorted top_k {top:?}");
+        // Every selected feature's score is >= every unselected feature's
+        // score (allowing ties broken by index).
+        for &sel in &top {
+            for unsel in 0..scores.len() {
+                if !top.contains(&unsel) {
+                    prop_assert!(
+                        scores[sel] > scores[unsel]
+                            || (scores[sel] == scores[unsel] && sel < unsel),
+                        "top_k violated dominance: {} vs {}",
+                        sel,
+                        unsel
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Generic black-box search algorithms used by the FS strategies.
+//!
+//! The paper reduces feature selection to optimizing a binary decision
+//! vector `b ∈ {0,1}^N` (bit `j` = keep feature `j`) or a top-`k` cutoff
+//! over a precomputed ranking. Three optimizer families act on those spaces
+//! (§ 4.2):
+//!
+//! - [`sa`] — simulated annealing (Metropolis acceptance), the paper's
+//!   SA(NR);
+//! - [`tpe`] — the tree-structured Parzen estimator of Bergstra et al.,
+//!   used both on binary vectors (TPE(NR)) and on the top-`k` integer for
+//!   every ranking-based strategy (TPE(ranking));
+//! - [`nsga2`] — NSGA-II multi-objective evolutionary search (one objective
+//!   per constraint), the paper's NSGA-II(NR).
+//!
+//! Optimizers talk to the problem through a closure
+//! `FnMut(&[bool]) -> Option<f64>` returning the score to *minimize*, or
+//! `None` once the budget is exhausted (the [`Budget`] type tracks wall
+//! clock and evaluation counts). They stop early when the score reaches
+//! `stop_at` — for DFS that is distance 0, i.e. all constraints satisfied.
+
+pub mod nsga2;
+pub mod sa;
+pub mod tpe;
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+/// A combined wall-clock + evaluation-count budget.
+///
+/// Wall clock enforces the paper's mandatory Max Search Time constraint;
+/// the evaluation cap makes tests and benchmarks deterministic.
+#[derive(Debug)]
+pub struct Budget {
+    start: Instant,
+    limit: Duration,
+    max_evals: usize,
+    evals: Cell<usize>,
+}
+
+impl Budget {
+    /// Starts a budget with a wall-clock limit and an evaluation cap.
+    pub fn new(limit: Duration, max_evals: usize) -> Self {
+        Self { start: Instant::now(), limit, max_evals, evals: Cell::new(0) }
+    }
+
+    /// Starts a wall-clock-only budget.
+    pub fn with_time(limit: Duration) -> Self {
+        Self::new(limit, usize::MAX)
+    }
+
+    /// `true` once either limit is hit.
+    pub fn exhausted(&self) -> bool {
+        self.evals.get() >= self.max_evals || self.start.elapsed() >= self.limit
+    }
+
+    /// Registers one evaluation; returns `false` when the budget is already
+    /// exhausted (the evaluation should then not run).
+    pub fn try_consume(&self) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        self.evals.set(self.evals.get() + 1);
+        true
+    }
+
+    /// Evaluations consumed so far.
+    pub fn evals_used(&self) -> usize {
+        self.evals.get()
+    }
+
+    /// Elapsed wall-clock time.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+/// Outcome of a single-objective search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Best decision vector found (empty when nothing was evaluated).
+    pub best_bits: Vec<bool>,
+    /// Its score.
+    pub best_score: f64,
+    /// Number of evaluations performed by this search.
+    pub evaluations: usize,
+    /// `true` when the search stopped because `stop_at` was reached.
+    pub reached_target: bool,
+}
+
+impl SearchResult {
+    pub(crate) fn empty() -> Self {
+        Self { best_bits: Vec::new(), best_score: f64::INFINITY, evaluations: 0, reached_target: false }
+    }
+
+    pub(crate) fn observe(&mut self, bits: &[bool], score: f64) {
+        self.evaluations += 1;
+        if score < self.best_score {
+            self.best_score = score;
+            self.best_bits = bits.to_vec();
+        }
+    }
+}
+
+/// Returns `true` when `score` has met the early-stop target.
+pub(crate) fn hit_target(score: f64, stop_at: Option<f64>) -> bool {
+    stop_at.is_some_and(|t| score <= t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_counts_evaluations() {
+        let b = Budget::new(Duration::from_secs(60), 3);
+        assert!(b.try_consume());
+        assert!(b.try_consume());
+        assert!(b.try_consume());
+        assert!(!b.try_consume(), "4th eval must be denied");
+        assert!(b.exhausted());
+        assert_eq!(b.evals_used(), 3);
+    }
+
+    #[test]
+    fn budget_expires_on_wall_clock() {
+        let b = Budget::new(Duration::from_millis(1), usize::MAX);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.exhausted());
+        assert!(!b.try_consume());
+    }
+
+    #[test]
+    fn search_result_tracks_best() {
+        let mut r = SearchResult::empty();
+        r.observe(&[true, false], 2.0);
+        r.observe(&[false, true], 1.0);
+        r.observe(&[true, true], 3.0);
+        assert_eq!(r.best_bits, vec![false, true]);
+        assert_eq!(r.best_score, 1.0);
+        assert_eq!(r.evaluations, 3);
+    }
+
+    #[test]
+    fn hit_target_logic() {
+        assert!(hit_target(0.0, Some(0.0)));
+        assert!(hit_target(-1.0, Some(0.0)));
+        assert!(!hit_target(0.1, Some(0.0)));
+        assert!(!hit_target(0.0, None));
+    }
+}

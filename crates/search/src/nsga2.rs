@@ -1,0 +1,383 @@
+//! NSGA-II multi-objective evolutionary search (Deb et al.).
+//!
+//! The paper's NSGA-II(NR) strategy treats *each constraint as one
+//! objective* (§ 4.2): e.g. "accuracy > 80% and EO > 90%" becomes a
+//! two-objective minimization of the per-constraint shortfalls. This module
+//! implements the canonical algorithm on binary genomes: fast non-dominated
+//! sorting, crowding distance, binary tournament selection, uniform
+//! crossover and bit-flip mutation. Population size follows the paper's
+//! configuration (30, after Xue et al.).
+
+use crate::hit_target;
+use dfs_linalg::rng::rng_from_seed;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// NSGA-II configuration.
+#[derive(Debug, Clone)]
+pub struct Nsga2Config {
+    /// Population size (paper: 30).
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-genome crossover probability.
+    pub crossover_prob: f64,
+    /// Per-bit mutation probability multiplier (`mutation_rate / d`).
+    pub mutation_rate: f64,
+    /// Early-stop: a genome whose objectives *all* reach this value ends the
+    /// run (for DFS: all shortfalls 0 = every constraint satisfied).
+    pub stop_at: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Nsga2Config {
+    fn default() -> Self {
+        Self {
+            population: 30,
+            generations: 40,
+            crossover_prob: 0.9,
+            mutation_rate: 1.0,
+            stop_at: Some(0.0),
+            seed: 0,
+        }
+    }
+}
+
+/// One evaluated individual.
+#[derive(Debug, Clone)]
+pub struct Individual {
+    /// Binary genome (feature-decision vector).
+    pub bits: Vec<bool>,
+    /// Objective vector (minimized component-wise).
+    pub objectives: Vec<f64>,
+}
+
+/// Outcome of an NSGA-II run.
+#[derive(Debug, Clone)]
+pub struct Nsga2Result {
+    /// First (best) non-dominated front of the final population.
+    pub front: Vec<Individual>,
+    /// The individual minimizing the *sum* of objectives — DFS's pick.
+    pub best: Option<Individual>,
+    /// Evaluations performed.
+    pub evaluations: usize,
+    /// `true` when an all-objectives-at-target genome was found.
+    pub reached_target: bool,
+}
+
+/// Runs NSGA-II, minimizing each component of the objective vector returned
+/// by `eval`. `eval` returns `None` once the budget is exhausted.
+pub fn nsga2(
+    d: usize,
+    eval: &mut dyn FnMut(&[bool]) -> Option<Vec<f64>>,
+    cfg: &Nsga2Config,
+) -> Nsga2Result {
+    let mut result = Nsga2Result { front: Vec::new(), best: None, evaluations: 0, reached_target: false };
+    if d == 0 || cfg.population == 0 {
+        return result;
+    }
+    let mut rng = rng_from_seed(cfg.seed);
+
+    let mut evaluate = |bits: Vec<bool>, result: &mut Nsga2Result| -> Option<Individual> {
+        let objectives = eval(&bits)?;
+        result.evaluations += 1;
+        let ind = Individual { bits, objectives };
+        let better = match &result.best {
+            None => true,
+            Some(b) => sum(&ind.objectives) < sum(&b.objectives),
+        };
+        if better {
+            result.best = Some(ind.clone());
+        }
+        if ind.objectives.iter().all(|&o| hit_target(o, cfg.stop_at)) {
+            result.reached_target = true;
+        }
+        Some(ind)
+    };
+
+    // Initial population.
+    let mut population: Vec<Individual> = Vec::with_capacity(cfg.population);
+    for _ in 0..cfg.population {
+        let bits = random_nonempty(d, &mut rng);
+        match evaluate(bits, &mut result) {
+            Some(ind) => population.push(ind),
+            None => break,
+        }
+        if result.reached_target {
+            break;
+        }
+    }
+
+    let mut budget_hit = population.len() < cfg.population;
+    'gens: for _ in 0..cfg.generations {
+        if result.reached_target || budget_hit || population.is_empty() {
+            break;
+        }
+        let (ranks, crowding) = rank_and_crowd(&population);
+        // Offspring via binary tournament + uniform crossover + mutation.
+        let mut offspring: Vec<Individual> = Vec::with_capacity(cfg.population);
+        while offspring.len() < cfg.population {
+            let p1 = tournament(&population, &ranks, &crowding, &mut rng);
+            let p2 = tournament(&population, &ranks, &crowding, &mut rng);
+            let mut child = if rng.random::<f64>() < cfg.crossover_prob {
+                uniform_crossover(&population[p1].bits, &population[p2].bits, &mut rng)
+            } else {
+                population[p1].bits.clone()
+            };
+            mutate(&mut child, cfg.mutation_rate, &mut rng);
+            if !child.iter().any(|&b| b) {
+                let j = rng.random_range(0..d);
+                child[j] = true;
+            }
+            match evaluate(child, &mut result) {
+                Some(ind) => offspring.push(ind),
+                None => {
+                    budget_hit = true;
+                    break;
+                }
+            }
+            if result.reached_target {
+                break 'gens;
+            }
+        }
+        // Environmental selection over parents + offspring.
+        population.extend(offspring);
+        population = select_survivors(population, cfg.population);
+    }
+
+    // Report the first front of whatever population we ended with.
+    if !population.is_empty() {
+        let (ranks, _) = rank_and_crowd(&population);
+        result.front = population
+            .into_iter()
+            .zip(&ranks)
+            .filter(|(_, &r)| r == 0)
+            .map(|(ind, _)| ind)
+            .collect();
+    }
+    result
+}
+
+fn sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+fn random_nonempty(d: usize, rng: &mut StdRng) -> Vec<bool> {
+    loop {
+        let bits: Vec<bool> = (0..d).map(|_| rng.random::<bool>()).collect();
+        if bits.iter().any(|&b| b) {
+            return bits;
+        }
+    }
+}
+
+fn uniform_crossover(a: &[bool], b: &[bool], rng: &mut StdRng) -> Vec<bool> {
+    a.iter().zip(b).map(|(&x, &y)| if rng.random::<bool>() { x } else { y }).collect()
+}
+
+fn mutate(bits: &mut [bool], rate: f64, rng: &mut StdRng) {
+    let p = rate / bits.len().max(1) as f64;
+    for b in bits.iter_mut() {
+        if rng.random::<f64>() < p {
+            *b = !*b;
+        }
+    }
+}
+
+/// `a` dominates `b` iff it is no worse everywhere and better somewhere.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    let mut strictly = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Fast non-dominated sorting + crowding distance.
+fn rank_and_crowd(pop: &[Individual]) -> (Vec<usize>, Vec<f64>) {
+    let n = pop.len();
+    let mut ranks = vec![usize::MAX; n];
+    let mut dominated_by: Vec<usize> = vec![0; n];
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if dominates(&pop[i].objectives, &pop[j].objectives) {
+                dominates_list[i].push(j);
+            } else if dominates(&pop[j].objectives, &pop[i].objectives) {
+                dominated_by[i] += 1;
+            }
+        }
+    }
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    let mut rank = 0usize;
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            ranks[i] = rank;
+            for &j in &dominates_list[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        current = next;
+        rank += 1;
+    }
+
+    // Crowding distance per front.
+    let mut crowding = vec![0.0f64; n];
+    let n_obj = pop.first().map(|p| p.objectives.len()).unwrap_or(0);
+    for r in 0..rank {
+        let members: Vec<usize> = (0..n).filter(|&i| ranks[i] == r).collect();
+        for m in 0..n_obj {
+            let mut sorted = members.clone();
+            sorted.sort_by(|&a, &b| {
+                pop[a].objectives[m].partial_cmp(&pop[b].objectives[m]).expect("finite objectives")
+            });
+            if sorted.len() < 3 {
+                for &i in &sorted {
+                    crowding[i] = f64::INFINITY;
+                }
+                continue;
+            }
+            let lo = pop[sorted[0]].objectives[m];
+            let hi = pop[*sorted.last().expect("non-empty")].objectives[m];
+            crowding[sorted[0]] = f64::INFINITY;
+            crowding[*sorted.last().expect("non-empty")] = f64::INFINITY;
+            let range = (hi - lo).max(dfs_linalg::EPS);
+            for w in sorted.windows(3) {
+                crowding[w[1]] += (pop[w[2]].objectives[m] - pop[w[0]].objectives[m]) / range;
+            }
+        }
+    }
+    (ranks, crowding)
+}
+
+fn tournament(pop: &[Individual], ranks: &[usize], crowding: &[f64], rng: &mut StdRng) -> usize {
+    let a = rng.random_range(0..pop.len());
+    let b = rng.random_range(0..pop.len());
+    if ranks[a] < ranks[b] || (ranks[a] == ranks[b] && crowding[a] > crowding[b]) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Keeps the best `target` individuals by (rank, crowding).
+fn select_survivors(pop: Vec<Individual>, target: usize) -> Vec<Individual> {
+    let (ranks, crowding) = rank_and_crowd(&pop);
+    let mut order: Vec<usize> = (0..pop.len()).collect();
+    order.sort_by(|&a, &b| {
+        ranks[a].cmp(&ranks[b]).then(
+            crowding[b].partial_cmp(&crowding[a]).expect("crowding comparable"),
+        )
+    });
+    order.truncate(target);
+    let keep: std::collections::HashSet<usize> = order.into_iter().collect();
+    pop.into_iter().enumerate().filter(|(i, _)| keep.contains(i)).map(|(_, p)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_relation() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 1.0]));
+        assert!(!dominates(&[2.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[0.0, 2.0], &[2.0, 0.0]));
+    }
+
+    /// Two conflicting objectives: #selected bits vs Hamming distance to an
+    /// 8-hot pattern. The trade-off front must span both extremes.
+    fn conflicting_eval(target: Vec<bool>) -> impl FnMut(&[bool]) -> Option<Vec<f64>> {
+        move |bits: &[bool]| {
+            let ones = bits.iter().filter(|&&b| b).count() as f64;
+            let ham = bits.iter().zip(&target).filter(|(a, b)| a != b).count() as f64;
+            Some(vec![ones, ham])
+        }
+    }
+
+    #[test]
+    fn front_is_mutually_non_dominated() {
+        let target: Vec<bool> = (0..12).map(|i| i < 8).collect();
+        let mut eval = conflicting_eval(target);
+        let cfg = Nsga2Config { generations: 15, stop_at: None, seed: 1, ..Default::default() };
+        let r = nsga2(12, &mut eval, &cfg);
+        assert!(!r.front.is_empty());
+        for a in &r.front {
+            for b in &r.front {
+                assert!(!dominates(&a.objectives, &b.objectives), "front contains dominated points");
+            }
+        }
+    }
+
+    #[test]
+    fn single_objective_convergence() {
+        let target: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let t2 = target.clone();
+        let mut eval =
+            move |bits: &[bool]| Some(vec![bits.iter().zip(&t2).filter(|(a, b)| a != b).count() as f64]);
+        let cfg = Nsga2Config { generations: 60, seed: 2, ..Default::default() };
+        let r = nsga2(10, &mut eval, &cfg);
+        assert!(r.reached_target, "best {:?}", r.best.as_ref().map(|b| &b.objectives));
+        assert_eq!(r.best.expect("has best").bits, target);
+    }
+
+    #[test]
+    fn stops_when_all_objectives_hit_target() {
+        let mut eval = |_: &[bool]| Some(vec![0.0, 0.0]);
+        let r = nsga2(6, &mut eval, &Nsga2Config::default());
+        assert!(r.reached_target);
+        assert_eq!(r.evaluations, 1);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let mut calls = 0;
+        let mut eval = |_: &[bool]| {
+            calls += 1;
+            if calls > 10 {
+                None
+            } else {
+                Some(vec![1.0, 1.0])
+            }
+        };
+        let r = nsga2(6, &mut eval, &Nsga2Config::default());
+        assert_eq!(r.evaluations, 10);
+        assert!(!r.reached_target);
+        assert!(r.best.is_some());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let target: Vec<bool> = (0..8).map(|i| i < 3).collect();
+            let mut eval = conflicting_eval(target);
+            let cfg =
+                Nsga2Config { generations: 8, stop_at: None, seed, ..Default::default() };
+            let r = nsga2(8, &mut eval, &cfg);
+            r.best.map(|b| b.bits)
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn zero_dims_is_graceful() {
+        let mut eval = |_: &[bool]| Some(vec![0.0]);
+        let r = nsga2(0, &mut eval, &Nsga2Config::default());
+        assert_eq!(r.evaluations, 0);
+        assert!(r.front.is_empty());
+    }
+}

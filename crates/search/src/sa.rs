@@ -1,0 +1,187 @@
+//! Simulated annealing over binary decision vectors (the paper's SA(NR)).
+//!
+//! Metropolis acceptance (Metropolis et al., 1953) with a geometric cooling
+//! schedule. Neighbours flip one random bit (occasionally two, to escape
+//! single-bit local minima). Scores are *minimized*.
+
+use crate::{hit_target, SearchResult};
+use dfs_linalg::rng::rng_from_seed;
+use rand::Rng;
+
+/// Simulated-annealing configuration.
+#[derive(Debug, Clone)]
+pub struct SaConfig {
+    /// Maximum iterations (each costs one evaluation).
+    pub max_iters: usize,
+    /// Initial temperature (score scale: constraint distances are ≤ ~4).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per iteration.
+    pub cooling: f64,
+    /// Probability that a freshly initialized bit is set.
+    pub init_density: f64,
+    /// Early-stop score (for DFS: `Some(0.0)` = all constraints satisfied).
+    pub stop_at: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 300,
+            initial_temperature: 0.25,
+            cooling: 0.985,
+            init_density: 0.5,
+            stop_at: Some(0.0),
+            seed: 0,
+        }
+    }
+}
+
+/// Minimizes `eval` over `{0,1}^d` by simulated annealing.
+///
+/// `eval` returns `None` when the budget is exhausted; the best-so-far
+/// result is returned in that case.
+pub fn simulated_annealing(
+    d: usize,
+    eval: &mut dyn FnMut(&[bool]) -> Option<f64>,
+    cfg: &SaConfig,
+) -> SearchResult {
+    let mut result = SearchResult::empty();
+    if d == 0 {
+        return result;
+    }
+    let mut rng = rng_from_seed(cfg.seed);
+
+    let mut current: Vec<bool> = (0..d).map(|_| rng.random::<f64>() < cfg.init_density).collect();
+    ensure_nonempty(&mut current, &mut rng);
+    let Some(mut current_score) = eval(&current) else {
+        return result;
+    };
+    result.observe(&current, current_score);
+    if hit_target(current_score, cfg.stop_at) {
+        result.reached_target = true;
+        return result;
+    }
+
+    let mut temperature = cfg.initial_temperature;
+    for _ in 1..cfg.max_iters {
+        let mut candidate = current.clone();
+        let flips = if rng.random::<f64>() < 0.2 { 2 } else { 1 };
+        for _ in 0..flips {
+            let j = rng.random_range(0..d);
+            candidate[j] = !candidate[j];
+        }
+        ensure_nonempty(&mut candidate, &mut rng);
+
+        let Some(score) = eval(&candidate) else {
+            break;
+        };
+        result.observe(&candidate, score);
+        if hit_target(score, cfg.stop_at) {
+            result.reached_target = true;
+            break;
+        }
+
+        let accept = if score <= current_score {
+            true
+        } else {
+            let p = ((current_score - score) / temperature.max(1e-9)).exp();
+            rng.random::<f64>() < p
+        };
+        if accept {
+            current = candidate;
+            current_score = score;
+        }
+        temperature *= cfg.cooling;
+    }
+    result
+}
+
+/// Feature subsets must be non-empty: a zero vector flips one random bit on.
+fn ensure_nonempty(bits: &mut [bool], rng: &mut rand::rngs::StdRng) {
+    if !bits.iter().any(|&b| b) {
+        let j = rng.random_range(0..bits.len());
+        bits[j] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hamming distance to a fixed target pattern.
+    fn hamming_objective(target: Vec<bool>) -> impl FnMut(&[bool]) -> Option<f64> {
+        move |bits: &[bool]| {
+            Some(bits.iter().zip(&target).filter(|(a, b)| a != b).count() as f64)
+        }
+    }
+
+    #[test]
+    fn finds_target_pattern() {
+        let target: Vec<bool> = (0..10).map(|i| i % 3 == 0).collect();
+        let mut eval = hamming_objective(target.clone());
+        let cfg = SaConfig { max_iters: 3000, seed: 1, ..Default::default() };
+        let r = simulated_annealing(10, &mut eval, &cfg);
+        assert!(r.reached_target, "best score {}", r.best_score);
+        assert_eq!(r.best_bits, target);
+    }
+
+    #[test]
+    fn stops_early_at_target() {
+        // Constant objective 0 -> should stop after the first evaluation.
+        let mut eval = |_: &[bool]| Some(0.0);
+        let r = simulated_annealing(6, &mut eval, &SaConfig::default());
+        assert!(r.reached_target);
+        assert_eq!(r.evaluations, 1);
+    }
+
+    #[test]
+    fn respects_budget_exhaustion() {
+        let mut calls = 0;
+        let mut eval = |bits: &[bool]| {
+            calls += 1;
+            if calls > 5 {
+                None
+            } else {
+                Some(bits.iter().filter(|&&b| b).count() as f64 + 1.0)
+            }
+        };
+        let cfg = SaConfig { stop_at: Some(0.0), max_iters: 100, ..Default::default() };
+        let r = simulated_annealing(8, &mut eval, &cfg);
+        assert_eq!(r.evaluations, 5);
+        assert!(!r.reached_target);
+        assert!(!r.best_bits.is_empty());
+    }
+
+    #[test]
+    fn never_proposes_empty_subsets() {
+        let mut eval = |bits: &[bool]| {
+            assert!(bits.iter().any(|&b| b), "empty subset proposed");
+            Some(bits.iter().filter(|&&b| b).count() as f64)
+        };
+        let cfg = SaConfig { max_iters: 200, stop_at: None, seed: 3, ..Default::default() };
+        let r = simulated_annealing(5, &mut eval, &cfg);
+        // Minimum reachable non-empty subset has one feature.
+        assert_eq!(r.best_score, 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let target: Vec<bool> = (0..12).map(|i| i % 2 == 0).collect();
+        let run = |seed| {
+            let mut eval = hamming_objective(target.clone());
+            simulated_annealing(12, &mut eval, &SaConfig { seed, max_iters: 50, ..Default::default() })
+        };
+        let (a, b) = (run(7), run(7));
+        assert_eq!(a.best_bits, b.best_bits);
+        assert_eq!(a.best_score, b.best_score);
+    }
+
+    #[test]
+    fn zero_dimensions_is_graceful() {
+        let mut eval = |_: &[bool]| Some(0.0);
+        let r = simulated_annealing(0, &mut eval, &SaConfig::default());
+        assert_eq!(r.evaluations, 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the black-box optimizers.
+
+use dfs_search::nsga2::{dominates, nsga2, Nsga2Config};
+use dfs_search::sa::{simulated_annealing, SaConfig};
+use dfs_search::tpe::{tpe_binary, tpe_integer, TpeConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Every optimizer stops exactly when the evaluator starts returning
+    /// `None`, and never proposes the empty subset. (Plain `assert!` inside
+    /// the closures: a panic fails the proptest case just as well.)
+    #[test]
+    fn optimizers_respect_budget_and_nonempty(
+        d in 1usize..16,
+        cap in 1usize..30,
+        seed in 0u64..500,
+    ) {
+        // SA
+        let mut calls = 0usize;
+        let mut eval = |bits: &[bool]| -> Option<f64> {
+            assert!(bits.iter().any(|&b| b), "empty subset proposed");
+            calls += 1;
+            if calls > cap {
+                return None;
+            }
+            Some(bits.iter().filter(|&&b| b).count() as f64)
+        };
+        let cfg = SaConfig { max_iters: 200, stop_at: None, seed, ..Default::default() };
+        let r = simulated_annealing(d, &mut eval, &cfg);
+        prop_assert!(r.evaluations <= cap);
+
+        // TPE binary
+        let mut calls = 0usize;
+        let mut eval = |bits: &[bool]| -> Option<f64> {
+            assert!(bits.iter().any(|&b| b), "empty subset proposed");
+            calls += 1;
+            if calls > cap {
+                return None;
+            }
+            Some(bits.iter().filter(|&&b| b).count() as f64)
+        };
+        let cfg = TpeConfig { max_iters: 200, stop_at: None, seed, ..Default::default() };
+        let r = tpe_binary(d, &mut eval, &cfg);
+        prop_assert!(r.evaluations <= cap);
+
+        // NSGA-II
+        let mut calls = 0usize;
+        let mut eval = |bits: &[bool]| -> Option<Vec<f64>> {
+            assert!(bits.iter().any(|&b| b), "empty subset proposed");
+            calls += 1;
+            if calls > cap {
+                return None;
+            }
+            Some(vec![bits.iter().filter(|&&b| b).count() as f64])
+        };
+        let cfg = Nsga2Config { generations: 10, stop_at: None, seed, ..Default::default() };
+        let r = nsga2(d, &mut eval, &cfg);
+        prop_assert!(r.evaluations <= cap);
+    }
+
+    /// SA always returns the best score it has actually seen.
+    #[test]
+    fn reported_best_matches_observed_minimum(d in 2usize..12, seed in 0u64..300) {
+        let mut seen: Vec<f64> = Vec::new();
+        let mut eval = |bits: &[bool]| -> Option<f64> {
+            let score = bits
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| if b { (i as f64 - 3.0).abs() } else { 0.5 })
+                .sum();
+            seen.push(score);
+            Some(score)
+        };
+        let cfg = SaConfig { max_iters: 40, stop_at: None, seed, ..Default::default() };
+        let r = simulated_annealing(d, &mut eval, &cfg);
+        let min_seen = seen.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(r.best_score, min_seen);
+    }
+
+    /// Integer TPE never revisits a value and stays in range.
+    #[test]
+    fn tpe_integer_no_repeats_in_range(lo in 0usize..5, span in 1usize..20, seed in 0u64..300) {
+        let hi = lo + span;
+        let mut visited = Vec::new();
+        let mut eval = |k: usize| {
+            visited.push(k);
+            Some((k as f64 - 7.0).abs())
+        };
+        let cfg = TpeConfig { max_iters: 60, stop_at: None, seed, ..Default::default() };
+        let _ = tpe_integer(lo, hi, &mut eval, &cfg);
+        let mut sorted = visited.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), visited.len(), "repeat evaluation: {:?}", visited);
+        for &k in &visited {
+            prop_assert!((lo..=hi).contains(&k));
+        }
+    }
+
+    /// NSGA-II's reported front is mutually non-dominated for arbitrary
+    /// two-objective landscapes.
+    #[test]
+    fn nsga2_front_is_non_dominated(d in 2usize..10, seed in 0u64..200, w in 0.1..3.0f64) {
+        let mut eval = |bits: &[bool]| -> Option<Vec<f64>> {
+            let ones = bits.iter().filter(|&&b| b).count() as f64;
+            let alt = bits
+                .iter()
+                .enumerate()
+                .filter(|(i, &b)| b && i % 2 == 0)
+                .count() as f64;
+            Some(vec![ones, w * (d as f64 - alt)])
+        };
+        let cfg = Nsga2Config { generations: 6, population: 12, stop_at: None, seed, ..Default::default() };
+        let r = nsga2(d, &mut eval, &cfg);
+        for a in &r.front {
+            for b in &r.front {
+                prop_assert!(!dominates(&a.objectives, &b.objectives));
+            }
+        }
+    }
+
+    /// Early stop: once a score at or below `stop_at` is seen, no further
+    /// evaluations happen.
+    #[test]
+    fn early_stop_is_immediate(d in 2usize..10, seed in 0u64..200, hit_at in 1usize..10) {
+        let mut calls = 0usize;
+        let mut eval = |_bits: &[bool]| -> Option<f64> {
+            calls += 1;
+            Some(if calls >= hit_at { 0.0 } else { 1.0 })
+        };
+        let cfg = SaConfig { max_iters: 500, stop_at: Some(0.0), seed, ..Default::default() };
+        let r = simulated_annealing(d, &mut eval, &cfg);
+        prop_assert!(r.reached_target);
+        prop_assert_eq!(r.evaluations, hit_at);
+    }
+}

@@ -1,0 +1,110 @@
+//! The meta-learning DFS optimizer end to end: execute a small benchmark,
+//! train the optimizer on it, and let it pick strategies for fresh
+//! scenarios (paper § 5 / Algorithm 1).
+//!
+//! ```text
+//! cargo run --release --example meta_optimizer
+//! ```
+
+use dfs_repro::core::prelude::*;
+use dfs_repro::core::runner::run_benchmark;
+use dfs_repro::data::split::stratified_three_way;
+use dfs_repro::data::synthetic::{generate, spec_by_name};
+use dfs_repro::linalg::rng::rng_from_seed;
+use dfs_repro::optimizer::{DfsOptimizer, OptimizerConfig};
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn main() {
+    // A small training world: three datasets, a handful of fuzzed scenarios
+    // each (Listing 1), all 16 strategies plus the baseline.
+    let names = ["compas", "german_credit", "indian_liver_patient"];
+    let mut splits = HashMap::new();
+    for name in names {
+        let mut spec = spec_by_name(name).expect("suite dataset");
+        spec.rows = spec.rows.min(600);
+        let ds = generate(&spec, 1);
+        splits.insert(name.to_string(), stratified_three_way(&ds, 1));
+    }
+    // Training scenarios spanning easy (low F1 threshold, no extras) to
+    // hard (high F1 + tight EO), so every strategy's classifier sees both
+    // successes and failures. (Listing-1 fuzzing would work too, but needs
+    // a larger corpus than an example should run.)
+    let mut scenarios = Vec::new();
+    for name in names {
+        for (k, &(min_f1, eo, frac)) in [
+            (0.50, None, None),
+            (0.55, None, Some(0.3)),
+            (0.60, Some(0.85), None),
+            (0.65, Some(0.90), Some(0.5)),
+            (0.75, None, None),
+            (0.85, Some(0.95), Some(0.2)),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut constraints =
+                ConstraintSet::accuracy_only(min_f1, Duration::from_millis(500));
+            constraints.min_eo = eo;
+            constraints.max_feature_frac = frac;
+            scenarios.push(MlScenario {
+                dataset: name.to_string(),
+                model: ModelKind::PRIMARY[k % 3],
+                hpo: false,
+                constraints,
+                utility_f1: false,
+                seed: k as u64,
+            });
+        }
+    }
+
+    println!("executing {} scenarios x {} arms to build training data…", scenarios.len(), Arm::all().len());
+    let settings = ScenarioSettings::default_bench();
+    let matrix = run_benchmark(&splits, scenarios, &Arm::all(), &settings, 1);
+    println!(
+        "training corpus ready: {}/{} scenarios satisfiable",
+        matrix.satisfiable().len(),
+        matrix.scenarios.len()
+    );
+
+    // Train on everything (Algorithm 1's training phase).
+    let optimizer = DfsOptimizer::fit_from_matrix(&matrix, &splits, OptimizerConfig::default(), None);
+
+    // Deployment phase: fresh scenarios the optimizer has never seen
+    // (sampled from the Listing-1 constraint space, moderate thresholds).
+    let sampler = SamplerConfig {
+        time_range: (Duration::from_millis(200), Duration::from_millis(500)),
+        hpo: false,
+        utility_f1: false,
+    };
+    let mut rng = rng_from_seed(999);
+    for name in names {
+        let mut scenario = sample_scenario(name, &sampler, &mut rng, 77);
+        scenario.constraints.min_f1 = scenario.constraints.min_f1.min(0.65);
+        scenario.constraints.privacy_epsilon = None;
+        let split = &splits[name];
+        let mut probs = optimizer.probabilities(&scenario, split);
+        probs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        println!(
+            "\nquery: {} / {:?} / min_f1 {:.2}, EO {:?}, safety {:?}, ε {:?}",
+            name,
+            scenario.model,
+            scenario.constraints.min_f1,
+            scenario.constraints.min_eo.map(|v| format!("{v:.2}")),
+            scenario.constraints.min_safety.map(|v| format!("{v:.2}")),
+            scenario.constraints.privacy_epsilon.map(|v| format!("{v:.2}")),
+        );
+        println!("top-3 recommendations:");
+        for (strategy, p) in probs.iter().take(3) {
+            println!("  {:<14} P(success) = {p:.2}", strategy.name());
+        }
+        // And verify the top pick by actually running it.
+        let pick = probs[0].0;
+        let outcome = run_dfs(&scenario, split, &settings, pick);
+        println!(
+            "  -> running {}: {}",
+            pick.name(),
+            if outcome.success { "satisfied the scenario" } else { "did not satisfy (scenario may be unsatisfiable)" }
+        );
+    }
+}

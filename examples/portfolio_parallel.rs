@@ -1,0 +1,95 @@
+//! Strategy portfolios: run several FS strategies in parallel and take the
+//! first satisfying answer (paper § 6.5 / Table 8).
+//!
+//! ```text
+//! cargo run --release --example portfolio_parallel
+//! ```
+//!
+//! The paper's Table 8 shows that a portfolio of ~5 strategies already
+//! covers 94% of satisfiable scenarios. This example actually runs the
+//! paper's top-5 coverage portfolio concurrently (one OS thread each,
+//! embarrassingly parallel, as the paper assumes) and reports who answered
+//! first.
+
+use dfs_repro::core::prelude::*;
+use dfs_repro::data::split::stratified_three_way;
+use dfs_repro::data::synthetic::{generate, spec_by_name};
+use dfs_repro::rankings::RankingKind;
+use std::time::Duration;
+
+fn main() {
+    let spec = spec_by_name("german_credit").expect("suite dataset");
+    let dataset = generate(&spec, 5);
+    let split = stratified_three_way(&dataset, 5);
+
+    // The paper's best 5-strategy coverage portfolio (Table 8):
+    // TPE(FCBF) + SFFS + TPE(NR) + TPE(MIM) + SA(NR).
+    let portfolio = [
+        StrategyId::TpeRanking(RankingKind::Fcbf),
+        StrategyId::Sffs,
+        StrategyId::TpeNr,
+        StrategyId::TpeRanking(RankingKind::Mim),
+        StrategyId::SaNr,
+    ];
+
+    let mut constraints = ConstraintSet::accuracy_only(0.62, Duration::from_secs(2));
+    constraints.max_feature_frac = Some(0.25);
+    let scenario = MlScenario {
+        dataset: dataset.name.clone(),
+        model: ModelKind::LogisticRegression,
+        hpo: true,
+        constraints,
+        utility_f1: false,
+        seed: 31,
+    };
+    let settings = ScenarioSettings::default_bench();
+
+    println!("racing {} strategies on '{}'…", portfolio.len(), dataset.name);
+    let outcomes: Vec<(StrategyId, DfsOutcome)> = crossbeam_run(&portfolio, &scenario, &split, &settings);
+
+    let mut winner: Option<&(StrategyId, DfsOutcome)> = None;
+    for (strategy, outcome) in &outcomes {
+        println!(
+            "  {:<14} {} in {:?} ({} evaluations)",
+            strategy.name(),
+            if outcome.success { "satisfied" } else { "failed   " },
+            outcome.elapsed,
+            outcome.evaluations,
+        );
+        if outcome.success
+            && winner.map(|(_, w)| outcome.elapsed < w.elapsed).unwrap_or(true)
+        {
+            winner = Some(&outcomes[outcomes
+                .iter()
+                .position(|(s, _)| s == strategy)
+                .expect("present")]);
+        }
+    }
+    match winner {
+        Some((strategy, outcome)) => println!(
+            "\nfastest satisfying answer: {} in {:?} with {} features",
+            strategy.name(),
+            outcome.elapsed,
+            outcome.subset.as_ref().map(|s| s.len()).unwrap_or(0),
+        ),
+        None => println!("\nno strategy satisfied the scenario within budget"),
+    }
+}
+
+/// Runs each strategy on its own thread (scoped, no 'static bounds needed).
+fn crossbeam_run(
+    portfolio: &[StrategyId],
+    scenario: &MlScenario,
+    split: &dfs_repro::data::Split,
+    settings: &ScenarioSettings,
+) -> Vec<(StrategyId, DfsOutcome)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = portfolio
+            .iter()
+            .map(|&strategy| {
+                scope.spawn(move || (strategy, run_dfs(scenario, split, settings, strategy)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("strategy thread")).collect()
+    })
+}

@@ -1,0 +1,78 @@
+//! Quickstart: declare constraints, get a feature subset that satisfies them.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This is the paper's Figure 2 workflow end to end: specify the ML task
+//! (dataset + split), the model (logistic regression), and a declarative
+//! constraint set; a feature-selection strategy searches for a subset that
+//! satisfies everything on validation, then confirms it on test.
+
+use dfs_repro::core::prelude::*;
+use dfs_repro::data::split::stratified_three_way;
+use dfs_repro::data::synthetic::{generate, spec_by_name};
+use std::time::Duration;
+
+fn main() {
+    // 1. The ML task: a COMPAS-like dataset (1600 instances, 19 features,
+    //    race-like protected attribute) split 3:1:1 with stratification.
+    let spec = spec_by_name("compas").expect("suite dataset");
+    let dataset = generate(&spec, 42);
+    let split = stratified_three_way(&dataset, 42);
+    println!(
+        "dataset: {} ({} rows, {} features, {:.0}% positive, {:.0}% minority)",
+        dataset.name,
+        dataset.n_rows(),
+        dataset.n_features(),
+        100.0 * dataset.positive_rate(),
+        100.0 * dataset.minority_rate()
+    );
+
+    // 2. The declarative constraint set: at least 62% F1 *and* at least 85%
+    //    equal opportunity, using at most 40% of the features, within 2 s.
+    let mut constraints = ConstraintSet::accuracy_only(0.62, Duration::from_secs(2));
+    constraints.min_eo = Some(0.85);
+    constraints.max_feature_frac = Some(0.4);
+    let scenario = MlScenario {
+        dataset: dataset.name.clone(),
+        model: ModelKind::LogisticRegression,
+        hpo: true,
+        constraints,
+        utility_f1: false,
+        seed: 42,
+    };
+
+    // 3. Run one strategy — sequential forward floating selection, the
+    //    paper's best all-rounder.
+    let settings = ScenarioSettings::default_bench();
+    let outcome = run_dfs(&scenario, &split, &settings, StrategyId::Sffs);
+
+    match (&outcome.subset, outcome.success) {
+        (Some(subset), true) => {
+            println!(
+                "\nSATISFIED with {} of {} features after {} evaluations ({:?}):",
+                subset.len(),
+                split.n_features(),
+                outcome.evaluations,
+                outcome.elapsed
+            );
+            for &f in subset {
+                println!("  - {}", dataset.feature_names[f]);
+            }
+            let test = outcome.test_eval.expect("test eval on success");
+            println!(
+                "test split: F1 {:.3}, EO {:.3} (constraints: F1 >= 0.62, EO >= 0.85)",
+                test.f1,
+                test.eo.unwrap_or(f64::NAN),
+            );
+        }
+        _ => {
+            println!(
+                "\nNOT satisfied within budget; best subset got within distance {:.4} \
+                 (validation) / {:.4} (test) of the constraints.",
+                outcome.val_distance, outcome.test_distance
+            );
+        }
+    }
+}

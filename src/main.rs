@@ -1,0 +1,358 @@
+//! `dfs` — command-line Declarative Feature Selection.
+//!
+//! Point it at a CSV (the format documented in `dfs_data::csv`), declare the
+//! constraints, and get back the feature subset that satisfies them:
+//!
+//! ```text
+//! dfs --data mydata.csv --model lr --min-f1 0.7 --min-eo 0.9 \
+//!     --max-feature-frac 0.4 --time-ms 2000 --strategy sffs
+//!
+//! # No CSV handy? Use a built-in synthetic dataset:
+//! dfs --dataset compas --model dt --min-f1 0.6 --privacy-eps 2.0
+//!
+//! # Let the strategy schedule switch dynamically (paper § 7):
+//! dfs --dataset german_credit --model lr --min-f1 0.6 --strategy auto
+//! ```
+
+use dfs_repro::core::prelude::*;
+use dfs_repro::core::switching::{run_with_switching, SwitchConfig};
+use dfs_repro::data::preprocess::fit_transform;
+use dfs_repro::data::split::stratified_three_way;
+use dfs_repro::data::synthetic::{generate, spec_by_name};
+use dfs_repro::data::Dataset;
+use dfs_repro::rankings::RankingKind;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// Parsed command-line request.
+#[derive(Debug, Clone, PartialEq)]
+struct CliArgs {
+    data_path: Option<String>,
+    dataset: Option<String>,
+    model: ModelKind,
+    strategy: StrategySpec,
+    min_f1: f64,
+    min_eo: Option<f64>,
+    min_safety: Option<f64>,
+    max_feature_frac: Option<f64>,
+    privacy_eps: Option<f64>,
+    time_ms: u64,
+    hpo: bool,
+    seed: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StrategySpec {
+    Fixed(StrategyId),
+    /// The dynamic-switching schedule.
+    Auto,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        Self {
+            data_path: None,
+            dataset: None,
+            model: ModelKind::LogisticRegression,
+            strategy: StrategySpec::Fixed(StrategyId::Sffs),
+            min_f1: 0.6,
+            min_eo: None,
+            min_safety: None,
+            max_feature_frac: None,
+            privacy_eps: None,
+            time_ms: 2000,
+            hpo: true,
+            seed: 42,
+        }
+    }
+}
+
+const USAGE: &str = "\
+dfs — declarative feature selection (SIGMOD 2021 reproduction)
+
+USAGE:
+    dfs [--data <csv> | --dataset <name>] [OPTIONS]
+
+DATA (one of):
+    --data <path>            CSV file (see dfs_data::csv for the format)
+    --dataset <name>         built-in synthetic dataset (e.g. compas, adult,
+                             german_credit — see `--list-datasets`)
+
+OPTIONS:
+    --model <lr|nb|dt|svm>   classification model       [default: lr]
+    --strategy <name|auto>   FS strategy: sfs, sbs, sffs, sbfs, rfe, es,
+                             tpe, sa, nsga2, chi2, variance, fisher, mim,
+                             fcbf, relieff, mcfs, or `auto` (dynamic
+                             switching)                  [default: sffs]
+    --min-f1 <0..1>          minimum F1 score           [default: 0.6]
+    --min-eo <0..1>          minimum equal opportunity
+    --min-safety <0..1>      minimum adversarial safety
+    --max-feature-frac <0..1> maximum fraction of features
+    --privacy-eps <x>        train the ε-differentially-private model
+    --time-ms <n>            search budget in milliseconds [default: 2000]
+    --no-hpo                 skip per-evaluation hyperparameter search
+    --seed <n>               RNG seed                   [default: 42]
+    --list-datasets          print the built-in dataset names and exit
+    --help                   print this help
+";
+
+fn parse_strategy(s: &str) -> Result<StrategySpec, String> {
+    let fixed = |id| Ok(StrategySpec::Fixed(id));
+    match s {
+        "auto" => Ok(StrategySpec::Auto),
+        "sfs" => fixed(StrategyId::Sfs),
+        "sbs" => fixed(StrategyId::Sbs),
+        "sffs" => fixed(StrategyId::Sffs),
+        "sbfs" => fixed(StrategyId::Sbfs),
+        "rfe" => fixed(StrategyId::Rfe),
+        "es" => fixed(StrategyId::Es),
+        "tpe" => fixed(StrategyId::TpeNr),
+        "sa" => fixed(StrategyId::SaNr),
+        "nsga2" => fixed(StrategyId::Nsga2Nr),
+        "chi2" => fixed(StrategyId::TpeRanking(RankingKind::Chi2)),
+        "variance" => fixed(StrategyId::TpeRanking(RankingKind::Variance)),
+        "fisher" => fixed(StrategyId::TpeRanking(RankingKind::Fisher)),
+        "mim" => fixed(StrategyId::TpeRanking(RankingKind::Mim)),
+        "fcbf" => fixed(StrategyId::TpeRanking(RankingKind::Fcbf)),
+        "relieff" => fixed(StrategyId::TpeRanking(RankingKind::ReliefF)),
+        "mcfs" => fixed(StrategyId::TpeRanking(RankingKind::Mcfs)),
+        other => Err(format!("unknown strategy '{other}'")),
+    }
+}
+
+fn parse_model(s: &str) -> Result<ModelKind, String> {
+    match s {
+        "lr" => Ok(ModelKind::LogisticRegression),
+        "nb" => Ok(ModelKind::GaussianNb),
+        "dt" => Ok(ModelKind::DecisionTree),
+        "svm" => Ok(ModelKind::LinearSvm),
+        other => Err(format!("unknown model '{other}'")),
+    }
+}
+
+/// Parses the argument list (without the program name).
+fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut out = CliArgs::default();
+    let mut it = args.iter().peekable();
+    let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                     flag: &str|
+     -> Result<String, String> {
+        it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--data" => out.data_path = Some(value(&mut it, "--data")?),
+            "--dataset" => out.dataset = Some(value(&mut it, "--dataset")?),
+            "--model" => out.model = parse_model(&value(&mut it, "--model")?)?,
+            "--strategy" => out.strategy = parse_strategy(&value(&mut it, "--strategy")?)?,
+            "--min-f1" => out.min_f1 = parse_num(&value(&mut it, "--min-f1")?)?,
+            "--min-eo" => out.min_eo = Some(parse_num(&value(&mut it, "--min-eo")?)?),
+            "--min-safety" => out.min_safety = Some(parse_num(&value(&mut it, "--min-safety")?)?),
+            "--max-feature-frac" => {
+                out.max_feature_frac = Some(parse_num(&value(&mut it, "--max-feature-frac")?)?)
+            }
+            "--privacy-eps" => out.privacy_eps = Some(parse_num(&value(&mut it, "--privacy-eps")?)?),
+            "--time-ms" => {
+                out.time_ms = value(&mut it, "--time-ms")?
+                    .parse()
+                    .map_err(|e| format!("--time-ms: {e}"))?
+            }
+            "--seed" => {
+                out.seed =
+                    value(&mut it, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--no-hpo" => out.hpo = false,
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    if out.data_path.is_some() == out.dataset.is_some() {
+        return Err("exactly one of --data or --dataset is required".into());
+    }
+    Ok(out)
+}
+
+fn parse_num(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|e| format!("bad number '{s}': {e}"))
+}
+
+fn load_dataset(args: &CliArgs) -> Result<Dataset, String> {
+    if let Some(path) = &args.data_path {
+        let raw = dfs_repro::data::csv::load(std::path::Path::new(path))?;
+        return Ok(fit_transform(&raw));
+    }
+    let name = args.dataset.as_deref().expect("validated: dataset set");
+    let spec = spec_by_name(name).ok_or_else(|| {
+        format!(
+            "unknown built-in dataset '{name}' (available: {})",
+            dfs_repro::data::synthetic::paper_suite()
+                .iter()
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    Ok(generate(&spec, args.seed))
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if raw.iter().any(|a| a == "--list-datasets") {
+        for s in dfs_repro::data::synthetic::paper_suite() {
+            println!("{:<28} {:>6} rows {:>4} features", s.name, s.rows, s.n_features());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let dataset = match load_dataset(&args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let split = stratified_three_way(&dataset, args.seed);
+
+    let constraints = ConstraintSet {
+        min_f1: args.min_f1,
+        max_search_time: Duration::from_millis(args.time_ms),
+        max_feature_frac: args.max_feature_frac,
+        min_eo: args.min_eo,
+        min_safety: args.min_safety,
+        privacy_epsilon: args.privacy_eps,
+    };
+    if let Err(e) = constraints.validate() {
+        eprintln!("error: invalid constraints: {e}");
+        return ExitCode::FAILURE;
+    }
+    let scenario = MlScenario {
+        dataset: dataset.name.clone(),
+        model: args.model,
+        hpo: args.hpo,
+        constraints,
+        utility_f1: false,
+        seed: args.seed,
+    };
+    let settings = ScenarioSettings::default_bench();
+
+    eprintln!(
+        "dataset '{}': {} rows, {} features; model {}; budget {} ms",
+        dataset.name,
+        dataset.n_rows(),
+        dataset.n_features(),
+        args.model.short_name(),
+        args.time_ms
+    );
+
+    let (success, subset, evaluations, label) = match args.strategy {
+        StrategySpec::Fixed(strategy) => {
+            eprintln!("strategy: {}", strategy.name());
+            let out = run_dfs(&scenario, &split, &settings, strategy);
+            (out.success, out.subset, out.evaluations, strategy.name())
+        }
+        StrategySpec::Auto => {
+            let cfg = SwitchConfig::default();
+            eprintln!(
+                "strategy: auto (dynamic switching over {})",
+                cfg.schedule.iter().map(|s| s.name()).collect::<Vec<_>>().join(" -> ")
+            );
+            let out = run_with_switching(&scenario, &split, &settings, &cfg);
+            let label = out
+                .winner
+                .map(|w| format!("auto/{}", w.name()))
+                .unwrap_or_else(|| "auto".into());
+            (out.success, out.subset, out.evaluations, label)
+        }
+    };
+
+    match (success, subset) {
+        (true, Some(subset)) => {
+            eprintln!(
+                "SATISFIED by {label} with {} of {} features after {evaluations} evaluations:",
+                subset.len(),
+                dataset.n_features()
+            );
+            for &f in &subset {
+                println!("{}", dataset.feature_names[f]);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "NOT satisfied within budget ({evaluations} evaluations); \
+                 relax a threshold, extend --time-ms, or try --strategy auto."
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let args = parse_args(&argv(
+            "--dataset compas --model dt --strategy fcbf --min-f1 0.7 --min-eo 0.9 \
+             --max-feature-frac 0.4 --privacy-eps 2.5 --time-ms 500 --no-hpo --seed 7",
+        ))
+        .expect("valid args");
+        assert_eq!(args.dataset.as_deref(), Some("compas"));
+        assert_eq!(args.model, ModelKind::DecisionTree);
+        assert_eq!(args.strategy, StrategySpec::Fixed(StrategyId::TpeRanking(RankingKind::Fcbf)));
+        assert_eq!(args.min_f1, 0.7);
+        assert_eq!(args.min_eo, Some(0.9));
+        assert_eq!(args.max_feature_frac, Some(0.4));
+        assert_eq!(args.privacy_eps, Some(2.5));
+        assert_eq!(args.time_ms, 500);
+        assert!(!args.hpo);
+        assert_eq!(args.seed, 7);
+    }
+
+    #[test]
+    fn requires_exactly_one_data_source() {
+        assert!(parse_args(&argv("--min-f1 0.6")).is_err());
+        assert!(parse_args(&argv("--data a.csv --dataset compas")).is_err());
+        assert!(parse_args(&argv("--dataset compas")).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_strategies() {
+        assert!(parse_args(&argv("--dataset compas --wat 1")).is_err());
+        assert!(parse_args(&argv("--dataset compas --strategy nope")).is_err());
+        assert!(parse_args(&argv("--dataset compas --model xgboost")).is_err());
+        assert!(parse_args(&argv("--dataset compas --min-f1 high")).is_err());
+        assert!(parse_args(&argv("--dataset compas --min-f1")).is_err());
+    }
+
+    #[test]
+    fn every_strategy_name_parses() {
+        for name in [
+            "sfs", "sbs", "sffs", "sbfs", "rfe", "es", "tpe", "sa", "nsga2", "chi2",
+            "variance", "fisher", "mim", "fcbf", "relieff", "mcfs", "auto",
+        ] {
+            assert!(parse_strategy(name).is_ok(), "{name} failed to parse");
+        }
+    }
+
+    #[test]
+    fn auto_strategy_flag() {
+        let args = parse_args(&argv("--dataset compas --strategy auto")).unwrap();
+        assert_eq!(args.strategy, StrategySpec::Auto);
+    }
+}

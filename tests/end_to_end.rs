@@ -1,0 +1,220 @@
+//! Cross-crate integration tests: the full DFS pipeline from synthetic data
+//! generation through constraint satisfaction, transfer, and aggregation.
+
+use dfs_repro::core::prelude::*;
+use dfs_repro::core::runner::run_benchmark;
+use dfs_repro::core::workflow::run_original_features;
+use dfs_repro::data::split::stratified_three_way;
+use dfs_repro::data::synthetic::{generate, tiny_spec, SyntheticSpec};
+use dfs_repro::data::Split;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn quick_settings() -> ScenarioSettings {
+    let mut s = ScenarioSettings::fast();
+    s.max_evals = 120;
+    s
+}
+
+fn world(seed: u64) -> (dfs_repro::data::Dataset, Split) {
+    let mut spec: SyntheticSpec = tiny_spec();
+    spec.rows = 300;
+    let ds = generate(&spec, seed);
+    let split = stratified_three_way(&ds, seed);
+    (ds, split)
+}
+
+fn scenario(model: ModelKind, constraints: ConstraintSet, seed: u64) -> MlScenario {
+    MlScenario {
+        dataset: "tiny".into(),
+        model,
+        hpo: false,
+        constraints,
+        utility_f1: false,
+        seed,
+    }
+}
+
+#[test]
+fn accuracy_scenario_succeeds_across_all_primary_models() {
+    let (_, split) = world(1);
+    for model in ModelKind::PRIMARY {
+        let sc = scenario(
+            model,
+            ConstraintSet::accuracy_only(0.55, Duration::from_secs(30)),
+            1,
+        );
+        let out = run_dfs(&sc, &split, &quick_settings(), StrategyId::Sfs);
+        assert!(out.success, "{model:?} failed: {out:?}");
+    }
+}
+
+#[test]
+fn fairness_constraint_forces_bias_pruning() {
+    // The tiny spec has label bias + proxies; a high EO threshold plus
+    // accuracy should be satisfiable only by subsets avoiding the biased
+    // columns. Verify a search strategy finds one and that the found subset
+    // indeed scores high EO on test.
+    let (ds, split) = world(2);
+    let mut c = ConstraintSet::accuracy_only(0.55, Duration::from_secs(30));
+    c.min_eo = Some(0.85);
+    let sc = scenario(ModelKind::LogisticRegression, c, 2);
+    let out = run_dfs(&sc, &split, &quick_settings(), StrategyId::Sffs);
+    if out.success {
+        let eval = out.test_eval.expect("test eval");
+        assert!(eval.eo.expect("eo measured") >= 0.85);
+        assert!(eval.f1 >= 0.55);
+        let subset = out.subset.expect("subset");
+        assert!(!subset.is_empty() && subset.len() <= ds.n_features());
+    } else {
+        // Must at least have gotten close and reported sane distances.
+        assert!(out.val_distance.is_finite());
+        assert!(out.test_distance.is_finite());
+    }
+}
+
+#[test]
+fn feature_cap_is_respected_by_every_satisfying_strategy() {
+    let (_, split) = world(3);
+    let mut c = ConstraintSet::accuracy_only(0.5, Duration::from_secs(30));
+    c.max_feature_frac = Some(0.25);
+    let cap = c.max_features_count(split.n_features());
+    for strategy in [StrategyId::Sfs, StrategyId::TpeNr, StrategyId::Es] {
+        let sc = scenario(ModelKind::DecisionTree, c.clone(), 3);
+        let out = run_dfs(&sc, &split, &quick_settings(), strategy);
+        if out.success {
+            let n = out.subset.expect("subset").len();
+            assert!(n <= cap, "{} returned {n} > cap {cap}", strategy.name());
+        }
+    }
+}
+
+#[test]
+fn privacy_scenario_trains_dp_and_can_succeed_with_generous_epsilon() {
+    let (_, split) = world(4);
+    let mut c = ConstraintSet::accuracy_only(0.5, Duration::from_secs(30));
+    c.privacy_epsilon = Some(100.0); // generous: barely any noise
+    let sc = scenario(ModelKind::LogisticRegression, c, 4);
+    let out = run_dfs(&sc, &split, &quick_settings(), StrategyId::Sfs);
+    assert!(out.success, "generous-epsilon scenario should be satisfiable: {out:?}");
+}
+
+#[test]
+fn utility_mode_returns_satisfying_subset_with_high_f1() {
+    let (_, split) = world(5);
+    let mut sc = scenario(
+        ModelKind::LogisticRegression,
+        ConstraintSet::accuracy_only(0.5, Duration::from_secs(30)),
+        5,
+    );
+    sc.utility_f1 = true;
+    let out = run_dfs(&sc, &split, &quick_settings(), StrategyId::Sfs);
+    if out.success {
+        // Eq. 2: the returned subset maximizes F1 among satisfying ones, so
+        // it must beat the bare threshold comfortably on validation.
+        let val = out.val_eval.expect("val eval");
+        assert!(val.f1 >= 0.5);
+        assert!(out.val_score <= -0.5, "utility objective should be -F1, got {}", out.val_score);
+    }
+}
+
+#[test]
+fn transferability_pipeline_runs_on_found_subsets() {
+    let (_, split) = world(6);
+    let sc = scenario(
+        ModelKind::LogisticRegression,
+        ConstraintSet::accuracy_only(0.55, Duration::from_secs(30)),
+        6,
+    );
+    let out = run_dfs(&sc, &split, &quick_settings(), StrategyId::Sffs);
+    if let (Some(subset), true) = (&out.subset, out.success) {
+        let mut holds = 0;
+        for target in [ModelKind::DecisionTree, ModelKind::GaussianNb, ModelKind::LinearSvm] {
+            let r = check_transfer(&sc, &split, &quick_settings(), subset, target);
+            assert!(r.eo_holds.is_none(), "no EO constraint declared");
+            holds += r.accuracy_holds as usize;
+        }
+        // The paper's Table 7: the majority of transfers hold.
+        assert!(holds >= 2, "accuracy transferred to only {holds}/3 models");
+    }
+}
+
+#[test]
+fn benchmark_runner_aggregates_consistently() {
+    let (ds, split) = world(7);
+    let mut splits = HashMap::new();
+    splits.insert(ds.name.clone(), split);
+    let sampler = SamplerConfig {
+        time_range: (Duration::from_millis(30), Duration::from_millis(120)),
+        hpo: false,
+        utility_f1: false,
+    };
+    let mut rng = dfs_repro::linalg::rng::rng_from_seed(7);
+    let scenarios: Vec<MlScenario> =
+        (0..5).map(|i| sample_scenario(&ds.name, &sampler, &mut rng, i)).collect();
+    let arms = vec![
+        Arm::Original,
+        Arm::Strategy(StrategyId::Sfs),
+        Arm::Strategy(StrategyId::TpeNr),
+    ];
+    let matrix = run_benchmark(&splits, scenarios, &arms, &quick_settings(), 1);
+
+    // Invariants across the matrix.
+    assert_eq!(matrix.results.len(), 5);
+    for i in matrix.satisfiable() {
+        let any = matrix.results[i]
+            .iter()
+            .zip(&matrix.arms)
+            .any(|(c, a)| matches!(a, Arm::Strategy(_)) && c.success);
+        assert!(any);
+    }
+    for (arm_idx, _) in matrix.arms.iter().enumerate() {
+        let (mean, std) = matrix.coverage_stats(arm_idx);
+        assert!((0.0..=1.0).contains(&mean));
+        assert!(std >= 0.0);
+        let (fm, _) = matrix.fastest_stats(arm_idx);
+        assert!((0.0..=1.0).contains(&fm));
+    }
+    // Portfolio of all strategies must cover everything satisfiable.
+    let all_strategies: Vec<usize> = matrix
+        .arms
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| matches!(a, Arm::Strategy(_)))
+        .map(|(i, _)| i)
+        .collect();
+    let (cov, _) = matrix.portfolio_score(&all_strategies, PortfolioObjective::Coverage);
+    if !matrix.satisfiable().is_empty() {
+        assert!((cov - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn original_baseline_never_beats_the_feature_cap() {
+    let (_, split) = world(8);
+    let mut c = ConstraintSet::accuracy_only(0.3, Duration::from_secs(30));
+    c.max_feature_frac = Some(0.3);
+    let sc = scenario(ModelKind::DecisionTree, c, 8);
+    let out = run_original_features(&sc, &split, &quick_settings());
+    assert!(!out.success);
+}
+
+#[test]
+fn search_time_budget_is_honored() {
+    let (_, split) = world(9);
+    // A scenario that cannot be satisfied, with a tight wall clock: the
+    // search must stop near the budget.
+    let c = ConstraintSet::accuracy_only(1.0, Duration::from_millis(150));
+    let sc = scenario(ModelKind::LogisticRegression, c, 9);
+    let settings = quick_settings();
+    for strategy in [StrategyId::TpeNr, StrategyId::SaNr, StrategyId::Nsga2Nr, StrategyId::Sbs] {
+        let out = run_dfs(&sc, &split, &settings, strategy);
+        assert!(!out.success);
+        assert!(
+            out.elapsed < Duration::from_millis(1500),
+            "{} ran {:?}, far beyond the 150ms budget",
+            strategy.name(),
+            out.elapsed
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based integration tests over randomly sampled scenarios.
+
+use dfs_repro::core::prelude::*;
+use dfs_repro::data::split::stratified_three_way;
+use dfs_repro::data::synthetic::{generate, tiny_spec};
+use dfs_repro::data::Split;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn split_once() -> Split {
+    let mut spec = tiny_spec();
+    spec.rows = 200;
+    stratified_three_way(&generate(&spec, 99), 99)
+}
+
+fn arb_constraints() -> impl Strategy<Value = ConstraintSet> {
+    (
+        0.3..0.95f64,
+        prop::option::of(0.05..1.0f64),
+        prop::option::of(0.8..1.0f64),
+        prop::option::of(0.1..50.0f64),
+    )
+        .prop_map(|(min_f1, frac, eo, eps)| ConstraintSet {
+            min_f1,
+            max_search_time: Duration::from_millis(80),
+            max_feature_frac: frac,
+            min_eo: eo,
+            min_safety: None, // the attack is too slow for proptest volume
+            privacy_epsilon: eps,
+        })
+}
+
+fn arb_model() -> impl Strategy<Value = ModelKind> {
+    prop::sample::select(vec![
+        ModelKind::LogisticRegression,
+        ModelKind::GaussianNb,
+        ModelKind::DecisionTree,
+    ])
+}
+
+fn arb_strategy() -> impl Strategy<Value = StrategyId> {
+    prop::sample::select(vec![
+        StrategyId::Sfs,
+        StrategyId::Sbs,
+        StrategyId::Es,
+        StrategyId::TpeNr,
+        StrategyId::SaNr,
+        StrategyId::Nsga2Nr,
+        StrategyId::Rfe,
+        StrategyId::TpeRanking(dfs_repro::rankings::RankingKind::Chi2),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The central soundness property of the whole system: whenever a
+    /// strategy claims success, the returned subset really satisfies every
+    /// declared constraint on both validation and test, within the cap.
+    #[test]
+    fn success_implies_all_constraints_hold(
+        constraints in arb_constraints(),
+        model in arb_model(),
+        strategy in arb_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let split = split_once();
+        let scenario = MlScenario {
+            dataset: "tiny".into(),
+            model,
+            hpo: false,
+            constraints: constraints.clone(),
+            utility_f1: false,
+            seed,
+        };
+        let mut settings = ScenarioSettings::fast();
+        settings.max_evals = 40;
+        let out = run_dfs(&scenario, &split, &settings, strategy);
+
+        prop_assert!(out.evaluations <= 40);
+        if out.success {
+            let subset = out.subset.as_ref().expect("success has a subset");
+            prop_assert!(!subset.is_empty());
+            prop_assert!(subset.len() <= constraints.max_features_count(split.n_features()));
+            // Distances must be exactly zero on both evaluation splits.
+            prop_assert_eq!(out.val_distance, 0.0);
+            prop_assert_eq!(out.test_distance, 0.0);
+            let val = out.val_eval.expect("val eval");
+            prop_assert!(val.f1 >= constraints.min_f1);
+            if let Some(min_eo) = constraints.min_eo {
+                prop_assert!(val.eo.expect("eo measured") >= min_eo);
+            }
+            // Subset indices are valid, sorted and unique.
+            let mut sorted = subset.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(&sorted, subset);
+            prop_assert!(*subset.last().unwrap() < split.n_features());
+        } else {
+            // Failure must report finite or infinite-but-flagged distances,
+            // never NaN.
+            prop_assert!(!out.val_distance.is_nan());
+            prop_assert!(!out.test_distance.is_nan());
+        }
+    }
+
+    /// Determinism: the same scenario + strategy + seed gives the same
+    /// search decisions (success flag and subset), wall clock aside.
+    #[test]
+    fn outcomes_are_deterministic_modulo_wallclock(
+        model in arb_model(),
+        seed in 0u64..200,
+    ) {
+        let split = split_once();
+        // Evaluation-count budget only, so the wall clock cannot flake.
+        let constraints = ConstraintSet::accuracy_only(0.7, Duration::from_secs(3600));
+        let scenario = MlScenario {
+            dataset: "tiny".into(),
+            model,
+            hpo: false,
+            constraints,
+            utility_f1: false,
+            seed,
+        };
+        let mut settings = ScenarioSettings::fast();
+        settings.max_evals = 25;
+        let a = run_dfs(&scenario, &split, &settings, StrategyId::TpeNr);
+        let b = run_dfs(&scenario, &split, &settings, StrategyId::TpeNr);
+        prop_assert_eq!(a.success, b.success);
+        prop_assert_eq!(a.subset, b.subset);
+        prop_assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    /// Sampled constraint sets from the Listing-1 sampler always validate.
+    #[test]
+    fn sampled_scenarios_are_well_formed(seed in 0u64..500) {
+        let cfg = SamplerConfig {
+            time_range: (Duration::from_millis(10), Duration::from_millis(100)),
+            hpo: true,
+            utility_f1: false,
+        };
+        let mut rng = dfs_repro::linalg::rng::rng_from_seed(seed);
+        let s = sample_scenario("x", &cfg, &mut rng, seed);
+        prop_assert!(s.constraints.validate().is_ok());
+        prop_assert!((0.5..=1.0).contains(&s.constraints.min_f1));
+    }
+}
