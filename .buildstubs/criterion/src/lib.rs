@@ -1,0 +1,4 @@
+//! Offline resolution stand-in for `criterion`. Only `micro_components`
+//! uses criterion (all other bench targets are `harness = false` mains with
+//! no criterion dependency); run it in an environment with the real
+//! registry available.

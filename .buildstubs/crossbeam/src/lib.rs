@@ -1,0 +1,42 @@
+//! Offline stand-in for `crossbeam` 0.8 covering `crossbeam::scope`.
+//!
+//! `spawn` runs the closure IMMEDIATELY on the calling thread (sequential
+//! execution). That preserves the semantics this workspace relies on —
+//! every spawned task completes before `scope` returns, panics surface as
+//! `Err` from `scope` — while avoiding a re-implementation of scoped
+//! threads. Parallel speedup is absent under the stub; correctness is not.
+
+pub struct Scope;
+
+pub struct ScopedJoinHandle<T>(std::thread::Result<T>);
+
+impl<T> ScopedJoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.0
+    }
+}
+
+impl Scope {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<T>
+    where
+        F: FnOnce(&Scope) -> T,
+    {
+        ScopedJoinHandle(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self))))
+    }
+}
+
+/// Sequential `crossbeam::scope`: runs `f` with a scope whose `spawn`
+/// executes inline; returns `Err` if `f` itself panics. Panics inside
+/// spawned closures are captured in their `ScopedJoinHandle` (crossbeam
+/// surfaces unjoined child panics through the scope result instead; callers
+/// in this workspace treat both as a scope-level error).
+pub fn scope<F, R>(f: F) -> std::thread::Result<R>
+where
+    F: FnOnce(&Scope) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&Scope)))
+}
+
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}

@@ -1,0 +1,4 @@
+//! Offline resolution stand-in for `proptest`. This exists only so cargo
+//! can resolve the dependency graph without a network; test targets that
+//! `use proptest::...` will NOT compile against it. Run property tests in an
+//! environment with the real registry available.

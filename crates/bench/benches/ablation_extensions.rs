@@ -11,6 +11,7 @@
 //!
 //! Run: `cargo bench --bench ablation_extensions`
 
+use dfs_bench::ok_or_exit;
 use dfs_bench::corpus::{bench_settings, build_splits, CorpusConfig};
 use dfs_bench::print_table;
 use dfs_core::prelude::*;
@@ -21,7 +22,7 @@ use std::time::Duration;
 
 fn main() {
     let cfg = CorpusConfig::default();
-    let splits = build_splits(&cfg);
+    let splits = ok_or_exit(build_splits(&cfg));
     let settings = bench_settings();
 
     // --- Ablation 1: pruning vs wrapper on over-cap subsets. -------------

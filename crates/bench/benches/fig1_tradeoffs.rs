@@ -8,6 +8,7 @@
 //!
 //! Run: `cargo bench --bench fig1_tradeoffs`
 
+use dfs_bench::ok_or_exit;
 use dfs_bench::corpus::{bench_settings, build_splits, CorpusConfig};
 use dfs_bench::print_table;
 use dfs_core::prelude::*;
@@ -19,7 +20,7 @@ use std::time::Duration;
 
 fn main() {
     let cfg = CorpusConfig::default();
-    let splits = build_splits(&cfg);
+    let splits = ok_or_exit(build_splits(&cfg));
     let split = &splits["compas"];
     let settings = bench_settings();
     let d = split.n_features();

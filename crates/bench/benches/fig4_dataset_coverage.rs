@@ -4,6 +4,7 @@
 //!
 //! Run: `cargo bench --bench fig4_dataset_coverage`
 
+use dfs_bench::ok_or_exit;
 use dfs_bench::corpus::compute_or_load_matrix;
 use dfs_bench::{print_table, BenchVersion, CorpusConfig};
 use dfs_core::prelude::*;
@@ -13,7 +14,7 @@ use std::collections::HashMap;
 
 fn main() {
     let cfg = CorpusConfig::default();
-    let (matrix, splits) = compute_or_load_matrix(&cfg, BenchVersion::Hpo);
+    let (matrix, splits) = ok_or_exit(compute_or_load_matrix(&cfg, BenchVersion::Hpo));
     let datasets = matrix.datasets();
 
     let mut header: Vec<&str> = vec!["Strategy"];
@@ -32,7 +33,7 @@ fn main() {
 
     // DFS Optimizer row.
     eprintln!("[fig4] leave-one-dataset-out optimizer…");
-    let (default_matrix, _) = compute_or_load_matrix(&cfg, BenchVersion::DefaultParams);
+    let (default_matrix, _) = ok_or_exit(compute_or_load_matrix(&cfg, BenchVersion::DefaultParams));
     let report = leave_one_dataset_out_pooled(&matrix, &[&default_matrix], &splits, &OptimizerConfig::default());
     let satisfiable = matrix.satisfiable();
     let mut opt_row = vec!["DFS Optimizer".to_string()];

@@ -7,6 +7,7 @@
 //!
 //! Run: `cargo bench --bench fig5_constraint_grid`
 
+use dfs_bench::ok_or_exit;
 use dfs_bench::corpus::{bench_settings, build_splits, CorpusConfig};
 use dfs_bench::print_table;
 use dfs_core::prelude::*;
@@ -70,7 +71,7 @@ impl Pair {
 
 fn main() {
     let cfg = CorpusConfig::default();
-    let splits = build_splits(&cfg);
+    let splits = ok_or_exit(build_splits(&cfg));
     let settings = bench_settings();
     let arms = fig5_arms();
     let f1_axis = [0.50, 0.59, 0.68, 0.77];

@@ -4,6 +4,7 @@
 //!
 //! Run: `cargo bench --bench table3_coverage`
 
+use dfs_bench::ok_or_exit;
 use dfs_bench::corpus::compute_or_load_matrix;
 use dfs_bench::{fmt_mean_std, print_table, BenchVersion, CorpusConfig};
 use dfs_core::prelude::*;
@@ -11,8 +12,8 @@ use dfs_optimizer::{leave_one_dataset_out_pooled, OptimizerConfig};
 
 fn main() {
     let cfg = CorpusConfig::default();
-    let (default_matrix, _) = compute_or_load_matrix(&cfg, BenchVersion::DefaultParams);
-    let (hpo_matrix, hpo_splits) = compute_or_load_matrix(&cfg, BenchVersion::Hpo);
+    let (default_matrix, _) = ok_or_exit(compute_or_load_matrix(&cfg, BenchVersion::DefaultParams));
+    let (hpo_matrix, hpo_splits) = ok_or_exit(compute_or_load_matrix(&cfg, BenchVersion::Hpo));
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (arm_idx, arm) in hpo_matrix.arms.iter().enumerate() {

@@ -4,14 +4,15 @@
 //!
 //! Run: `cargo bench --bench table4_distance_utility`
 
+use dfs_bench::ok_or_exit;
 use dfs_bench::corpus::compute_or_load_matrix;
 use dfs_bench::{fmt_mean_std, print_table, BenchVersion, CorpusConfig};
 use dfs_core::prelude::*;
 
 fn main() {
     let cfg = CorpusConfig::default();
-    let (hpo_matrix, _) = compute_or_load_matrix(&cfg, BenchVersion::Hpo);
-    let (utility_matrix, _) = compute_or_load_matrix(&cfg, BenchVersion::Utility);
+    let (hpo_matrix, _) = ok_or_exit(compute_or_load_matrix(&cfg, BenchVersion::Hpo));
+    let (utility_matrix, _) = ok_or_exit(compute_or_load_matrix(&cfg, BenchVersion::Utility));
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (arm_idx, arm) in hpo_matrix.arms.iter().enumerate() {

@@ -4,13 +4,14 @@
 //!
 //! Run: `cargo bench --bench table5_constraint_coverage`
 
+use dfs_bench::ok_or_exit;
 use dfs_bench::corpus::compute_or_load_matrix;
 use dfs_bench::{print_table, BenchVersion, CorpusConfig};
 use dfs_core::prelude::*;
 
 fn main() {
     let cfg = CorpusConfig::default();
-    let (matrix, _) = compute_or_load_matrix(&cfg, BenchVersion::Hpo);
+    let (matrix, _) = ok_or_exit(compute_or_load_matrix(&cfg, BenchVersion::Hpo));
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (arm_idx, arm) in matrix.arms.iter().enumerate() {

@@ -4,6 +4,7 @@
 //!
 //! Run: `cargo bench --bench table7_transferability`
 
+use dfs_bench::ok_or_exit;
 use dfs_bench::corpus::{bench_settings, build_splits, CorpusConfig};
 use dfs_bench::{fmt_mean_std, print_table};
 use dfs_core::prelude::*;
@@ -13,7 +14,7 @@ use std::time::Duration;
 
 fn main() {
     let cfg = CorpusConfig::default();
-    let splits = build_splits(&cfg);
+    let splits = ok_or_exit(build_splits(&cfg));
     let settings = bench_settings();
 
     // Sample LR scenarios that constrain accuracy + EO + safety (the three

@@ -4,13 +4,14 @@
 //!
 //! Run: `cargo bench --bench table8_combinations`
 
+use dfs_bench::ok_or_exit;
 use dfs_bench::corpus::compute_or_load_matrix;
 use dfs_bench::{fmt_mean_std, print_table, BenchVersion, CorpusConfig};
 use dfs_core::prelude::*;
 
 fn main() {
     let cfg = CorpusConfig::default();
-    let (matrix, _) = compute_or_load_matrix(&cfg, BenchVersion::Hpo);
+    let (matrix, _) = ok_or_exit(compute_or_load_matrix(&cfg, BenchVersion::Hpo));
 
     let coverage_steps = matrix.greedy_portfolio(PortfolioObjective::Coverage);
     let fastest_steps = matrix.greedy_portfolio(PortfolioObjective::Fastest);

@@ -4,6 +4,7 @@
 //!
 //! Run: `cargo bench --bench table9_meta_accuracy`
 
+use dfs_bench::ok_or_exit;
 use dfs_bench::corpus::compute_or_load_matrix;
 use dfs_bench::{fmt_mean_std, print_table, BenchVersion, CorpusConfig};
 
@@ -11,10 +12,10 @@ use dfs_optimizer::{leave_one_dataset_out_pooled, OptimizerConfig};
 
 fn main() {
     let cfg = CorpusConfig::default();
-    let (matrix, splits) = compute_or_load_matrix(&cfg, BenchVersion::Hpo);
+    let (matrix, splits) = ok_or_exit(compute_or_load_matrix(&cfg, BenchVersion::Hpo));
 
     eprintln!("[table9] leave-one-dataset-out training of the DFS optimizer…");
-    let (default_matrix, _) = compute_or_load_matrix(&cfg, BenchVersion::DefaultParams);
+    let (default_matrix, _) = ok_or_exit(compute_or_load_matrix(&cfg, BenchVersion::DefaultParams));
     let report = leave_one_dataset_out_pooled(&matrix, &[&default_matrix], &splits, &OptimizerConfig::default());
 
     let rows: Vec<Vec<String>> = report

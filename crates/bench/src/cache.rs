@@ -3,10 +3,18 @@
 //! The matrix computation is the expensive part of the harness; every bench
 //! that needs it first looks here. The format is a line-oriented TSV keyed
 //! by a config fingerprint, written atomically (temp file + rename).
+//!
+//! Codec v2 carries each cell's [`CellStatus`] so fault-isolated runs
+//! roundtrip losslessly. A file that fails validation — wrong version,
+//! truncated, or garbled — is never trusted partially: [`load`] quarantines
+//! it (renames it aside with a `.quarantined` suffix) and the caller
+//! recomputes. The per-cell line codec is shared with the incremental
+//! checkpoint sidecar ([`crate::checkpoint`]).
 
 use crate::corpus::{BenchVersion, CorpusConfig};
 use dfs_constraints::ConstraintSet;
-use dfs_core::runner::{Arm, BenchmarkMatrix, CellResult};
+use dfs_core::error::{DfsError, DfsResult};
+use dfs_core::runner::{Arm, BenchmarkMatrix, CellResult, CellStatus};
 use dfs_core::MlScenario;
 use dfs_models::ModelKind;
 use std::fmt::Write as _;
@@ -22,7 +30,10 @@ pub fn cache_path(cfg: &CorpusConfig, version: BenchVersion) -> PathBuf {
     dir.join(format!("matrix-{}-{fingerprint:016x}.tsv", version.tag()))
 }
 
-fn fingerprint(cfg: &CorpusConfig) -> u64 {
+/// FNV-1a fingerprint of everything that determines the matrix contents.
+/// Also keys the checkpoint sidecar, so stale partial rows from a different
+/// configuration can never leak into a resumed run.
+pub fn fingerprint(cfg: &CorpusConfig) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     let mut mix = |v: u64| {
         h = (h ^ v).wrapping_mul(0x100000001b3);
@@ -40,12 +51,24 @@ fn fingerprint(cfg: &CorpusConfig) -> u64 {
     h
 }
 
-/// Serializes a matrix to the TSV codec.
-pub fn encode(matrix: &BenchmarkMatrix) -> String {
+/// Serializes a matrix to the TSV codec (v2).
+///
+/// Errors with [`DfsError::CacheEncode`] on a non-canonical arm set — the
+/// compact codec stores no arm column, so only `Arm::all()` matrices are
+/// representable.
+pub fn encode(matrix: &BenchmarkMatrix) -> DfsResult<String> {
     let mut out = String::new();
     let canonical = Arm::all();
-    assert_eq!(matrix.arms, canonical, "cache codec assumes canonical arm order");
-    let _ = writeln!(out, "#dfs-matrix\tv1\t{}\t{}", matrix.scenarios.len(), matrix.arms.len());
+    if matrix.arms != canonical {
+        return Err(DfsError::CacheEncode {
+            reason: format!(
+                "non-canonical arm set ({} arms, expected the canonical {})",
+                matrix.arms.len(),
+                canonical.len()
+            ),
+        });
+    }
+    let _ = writeln!(out, "#dfs-matrix\tv2\t{}\t{}", matrix.scenarios.len(), matrix.arms.len());
     for (s, row) in matrix.scenarios.iter().zip(&matrix.results) {
         let c = &s.constraints;
         let _ = writeln!(
@@ -64,20 +87,63 @@ pub fn encode(matrix: &BenchmarkMatrix) -> String {
             c.privacy_epsilon.unwrap_or(-1.0),
         );
         for cell in row {
-            let _ = writeln!(
-                out,
-                "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
-                cell.success as u8,
-                cell.elapsed.as_secs_f64(),
-                cell.val_distance,
-                cell.test_distance,
-                cell.evaluations,
-                cell.test_f1,
-                cell.subset_size,
-            );
+            encode_cell(&mut out, cell);
         }
     }
-    out
+    Ok(out)
+}
+
+/// Writes one `R` result line (v2: leading one-character status code).
+pub(crate) fn encode_cell(out: &mut String, cell: &CellResult) {
+    let _ = writeln!(
+        out,
+        "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        cell.status.code(),
+        cell.success as u8,
+        cell.elapsed.as_secs_f64(),
+        cell.val_distance,
+        cell.test_distance,
+        cell.evaluations,
+        cell.test_f1,
+        cell.subset_size,
+    );
+}
+
+/// Parses one tab-split `R` line (`fields[0] == "R"`, 9 fields). Every
+/// field is validated — a truncated or bit-flipped line is an error, never
+/// a silently wrong cell.
+pub(crate) fn decode_cell(fields: &[&str]) -> Result<CellResult, String> {
+    if fields.len() != 9 {
+        return Err(format!("result line has {} fields, expected 9", fields.len()));
+    }
+    let parse = |i: usize| -> Result<f64, String> {
+        fields[i].parse().map_err(|e| format!("result field {i}: {e}"))
+    };
+    let status = match fields[1].as_bytes() {
+        [c] => CellStatus::from_code(*c as char)
+            .ok_or_else(|| format!("unknown cell status '{}'", fields[1]))?,
+        _ => return Err(format!("unknown cell status '{}'", fields[1])),
+    };
+    let success = match fields[2] {
+        "0" => false,
+        "1" => true,
+        other => return Err(format!("bad success flag '{other}'")),
+    };
+    let val = parse(3)?;
+    if val.is_nan() {
+        return Err("negative or NaN elapsed".into());
+    }
+    let elapsed = Duration::try_from_secs_f64(val).map_err(|e| e.to_string())?;
+    Ok(CellResult {
+        status,
+        success,
+        elapsed,
+        val_distance: parse(4)?,
+        test_distance: parse(5)?,
+        evaluations: fields[6].parse().map_err(|e| format!("result field 6: {e}"))?,
+        test_f1: parse(7)?,
+        subset_size: fields[8].parse().map_err(|e| format!("result field 8: {e}"))?,
+    })
 }
 
 /// Parses the TSV codec back into a matrix.
@@ -85,8 +151,11 @@ pub fn decode(s: &str) -> Result<BenchmarkMatrix, String> {
     let mut lines = s.lines();
     let header = lines.next().ok_or("empty cache file")?;
     let head: Vec<&str> = header.split('\t').collect();
-    if head.len() != 4 || head[0] != "#dfs-matrix" || head[1] != "v1" {
+    if head.len() != 4 || head[0] != "#dfs-matrix" {
         return Err(format!("bad header '{header}'"));
+    }
+    if head[1] != "v2" {
+        return Err(format!("unsupported cache version '{}' (this build reads v2)", head[1]));
     }
     let n_scenarios: usize = head[2].parse().map_err(|e| format!("bad count: {e}"))?;
     let n_arms: usize = head[3].parse().map_err(|e| format!("bad arm count: {e}"))?;
@@ -114,6 +183,10 @@ pub fn decode(s: &str) -> Result<BenchmarkMatrix, String> {
                     "SVM" => ModelKind::LinearSvm,
                     other => return Err(format!("unknown model '{other}'")),
                 };
+                let secs = parse(7)?;
+                if secs.is_nan() {
+                    return Err(format!("{line}: NaN search time"));
+                }
                 scenarios.push(MlScenario {
                     dataset: cells[1].to_string(),
                     model,
@@ -122,7 +195,8 @@ pub fn decode(s: &str) -> Result<BenchmarkMatrix, String> {
                     seed: cells[5].parse().map_err(|e| format!("{line}: {e}"))?,
                     constraints: ConstraintSet {
                         min_f1: parse(6)?,
-                        max_search_time: Duration::from_secs_f64(parse(7)?),
+                        max_search_time: Duration::try_from_secs_f64(secs)
+                            .map_err(|e| format!("{line}: {e}"))?,
                         max_feature_frac: opt(parse(8)?),
                         min_eo: opt(parse(9)?),
                         min_safety: opt(parse(10)?),
@@ -132,21 +206,11 @@ pub fn decode(s: &str) -> Result<BenchmarkMatrix, String> {
                 results.push(Vec::with_capacity(n_arms));
             }
             Some(&"R") => {
-                if cells.len() != 8 {
-                    return Err(format!("bad result line '{line}'"));
-                }
-                let parse =
-                    |i: usize| -> Result<f64, String> { cells[i].parse().map_err(|e| format!("{line}: {e}")) };
                 let row = results.last_mut().ok_or("result before scenario")?;
-                row.push(CellResult {
-                    success: cells[1] == "1",
-                    elapsed: Duration::from_secs_f64(parse(2)?),
-                    val_distance: parse(3)?,
-                    test_distance: parse(4)?,
-                    evaluations: cells[5].parse().map_err(|e| format!("{line}: {e}"))?,
-                    test_f1: parse(6)?,
-                    subset_size: cells[7].parse().map_err(|e| format!("{line}: {e}"))?,
-                });
+                if row.len() >= n_arms {
+                    return Err("too many result lines for scenario".into());
+                }
+                row.push(decode_cell(&cells).map_err(|e| format!("{line}: {e}"))?);
             }
             _ => return Err(format!("unknown line kind '{line}'")),
         }
@@ -155,32 +219,55 @@ pub fn decode(s: &str) -> Result<BenchmarkMatrix, String> {
         return Err(format!("expected {n_scenarios} scenarios, got {}", scenarios.len()));
     }
     if results.iter().any(|r| r.len() != n_arms) {
-        return Err("ragged result rows".into());
+        return Err("ragged result rows (truncated file?)".into());
     }
     Ok(BenchmarkMatrix { arms, scenarios, results })
 }
 
-/// Loads a cached matrix; `None` when missing or unreadable.
-pub fn load(path: &Path) -> Option<BenchmarkMatrix> {
-    let s = std::fs::read_to_string(path).ok()?;
-    match decode(&s) {
-        Ok(m) => Some(m),
+/// Moves a corrupt file aside as `<path>.quarantined` so the recompute can
+/// write fresh while the bad bytes stay available for inspection.
+pub fn quarantine(path: &Path) -> Option<PathBuf> {
+    let dest = PathBuf::from(format!("{}.quarantined", path.display()));
+    match std::fs::rename(path, &dest) {
+        Ok(()) => Some(dest),
         Err(e) => {
-            eprintln!("[dfs-bench] ignoring corrupt cache {}: {e}", path.display());
+            eprintln!("[dfs-bench] warning: could not quarantine {}: {e}", path.display());
             None
         }
     }
 }
 
-/// Saves a matrix atomically.
-pub fn save(path: &Path, matrix: &BenchmarkMatrix) {
+/// Loads a cached matrix; `None` when the file is missing. A file that
+/// fails validation (old version, truncation, corruption) is quarantined
+/// and `None` is returned so the caller recomputes.
+pub fn load(path: &Path) -> Option<BenchmarkMatrix> {
+    let s = std::fs::read_to_string(path).ok()?;
+    match decode(&s) {
+        Ok(m) => Some(m),
+        Err(reason) => {
+            let err = DfsError::CacheCorrupt { path: path.to_path_buf(), reason };
+            match quarantine(path) {
+                Some(dest) => eprintln!(
+                    "[dfs-bench] warning: {err}; quarantined to {}",
+                    dest.display()
+                ),
+                None => eprintln!("[dfs-bench] warning: {err}"),
+            }
+            None
+        }
+    }
+}
+
+/// Saves a matrix atomically (temp file + rename).
+pub fn save(path: &Path, matrix: &BenchmarkMatrix) -> DfsResult<()> {
+    let encoded = encode(matrix)?;
     if let Some(dir) = path.parent() {
-        let _ = std::fs::create_dir_all(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| DfsError::Io { path: dir.to_path_buf(), source: e })?;
     }
     let tmp = path.with_extension("tmp");
-    if std::fs::write(&tmp, encode(matrix)).is_ok() {
-        let _ = std::fs::rename(&tmp, path);
-    }
+    std::fs::write(&tmp, encoded).map_err(|e| DfsError::Io { path: tmp.clone(), source: e })?;
+    std::fs::rename(&tmp, path).map_err(|e| DfsError::Io { path: path.to_path_buf(), source: e })
 }
 
 #[cfg(test)]
@@ -207,6 +294,12 @@ mod tests {
         };
         let row: Vec<CellResult> = (0..arms.len())
             .map(|i| CellResult {
+                status: match i % 4 {
+                    0 => CellStatus::Ok,
+                    1 => CellStatus::Panicked,
+                    2 => CellStatus::TimedOut,
+                    _ => CellStatus::Skipped,
+                },
                 success: i % 3 == 0,
                 elapsed: Duration::from_micros(100 + i as u64),
                 val_distance: 0.01 * i as f64,
@@ -220,9 +313,9 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_preserves_everything() {
+    fn roundtrip_preserves_everything_including_statuses() {
         let m = sample_matrix();
-        let decoded = decode(&encode(&m)).expect("roundtrip");
+        let decoded = decode(&encode(&m).expect("encode")).expect("roundtrip");
         assert_eq!(decoded.scenarios.len(), 1);
         let s = &decoded.scenarios[0];
         assert_eq!(s.dataset, "compas");
@@ -233,6 +326,7 @@ mod tests {
         assert_eq!(s.constraints.min_eo, None);
         assert_eq!(s.constraints.min_safety, Some(0.85));
         for (a, b) in m.results[0].iter().zip(&decoded.results[0]) {
+            assert_eq!(a.status, b.status);
             assert_eq!(a.success, b.success);
             assert_eq!(a.evaluations, b.evaluations);
             assert_eq!(a.subset_size, b.subset_size);
@@ -244,12 +338,61 @@ mod tests {
     }
 
     #[test]
+    fn infinite_distances_of_faulted_cells_roundtrip() {
+        let mut m = sample_matrix();
+        m.results[0][1] = CellResult::faulted(CellStatus::Panicked, Duration::from_millis(7));
+        let decoded = decode(&encode(&m).expect("encode")).expect("roundtrip");
+        let cell = &decoded.results[0][1];
+        assert_eq!(cell.status, CellStatus::Panicked);
+        assert!(cell.val_distance.is_infinite() && cell.test_distance.is_infinite());
+        assert!(!cell.success);
+    }
+
+    #[test]
+    fn encode_rejects_non_canonical_arm_sets() {
+        let mut m = sample_matrix();
+        m.arms.truncate(3);
+        match encode(&m) {
+            Err(DfsError::CacheEncode { reason }) => assert!(reason.contains("non-canonical")),
+            other => panic!("expected CacheEncode error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn decode_rejects_garbage() {
         assert!(decode("").is_err());
-        assert!(decode("#dfs-matrix\tv2\t0\t17\n").is_err());
-        assert!(decode("#dfs-matrix\tv1\t1\t17\nX\tfoo\n").is_err());
+        // v1 files (pre-status codec) are a version mismatch, not a panic.
+        assert!(decode("#dfs-matrix\tv1\t0\t17\n")
+            .is_err_and(|e| e.contains("unsupported cache version")));
+        assert!(decode("#dfs-matrix\tv3\t0\t17\n").is_err());
+        assert!(decode("#dfs-matrix\tv2\t1\t17\nX\tfoo\n").is_err());
         // Wrong arm count.
-        assert!(decode("#dfs-matrix\tv1\t0\t3\n").is_err());
+        assert!(decode("#dfs-matrix\tv2\t0\t3\n").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_files() {
+        let encoded = encode(&sample_matrix()).expect("encode");
+        // Cut mid-way through the result block: ragged row.
+        let cut = encoded.len() / 2;
+        let truncated = &encoded[..encoded[..cut].rfind('\n').expect("newline") + 1];
+        assert!(decode(truncated).is_err());
+        // Cut mid-line: the partial R line has too few fields.
+        assert!(decode(&encoded[..encoded.len() - 10]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bitflipped_fields() {
+        let encoded = encode(&sample_matrix()).expect("encode");
+        // Flip the status code of the first result line to an unknown byte.
+        let pos = encoded.find("\nR\t").expect("result line") + 3;
+        let mut flipped = encoded.clone().into_bytes();
+        flipped[pos] ^= 0x10;
+        let flipped = String::from_utf8(flipped).expect("utf8");
+        assert!(decode(&flipped).is_err_and(|e| e.contains("status")));
+        // Garble a numeric field.
+        let garbled = encoded.replacen("0.01", "0.0x1", 1);
+        assert!(decode(&garbled).is_err());
     }
 
     #[test]
@@ -257,10 +400,25 @@ mod tests {
         let m = sample_matrix();
         let dir = std::env::temp_dir().join("dfs-cache-test");
         let path = dir.join("m.tsv");
-        save(&path, &m);
+        save(&path, &m).expect("save");
         let loaded = load(&path).expect("load");
         assert_eq!(loaded.scenarios[0].seed, 42);
         std::fs::remove_file(&path).ok();
         assert!(load(&path).is_none());
+    }
+
+    #[test]
+    fn load_quarantines_corrupt_files() {
+        let dir = std::env::temp_dir().join("dfs-cache-test-quarantine");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("bad.tsv");
+        let qpath = PathBuf::from(format!("{}.quarantined", path.display()));
+        std::fs::remove_file(&qpath).ok();
+        std::fs::write(&path, "#dfs-matrix\tv1\t0\t17\n").expect("write");
+        assert!(load(&path).is_none());
+        // The bad file was moved aside, not deleted and not left in place.
+        assert!(!path.exists());
+        assert!(qpath.exists());
+        std::fs::remove_file(&qpath).ok();
     }
 }

@@ -1,7 +1,8 @@
 //! Benchmark corpus: datasets, scenario sampling, and matrix computation.
 
+use crate::checkpoint::Checkpoint;
 use dfs_core::prelude::*;
-use dfs_core::runner::run_benchmark;
+use dfs_core::runner::{run_benchmark_opts, RunnerOptions};
 use dfs_data::split::{stratified_three_way, Split};
 use dfs_data::synthetic::{generate, spec_by_name};
 use dfs_linalg::rng::rng_from_seed;
@@ -84,16 +85,20 @@ impl Default for CorpusConfig {
 }
 
 /// Generates and splits every corpus dataset (seeded, deterministic).
-pub fn build_splits(cfg: &CorpusConfig) -> HashMap<String, Split> {
+///
+/// A config naming a dataset with no known generator is a configuration
+/// error ([`DfsError::UnknownDataset`]), reported before any compute is
+/// spent rather than as a panic mid-run.
+pub fn build_splits(cfg: &CorpusConfig) -> DfsResult<HashMap<String, Split>> {
     cfg.datasets
         .iter()
         .map(|&(name, row_cap)| {
             let mut spec = spec_by_name(name)
-                .unwrap_or_else(|| panic!("unknown dataset '{name}'"));
+                .ok_or_else(|| DfsError::UnknownDataset { dataset: name.to_string() })?;
             spec.rows = spec.rows.min(row_cap);
             let ds = generate(&spec, cfg.seed ^ hash_name(name));
             let split = stratified_three_way(&ds, cfg.seed ^ 0x5517);
-            (name.to_string(), split)
+            Ok((name.to_string(), split))
         })
         .collect()
 }
@@ -130,28 +135,62 @@ pub fn bench_settings() -> ScenarioSettings {
 
 /// Computes the outcome matrix for a version, or loads it from the disk
 /// cache when the same configuration was computed before.
+///
+/// The computation checkpoints every completed scenario row to a sidecar
+/// next to the cache file; if the process dies mid-matrix, the next call
+/// with the same configuration resumes from the sidecar and recomputes only
+/// the missing rows. A corrupt cache or sidecar is quarantined and treated
+/// as absent.
 pub fn compute_or_load_matrix(
     cfg: &CorpusConfig,
     version: BenchVersion,
-) -> (BenchmarkMatrix, HashMap<String, Split>) {
-    let splits = build_splits(cfg);
+) -> DfsResult<(BenchmarkMatrix, HashMap<String, Split>)> {
+    let splits = build_splits(cfg)?;
     let path = crate::cache::cache_path(cfg, version);
     if let Some(matrix) = crate::cache::load(&path) {
         eprintln!("[dfs-bench] loaded cached matrix from {}", path.display());
-        return (matrix, splits);
+        return Ok((matrix, splits));
+    }
+    let scenarios = build_scenarios(cfg, version);
+    let arms = Arm::all();
+    let fingerprint = crate::cache::fingerprint(cfg);
+    let ckpt_path = Checkpoint::sidecar_path(&path);
+    let resume = Checkpoint::load_rows(&ckpt_path, fingerprint, scenarios.len(), arms.len());
+    if !resume.is_empty() {
+        eprintln!(
+            "[dfs-bench] resuming from checkpoint {}: {} of {} rows already computed",
+            ckpt_path.display(),
+            resume.len(),
+            scenarios.len()
+        );
     }
     eprintln!(
         "[dfs-bench] computing {} matrix: {} scenarios x {} arms ({} threads)…",
         version.tag(),
-        cfg.datasets.len() * cfg.scenarios_per_dataset,
-        Arm::all().len(),
+        scenarios.len(),
+        arms.len(),
         cfg.threads
     );
-    let scenarios = build_scenarios(cfg, version);
     let settings = bench_settings();
-    let matrix = run_benchmark(&splits, scenarios, &Arm::all(), &settings, cfg.threads);
-    crate::cache::save(&path, &matrix);
-    (matrix, splits)
+    let ckpt = Checkpoint::start(ckpt_path, fingerprint, scenarios.len(), arms.len(), &resume);
+    let sink = |i: usize, row: &[CellResult]| ckpt.append_row(i, row);
+    let opts = RunnerOptions {
+        threads: cfg.threads,
+        resume,
+        on_row: Some(&sink),
+        ..RunnerOptions::default()
+    };
+    let matrix = run_benchmark_opts(&splits, scenarios, &arms, &settings, &opts);
+    let (ok, panicked, timed_out, skipped) = matrix.status_counts();
+    if panicked + timed_out + skipped > 0 {
+        eprintln!(
+            "[dfs-bench] matrix completed with faults: {ok} ok, {panicked} panicked, \
+             {timed_out} timed out, {skipped} skipped"
+        );
+    }
+    crate::cache::save(&path, &matrix)?;
+    ckpt.finish();
+    Ok((matrix, splits))
 }
 
 fn hash_name(name: &str) -> u64 {
@@ -175,7 +214,7 @@ mod tests {
     #[test]
     fn splits_are_built_for_every_dataset() {
         let cfg = tiny_cfg();
-        let splits = build_splits(&cfg);
+        let splits = build_splits(&cfg).expect("splits");
         assert_eq!(splits.len(), 2);
         let compas = &splits["compas"];
         assert_eq!(compas.n_features(), 19); // matches Table 2
@@ -197,9 +236,19 @@ mod tests {
     }
 
     #[test]
+    fn unknown_dataset_is_a_structured_error_not_a_panic() {
+        let mut cfg = tiny_cfg();
+        cfg.datasets.push(("no_such_dataset", 100));
+        match build_splits(&cfg) {
+            Err(DfsError::UnknownDataset { dataset }) => assert_eq!(dataset, "no_such_dataset"),
+            other => panic!("expected UnknownDataset, got {:?}", other.map(|m| m.len())),
+        }
+    }
+
+    #[test]
     fn end_to_end_matrix_on_a_micro_corpus() {
         let cfg = tiny_cfg();
-        let splits = build_splits(&cfg);
+        let splits = build_splits(&cfg).expect("splits");
         let scenarios = build_scenarios(&cfg, BenchVersion::DefaultParams);
         let mut settings = bench_settings();
         settings.max_evals = 15;

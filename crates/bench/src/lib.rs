@@ -6,6 +6,9 @@
 //! `EXPERIMENTS.md`). The expensive part — executing the randomized
 //! scenario corpus across all 17 arms — runs once and is cached on disk
 //! ([`cache`]), so `table3` pays the cost and the other tables reuse it.
+//! While it runs, completed rows stream to a checkpoint sidecar
+//! ([`checkpoint`]) so an interrupted computation resumes instead of
+//! restarting; corrupt caches are quarantined, not trusted.
 //!
 //! Scale note: the paper burned four weeks of compute on 28-core machines
 //! with 10 s–3 h search budgets. This harness scales the datasets and the
@@ -15,8 +18,22 @@
 //! `DFS_BENCH_SCENARIOS` (default 8) to change scenarios-per-dataset.
 
 pub mod cache;
+pub mod checkpoint;
 pub mod corpus;
 pub mod table;
 
+pub use checkpoint::Checkpoint;
 pub use corpus::{bench_settings, build_scenarios, build_splits, BenchVersion, CorpusConfig};
 pub use table::{fmt_mean_std, print_table};
+
+/// Unwraps a pipeline result in a bench main: prints the structured error
+/// and exits nonzero instead of panicking with a backtrace.
+pub fn ok_or_exit<T>(result: dfs_core::DfsResult<T>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("[dfs-bench] fatal: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The workspace-wide structured error taxonomy.
+//!
+//! The benchmark matrix behind Tables 3–9 is the expensive artifact of this
+//! reproduction; a declarative system is only credible if the enforcement
+//! machinery itself degrades gracefully. Every fallible step of the
+//! experiment pipeline — corpus construction, cache/checkpoint IO, cell
+//! execution — reports a [`DfsError`] instead of panicking, so one bad
+//! dataset entry, one corrupt cache file, or one runaway strategy cannot
+//! discard hours of computed cells.
+//!
+//! Cell-level faults ([`DfsError::CellPanicked`], [`DfsError::CellTimedOut`])
+//! are usually *recorded* in the matrix as faulted cells (see
+//! [`crate::runner::CellStatus`]) rather than returned: the run continues
+//! and the fault becomes data. The variants exist so the warning lines the
+//! runner emits and any caller that wants to escalate share one vocabulary.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Structured error for the DFS experiment pipeline.
+#[derive(Debug)]
+pub enum DfsError {
+    /// A scenario or corpus entry names a dataset with no prepared split or
+    /// no known generator.
+    UnknownDataset {
+        /// The offending dataset name.
+        dataset: String,
+    },
+    /// A cache or checkpoint file failed validation (bad header, wrong
+    /// version, truncated or garbled lines) and was not used.
+    CacheCorrupt {
+        /// The file that failed to parse.
+        path: PathBuf,
+        /// Human-readable parse failure.
+        reason: String,
+    },
+    /// A matrix could not be serialized (e.g. a non-canonical arm set that
+    /// the compact codec cannot represent).
+    CacheEncode {
+        /// Why encoding is impossible.
+        reason: String,
+    },
+    /// Filesystem failure on a cache or checkpoint path.
+    Io {
+        /// The path being read or written.
+        path: PathBuf,
+        /// The underlying IO error.
+        source: std::io::Error,
+    },
+    /// A strategy or model fit panicked inside a benchmark cell. The cell is
+    /// recorded as [`crate::runner::CellStatus::Panicked`]; the run goes on.
+    CellPanicked {
+        /// Scenario label (dataset plus index where available).
+        scenario: String,
+        /// Arm display name.
+        arm: String,
+        /// Panic payload rendered to text (`<non-string panic>` otherwise).
+        payload: String,
+    },
+    /// A benchmark cell exceeded the watchdog deadline derived from its
+    /// scenario's Max Search Time. Recorded as
+    /// [`crate::runner::CellStatus::TimedOut`]; the run goes on.
+    CellTimedOut {
+        /// Scenario label.
+        scenario: String,
+        /// Arm display name.
+        arm: String,
+        /// The enforced hard deadline.
+        deadline: Duration,
+    },
+    /// A configuration precondition was violated (empty schedule, bad
+    /// fraction, zero arms, …).
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+/// Workspace-wide result alias.
+pub type DfsResult<T> = Result<T, DfsError>;
+
+impl std::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfsError::UnknownDataset { dataset } => {
+                write!(f, "unknown dataset '{dataset}' (no split/generator)")
+            }
+            DfsError::CacheCorrupt { path, reason } => {
+                write!(f, "corrupt cache file {}: {reason}", path.display())
+            }
+            DfsError::CacheEncode { reason } => write!(f, "cannot encode matrix: {reason}"),
+            DfsError::Io { path, source } => {
+                write!(f, "io error on {}: {source}", path.display())
+            }
+            DfsError::CellPanicked { scenario, arm, payload } => {
+                write!(f, "cell ({scenario} x {arm}) panicked: {payload}")
+            }
+            DfsError::CellTimedOut { scenario, arm, deadline } => {
+                write!(f, "cell ({scenario} x {arm}) exceeded watchdog deadline {deadline:?}")
+            }
+            DfsError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DfsError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Renders a `catch_unwind` payload to text: `&str` and `String` payloads
+/// (what `panic!` produces) verbatim, anything else as a placeholder.
+pub fn panic_payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DfsError::UnknownDataset { dataset: "nope".into() };
+        assert!(e.to_string().contains("nope"));
+        let e = DfsError::CacheCorrupt { path: "/tmp/x.tsv".into(), reason: "bad header".into() };
+        assert!(e.to_string().contains("x.tsv") && e.to_string().contains("bad header"));
+        let e = DfsError::CellTimedOut {
+            scenario: "adult#3".into(),
+            arm: "SBS(NR)".into(),
+            deadline: Duration::from_millis(250),
+        };
+        assert!(e.to_string().contains("SBS(NR)"));
+    }
+
+    #[test]
+    fn io_variant_exposes_source() {
+        let e = DfsError::Io {
+            path: "/tmp/y".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn panic_payloads_render() {
+        let caught = std::panic::catch_unwind(|| panic!("boom {}", 42));
+        let payload = caught.err().map(|p| panic_payload_to_string(&*p));
+        assert_eq!(payload.as_deref(), Some("boom 42"));
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(7u32));
+        let payload = caught.err().map(|p| panic_payload_to_string(&*p));
+        assert_eq!(payload.as_deref(), Some("<non-string panic>"));
+    }
+}

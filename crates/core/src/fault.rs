@@ -1,0 +1,78 @@
+//! Deterministic fault injection for the benchmark runner.
+//!
+//! A [`FaultPlan`] makes chosen (scenario, arm) cells panic, stall, or
+//! return garbage, so integration tests can prove the fault-tolerance
+//! properties the harness claims: the matrix completes with faulted cells
+//! recorded (not aborted), aggregate statistics stay correct, and a
+//! killed-then-resumed run recomputes only the missing rows. The plan is
+//! plain data — injection happens inside the runner's guarded cell
+//! execution, on the same code path real faults take.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// What an injected fault does to its cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The cell panics mid-execution (as a buggy strategy or model fit
+    /// would). Must be recorded as `CellStatus::Panicked`.
+    Panic,
+    /// The cell blocks for the given duration before finishing (a runaway
+    /// arm). Longer than the watchdog deadline ⇒ `CellStatus::TimedOut`.
+    Stall(Duration),
+    /// The cell returns a `CellResult` full of non-finite garbage (NaN
+    /// distances, NaN F1, claimed success). The runner must sanitize it so
+    /// aggregation treats it as an ordinary failure.
+    Garbage,
+}
+
+/// A deterministic map from (scenario index, arm index) to an injected
+/// fault. Cells not in the plan run normally.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: HashMap<(usize, usize), FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` for the cell at (scenario row, arm column).
+    pub fn inject(&mut self, scenario_idx: usize, arm_idx: usize, kind: FaultKind) -> &mut Self {
+        self.faults.insert((scenario_idx, arm_idx), kind);
+        self
+    }
+
+    /// The fault scheduled for a cell, if any.
+    pub fn get(&self, scenario_idx: usize, arm_idx: usize) -> Option<FaultKind> {
+        self.faults.get(&(scenario_idx, arm_idx)).copied()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_a_sparse_cell_map() {
+        let mut plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        plan.inject(0, 1, FaultKind::Panic).inject(2, 0, FaultKind::Stall(Duration::from_secs(9)));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.get(0, 1), Some(FaultKind::Panic));
+        assert_eq!(plan.get(2, 0), Some(FaultKind::Stall(Duration::from_secs(9))));
+        assert_eq!(plan.get(1, 1), None);
+    }
+}

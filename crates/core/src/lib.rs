@@ -17,8 +17,14 @@
 //! - [`workflow`] — [`workflow::run_dfs`]: propose → train → validate →
 //!   confirm-on-test;
 //! - [`sampler`] — the randomized constraint-space fuzzing of Listing 1;
-//! - [`runner`] — corpus execution producing the outcome matrix behind
-//!   Tables 3–8, plus coverage/fastest aggregation and greedy portfolios;
+//! - [`runner`] — fault-isolated corpus execution producing the outcome
+//!   matrix behind Tables 3–8, plus coverage/fastest aggregation and greedy
+//!   portfolios;
+//! - [`error`] — the workspace-wide [`DfsError`] taxonomy; cell-level
+//!   faults are recorded in the matrix ([`runner::CellStatus`]) rather than
+//!   aborting a run;
+//! - [`fault`] — deterministic fault injection ([`fault::FaultPlan`]) for
+//!   the fault-tolerance tests;
 //! - [`transfer`] — feature-set reusability across model families
 //!   (Table 7).
 //!
@@ -45,6 +51,8 @@
 //! assert!(outcome.evaluations > 0);
 //! ```
 
+pub mod error;
+pub mod fault;
 pub mod runner;
 pub mod sampler;
 pub mod scenario;
@@ -52,13 +60,20 @@ pub mod switching;
 pub mod transfer;
 pub mod workflow;
 
+pub use error::{DfsError, DfsResult};
+pub use fault::{FaultKind, FaultPlan};
 pub use scenario::{MlScenario, ScenarioContext, ScenarioSettings};
 pub use switching::{run_with_switching, SwitchConfig, SwitchOutcome};
 pub use workflow::{run_dfs, DfsOutcome};
 
 /// Convenient glob-import surface for examples and benches.
 pub mod prelude {
-    pub use crate::runner::{Arm, BenchmarkMatrix, PortfolioObjective};
+    pub use crate::error::{DfsError, DfsResult};
+    pub use crate::fault::{FaultKind, FaultPlan};
+    pub use crate::runner::{
+        run_benchmark, run_benchmark_opts, Arm, BenchmarkMatrix, CellResult, CellStatus,
+        PortfolioObjective, RunnerOptions,
+    };
     pub use crate::sampler::{sample_scenario, SamplerConfig};
     pub use crate::scenario::{MlScenario, ScenarioContext, ScenarioSettings};
     pub use crate::transfer::check_transfer;

@@ -14,13 +14,17 @@
 //!   **per-model** (Table 6) breakdowns, **normalized F1** for the utility
 //!   benchmark, and the **greedy portfolios** of Table 8.
 
+use crate::error::{panic_payload_to_string, DfsError};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::scenario::{MlScenario, ScenarioSettings};
 use crate::workflow::{run_dfs, run_original_features, DfsOutcome};
 use dfs_data::split::Split;
 use dfs_fs::StrategyId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::time::Duration;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// One column of the benchmark matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,9 +52,55 @@ impl Arm {
     }
 }
 
+/// How a cell terminated. Anything but `Ok` is a *fault*: the cell carries
+/// sentinel metrics (no success, infinite distances, zero F1) so every
+/// aggregation treats it exactly like an ordinary unsuccessful run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellStatus {
+    /// The arm ran to completion (successfully or not).
+    Ok,
+    /// The arm panicked; the panic was isolated by `catch_unwind`.
+    Panicked,
+    /// The arm exceeded the watchdog's hard wall-clock deadline.
+    TimedOut,
+    /// The cell never ran: missing split, dead worker, or a placeholder the
+    /// resume machinery will fill on a later run.
+    Skipped,
+}
+
+impl CellStatus {
+    /// `true` for cells that actually executed to completion.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellStatus::Ok)
+    }
+
+    /// One-character code used by the TSV cache codec (v2).
+    pub fn code(&self) -> char {
+        match self {
+            CellStatus::Ok => 'O',
+            CellStatus::Panicked => 'P',
+            CellStatus::TimedOut => 'T',
+            CellStatus::Skipped => 'S',
+        }
+    }
+
+    /// Inverse of [`CellStatus::code`].
+    pub fn from_code(c: char) -> Option<CellStatus> {
+        match c {
+            'O' => Some(CellStatus::Ok),
+            'P' => Some(CellStatus::Panicked),
+            'T' => Some(CellStatus::TimedOut),
+            'S' => Some(CellStatus::Skipped),
+            _ => None,
+        }
+    }
+}
+
 /// One cell: the outcome of one arm on one scenario.
 #[derive(Debug, Clone)]
 pub struct CellResult {
+    /// How the cell terminated (faults become data, not aborts).
+    pub status: CellStatus,
     /// Constraints satisfied on validation and confirmed on test.
     pub success: bool,
     /// Wall-clock search time.
@@ -67,9 +117,27 @@ pub struct CellResult {
     pub subset_size: usize,
 }
 
+impl CellResult {
+    /// Sentinel cell for a fault: a failure with infinite distances (so the
+    /// finite-distance means of Table 4 exclude it), zero F1 and no subset.
+    pub fn faulted(status: CellStatus, elapsed: Duration) -> CellResult {
+        CellResult {
+            status,
+            success: false,
+            elapsed,
+            val_distance: f64::INFINITY,
+            test_distance: f64::INFINITY,
+            evaluations: 0,
+            test_f1: 0.0,
+            subset_size: 0,
+        }
+    }
+}
+
 impl From<&DfsOutcome> for CellResult {
     fn from(o: &DfsOutcome) -> Self {
         CellResult {
+            status: CellStatus::Ok,
             success: o.success,
             elapsed: o.elapsed,
             val_distance: o.val_distance,
@@ -92,11 +160,58 @@ pub struct BenchmarkMatrix {
     pub results: Vec<Vec<CellResult>>,
 }
 
+/// Tuning knobs for [`run_benchmark_opts`]. `Default` is the production
+/// configuration: single-threaded, watchdog at 8× each scenario's Max
+/// Search Time plus 500 ms grace, no fault injection, no resume state, no
+/// checkpoint sink.
+pub struct RunnerOptions<'a> {
+    /// Worker threads (`<= 1` runs rows sequentially on the caller).
+    pub threads: usize,
+    /// Hard-deadline multiple of each scenario's `max_search_time`. Search
+    /// budgets are soft — checked between evaluations — so one stuck model
+    /// fit could hold a cell forever; the watchdog bounds every cell at
+    /// `factor * max_search_time + grace` wall-clock. Values `<= 0.0`
+    /// disable the watchdog (cells run inline, still panic-isolated).
+    pub deadline_factor: f64,
+    /// Constant slack added to the watchdog deadline so tiny search budgets
+    /// do not time out on scheduler noise.
+    pub deadline_grace: Duration,
+    /// Deterministic fault injection, used by the fault-tolerance tests.
+    pub fault_plan: Option<&'a FaultPlan>,
+    /// Already-computed rows (scenario index → full row), typically loaded
+    /// from a checkpoint. Kept verbatim; only missing rows are executed.
+    pub resume: HashMap<usize, Vec<CellResult>>,
+    /// Called with each freshly computed row (the checkpoint sink). Not
+    /// called for resumed rows. May run on any worker thread.
+    pub on_row: Option<&'a (dyn Fn(usize, &[CellResult]) + Sync)>,
+}
+
+impl Default for RunnerOptions<'_> {
+    fn default() -> Self {
+        RunnerOptions {
+            threads: 1,
+            deadline_factor: 8.0,
+            deadline_grace: Duration::from_millis(500),
+            fault_plan: None,
+            resume: HashMap::new(),
+            on_row: None,
+        }
+    }
+}
+
+impl RunnerOptions<'_> {
+    /// Default options with `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        RunnerOptions { threads, ..RunnerOptions::default() }
+    }
+}
+
 /// Executes every (scenario × arm) cell.
 ///
 /// `splits` maps dataset names to prepared splits. `threads = 1` runs
 /// sequentially (most precise timings); more threads fan scenarios out via
-/// crossbeam scoped workers.
+/// crossbeam scoped workers. Equivalent to [`run_benchmark_opts`] with
+/// [`RunnerOptions::with_threads`].
 pub fn run_benchmark(
     splits: &HashMap<String, Split>,
     scenarios: Vec<MlScenario>,
@@ -104,55 +219,229 @@ pub fn run_benchmark(
     settings: &ScenarioSettings,
     threads: usize,
 ) -> BenchmarkMatrix {
+    run_benchmark_opts(splits, scenarios, arms, settings, &RunnerOptions::with_threads(threads))
+}
+
+/// Fault-isolated benchmark execution: the matrix always comes back with
+/// every row filled.
+///
+/// A cell that panics is caught and recorded as [`CellStatus::Panicked`]; a
+/// cell that outlives the watchdog deadline is abandoned and recorded as
+/// [`CellStatus::TimedOut`]; a scenario whose dataset has no prepared split
+/// becomes a row of [`CellStatus::Skipped`] cells with a warning instead of
+/// aborting the run. Rows supplied via [`RunnerOptions::resume`] are kept
+/// verbatim, and every freshly computed row is handed to
+/// [`RunnerOptions::on_row`] so callers can checkpoint incrementally.
+pub fn run_benchmark_opts(
+    splits: &HashMap<String, Split>,
+    scenarios: Vec<MlScenario>,
+    arms: &[Arm],
+    settings: &ScenarioSettings,
+    opts: &RunnerOptions<'_>,
+) -> BenchmarkMatrix {
     let n = scenarios.len();
+    // Splits and settings are shared with watchdogged cell threads, which
+    // can outlive a timed-out wait; `Arc` keeps the data alive independent
+    // of this stack frame.
+    let shared_splits: HashMap<&str, Arc<Split>> =
+        splits.iter().map(|(k, v)| (k.as_str(), Arc::new(v.clone()))).collect();
+    let shared_settings = Arc::new(settings.clone());
+
     let results: Mutex<Vec<Option<Vec<CellResult>>>> = Mutex::new(vec![None; n]);
+    {
+        let mut guard = results.lock();
+        for (&i, row) in &opts.resume {
+            if i < n && row.len() == arms.len() {
+                guard[i] = Some(row.clone());
+            }
+        }
+    }
     let next: Mutex<usize> = Mutex::new(0);
 
-    let run_row = |scenario: &MlScenario| -> Vec<CellResult> {
-        let split = splits
-            .get(&scenario.dataset)
-            .unwrap_or_else(|| panic!("no split for dataset '{}'", scenario.dataset));
-        arms.iter()
-            .map(|arm| match arm {
-                Arm::Original => CellResult::from(&run_original_features(scenario, split, settings)),
-                Arm::Strategy(id) => CellResult::from(&run_dfs(scenario, split, settings, *id)),
-            })
-            .collect()
+    let work = || loop {
+        let i = {
+            let mut guard = next.lock();
+            if *guard >= n {
+                break;
+            }
+            let i = *guard;
+            *guard += 1;
+            i
+        };
+        if results.lock()[i].is_some() {
+            continue; // resumed row
+        }
+        let scenario = &scenarios[i];
+        let row: Vec<CellResult> = match shared_splits.get(scenario.dataset.as_str()) {
+            None => {
+                let err = DfsError::UnknownDataset { dataset: scenario.dataset.clone() };
+                eprintln!("[dfs-core] warning: {err}; scenario row {i} recorded as skipped");
+                arms.iter()
+                    .map(|_| CellResult::faulted(CellStatus::Skipped, Duration::ZERO))
+                    .collect()
+            }
+            Some(split) => arms
+                .iter()
+                .enumerate()
+                .map(|(a, &arm)| {
+                    let fault = opts.fault_plan.and_then(|p| p.get(i, a));
+                    run_cell_guarded(scenario, i, split, &shared_settings, arm, fault, opts)
+                })
+                .collect(),
+        };
+        if let Some(sink) = opts.on_row {
+            sink(i, &row);
+        }
+        results.lock()[i] = Some(row);
     };
 
-    if threads <= 1 {
-        let mut out = Vec::with_capacity(n);
-        for s in &scenarios {
-            out.push(run_row(s));
-        }
-        return BenchmarkMatrix { arms: arms.to_vec(), scenarios, results: out };
-    }
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = {
-                    let mut guard = next.lock();
-                    if *guard >= n {
-                        break;
-                    }
-                    let i = *guard;
-                    *guard += 1;
-                    i
-                };
-                let row = run_row(&scenarios[i]);
-                results.lock()[i] = Some(row);
-            });
+    if opts.threads <= 1 {
+        work();
+    } else if crossbeam::scope(|scope| {
+        for _ in 0..opts.threads {
+            scope.spawn(|_| work());
         }
     })
-    .expect("benchmark worker panicked");
+    .is_err()
+    {
+        eprintln!("[dfs-core] warning: a benchmark worker died; unfinished rows recorded as skipped");
+    }
 
     let results = results
         .into_inner()
         .into_iter()
-        .map(|r| r.expect("all rows computed"))
+        .map(|r| {
+            r.unwrap_or_else(|| {
+                arms.iter()
+                    .map(|_| CellResult::faulted(CellStatus::Skipped, Duration::ZERO))
+                    .collect()
+            })
+        })
         .collect();
     BenchmarkMatrix { arms: arms.to_vec(), scenarios, results }
+}
+
+/// One cell with panic isolation and (unless disabled) a watchdog thread
+/// enforcing a hard wall-clock deadline. Always returns a cell.
+fn run_cell_guarded(
+    scenario: &MlScenario,
+    scenario_idx: usize,
+    split: &Arc<Split>,
+    settings: &Arc<ScenarioSettings>,
+    arm: Arm,
+    fault: Option<FaultKind>,
+    opts: &RunnerOptions<'_>,
+) -> CellResult {
+    let label = format!("{}#{scenario_idx}", scenario.dataset);
+    if opts.deadline_factor <= 0.0 {
+        return run_cell_isolated(scenario, split, settings, arm, fault, &label);
+    }
+    let deadline =
+        scenario.constraints.max_search_time.mul_f64(opts.deadline_factor) + opts.deadline_grace;
+    let (tx, rx) = mpsc::channel();
+    let spawned = {
+        let scenario = scenario.clone();
+        let split = Arc::clone(split);
+        let settings = Arc::clone(settings);
+        let label = label.clone();
+        std::thread::Builder::new().name(format!("dfs-cell-{scenario_idx}")).spawn(move || {
+            // After a timeout the receiver is gone and the send fails
+            // silently; the thread just exits.
+            let _ = tx.send(run_cell_isolated(&scenario, &split, &settings, arm, fault, &label));
+        })
+    };
+    if spawned.is_err() {
+        // Thread exhaustion: degrade to inline panic isolation (no
+        // deadline) rather than losing the cell.
+        return run_cell_isolated(scenario, split, settings, arm, fault, &label);
+    }
+    match rx.recv_timeout(deadline) {
+        Ok(cell) => cell,
+        Err(_) => {
+            // The cell thread is abandoned — it may be holding a stuck
+            // model fit — and exits on its own whenever the arm returns.
+            let err = DfsError::CellTimedOut { scenario: label, arm: arm.name(), deadline };
+            eprintln!("[dfs-core] warning: {err}");
+            CellResult::faulted(CellStatus::TimedOut, deadline)
+        }
+    }
+}
+
+/// Runs one cell under `catch_unwind`; a panic becomes a
+/// [`CellStatus::Panicked`] sentinel, a normal return is sanitized.
+fn run_cell_isolated(
+    scenario: &MlScenario,
+    split: &Split,
+    settings: &ScenarioSettings,
+    arm: Arm,
+    fault: Option<FaultKind>,
+    label: &str,
+) -> CellResult {
+    let started = Instant::now();
+    match catch_unwind(AssertUnwindSafe(|| run_cell(scenario, split, settings, arm, fault))) {
+        Ok(cell) => sanitize_cell(cell),
+        Err(payload) => {
+            let err = DfsError::CellPanicked {
+                scenario: label.to_string(),
+                arm: arm.name(),
+                payload: panic_payload_to_string(&*payload),
+            };
+            eprintln!("[dfs-core] warning: {err}");
+            CellResult::faulted(CellStatus::Panicked, started.elapsed())
+        }
+    }
+}
+
+/// The unguarded cell body; the only place faults are injected, so injected
+/// and organic faults take the same recovery path.
+fn run_cell(
+    scenario: &MlScenario,
+    split: &Split,
+    settings: &ScenarioSettings,
+    arm: Arm,
+    fault: Option<FaultKind>,
+) -> CellResult {
+    match fault {
+        Some(FaultKind::Panic) => panic!("injected fault: panic in {}", arm.name()),
+        Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+        Some(FaultKind::Garbage) => {
+            return CellResult {
+                status: CellStatus::Ok,
+                success: true,
+                elapsed: Duration::ZERO,
+                val_distance: f64::NAN,
+                test_distance: f64::NAN,
+                evaluations: usize::MAX,
+                test_f1: f64::NAN,
+                subset_size: usize::MAX,
+            };
+        }
+        None => {}
+    }
+    match arm {
+        Arm::Original => CellResult::from(&run_original_features(scenario, split, settings)),
+        Arm::Strategy(id) => CellResult::from(&run_dfs(scenario, split, settings, id)),
+    }
+}
+
+/// Repairs a cell that executed but returned out-of-domain values — NaN
+/// distances or F1, or a success claim contradicted by a nonzero distance —
+/// so the aggregations, which assume finite metrics and `success ⇒ both
+/// distances zero`, treat it as an ordinary failure.
+fn sanitize_cell(mut cell: CellResult) -> CellResult {
+    if cell.val_distance.is_nan() {
+        cell.val_distance = f64::INFINITY;
+    }
+    if cell.test_distance.is_nan() {
+        cell.test_distance = f64::INFINITY;
+    }
+    if !cell.test_f1.is_finite() {
+        cell.test_f1 = 0.0;
+    }
+    if cell.success && (cell.val_distance != 0.0 || cell.test_distance != 0.0) {
+        cell.success = false;
+    }
+    cell
 }
 
 /// Portfolio objective for [`BenchmarkMatrix::greedy_portfolio`] (Table 8).
@@ -169,6 +458,23 @@ impl BenchmarkMatrix {
     /// Index of an arm.
     pub fn arm_index(&self, arm: Arm) -> Option<usize> {
         self.arms.iter().position(|a| *a == arm)
+    }
+
+    /// Cells per terminal status as `(ok, panicked, timed_out, skipped)` —
+    /// the fault report the bench mains print after a run.
+    pub fn status_counts(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0usize, 0usize, 0usize, 0usize);
+        for row in &self.results {
+            for cell in row {
+                match cell.status {
+                    CellStatus::Ok => counts.0 += 1,
+                    CellStatus::Panicked => counts.1 += 1,
+                    CellStatus::TimedOut => counts.2 += 1,
+                    CellStatus::Skipped => counts.3 += 1,
+                }
+            }
+        }
+        counts
     }
 
     /// Scenario indices where at least one *strategy* arm succeeded — the
@@ -454,6 +760,7 @@ mod tests {
             seed: 0,
         };
         let cell = |success: bool, ms: u64, f1: f64| CellResult {
+            status: CellStatus::Ok,
             success,
             elapsed: Duration::from_millis(ms),
             val_distance: if success { 0.0 } else { 0.1 },
@@ -585,5 +892,144 @@ mod tests {
         assert_eq!(mean_std(&[]), (0.0, 0.0));
         let (m, s) = mean_std(&[2.0, 4.0]);
         assert_eq!((m, s), (3.0, 1.0));
+    }
+
+    #[test]
+    fn status_codes_roundtrip() {
+        for s in [CellStatus::Ok, CellStatus::Panicked, CellStatus::TimedOut, CellStatus::Skipped]
+        {
+            assert_eq!(CellStatus::from_code(s.code()), Some(s));
+        }
+        assert_eq!(CellStatus::from_code('X'), None);
+    }
+
+    #[test]
+    fn faulted_cells_aggregate_exactly_like_plain_failures() {
+        let plain = toy_matrix();
+        let mut faulted = toy_matrix();
+        // Replace two already-failing cells with fault sentinels: every
+        // aggregate except the finite-only distance means must be unchanged.
+        faulted.results[1][1] = CellResult::faulted(CellStatus::Panicked, Duration::from_millis(10));
+        faulted.results[2][0] = CellResult::faulted(CellStatus::TimedOut, Duration::from_secs(8));
+        assert_eq!(faulted.satisfiable(), plain.satisfiable());
+        for a in 0..plain.arms.len() {
+            assert_eq!(faulted.coverage_stats(a), plain.coverage_stats(a));
+            assert_eq!(faulted.fastest_stats(a), plain.fastest_stats(a));
+        }
+        let sfs = plain.arm_index(Arm::Strategy(StrategyId::Sfs)).unwrap();
+        let ((val_mean, _), (test_mean, _)) = faulted.failure_distances(sfs);
+        assert!(val_mean.is_finite() && test_mean.is_finite());
+        assert_eq!(faulted.status_counts(), (10, 1, 1, 0));
+        assert_eq!(plain.status_counts(), (12, 0, 0, 0));
+    }
+
+    // -- live-execution fault tests (tiny synthetic data) ----------------
+
+    use dfs_data::split::stratified_three_way;
+    use dfs_data::synthetic::{generate, tiny_spec};
+
+    fn tiny_split() -> Split {
+        let ds = generate(&tiny_spec(), 11);
+        stratified_three_way(&ds, 11)
+    }
+
+    fn real_scenario(ds: &str, time: Duration) -> MlScenario {
+        MlScenario {
+            dataset: ds.into(),
+            model: ModelKind::DecisionTree,
+            hpo: false,
+            constraints: ConstraintSet::accuracy_only(0.55, time),
+            utility_f1: false,
+            seed: 2,
+        }
+    }
+
+    #[test]
+    fn runner_survives_panics_missing_splits_and_stalls() {
+        let mut splits = HashMap::new();
+        splits.insert("tiny".to_string(), tiny_split());
+        let arms = vec![Arm::Original, Arm::Strategy(StrategyId::Sfs)];
+        let scenarios = vec![
+            real_scenario("tiny", Duration::from_secs(20)),
+            real_scenario("ghost", Duration::from_secs(20)),
+            real_scenario("tiny", Duration::from_millis(50)),
+        ];
+        let mut plan = FaultPlan::new();
+        plan.inject(0, 1, FaultKind::Panic)
+            .inject(2, 1, FaultKind::Stall(Duration::from_secs(5)));
+        let opts = RunnerOptions {
+            deadline_factor: 1.0,
+            deadline_grace: Duration::from_millis(100),
+            fault_plan: Some(&plan),
+            ..RunnerOptions::default()
+        };
+        let m = run_benchmark_opts(&splits, scenarios, &arms, &ScenarioSettings::fast(), &opts);
+        // Panic isolated to its cell; the neighbor still ran.
+        assert_eq!(m.results[0][1].status, CellStatus::Panicked);
+        assert!(!m.results[0][1].success);
+        assert_eq!(m.results[0][0].status, CellStatus::Ok);
+        // Missing split skips the row instead of aborting the run.
+        assert!(m.results[1].iter().all(|c| c.status == CellStatus::Skipped));
+        // The 5 s stall blows the 150 ms watchdog deadline.
+        assert_eq!(m.results[2][1].status, CellStatus::TimedOut);
+        assert_eq!(m.results[2][0].status, CellStatus::Ok);
+    }
+
+    #[test]
+    fn garbage_cells_are_sanitized_to_ordinary_failures() {
+        let mut splits = HashMap::new();
+        splits.insert("tiny".to_string(), tiny_split());
+        let arms = vec![Arm::Strategy(StrategyId::Sfs)];
+        let scenarios = vec![real_scenario("tiny", Duration::from_secs(20))];
+        let mut plan = FaultPlan::new();
+        plan.inject(0, 0, FaultKind::Garbage);
+        let opts = RunnerOptions { fault_plan: Some(&plan), ..RunnerOptions::default() };
+        let m = run_benchmark_opts(&splits, scenarios, &arms, &ScenarioSettings::fast(), &opts);
+        let cell = &m.results[0][0];
+        assert_eq!(cell.status, CellStatus::Ok);
+        assert!(!cell.success, "success claim with NaN distances must be demoted");
+        assert!(cell.val_distance.is_infinite() && cell.test_distance.is_infinite());
+        assert_eq!(cell.test_f1, 0.0);
+        // The infinite sentinel stays out of the Table 4 failure means.
+        let ((val_mean, _), _) = m.failure_distances(0);
+        assert_eq!(val_mean, 0.0);
+    }
+
+    #[test]
+    fn resume_keeps_rows_verbatim_and_reports_only_fresh_rows() {
+        let mut splits = HashMap::new();
+        splits.insert("tiny".to_string(), tiny_split());
+        let arms = vec![Arm::Strategy(StrategyId::Sfs)];
+        let scenarios = vec![
+            real_scenario("tiny", Duration::from_secs(20)),
+            real_scenario("tiny", Duration::from_secs(20)),
+        ];
+        // Row 0 is "already computed"; the fault plan would panic it if the
+        // runner recomputed it anyway.
+        let sentinel = CellResult {
+            status: CellStatus::Ok,
+            success: true,
+            elapsed: Duration::from_millis(123),
+            val_distance: 0.0,
+            test_distance: 0.0,
+            evaluations: 1,
+            test_f1: 0.9,
+            subset_size: 777,
+        };
+        let mut plan = FaultPlan::new();
+        plan.inject(0, 0, FaultKind::Panic);
+        let reported: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let sink = |i: usize, _row: &[CellResult]| reported.lock().push(i);
+        let opts = RunnerOptions {
+            fault_plan: Some(&plan),
+            resume: HashMap::from([(0usize, vec![sentinel.clone()])]),
+            on_row: Some(&sink),
+            ..RunnerOptions::default()
+        };
+        let m = run_benchmark_opts(&splits, scenarios, &arms, &ScenarioSettings::fast(), &opts);
+        assert_eq!(m.results[0][0].status, CellStatus::Ok);
+        assert_eq!(m.results[0][0].subset_size, 777);
+        assert_eq!(m.results[1][0].status, CellStatus::Ok);
+        assert_eq!(*reported.lock(), vec![1]);
     }
 }

@@ -172,7 +172,7 @@ pub fn leave_one_dataset_out_pooled(
 mod tests {
     use super::*;
     use dfs_constraints::ConstraintSet;
-    use dfs_core::runner::CellResult;
+    use dfs_core::runner::{CellResult, CellStatus};
     use dfs_core::MlScenario;
     use dfs_data::split::stratified_three_way;
     use dfs_data::synthetic::{generate, tiny_spec};
@@ -208,6 +208,7 @@ mod tests {
                     seed: (d * 100 + k) as u64,
                 });
                 let cell = |success: bool, ms: u64| CellResult {
+                    status: CellStatus::Ok,
                     success,
                     elapsed: Duration::from_millis(ms),
                     val_distance: if success { 0.0 } else { 0.2 },

@@ -49,6 +49,15 @@ impl Budget {
         Self::new(limit, usize::MAX)
     }
 
+    /// Starts a budget ending at an absolute deadline (shared across
+    /// several searches, e.g. strategy switching under one scenario clock).
+    /// A deadline already in the past yields an immediately exhausted
+    /// budget rather than a panic.
+    pub fn until(deadline: Instant, max_evals: usize) -> Self {
+        let now = Instant::now();
+        Self::new(deadline.saturating_duration_since(now), max_evals)
+    }
+
     /// `true` once either limit is hit.
     pub fn exhausted(&self) -> bool {
         self.evals.get() >= self.max_evals || self.start.elapsed() >= self.limit
@@ -128,6 +137,40 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         assert!(b.exhausted());
         assert!(!b.try_consume());
+    }
+
+    #[test]
+    fn zero_wall_clock_budget_is_exhausted_before_the_first_evaluation() {
+        let b = Budget::new(Duration::ZERO, usize::MAX);
+        assert!(b.exhausted());
+        assert!(!b.try_consume(), "no evaluation may run on a zero time budget");
+        assert_eq!(b.evals_used(), 0);
+    }
+
+    #[test]
+    fn zero_eval_cap_is_exhausted_before_the_first_evaluation() {
+        let b = Budget::new(Duration::from_secs(60), 0);
+        assert!(b.exhausted());
+        assert!(!b.try_consume(), "no evaluation may run on a zero eval cap");
+        assert_eq!(b.evals_used(), 0);
+    }
+
+    #[test]
+    fn elapsed_deadline_is_exhausted_before_the_first_evaluation() {
+        let past = Instant::now().checked_sub(Duration::from_secs(5)).unwrap_or_else(Instant::now);
+        let b = Budget::until(past, usize::MAX);
+        assert!(b.exhausted());
+        assert!(!b.try_consume());
+        assert_eq!(b.evals_used(), 0);
+    }
+
+    #[test]
+    fn future_deadline_budget_admits_evaluations() {
+        let b = Budget::until(Instant::now() + Duration::from_secs(60), 2);
+        assert!(!b.exhausted());
+        assert!(b.try_consume());
+        assert!(b.try_consume());
+        assert!(!b.try_consume(), "eval cap still applies to deadline budgets");
     }
 
     #[test]

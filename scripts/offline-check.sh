@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Typecheck / test the workspace WITHOUT network access.
+#
+# The container this repo grows in has no route to crates.io, so the five
+# external dependencies are patched to minimal local stand-ins under
+# .buildstubs/ (see .buildstubs/README.md for fidelity notes). The patch is
+# applied via `--config` on the command line only — the committed
+# .cargo/config.toml and Cargo.toml are untouched, so builds in a networked
+# environment use the real crates.
+#
+# Usage:
+#   scripts/offline-check.sh check            # cargo check the workspace
+#   scripts/offline-check.sh test <args...>   # cargo test with args
+#   scripts/offline-check.sh clippy <args...> # cargo clippy with args
+#
+# Limits: the proptest/criterion stand-ins are resolution-only, so property
+# tests (tests/prop.rs, tests/prop_workflow.rs) and the criterion micro
+# bench cannot build offline. Target everything else explicitly, e.g.:
+#   scripts/offline-check.sh test -p dfs-core --lib
+#   scripts/offline-check.sh test --test fault_injection
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CMD="${1:-check}"
+shift || true
+
+STUBS=.buildstubs
+CFG=(
+  --config "patch.crates-io.rand.path='$STUBS/rand'"
+  --config "patch.crates-io.parking_lot.path='$STUBS/parking_lot'"
+  --config "patch.crates-io.crossbeam.path='$STUBS/crossbeam'"
+  --config "patch.crates-io.proptest.path='$STUBS/proptest'"
+  --config "patch.crates-io.criterion.path='$STUBS/criterion'"
+)
+
+# NB: the --config flags must come AFTER the subcommand — external
+# subcommands like clippy re-invoke cargo and only forward their own args.
+case "$CMD" in
+  check)
+    exec cargo check "${CFG[@]}" --workspace "$@"
+    ;;
+  test|clippy|build)
+    exec cargo "$CMD" "${CFG[@]}" "$@"
+    ;;
+  *)
+    echo "usage: $0 {check|build|test|clippy} [cargo args...]" >&2
+    exit 2
+    ;;
+esac
