@@ -5,132 +5,159 @@
 //! The generator is SplitMix64 — statistically fine for the workspace's
 //! sampling needs, deterministic per seed, but NOT the real `StdRng`
 //! (ChaCha12): sequences differ from builds against the real crate.
+//!
+//! Like the real crate, the sampling methods live on the [`Rng`] and
+//! [`SeedableRng`] *traits*, not inherently on `StdRng` — so every
+//! `use rand::Rng;` in the workspace is a genuinely used import under both
+//! the stub and the real dependency, and the stub build stays warning-free.
 
 pub mod rngs {
     /// Deterministic 64-bit generator (SplitMix64 core).
     #[derive(Debug, Clone)]
     pub struct StdRng {
-        state: u64,
+        pub(crate) state: u64,
     }
 
     impl StdRng {
-        pub fn seed_from_u64(seed: u64) -> Self {
-            // Mix the seed once so small seeds don't start correlated.
-            let mut s = Self { state: seed ^ 0x9E37_79B9_7F4A_7C15 };
-            let _ = s.next_u64();
-            s
-        }
-
-        pub fn next_u64(&mut self) -> u64 {
+        /// SplitMix64 step; the single source of bits for every sampler.
+        pub(crate) fn step(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
             let mut z = self.state;
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         }
-
-        /// Uniform f64 in [0, 1).
-        pub fn next_f64(&mut self) -> f64 {
-            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-        }
-
-        pub fn random<T: Standard>(&mut self) -> T {
-            T::sample(self)
-        }
-
-        pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Out {
-            range.sample(self)
-        }
-
-        pub fn random_bool(&mut self, p: f64) -> bool {
-            self.next_f64() < p
-        }
     }
-
-    /// Types drawable via `rng.random::<T>()`.
-    pub trait Standard: Sized {
-        fn sample(rng: &mut StdRng) -> Self;
-    }
-
-    impl Standard for f64 {
-        fn sample(rng: &mut StdRng) -> f64 {
-            rng.next_f64()
-        }
-    }
-
-    impl Standard for bool {
-        fn sample(rng: &mut StdRng) -> bool {
-            rng.next_u64() & 1 == 1
-        }
-    }
-
-    impl Standard for u64 {
-        fn sample(rng: &mut StdRng) -> u64 {
-            rng.next_u64()
-        }
-    }
-
-    /// Ranges drawable via `rng.random_range(range)`.
-    pub trait SampleRange {
-        type Out;
-        fn sample(self, rng: &mut StdRng) -> Self::Out;
-    }
-
-    impl SampleRange for std::ops::Range<f64> {
-        type Out = f64;
-        fn sample(self, rng: &mut StdRng) -> f64 {
-            assert!(self.start < self.end, "random_range: empty f64 range");
-            self.start + (self.end - self.start) * rng.next_f64()
-        }
-    }
-
-    macro_rules! int_range {
-        ($t:ty) => {
-            impl SampleRange for std::ops::Range<$t> {
-                type Out = $t;
-                fn sample(self, rng: &mut StdRng) -> $t {
-                    assert!(self.start < self.end, "random_range: empty range");
-                    let span = (self.end - self.start) as u64;
-                    self.start + (rng.next_u64() % span) as $t
-                }
-            }
-            impl SampleRange for std::ops::RangeInclusive<$t> {
-                type Out = $t;
-                fn sample(self, rng: &mut StdRng) -> $t {
-                    let (lo, hi) = (*self.start(), *self.end());
-                    assert!(lo <= hi, "random_range: empty inclusive range");
-                    let span = (hi - lo) as u64 + 1;
-                    lo + (rng.next_u64() % span) as $t
-                }
-            }
-        };
-    }
-    int_range!(usize);
-    int_range!(u64);
-    int_range!(u32);
-    int_range!(i32);
-    int_range!(i64);
 }
 
-/// Marker trait kept so `use rand::Rng;` imports resolve; the methods
-/// themselves are inherent on [`rngs::StdRng`].
-pub trait Rng {}
-impl Rng for rngs::StdRng {}
+/// The sampling trait, mirroring the shape of `rand::Rng`: all drawing
+/// methods resolve through this trait, so call sites must import it.
+pub trait Rng {
+    /// Next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
 
-/// Marker trait kept so `use rand::SeedableRng;` imports resolve.
-pub trait SeedableRng {}
-impl SeedableRng for rngs::StdRng {}
+    /// Uniform f64 in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Draws a value of a supported type (`f64`, `bool`, `u64`).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from a float/integer range.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Out
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+/// Seeding trait, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Mix the seed once so small seeds don't start correlated.
+        let mut s = rngs::StdRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 };
+        let _ = s.step();
+        s
+    }
+}
+
+/// Types drawable via `rng.random::<T>()`.
+pub trait Standard: Sized {
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Ranges drawable via `rng.random_range(range)`.
+pub trait SampleRange {
+    type Out;
+    fn sample<R: Rng>(self, rng: &mut R) -> Self::Out;
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Out = f64;
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "random_range: empty f64 range");
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+macro_rules! int_range {
+    ($t:ty) => {
+        impl SampleRange for std::ops::Range<$t> {
+            type Out = $t;
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "random_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Out = $t;
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "random_range: empty inclusive range");
+                let span = (hi - lo) as u64 + 1;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    };
+}
+int_range!(usize);
+int_range!(u64);
+int_range!(u32);
+int_range!(i32);
+int_range!(i64);
 
 pub mod seq {
-    use super::rngs::StdRng;
+    use super::Rng;
 
     /// Slice shuffling (Fisher–Yates), as `rand::seq::SliceRandom`.
     pub trait SliceRandom {
-        fn shuffle(&mut self, rng: &mut StdRng);
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
     }
 
     impl<T> SliceRandom for [T] {
-        fn shuffle(&mut self, rng: &mut StdRng) {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
             for i in (1..self.len()).rev() {
                 let j = rng.random_range(0..=i);
                 self.swap(i, j);

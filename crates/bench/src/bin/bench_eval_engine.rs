@@ -1,0 +1,214 @@
+//! Before/after microbenchmark for the fused evaluation engine.
+//!
+//! Two measurements, mirroring the two layers of the engine rework:
+//!
+//! 1. **Gather**: the old composed projection (`select_cols` then
+//!    `select_rows`, materializing a full-height intermediate) against the
+//!    fused `select_rows_cols_into` writing into a reused scratch buffer.
+//! 2. **Ranking cache**: an identical multi-arm benchmark row executed
+//!    with `share_artifacts` off (every TPE(ranking) arm recomputes its
+//!    ranking) and on (each ranking computed once per dataset/split).
+//!
+//! Results are printed as JSON and, when a path argument is given, also
+//! written there (the committed snapshot lives at `BENCH_eval_engine.json`
+//! in the repo root). Timings are medians over several repetitions so a
+//! noisy neighbor cannot flip the comparison.
+//!
+//! Run offline with `scripts/offline-check.sh run --release -p dfs-bench
+//! --bin bench_eval_engine -- BENCH_eval_engine.json`.
+
+// The panic-free contract covers the runner/cache/checkpoint paths; a
+// standalone benchmark aborting on a broken setup is the right behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dfs_constraints::ConstraintSet;
+use dfs_core::runner::{run_benchmark_opts, Arm, RunnerOptions};
+use dfs_core::{MlScenario, ScenarioSettings};
+use dfs_data::split::stratified_three_way;
+use dfs_data::synthetic::{generate, spec_by_name};
+use dfs_fs::StrategyId;
+use dfs_linalg::rng::{rng_from_seed, sample_without_replacement, uniform};
+use dfs_linalg::Matrix;
+use dfs_models::ModelKind;
+use dfs_rankings::RankingKind;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Median wall-clock over `reps` runs of `f`, in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct GatherBench {
+    rows: usize,
+    cols: usize,
+    picked_rows: usize,
+    picked_cols: usize,
+    iters: usize,
+    composed_ns: u64,
+    fused_ns: u64,
+}
+
+/// Old path (allocate a full-height column projection, then subsample
+/// rows) vs. new path (one fused pass into a reused scratch buffer).
+fn bench_gather() -> GatherBench {
+    let (rows, cols) = (4000, 100);
+    let (picked_rows_n, picked_cols_n) = (1500, 12);
+    let iters = 200;
+
+    let mut rng = rng_from_seed(0xBE7C);
+    let data: Vec<f64> = (0..rows * cols).map(|_| uniform(-1.0, 1.0, &mut rng)).collect();
+    let x = Matrix::from_vec(rows, cols, data);
+    let row_idx = sample_without_replacement(rows, picked_rows_n, &mut rng);
+    let col_idx = sample_without_replacement(cols, picked_cols_n, &mut rng);
+
+    let mut sink = 0.0f64;
+    let composed_ns = median_ns(5, || {
+        for _ in 0..iters {
+            let projected = x.select_cols(&col_idx);
+            let gathered = projected.select_rows(&row_idx);
+            sink += gathered.row(0)[0];
+        }
+    });
+    let mut scratch = Matrix::zeros(0, 0);
+    let fused_ns = median_ns(5, || {
+        for _ in 0..iters {
+            x.select_rows_cols_into(&row_idx, &col_idx, &mut scratch);
+            sink += scratch.row(0)[0];
+        }
+    });
+    assert!(sink.is_finite());
+
+    GatherBench {
+        rows,
+        cols,
+        picked_rows: picked_rows_n,
+        picked_cols: picked_cols_n,
+        iters,
+        composed_ns,
+        fused_ns,
+    }
+}
+
+struct CacheBench {
+    scenarios: usize,
+    arms: usize,
+    uncached_ns: u64,
+    cached_ns: u64,
+    uncached_ranking_computes: u64,
+    cached_ranking_computes: u64,
+    cached_ranking_hits: u64,
+}
+
+/// One benchmark row of TPE(ranking) arms, with and without the shared
+/// artifact cache. Outcomes are bit-identical (asserted by the regression
+/// suite); this measures the work saved.
+fn bench_ranking_cache() -> CacheBench {
+    let ds = generate(&spec_by_name("german_credit").expect("known paper-suite spec"), 23);
+    let split = stratified_three_way(&ds, 23);
+    let mut splits = HashMap::new();
+    splits.insert("german_credit".to_string(), split);
+    let scenarios: Vec<MlScenario> = (0..3)
+        .map(|i| MlScenario {
+            dataset: "german_credit".into(),
+            model: ModelKind::DecisionTree,
+            hpo: false,
+            constraints: ConstraintSet::accuracy_only(0.55 + 0.05 * i as f64, Duration::from_secs(30)),
+            utility_f1: false,
+            seed: 31 + i as u64,
+        })
+        .collect();
+    let arms: Vec<Arm> = RankingKind::ALL
+        .into_iter()
+        .map(|kind| Arm::Strategy(StrategyId::TpeRanking(kind)))
+        .collect();
+    let mut settings = ScenarioSettings::fast();
+    settings.max_evals = 15;
+
+    let run = |share_artifacts: bool| {
+        let opts = RunnerOptions { share_artifacts, ..RunnerOptions::default() };
+        let t = Instant::now();
+        let m = run_benchmark_opts(&splits, scenarios.clone(), &arms, &settings, &opts);
+        (t.elapsed().as_nanos() as u64, m.total_perf())
+    };
+    // Warm-up evens out first-touch effects (page faults, lazy init).
+    let _ = run(false);
+    let (uncached_ns, uncached_perf) = run(false);
+    let (cached_ns, cached_perf) = run(true);
+
+    CacheBench {
+        scenarios: scenarios.len(),
+        arms: arms.len(),
+        uncached_ns,
+        cached_ns,
+        uncached_ranking_computes: uncached_perf.ranking_computes,
+        cached_ranking_computes: cached_perf.ranking_computes,
+        cached_ranking_hits: cached_perf.ranking_hits,
+    }
+}
+
+fn main() {
+    let gather = bench_gather();
+    let cache = bench_ranking_cache();
+
+    let ratio = |old: u64, new: u64| old as f64 / new.max(1) as f64;
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        r#"{{
+  "bench": "eval_engine",
+  "gather": {{
+    "matrix": [{rows}, {cols}],
+    "picked": [{prows}, {pcols}],
+    "iters_per_sample": {iters},
+    "composed_ns": {composed},
+    "fused_ns": {fused},
+    "speedup": {gspeed:.2}
+  }},
+  "ranking_cache": {{
+    "scenarios": {nsc},
+    "arms": {narms},
+    "uncached_ns": {unc},
+    "cached_ns": {cac},
+    "uncached_ranking_computes": {ucomp},
+    "cached_ranking_computes": {ccomp},
+    "cached_ranking_hits": {chits},
+    "compute_reduction": {cred:.2},
+    "speedup": {cspeed:.2}
+  }}
+}}
+"#,
+        rows = gather.rows,
+        cols = gather.cols,
+        prows = gather.picked_rows,
+        pcols = gather.picked_cols,
+        iters = gather.iters,
+        composed = gather.composed_ns,
+        fused = gather.fused_ns,
+        gspeed = ratio(gather.composed_ns, gather.fused_ns),
+        nsc = cache.scenarios,
+        narms = cache.arms,
+        unc = cache.uncached_ns,
+        cac = cache.cached_ns,
+        ucomp = cache.uncached_ranking_computes,
+        ccomp = cache.cached_ranking_computes,
+        chits = cache.cached_ranking_hits,
+        cred = ratio(cache.uncached_ranking_computes, cache.cached_ranking_computes),
+        cspeed = ratio(cache.uncached_ns, cache.cached_ns),
+    );
+
+    print!("{json}");
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &json).expect("write benchmark json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -4,18 +4,19 @@
 //! that needs it first looks here. The format is a line-oriented TSV keyed
 //! by a config fingerprint, written atomically (temp file + rename).
 //!
-//! Codec v2 carries each cell's [`CellStatus`] so fault-isolated runs
-//! roundtrip losslessly. A file that fails validation — wrong version,
-//! truncated, or garbled — is never trusted partially: [`load`] quarantines
-//! it (renames it aside with a `.quarantined` suffix) and the caller
-//! recomputes. The per-cell line codec is shared with the incremental
-//! checkpoint sidecar ([`crate::checkpoint`]).
+//! Codec v3 carries each cell's [`CellStatus`] (so fault-isolated runs
+//! roundtrip losslessly) and its [`EvalPerf`] work counters. A file that
+//! fails validation — wrong version, truncated, or garbled — is never
+//! trusted partially: [`load`] quarantines it (renames it aside with a
+//! `.quarantined` suffix) and the caller recomputes. The per-cell line
+//! codec is shared with the incremental checkpoint sidecar
+//! ([`crate::checkpoint`]).
 
 use crate::corpus::{BenchVersion, CorpusConfig};
 use dfs_constraints::ConstraintSet;
 use dfs_core::error::{DfsError, DfsResult};
 use dfs_core::runner::{Arm, BenchmarkMatrix, CellResult, CellStatus};
-use dfs_core::MlScenario;
+use dfs_core::{EvalPerf, MlScenario};
 use dfs_models::ModelKind;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -51,7 +52,7 @@ pub fn fingerprint(cfg: &CorpusConfig) -> u64 {
     h
 }
 
-/// Serializes a matrix to the TSV codec (v2).
+/// Serializes a matrix to the TSV codec (v3).
 ///
 /// Errors with [`DfsError::CacheEncode`] on a non-canonical arm set — the
 /// compact codec stores no arm column, so only `Arm::all()` matrices are
@@ -68,7 +69,7 @@ pub fn encode(matrix: &BenchmarkMatrix) -> DfsResult<String> {
             ),
         });
     }
-    let _ = writeln!(out, "#dfs-matrix\tv2\t{}\t{}", matrix.scenarios.len(), matrix.arms.len());
+    let _ = writeln!(out, "#dfs-matrix\tv3\t{}\t{}", matrix.scenarios.len(), matrix.arms.len());
     for (s, row) in matrix.scenarios.iter().zip(&matrix.results) {
         let c = &s.constraints;
         let _ = writeln!(
@@ -93,11 +94,13 @@ pub fn encode(matrix: &BenchmarkMatrix) -> DfsResult<String> {
     Ok(out)
 }
 
-/// Writes one `R` result line (v2: leading one-character status code).
+/// Writes one `R` result line (v3: leading one-character status code, then
+/// the metrics, then the seven [`EvalPerf`] work counters).
 pub(crate) fn encode_cell(out: &mut String, cell: &CellResult) {
+    let p = &cell.perf;
     let _ = writeln!(
         out,
-        "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
         cell.status.code(),
         cell.success as u8,
         cell.elapsed.as_secs_f64(),
@@ -106,17 +109,27 @@ pub(crate) fn encode_cell(out: &mut String, cell: &CellResult) {
         cell.evaluations,
         cell.test_f1,
         cell.subset_size,
+        p.model_fits,
+        p.cache_hits,
+        p.ranking_computes,
+        p.ranking_hits,
+        p.val_gathers,
+        p.gather_ns,
+        p.train_ns,
     );
 }
 
-/// Parses one tab-split `R` line (`fields[0] == "R"`, 9 fields). Every
+/// Parses one tab-split `R` line (`fields[0] == "R"`, 16 fields). Every
 /// field is validated — a truncated or bit-flipped line is an error, never
 /// a silently wrong cell.
 pub(crate) fn decode_cell(fields: &[&str]) -> Result<CellResult, String> {
-    if fields.len() != 9 {
-        return Err(format!("result line has {} fields, expected 9", fields.len()));
+    if fields.len() != 16 {
+        return Err(format!("result line has {} fields, expected 16", fields.len()));
     }
     let parse = |i: usize| -> Result<f64, String> {
+        fields[i].parse().map_err(|e| format!("result field {i}: {e}"))
+    };
+    let count = |i: usize| -> Result<u64, String> {
         fields[i].parse().map_err(|e| format!("result field {i}: {e}"))
     };
     let status = match fields[1].as_bytes() {
@@ -143,6 +156,15 @@ pub(crate) fn decode_cell(fields: &[&str]) -> Result<CellResult, String> {
         evaluations: fields[6].parse().map_err(|e| format!("result field 6: {e}"))?,
         test_f1: parse(7)?,
         subset_size: fields[8].parse().map_err(|e| format!("result field 8: {e}"))?,
+        perf: EvalPerf {
+            model_fits: count(9)?,
+            cache_hits: count(10)?,
+            ranking_computes: count(11)?,
+            ranking_hits: count(12)?,
+            val_gathers: count(13)?,
+            gather_ns: count(14)?,
+            train_ns: count(15)?,
+        },
     })
 }
 
@@ -154,8 +176,8 @@ pub fn decode(s: &str) -> Result<BenchmarkMatrix, String> {
     if head.len() != 4 || head[0] != "#dfs-matrix" {
         return Err(format!("bad header '{header}'"));
     }
-    if head[1] != "v2" {
-        return Err(format!("unsupported cache version '{}' (this build reads v2)", head[1]));
+    if head[1] != "v3" {
+        return Err(format!("unsupported cache version '{}' (this build reads v3)", head[1]));
     }
     let n_scenarios: usize = head[2].parse().map_err(|e| format!("bad count: {e}"))?;
     let n_arms: usize = head[3].parse().map_err(|e| format!("bad arm count: {e}"))?;
@@ -307,6 +329,15 @@ mod tests {
                 evaluations: i,
                 test_f1: 0.5 + 0.01 * i as f64,
                 subset_size: i + 1,
+                perf: EvalPerf {
+                    model_fits: i as u64,
+                    cache_hits: 2 * i as u64,
+                    ranking_computes: (i % 3) as u64,
+                    ranking_hits: (i % 5) as u64,
+                    val_gathers: (i % 2) as u64,
+                    gather_ns: 1_000 + i as u64,
+                    train_ns: 2_000 + i as u64,
+                },
             })
             .collect();
         BenchmarkMatrix { arms, scenarios: vec![scenario], results: vec![row] }
@@ -330,6 +361,7 @@ mod tests {
             assert_eq!(a.success, b.success);
             assert_eq!(a.evaluations, b.evaluations);
             assert_eq!(a.subset_size, b.subset_size);
+            assert_eq!(a.perf, b.perf, "perf counters must roundtrip exactly");
             assert!((a.val_distance - b.val_distance).abs() < 1e-12);
         }
         // The canonical arm set includes Original + 16 strategies.
@@ -361,13 +393,16 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert!(decode("").is_err());
-        // v1 files (pre-status codec) are a version mismatch, not a panic.
+        // Older codecs (v1 pre-status, v2 pre-perf) are a version
+        // mismatch, not a panic; so is any future version.
         assert!(decode("#dfs-matrix\tv1\t0\t17\n")
             .is_err_and(|e| e.contains("unsupported cache version")));
-        assert!(decode("#dfs-matrix\tv3\t0\t17\n").is_err());
-        assert!(decode("#dfs-matrix\tv2\t1\t17\nX\tfoo\n").is_err());
+        assert!(decode("#dfs-matrix\tv2\t0\t17\n")
+            .is_err_and(|e| e.contains("unsupported cache version")));
+        assert!(decode("#dfs-matrix\tv4\t0\t17\n").is_err());
+        assert!(decode("#dfs-matrix\tv3\t1\t17\nX\tfoo\n").is_err());
         // Wrong arm count.
-        assert!(decode("#dfs-matrix\tv2\t0\t3\n").is_err());
+        assert!(decode("#dfs-matrix\tv3\t0\t3\n").is_err());
     }
 
     #[test]

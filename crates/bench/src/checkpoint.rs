@@ -24,7 +24,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Mutex, MutexGuard};
 
 const HEADER_TAG: &str = "#dfs-checkpoint";
-const VERSION: &str = "v2";
+const VERSION: &str = "v3";
 
 /// A partially computed matrix being persisted row by row.
 ///
@@ -202,6 +202,10 @@ mod tests {
                 evaluations: tag + a,
                 test_f1: 0.5,
                 subset_size: a + 1,
+                perf: dfs_core::EvalPerf {
+                    model_fits: (tag + a) as u64,
+                    ..dfs_core::EvalPerf::default()
+                },
             })
             .collect()
     }

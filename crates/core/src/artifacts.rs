@@ -1,0 +1,169 @@
+//! Shared per-scenario artifact cache.
+//!
+//! A benchmark row runs all strategy arms on the *same* scenario: same
+//! dataset, same split. Seven of those arms are TPE(ranking) strategies,
+//! and each used to recompute its feature ranking from the identical
+//! training matrix — the heavyweight rankings (ReliefF, MCFS) dominating
+//! the row's wall-clock. [`ArtifactCache`] computes each ranking once per
+//! `(dataset, split, kind)` and shares the result across every arm (and
+//! across scenarios that reuse the same dataset split).
+//!
+//! **Bit-identity.** Sharing is only sound if the cached and uncached
+//! paths produce the same ranking. The stochastic rankings take a seed, so
+//! the seed must not depend on *which arm* asks first — [`ranking_seed`]
+//! therefore derives it from the dataset name and the ranking kind alone.
+//! Both the cache-miss closure and the cacheless fallback in
+//! `ScenarioContext::ranking` use this same seed, so enabling the cache
+//! can never change a strategy's outcome, only how often the ranking is
+//! computed.
+
+use dfs_data::split::Split;
+use dfs_linalg::rng::derive_seed;
+use dfs_rankings::{Ranking, RankingKind};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Thread-safe cache of expensive per-scenario artifacts, shared across
+/// the arms of a benchmark row (and across rows on the same dataset).
+#[derive(Default)]
+pub struct ArtifactCache {
+    rankings: Mutex<HashMap<(String, u64, RankingKind), Arc<Ranking>>>,
+    computes: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the ranking for `(dataset, split_key, kind)`, computing it
+    /// via `compute` on the first request. The second element is `true`
+    /// on a cache hit.
+    ///
+    /// The map lock is held *during* the compute: concurrent arms asking
+    /// for the same heavyweight ranking block on the first computation
+    /// instead of racing to duplicate it (exactly-once semantics).
+    pub fn ranking(
+        &self,
+        dataset: &str,
+        split_key: u64,
+        kind: RankingKind,
+        compute: impl FnOnce() -> Ranking,
+    ) -> (Arc<Ranking>, bool) {
+        let key = (dataset.to_string(), split_key, kind);
+        let mut map = self.rankings.lock();
+        if let Some(r) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(r), true);
+        }
+        let r = Arc::new(compute());
+        map.insert(key, Arc::clone(&r));
+        self.computes.fetch_add(1, Ordering::Relaxed);
+        (r, false)
+    }
+
+    /// `(computes, hits)` so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.computes.load(Ordering::Relaxed), self.hits.load(Ordering::Relaxed))
+    }
+}
+
+/// The deterministic seed for a ranking computation.
+///
+/// Scoped to `(dataset, kind)` only — independent of the scenario seed and
+/// of cache presence — so every arm of a row, cached or not, derives the
+/// identical ranking (see the module docs on bit-identity).
+pub fn ranking_seed(dataset: &str, kind: RankingKind) -> u64 {
+    let stream = RankingKind::ALL.iter().position(|k| *k == kind).unwrap_or(0) as u64;
+    derive_seed(fnv(dataset.as_bytes()), 0x7A4C ^ stream)
+}
+
+/// A cheap structural fingerprint of a split, keying cached artifacts so
+/// two scenarios share them only when their data actually matches (same
+/// dataset name *and* same split seed produce the same fingerprint; a
+/// different split of the same dataset does not).
+pub fn split_fingerprint(split: &Split) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h = (h ^ v).wrapping_mul(0x100_0000_01b3);
+    };
+    mix(split.train.n_rows() as u64);
+    mix(split.n_features() as u64);
+    for &label in &split.train.y {
+        mix(label as u64);
+    }
+    // A few raw values guard against two splits with identical label
+    // sequences but different feature data.
+    let probe = split.train.n_rows().min(4);
+    for i in 0..probe {
+        for j in 0..split.n_features() {
+            mix(split.train.x[(i, j)].to_bits());
+        }
+    }
+    h
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs_data::split::stratified_three_way;
+    use dfs_data::synthetic::{generate, tiny_spec};
+
+    #[test]
+    fn ranking_is_computed_once_and_then_served_from_cache() {
+        let cache = ArtifactCache::new();
+        let mut computes = 0;
+        let mk = |computes: &mut usize| {
+            *computes += 1;
+            Ranking::from_scores(vec![3.0, 1.0, 2.0])
+        };
+        let (a, hit_a) = cache.ranking("ds", 7, RankingKind::Chi2, || mk(&mut computes));
+        let (b, hit_b) = cache.ranking("ds", 7, RankingKind::Chi2, || mk(&mut computes));
+        assert!(!hit_a && hit_b);
+        assert_eq!(computes, 1);
+        assert_eq!(*a, *b);
+        assert_eq!(cache.counts(), (1, 1));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = ArtifactCache::new();
+        let mk = || Ranking::from_scores(vec![1.0, 2.0]);
+        assert!(!cache.ranking("ds", 1, RankingKind::Chi2, mk).1);
+        // Different kind, split, or dataset each miss.
+        assert!(!cache.ranking("ds", 1, RankingKind::Mim, mk).1);
+        assert!(!cache.ranking("ds", 2, RankingKind::Chi2, mk).1);
+        assert!(!cache.ranking("other", 1, RankingKind::Chi2, mk).1);
+        assert_eq!(cache.counts(), (4, 0));
+    }
+
+    #[test]
+    fn ranking_seed_depends_on_dataset_and_kind_only() {
+        assert_eq!(ranking_seed("a", RankingKind::Mcfs), ranking_seed("a", RankingKind::Mcfs));
+        assert_ne!(ranking_seed("a", RankingKind::Mcfs), ranking_seed("b", RankingKind::Mcfs));
+        assert_ne!(ranking_seed("a", RankingKind::Mcfs), ranking_seed("a", RankingKind::ReliefF));
+    }
+
+    #[test]
+    fn split_fingerprint_separates_different_splits() {
+        let ds = generate(&tiny_spec(), 3);
+        let s1 = stratified_three_way(&ds, 1);
+        let s1_again = stratified_three_way(&ds, 1);
+        let s2 = stratified_three_way(&ds, 2);
+        assert_eq!(split_fingerprint(&s1), split_fingerprint(&s1_again));
+        assert_ne!(split_fingerprint(&s1), split_fingerprint(&s2));
+    }
+}

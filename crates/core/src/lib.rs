@@ -20,6 +20,10 @@
 //! - [`runner`] — fault-isolated corpus execution producing the outcome
 //!   matrix behind Tables 3–8, plus coverage/fastest aggregation and greedy
 //!   portfolios;
+//! - [`artifacts`] — shared per-scenario artifact cache: each feature
+//!   ranking is computed once per (dataset, split) and reused by every
+//!   strategy arm; [`perf`] — exact work counters ([`EvalPerf`]) carried
+//!   from the evaluator into every benchmark cell;
 //! - [`error`] — the workspace-wide [`DfsError`] taxonomy; cell-level
 //!   faults are recorded in the matrix ([`runner::CellStatus`]) rather than
 //!   aborting a run;
@@ -51,8 +55,10 @@
 //! assert!(outcome.evaluations > 0);
 //! ```
 
+pub mod artifacts;
 pub mod error;
 pub mod fault;
+pub mod perf;
 pub mod runner;
 pub mod sampler;
 pub mod scenario;
@@ -60,16 +66,20 @@ pub mod switching;
 pub mod transfer;
 pub mod workflow;
 
+pub use artifacts::ArtifactCache;
 pub use error::{DfsError, DfsResult};
 pub use fault::{FaultKind, FaultPlan};
+pub use perf::EvalPerf;
 pub use scenario::{MlScenario, ScenarioContext, ScenarioSettings};
 pub use switching::{run_with_switching, SwitchConfig, SwitchOutcome};
 pub use workflow::{run_dfs, DfsOutcome};
 
 /// Convenient glob-import surface for examples and benches.
 pub mod prelude {
+    pub use crate::artifacts::ArtifactCache;
     pub use crate::error::{DfsError, DfsResult};
     pub use crate::fault::{FaultKind, FaultPlan};
+    pub use crate::perf::EvalPerf;
     pub use crate::runner::{
         run_benchmark, run_benchmark_opts, Arm, BenchmarkMatrix, CellResult, CellStatus,
         PortfolioObjective, RunnerOptions,

@@ -1,0 +1,82 @@
+//! Lightweight performance counters for the evaluation engine.
+//!
+//! Every [`crate::scenario::ScenarioContext`] accumulates one [`EvalPerf`]
+//! over its lifetime; the workflow copies it into the
+//! [`crate::workflow::DfsOutcome`], and the runner forwards it into the
+//! benchmark matrix cell, so "how much work did this arm actually do" is a
+//! first-class column of the study rather than something recovered from
+//! ad-hoc logging.
+
+/// Work counters for one strategy run (one matrix cell).
+///
+/// Counting is plain field increments on the single-threaded hot path —
+/// no atomics, no sampling — so the counters cost nothing measurable and
+/// are exact, not estimates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalPerf {
+    /// Models trained (wrapper evaluations, test confirmations, RFE
+    /// importance fits). HPO grid search counts as one fit here: the grid
+    /// is internal to the model layer.
+    pub model_fits: u64,
+    /// Wrapper evaluations or importance requests served from the
+    /// per-context result cache (no training, no budget spend).
+    pub cache_hits: u64,
+    /// Feature rankings computed from scratch.
+    pub ranking_computes: u64,
+    /// Feature rankings served from the shared per-row artifact cache.
+    pub ranking_hits: u64,
+    /// Separate validation-split gathers. Zero whenever neither HPO nor
+    /// the evaluation target needs a distinct validation matrix — the
+    /// fused-gather engine skips the gather entirely in that case.
+    pub val_gathers: u64,
+    /// Nanoseconds spent gathering (row-subsample + column-project) data
+    /// matrices.
+    pub gather_ns: u64,
+    /// Nanoseconds spent fitting models.
+    pub train_ns: u64,
+}
+
+impl EvalPerf {
+    /// Accumulates another counter set into this one (matrix-level
+    /// aggregation).
+    pub fn merge(&mut self, other: &EvalPerf) {
+        self.model_fits += other.model_fits;
+        self.cache_hits += other.cache_hits;
+        self.ranking_computes += other.ranking_computes;
+        self.ranking_hits += other.ranking_hits;
+        self.val_gathers += other.val_gathers;
+        self.gather_ns += other.gather_ns;
+        self.train_ns += other.train_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_componentwise_addition() {
+        let mut a = EvalPerf { model_fits: 1, cache_hits: 2, gather_ns: 10, ..EvalPerf::default() };
+        let b = EvalPerf {
+            model_fits: 3,
+            ranking_computes: 4,
+            ranking_hits: 5,
+            val_gathers: 6,
+            train_ns: 7,
+            ..EvalPerf::default()
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            EvalPerf {
+                model_fits: 4,
+                cache_hits: 2,
+                ranking_computes: 4,
+                ranking_hits: 5,
+                val_gathers: 6,
+                gather_ns: 10,
+                train_ns: 7,
+            }
+        );
+    }
+}

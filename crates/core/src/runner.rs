@@ -14,10 +14,12 @@
 //!   **per-model** (Table 6) breakdowns, **normalized F1** for the utility
 //!   benchmark, and the **greedy portfolios** of Table 8.
 
+use crate::artifacts::ArtifactCache;
 use crate::error::{panic_payload_to_string, DfsError};
 use crate::fault::{FaultKind, FaultPlan};
+use crate::perf::EvalPerf;
 use crate::scenario::{MlScenario, ScenarioSettings};
-use crate::workflow::{run_dfs, run_original_features, DfsOutcome};
+use crate::workflow::{run_dfs_with, run_original_features_with, DfsOutcome};
 use dfs_data::split::Split;
 use dfs_fs::StrategyId;
 use parking_lot::Mutex;
@@ -115,6 +117,8 @@ pub struct CellResult {
     pub test_f1: f64,
     /// Size of the returned subset (0 when none).
     pub subset_size: usize,
+    /// Evaluation-engine work counters (fits, cache hits, timings).
+    pub perf: EvalPerf,
 }
 
 impl CellResult {
@@ -130,6 +134,7 @@ impl CellResult {
             evaluations: 0,
             test_f1: 0.0,
             subset_size: 0,
+            perf: EvalPerf::default(),
         }
     }
 }
@@ -145,6 +150,7 @@ impl From<&DfsOutcome> for CellResult {
             evaluations: o.evaluations,
             test_f1: o.test_eval.map(|e| e.f1).unwrap_or(0.0),
             subset_size: o.subset.as_ref().map(|s| s.len()).unwrap_or(0),
+            perf: o.perf,
         }
     }
 }
@@ -184,6 +190,11 @@ pub struct RunnerOptions<'a> {
     /// Called with each freshly computed row (the checkpoint sink). Not
     /// called for resumed rows. May run on any worker thread.
     pub on_row: Option<&'a (dyn Fn(usize, &[CellResult]) + Sync)>,
+    /// Share a per-run [`ArtifactCache`] across cells, so each feature
+    /// ranking is computed once per (dataset, split) instead of once per
+    /// TPE(ranking) arm. Bit-identical results either way (the ranking
+    /// seed is dataset-scoped); disable only to measure the difference.
+    pub share_artifacts: bool,
 }
 
 impl Default for RunnerOptions<'_> {
@@ -195,6 +206,7 @@ impl Default for RunnerOptions<'_> {
             fault_plan: None,
             resume: HashMap::new(),
             on_row: None,
+            share_artifacts: true,
         }
     }
 }
@@ -246,6 +258,7 @@ pub fn run_benchmark_opts(
     let shared_splits: HashMap<&str, Arc<Split>> =
         splits.iter().map(|(k, v)| (k.as_str(), Arc::new(v.clone()))).collect();
     let shared_settings = Arc::new(settings.clone());
+    let artifacts = opts.share_artifacts.then(|| Arc::new(ArtifactCache::new()));
 
     let results: Mutex<Vec<Option<Vec<CellResult>>>> = Mutex::new(vec![None; n]);
     {
@@ -285,7 +298,16 @@ pub fn run_benchmark_opts(
                 .enumerate()
                 .map(|(a, &arm)| {
                     let fault = opts.fault_plan.and_then(|p| p.get(i, a));
-                    run_cell_guarded(scenario, i, split, &shared_settings, arm, fault, opts)
+                    run_cell_guarded(
+                        scenario,
+                        i,
+                        split,
+                        &shared_settings,
+                        arm,
+                        fault,
+                        artifacts.as_ref(),
+                        opts,
+                    )
                 })
                 .collect(),
         };
@@ -323,6 +345,7 @@ pub fn run_benchmark_opts(
 
 /// One cell with panic isolation and (unless disabled) a watchdog thread
 /// enforcing a hard wall-clock deadline. Always returns a cell.
+#[allow(clippy::too_many_arguments)]
 fn run_cell_guarded(
     scenario: &MlScenario,
     scenario_idx: usize,
@@ -330,11 +353,12 @@ fn run_cell_guarded(
     settings: &Arc<ScenarioSettings>,
     arm: Arm,
     fault: Option<FaultKind>,
+    artifacts: Option<&Arc<ArtifactCache>>,
     opts: &RunnerOptions<'_>,
 ) -> CellResult {
     let label = format!("{}#{scenario_idx}", scenario.dataset);
     if opts.deadline_factor <= 0.0 {
-        return run_cell_isolated(scenario, split, settings, arm, fault, &label);
+        return run_cell_isolated(scenario, split, settings, arm, fault, artifacts, &label);
     }
     let deadline =
         scenario.constraints.max_search_time.mul_f64(opts.deadline_factor) + opts.deadline_grace;
@@ -343,17 +367,26 @@ fn run_cell_guarded(
         let scenario = scenario.clone();
         let split = Arc::clone(split);
         let settings = Arc::clone(settings);
+        let artifacts = artifacts.map(Arc::clone);
         let label = label.clone();
         std::thread::Builder::new().name(format!("dfs-cell-{scenario_idx}")).spawn(move || {
             // After a timeout the receiver is gone and the send fails
             // silently; the thread just exits.
-            let _ = tx.send(run_cell_isolated(&scenario, &split, &settings, arm, fault, &label));
+            let _ = tx.send(run_cell_isolated(
+                &scenario,
+                &split,
+                &settings,
+                arm,
+                fault,
+                artifacts.as_ref(),
+                &label,
+            ));
         })
     };
     if spawned.is_err() {
         // Thread exhaustion: degrade to inline panic isolation (no
         // deadline) rather than losing the cell.
-        return run_cell_isolated(scenario, split, settings, arm, fault, &label);
+        return run_cell_isolated(scenario, split, settings, arm, fault, artifacts, &label);
     }
     match rx.recv_timeout(deadline) {
         Ok(cell) => cell,
@@ -375,10 +408,12 @@ fn run_cell_isolated(
     settings: &ScenarioSettings,
     arm: Arm,
     fault: Option<FaultKind>,
+    artifacts: Option<&Arc<ArtifactCache>>,
     label: &str,
 ) -> CellResult {
     let started = Instant::now();
-    match catch_unwind(AssertUnwindSafe(|| run_cell(scenario, split, settings, arm, fault))) {
+    match catch_unwind(AssertUnwindSafe(|| run_cell(scenario, split, settings, arm, fault, artifacts)))
+    {
         Ok(cell) => sanitize_cell(cell),
         Err(payload) => {
             let err = DfsError::CellPanicked {
@@ -400,6 +435,7 @@ fn run_cell(
     settings: &ScenarioSettings,
     arm: Arm,
     fault: Option<FaultKind>,
+    artifacts: Option<&Arc<ArtifactCache>>,
 ) -> CellResult {
     match fault {
         Some(FaultKind::Panic) => panic!("injected fault: panic in {}", arm.name()),
@@ -414,13 +450,18 @@ fn run_cell(
                 evaluations: usize::MAX,
                 test_f1: f64::NAN,
                 subset_size: usize::MAX,
+                perf: EvalPerf::default(),
             };
         }
         None => {}
     }
     match arm {
-        Arm::Original => CellResult::from(&run_original_features(scenario, split, settings)),
-        Arm::Strategy(id) => CellResult::from(&run_dfs(scenario, split, settings, id)),
+        Arm::Original => {
+            CellResult::from(&run_original_features_with(scenario, split, settings, artifacts))
+        }
+        Arm::Strategy(id) => {
+            CellResult::from(&run_dfs_with(scenario, split, settings, id, artifacts))
+        }
     }
 }
 
@@ -458,6 +499,18 @@ impl BenchmarkMatrix {
     /// Index of an arm.
     pub fn arm_index(&self, arm: Arm) -> Option<usize> {
         self.arms.iter().position(|a| *a == arm)
+    }
+
+    /// Summed evaluation-engine work counters over every cell — the
+    /// whole-run perf report the bench mains print after a run.
+    pub fn total_perf(&self) -> EvalPerf {
+        let mut total = EvalPerf::default();
+        for row in &self.results {
+            for cell in row {
+                total.merge(&cell.perf);
+            }
+        }
+        total
     }
 
     /// Cells per terminal status as `(ok, panicked, timed_out, skipped)` —
@@ -768,6 +821,7 @@ mod tests {
             evaluations: 5,
             test_f1: f1,
             subset_size: 2,
+            perf: EvalPerf { model_fits: 5, ..EvalPerf::default() },
         };
         BenchmarkMatrix {
             arms,
@@ -1015,6 +1069,7 @@ mod tests {
             evaluations: 1,
             test_f1: 0.9,
             subset_size: 777,
+            perf: EvalPerf::default(),
         };
         let mut plan = FaultPlan::new();
         plan.inject(0, 0, FaultKind::Panic);

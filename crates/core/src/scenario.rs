@@ -1,5 +1,7 @@
 //! ML scenarios and the subset evaluator that powers every strategy.
 
+use crate::artifacts::{ranking_seed, split_fingerprint, ArtifactCache};
+use crate::perf::EvalPerf;
 use dfs_constraints::{ConstraintSet, Evaluation};
 use dfs_data::split::Split;
 use dfs_fs::SubsetEvaluator;
@@ -9,8 +11,11 @@ use dfs_metrics::{empirical_safety, equal_opportunity, f1_score, AttackConfig};
 use dfs_models::hpo::fit_maybe_hpo;
 use dfs_models::importance::importance_or_permutation;
 use dfs_models::{ModelKind, ModelSpec, TrainedModel};
+use dfs_rankings::{Ranking, RankingKind};
 use dfs_search::Budget;
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A fully specified ML scenario `Z = (φ, D, D_train, D_val, D_test, C)`.
 #[derive(Debug, Clone)]
@@ -98,8 +103,18 @@ pub struct ScenarioContext<'a> {
     settings: &'a ScenarioSettings,
     budget: Budget,
     cache: HashMap<Vec<usize>, CachedEval>,
-    eval_counter: u64,
+    importance_cache: HashMap<Vec<usize>, Vec<f64>>,
     train_rows: Vec<usize>,
+    /// Subsampled labels, gathered once — every evaluation reuses them.
+    y_train: Vec<bool>,
+    // Reusable gather buffers: after warm-up, an evaluation performs no
+    // matrix allocation at all (O(1) steady-state allocation).
+    scratch_train: Matrix,
+    scratch_eval: Matrix,
+    scratch_val: Matrix,
+    perf: EvalPerf,
+    artifacts: Option<Arc<ArtifactCache>>,
+    split_key: u64,
 }
 
 impl<'a> ScenarioContext<'a> {
@@ -111,7 +126,30 @@ impl<'a> ScenarioContext<'a> {
         // Deterministic head of a stratified split is already shuffled
         // within strata; take a simple prefix for the train subsample.
         let train_rows: Vec<usize> = (0..cap).collect();
-        Self { scenario, split, settings, budget, cache: HashMap::new(), eval_counter: 0, train_rows }
+        let y_train: Vec<bool> = train_rows.iter().map(|&i| split.train.y[i]).collect();
+        Self {
+            scenario,
+            split,
+            settings,
+            budget,
+            cache: HashMap::new(),
+            importance_cache: HashMap::new(),
+            train_rows,
+            y_train,
+            scratch_train: Matrix::zeros(0, 0),
+            scratch_eval: Matrix::zeros(0, 0),
+            scratch_val: Matrix::zeros(0, 0),
+            perf: EvalPerf::default(),
+            artifacts: None,
+            split_key: split_fingerprint(split),
+        }
+    }
+
+    /// Attaches a shared artifact cache (rankings computed once per
+    /// benchmark row instead of once per arm).
+    pub fn with_artifacts(mut self, artifacts: Arc<ArtifactCache>) -> Self {
+        self.artifacts = Some(artifacts);
+        self
     }
 
     /// The scenario under evaluation.
@@ -129,10 +167,21 @@ impl<'a> ScenarioContext<'a> {
         self.budget.elapsed()
     }
 
-    /// Trains the scenario's model on a subset (train split only) and
-    /// returns it along with its validation predictions.
-    fn train_on(&mut self, subset: &[usize], x_train: &Matrix, y_train: &[bool], x_val: &Matrix, y_val: &[bool]) -> TrainedModel {
-        self.eval_counter += 1;
+    /// Work counters accumulated so far.
+    pub fn perf(&self) -> EvalPerf {
+        self.perf
+    }
+
+    /// Trains the scenario's model on a subset (train split only).
+    /// `val` carries the gathered validation data when (and only when)
+    /// the fit actually consumes it — i.e. under HPO without DP.
+    fn train_on(
+        &mut self,
+        subset: &[usize],
+        x_train: &Matrix,
+        val: Option<(&Matrix, &[bool])>,
+    ) -> TrainedModel {
+        self.perf.model_fits += 1;
         match self.scenario.constraints.privacy_epsilon {
             Some(eps) => {
                 // DP variant; HPO would multiply the privacy spend, so DP
@@ -141,31 +190,66 @@ impl<'a> ScenarioContext<'a> {
                 // alternative of the chosen model).
                 let spec = ModelSpec::default_for(self.scenario.model);
                 let dp_seed = derive_seed(self.scenario.seed, hash_subset(subset));
-                spec.fit_dp(x_train, y_train, eps, dp_seed)
+                spec.fit_dp(x_train, &self.y_train, eps, dp_seed)
             }
-            None => {
-                let (_, model) =
-                    fit_maybe_hpo(self.scenario.model, self.scenario.hpo, x_train, y_train, x_val, y_val);
-                model
-            }
+            None => match val {
+                Some((x_val, y_val)) => {
+                    let (_, model) = fit_maybe_hpo(
+                        self.scenario.model,
+                        self.scenario.hpo,
+                        x_train,
+                        &self.y_train,
+                        x_val,
+                        y_val,
+                    );
+                    model
+                }
+                // No validation data needed: the non-HPO fit ignores it.
+                None => ModelSpec::default_for(self.scenario.model).fit(x_train, &self.y_train),
+            },
         }
     }
 
     /// Full (train + measure on a given evaluation split) pass for a subset.
     /// Used for both validation (during search) and test (confirmation).
+    ///
+    /// Gathers are fused (row subsample and column projection in one pass,
+    /// no full-height intermediate) into the context's scratch buffers, and
+    /// the validation matrix is only materialized when the fit needs it:
+    /// HPO scores candidates on validation, while DP and default-parameter
+    /// fits never look at it.
     fn measure(&mut self, subset: &[usize], eval_on_test: bool) -> Evaluation {
-        let x_train_full = self.split.train.x.select_cols(subset);
-        let x_train = x_train_full.select_rows(&self.train_rows);
-        let y_train: Vec<bool> =
-            self.train_rows.iter().map(|&i| self.split.train.y[i]).collect();
-        let part = if eval_on_test { &self.split.test } else { &self.split.val };
-        let x_eval = part.x.select_cols(subset);
+        let split = self.split;
+        let needs_val = self.scenario.hpo && self.scenario.constraints.privacy_epsilon.is_none();
+
+        let mut x_train = std::mem::take(&mut self.scratch_train);
+        let mut x_eval = std::mem::take(&mut self.scratch_eval);
+        let mut x_val = std::mem::take(&mut self.scratch_val);
+
+        let gather_start = Instant::now();
+        split.train.x.select_rows_cols_into(&self.train_rows, subset, &mut x_train);
+        let part = if eval_on_test { &split.test } else { &split.val };
+        part.x.select_cols_into(subset, &mut x_eval);
+        // HPO always scores on validation, never on test. When the
+        // evaluation target *is* validation, the eval gather above already
+        // produced the validation matrix — reuse it instead of gathering
+        // twice.
+        let val_data: Option<(&Matrix, &[bool])> = if !needs_val {
+            None
+        } else if eval_on_test {
+            split.val.x.select_cols_into(subset, &mut x_val);
+            self.perf.val_gathers += 1;
+            Some((&x_val, &split.val.y))
+        } else {
+            Some((&x_eval, &split.val.y))
+        };
+        self.perf.gather_ns += gather_start.elapsed().as_nanos() as u64;
+
+        let train_start = Instant::now();
+        let model = self.train_on(subset, &x_train, val_data);
+        self.perf.train_ns += train_start.elapsed().as_nanos() as u64;
+
         let y_eval = &part.y;
-
-        // HPO always scores on validation, never on test.
-        let x_val = self.split.val.x.select_cols(subset);
-        let model = self.train_on(subset, &x_train, &y_train, &x_val, &self.split.val.y);
-
         let preds = model.predict(&x_eval);
         let f1 = f1_score(&preds, y_eval);
         let eo = self
@@ -179,13 +263,18 @@ impl<'a> ScenarioContext<'a> {
             let predict = |row: &[f64]| model.predict_one(row);
             empirical_safety(&predict, &x_eval, y_eval, &cfg)
         });
-        Evaluation {
+        let eval = Evaluation {
             f1,
             eo,
             safety,
             n_selected: subset.len(),
-            n_total: self.split.n_features(),
-        }
+            n_total: split.n_features(),
+        };
+        // Hand the buffers back for the next evaluation.
+        self.scratch_train = x_train;
+        self.scratch_eval = x_eval;
+        self.scratch_val = x_val;
+        eval
     }
 
     /// Scores a subset against the constraint set (Eq. 1 / Eq. 2), without
@@ -254,8 +343,9 @@ impl SubsetEvaluator for ScenarioContext<'_> {
         if self.budget.exhausted() {
             return None;
         }
-        if let Some(cached) = self.cache.get(subset) {
-            return Some(cached.score);
+        if let Some(score) = self.cache.get(subset).map(|c| c.score) {
+            self.perf.cache_hits += 1;
+            return Some(score);
         }
         // Evaluation-independent pruning (no budget *count*, no training).
         if subset.len() > self.max_features() {
@@ -279,10 +369,9 @@ impl SubsetEvaluator for ScenarioContext<'_> {
         }
         // A full (trained) evaluation may be reused; a pruned shortcut may
         // not — the caller insists on the wrapper approach.
-        if let Some(cached) = self.cache.get(subset) {
-            if !cached.pruned {
-                return Some(cached.score);
-            }
+        if let Some(score) = self.cache.get(subset).filter(|c| !c.pruned).map(|c| c.score) {
+            self.perf.cache_hits += 1;
+            return Some(score);
         }
         if !self.budget.try_consume() {
             return None;
@@ -300,8 +389,9 @@ impl SubsetEvaluator for ScenarioContext<'_> {
         let score_and_eval = {
             if self.budget.exhausted() {
                 None
-            } else if let Some(cached) = self.cache.get(subset) {
-                Some((cached.score, cached.eval))
+            } else if let Some(cached) = self.cache.get(subset).map(|c| (c.score, c.eval)) {
+                self.perf.cache_hits += 1;
+                Some(cached)
             } else if subset.len() > self.max_features() {
                 let (score, eval) = self.pruned_score(subset);
                 self.cache.insert(subset.to_vec(), CachedEval { score, eval, pruned: true });
@@ -343,21 +433,63 @@ impl SubsetEvaluator for ScenarioContext<'_> {
         (&self.split.train.x, &self.split.train.y)
     }
 
+    fn ranking(&mut self, kind: RankingKind) -> Ranking {
+        // Dataset-scoped seed: independent of the scenario seed and of the
+        // cache, so every arm of a benchmark row derives the identical
+        // ranking whether or not a shared cache is attached.
+        let seed = ranking_seed(&self.scenario.dataset, kind);
+        match self.artifacts.clone() {
+            Some(cache) => {
+                let (ranking, hit) =
+                    cache.ranking(&self.scenario.dataset, self.split_key, kind, || {
+                        kind.compute(&self.split.train.x, &self.split.train.y, seed)
+                    });
+                if hit {
+                    self.perf.ranking_hits += 1;
+                } else {
+                    self.perf.ranking_computes += 1;
+                }
+                (*ranking).clone()
+            }
+            None => {
+                self.perf.ranking_computes += 1;
+                kind.compute(&self.split.train.x, &self.split.train.y, seed)
+            }
+        }
+    }
+
     fn importances(&mut self, subset: &[usize]) -> Option<Vec<f64>> {
+        // Repeated requests for the same subset (RFE re-ranks after every
+        // elimination step and restarts re-visit prefixes) are served from
+        // the cache without a second training run or budget spend.
+        if let Some(cached) = self.importance_cache.get(subset) {
+            self.perf.cache_hits += 1;
+            return Some(cached.clone());
+        }
         if !self.budget.try_consume() {
             return None;
         }
-        let x_train_full = self.split.train.x.select_cols(subset);
-        let x_train = x_train_full.select_rows(&self.train_rows);
-        let y_train: Vec<bool> =
-            self.train_rows.iter().map(|&i| self.split.train.y[i]).collect();
+        let split = self.split;
+        let mut x_train = std::mem::take(&mut self.scratch_train);
+        let mut x_val = std::mem::take(&mut self.scratch_val);
+        let gather_start = Instant::now();
+        split.train.x.select_rows_cols_into(&self.train_rows, subset, &mut x_train);
+        split.val.x.select_cols_into(subset, &mut x_val);
+        self.perf.val_gathers += 1;
+        self.perf.gather_ns += gather_start.elapsed().as_nanos() as u64;
         // RFE trains with default hyperparameters (the ranking step is not
         // HPO'd in the reference implementation either).
         let spec = ModelSpec::default_for(self.scenario.model);
-        let model = spec.fit(&x_train, &y_train);
-        let x_val = self.split.val.x.select_cols(subset);
+        let train_start = Instant::now();
+        let model = spec.fit(&x_train, &self.y_train);
+        self.perf.train_ns += train_start.elapsed().as_nanos() as u64;
+        self.perf.model_fits += 1;
         let seed = derive_seed(self.scenario.seed, 0x1339 ^ hash_subset(subset));
-        Some(importance_or_permutation(&model, &x_val, &self.split.val.y, seed))
+        let importances = importance_or_permutation(&model, &x_val, &split.val.y, seed);
+        self.importance_cache.insert(subset.to_vec(), importances.clone());
+        self.scratch_train = x_train;
+        self.scratch_val = x_val;
+        Some(importances)
     }
 
     fn seed(&self) -> u64 {
@@ -528,6 +660,96 @@ mod tests {
         let (eval, distance) = ctx.confirm_on_test(&subset);
         assert_eq!(eval.n_selected, 4);
         assert!(distance >= 0.0);
+    }
+
+    #[test]
+    fn importances_are_cached_without_budget_double_spend() {
+        let (_, split) = setup();
+        let sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        let settings = ScenarioSettings::fast();
+        let mut ctx = ScenarioContext::new(&sc, &split, &settings);
+        let first = ctx.importances(&[0, 1, 2]).expect("budget available");
+        let used = ctx.evals_used();
+        let fits = ctx.perf().model_fits;
+        let second = ctx.importances(&[0, 1, 2]).expect("cache hit always answers");
+        assert_eq!(first, second);
+        assert_eq!(ctx.evals_used(), used, "repeated importances must not consume budget");
+        assert_eq!(ctx.perf().model_fits, fits, "repeated importances must not retrain");
+        assert_eq!(ctx.perf().cache_hits, 1);
+    }
+
+    #[test]
+    fn no_validation_gather_without_hpo_or_dp() {
+        let (_, split) = setup();
+        // hpo = false, no DP: the fit never looks at validation data, so
+        // the engine must not gather it — not even on test confirmation.
+        let sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        let settings = ScenarioSettings::fast();
+        let mut ctx = ScenarioContext::new(&sc, &split, &settings);
+        ctx.evaluate(&[0, 1]).unwrap();
+        ctx.evaluate(&[2, 3]).unwrap();
+        ctx.confirm_on_test(&[0, 1]);
+        assert_eq!(ctx.perf().val_gathers, 0);
+        assert_eq!(ctx.perf().model_fits, 3);
+
+        // With HPO the validation matrix is needed — but only the test
+        // confirmation requires a *separate* gather (during search the
+        // evaluation matrix is the validation matrix).
+        let mut sc_hpo = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        sc_hpo.hpo = true;
+        let mut ctx = ScenarioContext::new(&sc_hpo, &split, &settings);
+        ctx.evaluate(&[0, 1]).unwrap();
+        assert_eq!(ctx.perf().val_gathers, 0, "search-time eval gather doubles as val");
+        ctx.confirm_on_test(&[0, 1]);
+        assert_eq!(ctx.perf().val_gathers, 1, "test confirmation needs its own val gather");
+
+        // DP ignores validation data even under HPO.
+        let mut c_dp = ConstraintSet::accuracy_only(0.5, Duration::from_secs(10));
+        c_dp.privacy_epsilon = Some(10.0);
+        let mut sc_dp = scenario(c_dp);
+        sc_dp.hpo = true;
+        let mut ctx = ScenarioContext::new(&sc_dp, &split, &settings);
+        ctx.evaluate(&[0, 1]).unwrap();
+        ctx.confirm_on_test(&[0, 1]);
+        assert_eq!(ctx.perf().val_gathers, 0);
+    }
+
+    #[test]
+    fn perf_counts_fits_cache_hits_and_timings() {
+        let (_, split) = setup();
+        let sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        let settings = ScenarioSettings::fast();
+        let mut ctx = ScenarioContext::new(&sc, &split, &settings);
+        ctx.evaluate(&[0, 1]).unwrap();
+        ctx.evaluate(&[0, 1]).unwrap(); // cached
+        ctx.evaluate(&[2]).unwrap();
+        let perf = ctx.perf();
+        assert_eq!(perf.model_fits, 2);
+        assert_eq!(perf.cache_hits, 1);
+        assert!(perf.gather_ns > 0 && perf.train_ns > 0);
+    }
+
+    #[test]
+    fn ranking_without_artifacts_matches_ranking_with_artifacts() {
+        let (_, split) = setup();
+        let sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        let settings = ScenarioSettings::fast();
+        let cache = Arc::new(crate::artifacts::ArtifactCache::new());
+        for kind in RankingKind::ALL {
+            let mut plain = ScenarioContext::new(&sc, &split, &settings);
+            let mut cached =
+                ScenarioContext::new(&sc, &split, &settings).with_artifacts(Arc::clone(&cache));
+            let a = plain.ranking(kind);
+            let b = cached.ranking(kind); // compute (first arm)
+            let c = cached.ranking(kind); // hit (subsequent arm)
+            assert_eq!(a, b, "{kind:?}: cached path must be bit-identical");
+            assert_eq!(b, c);
+            assert_eq!(plain.perf().ranking_computes, 1);
+            assert_eq!(cached.perf().ranking_computes, 1);
+            assert_eq!(cached.perf().ranking_hits, 1);
+        }
+        let (computes, hits) = cache.counts();
+        assert_eq!((computes, hits), (7, 7));
     }
 
     #[test]

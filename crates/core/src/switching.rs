@@ -221,6 +221,10 @@ impl SubsetEvaluator for SlicedContext<'_, '_> {
     fn ranking_data(&self) -> (&dfs_linalg::Matrix, &[bool]) {
         self.inner.ranking_data()
     }
+    fn ranking(&mut self, kind: dfs_rankings::RankingKind) -> dfs_rankings::Ranking {
+        // Forward so the inner context's artifact cache stays in play.
+        self.inner.ranking(kind)
+    }
     fn importances(&mut self, subset: &[usize]) -> Option<Vec<f64>> {
         if self.slice_exhausted() {
             return None;

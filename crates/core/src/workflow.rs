@@ -8,10 +8,13 @@
 //! 3. On failure, the best subset's distances on validation and test are
 //!    recorded (the paper's Table 4 failure analysis).
 
+use crate::artifacts::ArtifactCache;
+use crate::perf::EvalPerf;
 use crate::scenario::{MlScenario, ScenarioContext, ScenarioSettings};
 use dfs_constraints::Evaluation;
 use dfs_data::split::Split;
 use dfs_fs::{run_strategy, StrategyId, SubsetEvaluator};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Outcome of one strategy on one scenario.
@@ -40,6 +43,8 @@ pub struct DfsOutcome {
     pub evaluations: usize,
     /// Wall-clock search time.
     pub elapsed: Duration,
+    /// Work counters of the evaluation engine (fits, cache hits, timings).
+    pub perf: EvalPerf,
 }
 
 /// Runs the full DFS workflow for one strategy.
@@ -49,8 +54,23 @@ pub fn run_dfs(
     settings: &ScenarioSettings,
     strategy: StrategyId,
 ) -> DfsOutcome {
+    run_dfs_with(scenario, split, settings, strategy, None)
+}
+
+/// [`run_dfs`] with an optional shared artifact cache (the benchmark
+/// runner passes one so the arms of a row share ranking computations).
+pub fn run_dfs_with(
+    scenario: &MlScenario,
+    split: &Split,
+    settings: &ScenarioSettings,
+    strategy: StrategyId,
+    artifacts: Option<&Arc<ArtifactCache>>,
+) -> DfsOutcome {
     debug_assert!(scenario.constraints.validate().is_ok(), "invalid constraint set");
     let mut ctx = ScenarioContext::new(scenario, split, settings);
+    if let Some(cache) = artifacts {
+        ctx = ctx.with_artifacts(Arc::clone(cache));
+    }
     let outcome = run_strategy(strategy, &mut ctx);
     let elapsed = ctx.elapsed();
     let evaluations = ctx.evals_used();
@@ -73,6 +93,7 @@ pub fn run_dfs(
             test_eval: None,
             evaluations,
             elapsed,
+            perf: ctx.perf(),
         };
     };
 
@@ -98,6 +119,7 @@ pub fn run_dfs(
         test_eval: Some(test_eval),
         evaluations,
         elapsed,
+        perf: ctx.perf(),
     }
 }
 
@@ -108,7 +130,20 @@ pub fn run_original_features(
     split: &Split,
     settings: &ScenarioSettings,
 ) -> DfsOutcome {
+    run_original_features_with(scenario, split, settings, None)
+}
+
+/// [`run_original_features`] with an optional shared artifact cache.
+pub fn run_original_features_with(
+    scenario: &MlScenario,
+    split: &Split,
+    settings: &ScenarioSettings,
+    artifacts: Option<&Arc<ArtifactCache>>,
+) -> DfsOutcome {
     let mut ctx = ScenarioContext::new(scenario, split, settings);
+    if let Some(cache) = artifacts {
+        ctx = ctx.with_artifacts(Arc::clone(cache));
+    }
     let all: Vec<usize> = (0..split.n_features()).collect();
     let val_score = ctx.evaluate(&all);
     let elapsed = ctx.elapsed();
@@ -131,6 +166,7 @@ pub fn run_original_features(
         test_eval: Some(test_eval),
         evaluations,
         elapsed,
+        perf: ctx.perf(),
     }
 }
 
@@ -143,7 +179,12 @@ mod tests {
     use dfs_models::ModelKind;
 
     fn setup() -> Split {
-        let ds = generate(&tiny_spec(), 11);
+        // 240-row tiny_spec leaves ~60 test rows, where single-feature F1
+        // estimates swing enough to flip val-pass/test-fail; triple the rows
+        // so the easy-scenario assertions hold for any RNG backend.
+        let mut spec = tiny_spec();
+        spec.rows = 720;
+        let ds = generate(&spec, 11);
         stratified_three_way(&ds, 11)
     }
 

@@ -1,0 +1,89 @@
+//! Regression tests for the shared per-scenario ranking cache.
+//!
+//! The cache must be a pure execution optimization: enabling
+//! `share_artifacts` may only change *how often* rankings are computed,
+//! never any strategy outcome. Ranking seeds are derived from
+//! (dataset, ranking kind) alone, so the cached and uncached paths are
+//! bit-identical by construction — these tests pin that down end to end
+//! and assert the headline perf claim (>= 2x fewer ranking computations
+//! across a multi-arm benchmark row).
+
+use dfs_constraints::ConstraintSet;
+use dfs_core::runner::{run_benchmark_opts, Arm, BenchmarkMatrix, RunnerOptions};
+use dfs_core::{MlScenario, ScenarioSettings};
+use dfs_data::split::stratified_three_way;
+use dfs_data::synthetic::{generate, tiny_spec};
+use dfs_data::Split;
+use dfs_fs::StrategyId;
+use dfs_models::ModelKind;
+use dfs_rankings::RankingKind;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn splits() -> HashMap<String, Split> {
+    let ds = generate(&tiny_spec(), 17);
+    let mut splits = HashMap::new();
+    splits.insert("tiny".to_string(), stratified_three_way(&ds, 17));
+    splits
+}
+
+fn scenarios() -> Vec<MlScenario> {
+    [(0.55, 7), (0.60, 8), (0.65, 9)]
+        .into_iter()
+        .map(|(min_f1, seed)| MlScenario {
+            dataset: "tiny".into(),
+            model: ModelKind::DecisionTree,
+            hpo: false,
+            constraints: ConstraintSet::accuracy_only(min_f1, Duration::from_secs(20)),
+            utility_f1: false,
+            seed,
+        })
+        .collect()
+}
+
+fn ranking_arms() -> Vec<Arm> {
+    RankingKind::ALL
+        .into_iter()
+        .map(|kind| Arm::Strategy(StrategyId::TpeRanking(kind)))
+        .collect()
+}
+
+fn run(share_artifacts: bool) -> BenchmarkMatrix {
+    let mut settings = ScenarioSettings::fast();
+    settings.max_evals = 12;
+    let opts = RunnerOptions { share_artifacts, ..RunnerOptions::default() };
+    run_benchmark_opts(&splits(), scenarios(), &ranking_arms(), &settings, &opts)
+}
+
+#[test]
+fn shared_ranking_cache_halves_computes_with_bit_identical_results() {
+    let uncached = run(false);
+    let cached = run(true);
+
+    for (row_u, row_c) in uncached.results.iter().zip(&cached.results) {
+        for (u, c) in row_u.iter().zip(row_c) {
+            assert_eq!(u.status, c.status);
+            assert_eq!(u.success, c.success);
+            assert_eq!(u.val_distance.to_bits(), c.val_distance.to_bits());
+            assert_eq!(u.test_distance.to_bits(), c.test_distance.to_bits());
+            assert_eq!(u.test_f1.to_bits(), c.test_f1.to_bits());
+            assert_eq!(u.evaluations, c.evaluations);
+            assert_eq!(u.subset_size, c.subset_size);
+        }
+    }
+
+    let (pu, pc) = (uncached.total_perf(), cached.total_perf());
+    // Uncached: every TPE(ranking) cell computes its own ranking.
+    assert_eq!(pu.ranking_computes, 21, "3 scenarios x 7 ranking arms");
+    assert_eq!(pu.ranking_hits, 0);
+    // Cached: each of the 7 kinds is computed once for the shared
+    // (dataset, split) key; the other two scenario rows hit the cache.
+    assert_eq!(pc.ranking_computes, 7);
+    assert_eq!(pc.ranking_hits, 14);
+    assert!(
+        pu.ranking_computes >= 2 * pc.ranking_computes,
+        "cache must cut ranking computations at least 2x ({} vs {})",
+        pu.ranking_computes,
+        pc.ranking_computes,
+    );
+}

@@ -1,6 +1,7 @@
 //! The evaluator abstraction connecting strategies to scenarios.
 
 use dfs_linalg::Matrix;
+use dfs_rankings::{Ranking, RankingKind};
 
 /// Wrapper-approach access to an ML scenario.
 ///
@@ -45,6 +46,20 @@ pub trait SubsetEvaluator {
 
     /// Training data for ranking computation (features, labels).
     fn ranking_data(&self) -> (&Matrix, &[bool]);
+
+    /// The feature ranking of `kind` over the training data.
+    ///
+    /// The default computes it in place from [`ranking_data`]. Evaluators
+    /// that can share artifacts (`dfs-core`'s `ScenarioContext` with an
+    /// attached artifact cache) override this to serve repeated requests —
+    /// the seven TPE(ranking) arms of one benchmark row — from a single
+    /// computation.
+    ///
+    /// [`ranking_data`]: SubsetEvaluator::ranking_data
+    fn ranking(&mut self, kind: RankingKind) -> Ranking {
+        let (x, y) = self.ranking_data();
+        kind.compute(x, y, self.seed())
+    }
 
     /// Model feature-importance scores on a subset (native scores, or
     /// permutation importance when the model has none — the paper's RFE

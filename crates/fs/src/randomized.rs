@@ -18,13 +18,11 @@ pub fn tpe_ranking(ev: &mut dyn SubsetEvaluator, kind: RankingKind) -> SearchOut
     if d == 0 {
         return outcome;
     }
-    // Compute the ranking once. Rankings are not free: heavyweight ones
+    // Obtain the ranking once. Rankings are not free: heavyweight ones
     // (MCFS, ReliefF) eat wall-clock from the same budget because the
-    // evaluator's clock keeps running while we compute.
-    let ranking = {
-        let (x, y) = ev.ranking_data();
-        kind.compute(x, y, ev.seed())
-    };
+    // evaluator's clock keeps running while we compute — which is exactly
+    // why the evaluator may serve this from a shared artifact cache.
+    let ranking = ev.ranking(kind);
     let cap = ev.max_features().min(d).max(1);
 
     let cfg = TpeConfig {

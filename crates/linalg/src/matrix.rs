@@ -9,7 +9,7 @@ use std::ops::{Index, IndexMut};
 /// rows are instances, columns are features. The API exposes exactly the
 /// operations the reproduction needs; it is not a general linear-algebra
 /// library.
-#[derive(Clone, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -129,6 +129,62 @@ impl Matrix {
             data.extend(indices.iter().map(|&j| row[j]));
         }
         Matrix { rows: self.rows, cols: indices.len(), data }
+    }
+
+    /// Fused gather: `select_rows(rows).select_cols(cols)` in one pass,
+    /// without the full-width (or full-height) intermediate matrix.
+    ///
+    /// This is the wrapper-evaluation hot path: every candidate subset is a
+    /// (train-subsample, feature-projection) of the same split, so the fused
+    /// form runs once per model fit. See [`Matrix::select_rows_cols_into`]
+    /// for the allocation-free variant used with a scratch buffer.
+    pub fn select_rows_cols(&self, rows: &[usize], cols: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.select_rows_cols_into(rows, cols, &mut out);
+        out
+    }
+
+    /// Fused gather into an existing matrix, reusing its buffer.
+    ///
+    /// `out` is resized to `rows.len() x cols.len()`; its previous contents
+    /// are discarded but its allocation is kept when large enough, making
+    /// repeated gathers allocation-free at steady state.
+    ///
+    /// # Panics
+    /// Panics when any row or column index is out of bounds.
+    pub fn select_rows_cols_into(&self, rows: &[usize], cols: &[usize], out: &mut Matrix) {
+        for &j in cols {
+            assert!(j < self.cols, "select_rows_cols: col {j} out of bounds ({})", self.cols);
+        }
+        for &i in rows {
+            assert!(i < self.rows, "select_rows_cols: row {i} out of bounds ({})", self.rows);
+        }
+        out.rows = rows.len();
+        out.cols = cols.len();
+        out.data.clear();
+        out.data.reserve(rows.len() * cols.len());
+        for &i in rows {
+            let row = self.row(i);
+            out.data.extend(cols.iter().map(|&j| row[j]));
+        }
+    }
+
+    /// Column projection into an existing matrix, reusing its buffer.
+    ///
+    /// Equivalent to [`Matrix::select_cols`] but allocation-free at steady
+    /// state, like [`Matrix::select_rows_cols_into`].
+    pub fn select_cols_into(&self, cols: &[usize], out: &mut Matrix) {
+        for &j in cols {
+            assert!(j < self.cols, "select_cols: index {j} out of bounds ({})", self.cols);
+        }
+        out.rows = self.rows;
+        out.cols = cols.len();
+        out.data.clear();
+        out.data.reserve(self.rows * cols.len());
+        for i in 0..self.rows {
+            let row = self.row(i);
+            out.data.extend(cols.iter().map(|&j| row[j]));
+        }
     }
 
     /// Matrix transpose.
@@ -277,6 +333,53 @@ mod tests {
         assert_eq!(s.shape(), (3, 3));
         assert_eq!(s.row(0), &[4.0, 5.0, 6.0]);
         assert_eq!(s.row(2), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn select_rows_cols_fuses_both_gathers() {
+        let m = sample();
+        let s = m.select_rows_cols(&[1, 0, 1], &[2, 0]);
+        assert_eq!(s.shape(), (3, 2));
+        assert_eq!(s.row(0), &[6.0, 4.0]);
+        assert_eq!(s.row(1), &[3.0, 1.0]);
+        assert_eq!(s.row(2), &[6.0, 4.0]);
+        assert_eq!(s, m.select_rows(&[1, 0, 1]).select_cols(&[2, 0]));
+    }
+
+    #[test]
+    fn select_rows_cols_into_reuses_the_buffer() {
+        let m = sample();
+        let mut scratch = Matrix::zeros(0, 0);
+        m.select_rows_cols_into(&[0, 1], &[1], &mut scratch);
+        assert_eq!(scratch.shape(), (2, 1));
+        assert_eq!(scratch.col(0), vec![2.0, 5.0]);
+        let cap = scratch.data.capacity();
+        // A second, equal-or-smaller gather must not reallocate.
+        m.select_rows_cols_into(&[1], &[0, 2], &mut scratch);
+        assert_eq!(scratch.shape(), (1, 2));
+        assert_eq!(scratch.row(0), &[4.0, 6.0]);
+        assert_eq!(scratch.data.capacity(), cap);
+    }
+
+    #[test]
+    fn select_cols_into_matches_select_cols() {
+        let m = sample();
+        let mut scratch = Matrix::zeros(0, 0);
+        m.select_cols_into(&[2, 0], &mut scratch);
+        assert_eq!(scratch, m.select_cols(&[2, 0]));
+    }
+
+    #[test]
+    fn select_rows_cols_empty_selections() {
+        let m = sample();
+        assert_eq!(m.select_rows_cols(&[], &[0, 1]).shape(), (0, 2));
+        assert_eq!(m.select_rows_cols(&[0], &[]).shape(), (1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn select_rows_cols_checks_bounds() {
+        let _ = sample().select_rows_cols(&[0], &[3]);
     }
 
     #[test]

@@ -42,6 +42,15 @@ pub fn sample_without_replacement(n: usize, k: usize, rng: &mut StdRng) -> Vec<u
     idx
 }
 
+/// Uniform index draw from `0..n`.
+///
+/// # Panics
+/// Panics when `n == 0`.
+pub fn uniform_usize(rng: &mut StdRng, n: usize) -> usize {
+    assert!(n > 0, "uniform_usize: empty range");
+    rng.random_range(0..n)
+}
+
 /// Uniform draw from `[lo, hi)`.
 pub fn uniform(lo: f64, hi: f64, rng: &mut StdRng) -> f64 {
     if hi <= lo {

@@ -92,6 +92,34 @@ proptest! {
     }
 
     #[test]
+    fn fused_gather_equals_composed_gathers(
+        rows in 2usize..12,
+        cols in 2usize..10,
+        seed in 0u64..1000,
+        n_rows in 0usize..14,
+        n_cols in 1usize..10,
+    ) {
+        use dfs_linalg::rng::{standard_normal, uniform_usize};
+        let mut rng = rng_from_seed(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = standard_normal(&mut rng);
+            }
+        }
+        // Random index lists with repeats and arbitrary order.
+        let row_sel: Vec<usize> = (0..n_rows).map(|_| uniform_usize(&mut rng, rows)).collect();
+        let col_sel: Vec<usize> = (0..n_cols).map(|_| uniform_usize(&mut rng, cols)).collect();
+        let fused = m.select_rows_cols(&row_sel, &col_sel);
+        let composed = m.select_cols(&col_sel).select_rows(&row_sel);
+        prop_assert_eq!(&fused, &composed);
+        // The buffer-reusing form must agree bit-for-bit as well.
+        let mut scratch = Matrix::zeros(3, 3);
+        m.select_rows_cols_into(&row_sel, &col_sel, &mut scratch);
+        prop_assert_eq!(&scratch, &fused);
+    }
+
+    #[test]
     fn cholesky_solution_satisfies_system(n in 1usize..5, seed in 0u64..500) {
         use dfs_linalg::rng::standard_normal;
         let mut rng = rng_from_seed(seed);

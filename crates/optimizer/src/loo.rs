@@ -216,6 +216,7 @@ mod tests {
                     evaluations: 3,
                     test_f1: 0.7,
                     subset_size: 2,
+                    perf: dfs_core::EvalPerf::default(),
                 };
                 results.push(vec![cell(min_f1 < 0.7, 5), cell(true, 50)]);
             }

@@ -12,12 +12,13 @@
 #   scripts/offline-check.sh check            # cargo check the workspace
 #   scripts/offline-check.sh test <args...>   # cargo test with args
 #   scripts/offline-check.sh clippy <args...> # cargo clippy with args
+#   scripts/offline-check.sh run <args...>    # cargo run (e.g. --bin bench_eval_engine)
 #
-# Limits: the proptest/criterion stand-ins are resolution-only, so property
-# tests (tests/prop.rs, tests/prop_workflow.rs) and the criterion micro
-# bench cannot build offline. Target everything else explicitly, e.g.:
-#   scripts/offline-check.sh test -p dfs-core --lib
-#   scripts/offline-check.sh test --test fault_injection
+# Limits: the criterion stand-in is resolution-only, so the criterion micro
+# bench cannot build offline. Everything else — including every property
+# test, via the functional proptest stand-in (deterministic sampling, no
+# shrinking) — builds and runs:
+#   scripts/offline-check.sh test --workspace
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,11 +40,11 @@ case "$CMD" in
   check)
     exec cargo check "${CFG[@]}" --workspace "$@"
     ;;
-  test|clippy|build)
+  test|clippy|build|run)
     exec cargo "$CMD" "${CFG[@]}" "$@"
     ;;
   *)
-    echo "usage: $0 {check|build|test|clippy} [cargo args...]" >&2
+    echo "usage: $0 {check|build|test|clippy|run} [cargo args...]" >&2
     exit 2
     ;;
 esac

@@ -23,7 +23,7 @@ fn alternative_fairness_metrics_agree_directionally_with_eo() {
     spec.rows = 1500;
     spec.label_bias = 1.2;
     let mut sums = [0.0f64; 6]; // eo_all, eo_cut, sp_all, sp_cut, dr_all, dr_cut
-    let seeds = [5u64, 6, 7, 8];
+    let seeds = [5u64, 6, 7, 8, 9, 10, 11, 12];
     for &seed in &seeds {
         let ds = generate(&spec, seed);
         let split = stratified_three_way(&ds, seed);

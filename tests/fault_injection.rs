@@ -116,6 +116,7 @@ fn faulted_cells_aggregate_identically_to_plain_failures() {
                     evaluations: 1,
                     test_f1: 0.1,
                     subset_size: 1,
+                    perf: dfs_core::EvalPerf::default(),
                 };
             }
         }
