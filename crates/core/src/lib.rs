@@ -57,6 +57,7 @@
 
 pub mod artifacts;
 pub mod error;
+pub mod exec;
 pub mod fault;
 pub mod perf;
 pub mod runner;
@@ -68,6 +69,7 @@ pub mod workflow;
 
 pub use artifacts::ArtifactCache;
 pub use error::{DfsError, DfsResult};
+pub use exec::Executor;
 pub use fault::{FaultKind, FaultPlan};
 pub use perf::EvalPerf;
 pub use scenario::{MlScenario, ScenarioContext, ScenarioSettings};
@@ -78,6 +80,7 @@ pub use workflow::{run_dfs, DfsOutcome};
 pub mod prelude {
     pub use crate::artifacts::ArtifactCache;
     pub use crate::error::{DfsError, DfsResult};
+    pub use crate::exec::{env_threads, Executor};
     pub use crate::fault::{FaultKind, FaultPlan};
     pub use crate::perf::EvalPerf;
     pub use crate::runner::{

@@ -9,9 +9,12 @@
 
 /// Work counters for one strategy run (one matrix cell).
 ///
-/// Counting is plain field increments on the single-threaded hot path —
-/// no atomics, no sampling — so the counters cost nothing measurable and
-/// are exact, not estimates.
+/// Counting is plain field increments — no atomics, no sampling — so the
+/// counters cost nothing measurable and are exact, not estimates. Parallel
+/// regions give each work item its own local `EvalPerf` and fold the
+/// locals back with [`EvalPerf::merge`] *in item order*; `merge` is
+/// associative and `EvalPerf::default()` is its identity, so the totals
+/// are bit-identical to a sequential run at any thread count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalPerf {
     /// Models trained (wrapper evaluations, test confirmations, RFE
@@ -48,6 +51,16 @@ impl EvalPerf {
         self.gather_ns += other.gather_ns;
         self.train_ns += other.train_ns;
     }
+
+    /// This counter set with the wall-clock-derived fields zeroed.
+    ///
+    /// `gather_ns`/`train_ns` measure real elapsed time and therefore vary
+    /// run to run; the remaining counters are exact work counts. Bit-
+    /// identity comparisons (e.g. the threads=1 vs threads=4 determinism
+    /// regression) compare `without_timings()` views.
+    pub fn without_timings(&self) -> EvalPerf {
+        EvalPerf { gather_ns: 0, train_ns: 0, ..*self }
+    }
 }
 
 #[cfg(test)]
@@ -78,5 +91,50 @@ mod tests {
                 train_ns: 7,
             }
         );
+    }
+
+    #[test]
+    fn merge_is_associative_and_identity_respecting() {
+        let samples = [
+            EvalPerf { model_fits: 1, cache_hits: 9, gather_ns: 100, ..EvalPerf::default() },
+            EvalPerf { ranking_computes: 3, val_gathers: 2, train_ns: 7, ..EvalPerf::default() },
+            EvalPerf { model_fits: 5, ranking_hits: 4, cache_hits: 1, ..EvalPerf::default() },
+        ];
+        let [a, b, c] = samples;
+
+        // (a + b) + c == a + (b + c)
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // default() is the identity on both sides.
+        for s in samples {
+            let mut with_left_id = EvalPerf::default();
+            with_left_id.merge(&s);
+            assert_eq!(with_left_id, s);
+            let mut with_right_id = s;
+            with_right_id.merge(&EvalPerf::default());
+            assert_eq!(with_right_id, s);
+        }
+    }
+
+    #[test]
+    fn without_timings_zeroes_only_clock_fields() {
+        let p = EvalPerf {
+            model_fits: 2,
+            cache_hits: 3,
+            ranking_computes: 4,
+            ranking_hits: 5,
+            val_gathers: 6,
+            gather_ns: 1_000,
+            train_ns: 2_000,
+        };
+        let t = p.without_timings();
+        assert_eq!(t, EvalPerf { gather_ns: 0, train_ns: 0, ..p });
     }
 }

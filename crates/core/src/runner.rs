@@ -16,13 +16,14 @@
 
 use crate::artifacts::ArtifactCache;
 use crate::error::{panic_payload_to_string, DfsError};
+use crate::exec::{env_threads, Executor};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::perf::EvalPerf;
 use crate::scenario::{MlScenario, ScenarioSettings};
-use crate::workflow::{run_dfs_with, run_original_features_with, DfsOutcome};
+use crate::workflow::{run_dfs_with_exec, run_original_features_with_exec, DfsOutcome};
 use dfs_data::split::Split;
 use dfs_fs::StrategyId;
-use parking_lot::Mutex;
+use dfs_rankings::RankingKind;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc};
@@ -171,8 +172,23 @@ pub struct BenchmarkMatrix {
 /// Search Time plus 500 ms grace, no fault injection, no resume state, no
 /// checkpoint sink.
 pub struct RunnerOptions<'a> {
-    /// Worker threads (`<= 1` runs rows sequentially on the caller).
+    /// Worker threads for the *outer* loop over scenario rows (`<= 1` runs
+    /// rows sequentially on the caller).
     pub threads: usize,
+    /// Helper-thread budget for the *inner* hot loops (forest trees,
+    /// NSGA-II evaluation chunks, HPO grids, attack rows, ranking
+    /// warm-up). `0` reads the `DFS_THREADS` environment variable
+    /// (default 1). Outer and inner loops draw from one shared permit
+    /// pool of `max(threads, inner_threads)`, so the total number of
+    /// computing threads never exceeds that budget at any nesting depth;
+    /// results are bit-identical at every setting (DESIGN.md § 4d).
+    pub inner_threads: usize,
+    /// Precompute the shared rankings of every `TPE(ranking)` arm once
+    /// per dataset, in parallel, before the cells run (needs
+    /// `share_artifacts`). The cache computes each ranking exactly once
+    /// either way — warming only moves the computation ahead of the cells
+    /// that would otherwise serialize on it. Bit-identical on or off.
+    pub warm_rankings: bool,
     /// Hard-deadline multiple of each scenario's `max_search_time`. Search
     /// budgets are soft — checked between evaluations — so one stuck model
     /// fit could hold a cell forever; the watchdog bounds every cell at
@@ -201,6 +217,8 @@ impl Default for RunnerOptions<'_> {
     fn default() -> Self {
         RunnerOptions {
             threads: 1,
+            inner_threads: 0,
+            warm_rankings: true,
             deadline_factor: 8.0,
             deadline_grace: Duration::from_millis(500),
             fault_plan: None,
@@ -221,9 +239,9 @@ impl RunnerOptions<'_> {
 /// Executes every (scenario × arm) cell.
 ///
 /// `splits` maps dataset names to prepared splits. `threads = 1` runs
-/// sequentially (most precise timings); more threads fan scenarios out via
-/// crossbeam scoped workers. Equivalent to [`run_benchmark_opts`] with
-/// [`RunnerOptions::with_threads`].
+/// sequentially (most precise timings); more threads fan scenarios out
+/// through the shared [`Executor`]. Equivalent to [`run_benchmark_opts`]
+/// with [`RunnerOptions::with_threads`].
 pub fn run_benchmark(
     splits: &HashMap<String, Split>,
     scenarios: Vec<MlScenario>,
@@ -260,80 +278,108 @@ pub fn run_benchmark_opts(
     let shared_settings = Arc::new(settings.clone());
     let artifacts = opts.share_artifacts.then(|| Arc::new(ArtifactCache::new()));
 
-    let results: Mutex<Vec<Option<Vec<CellResult>>>> = Mutex::new(vec![None; n]);
-    {
-        let mut guard = results.lock();
-        for (&i, row) in &opts.resume {
-            if i < n && row.len() == arms.len() {
-                guard[i] = Some(row.clone());
+    // One permit pool for the whole run: the outer row loop and every inner
+    // hot loop draw from it, so the total number of computing threads never
+    // exceeds `max(threads, inner_threads)` no matter how the loops nest.
+    let inner = if opts.inner_threads == 0 { env_threads() } else { opts.inner_threads };
+    let outer = opts.threads.max(1);
+    let exec = Arc::new(Executor::new(outer.max(inner)));
+
+    // Resumed rows are kept verbatim; their indices are skipped below.
+    let resumed: HashMap<usize, &Vec<CellResult>> = opts
+        .resume
+        .iter()
+        .filter(|(&i, row)| i < n && row.len() == arms.len())
+        .map(|(&i, row)| (i, row))
+        .collect();
+
+    // Warm the shared ranking cache before the cells race for it: the
+    // cache's exactly-once semantics would serialize the first arms on the
+    // heavyweight rankings; warming computes them in parallel up front.
+    if opts.warm_rankings {
+        if let Some(cache) = &artifacts {
+            let mut kinds: Vec<RankingKind> = Vec::new();
+            for arm in arms {
+                if let Arm::Strategy(StrategyId::TpeRanking(k)) = arm {
+                    if !kinds.contains(k) {
+                        kinds.push(*k);
+                    }
+                }
+            }
+            let mut datasets: Vec<&str> = Vec::new();
+            for (i, s) in scenarios.iter().enumerate() {
+                if !resumed.contains_key(&i) && !datasets.contains(&s.dataset.as_str()) {
+                    datasets.push(s.dataset.as_str());
+                }
+            }
+            if !kinds.is_empty() {
+                for ds in datasets {
+                    if let Some(split) = shared_splits.get(ds) {
+                        cache.warm_rankings(ds, split, &kinds, &exec);
+                    }
+                }
             }
         }
     }
-    let next: Mutex<usize> = Mutex::new(0);
 
-    let work = || loop {
-        let i = {
-            let mut guard = next.lock();
-            if *guard >= n {
-                break;
+    let row_indices: Vec<usize> = (0..n).collect();
+    let computed: Vec<Option<Vec<CellResult>>> =
+        exec.par_map_indexed_limit(&row_indices, outer, |_, &i| {
+            if resumed.contains_key(&i) {
+                return None; // kept verbatim during assembly
             }
-            let i = *guard;
-            *guard += 1;
-            i
-        };
-        if results.lock()[i].is_some() {
-            continue; // resumed row
-        }
-        let scenario = &scenarios[i];
-        let row: Vec<CellResult> = match shared_splits.get(scenario.dataset.as_str()) {
-            None => {
-                let err = DfsError::UnknownDataset { dataset: scenario.dataset.clone() };
-                eprintln!("[dfs-core] warning: {err}; scenario row {i} recorded as skipped");
-                arms.iter()
-                    .map(|_| CellResult::faulted(CellStatus::Skipped, Duration::ZERO))
-                    .collect()
-            }
-            Some(split) => arms
-                .iter()
-                .enumerate()
-                .map(|(a, &arm)| {
-                    let fault = opts.fault_plan.and_then(|p| p.get(i, a));
-                    run_cell_guarded(
-                        scenario,
-                        i,
-                        split,
-                        &shared_settings,
-                        arm,
-                        fault,
-                        artifacts.as_ref(),
-                        opts,
-                    )
-                })
-                .collect(),
-        };
-        if let Some(sink) = opts.on_row {
-            sink(i, &row);
-        }
-        results.lock()[i] = Some(row);
-    };
+            // A panic anywhere outside the (already panic-isolated) cells —
+            // e.g. in the checkpoint sink — loses this row, not the run.
+            catch_unwind(AssertUnwindSafe(|| {
+                let scenario = &scenarios[i];
+                let row: Vec<CellResult> = match shared_splits.get(scenario.dataset.as_str()) {
+                    None => {
+                        let err =
+                            DfsError::UnknownDataset { dataset: scenario.dataset.clone() };
+                        eprintln!(
+                            "[dfs-core] warning: {err}; scenario row {i} recorded as skipped"
+                        );
+                        arms.iter()
+                            .map(|_| CellResult::faulted(CellStatus::Skipped, Duration::ZERO))
+                            .collect()
+                    }
+                    Some(split) => arms
+                        .iter()
+                        .enumerate()
+                        .map(|(a, &arm)| {
+                            let fault = opts.fault_plan.and_then(|p| p.get(i, a));
+                            run_cell_guarded(
+                                scenario,
+                                i,
+                                split,
+                                &shared_settings,
+                                arm,
+                                fault,
+                                artifacts.as_ref(),
+                                &exec,
+                                opts,
+                            )
+                        })
+                        .collect(),
+                };
+                if let Some(sink) = opts.on_row {
+                    sink(i, &row);
+                }
+                row
+            }))
+            .map_err(|_| {
+                eprintln!(
+                    "[dfs-core] warning: a benchmark worker died on row {i}; recorded as skipped"
+                );
+            })
+            .ok()
+        });
 
-    if opts.threads <= 1 {
-        work();
-    } else if crossbeam::scope(|scope| {
-        for _ in 0..opts.threads {
-            scope.spawn(|_| work());
-        }
-    })
-    .is_err()
-    {
-        eprintln!("[dfs-core] warning: a benchmark worker died; unfinished rows recorded as skipped");
-    }
-
-    let results = results
-        .into_inner()
+    let results = computed
         .into_iter()
-        .map(|r| {
-            r.unwrap_or_else(|| {
+        .enumerate()
+        .map(|(i, r)| {
+            r.or_else(|| resumed.get(&i).map(|row| (*row).clone())).unwrap_or_else(|| {
                 arms.iter()
                     .map(|_| CellResult::faulted(CellStatus::Skipped, Duration::ZERO))
                     .collect()
@@ -354,11 +400,12 @@ fn run_cell_guarded(
     arm: Arm,
     fault: Option<FaultKind>,
     artifacts: Option<&Arc<ArtifactCache>>,
+    exec: &Arc<Executor>,
     opts: &RunnerOptions<'_>,
 ) -> CellResult {
     let label = format!("{}#{scenario_idx}", scenario.dataset);
     if opts.deadline_factor <= 0.0 {
-        return run_cell_isolated(scenario, split, settings, arm, fault, artifacts, &label);
+        return run_cell_isolated(scenario, split, settings, arm, fault, artifacts, exec, &label);
     }
     let deadline =
         scenario.constraints.max_search_time.mul_f64(opts.deadline_factor) + opts.deadline_grace;
@@ -368,6 +415,7 @@ fn run_cell_guarded(
         let split = Arc::clone(split);
         let settings = Arc::clone(settings);
         let artifacts = artifacts.map(Arc::clone);
+        let exec = Arc::clone(exec);
         let label = label.clone();
         std::thread::Builder::new().name(format!("dfs-cell-{scenario_idx}")).spawn(move || {
             // After a timeout the receiver is gone and the send fails
@@ -379,6 +427,7 @@ fn run_cell_guarded(
                 arm,
                 fault,
                 artifacts.as_ref(),
+                &exec,
                 &label,
             ));
         })
@@ -386,7 +435,7 @@ fn run_cell_guarded(
     if spawned.is_err() {
         // Thread exhaustion: degrade to inline panic isolation (no
         // deadline) rather than losing the cell.
-        return run_cell_isolated(scenario, split, settings, arm, fault, artifacts, &label);
+        return run_cell_isolated(scenario, split, settings, arm, fault, artifacts, exec, &label);
     }
     match rx.recv_timeout(deadline) {
         Ok(cell) => cell,
@@ -402,6 +451,7 @@ fn run_cell_guarded(
 
 /// Runs one cell under `catch_unwind`; a panic becomes a
 /// [`CellStatus::Panicked`] sentinel, a normal return is sanitized.
+#[allow(clippy::too_many_arguments)]
 fn run_cell_isolated(
     scenario: &MlScenario,
     split: &Split,
@@ -409,11 +459,13 @@ fn run_cell_isolated(
     arm: Arm,
     fault: Option<FaultKind>,
     artifacts: Option<&Arc<ArtifactCache>>,
+    exec: &Arc<Executor>,
     label: &str,
 ) -> CellResult {
     let started = Instant::now();
-    match catch_unwind(AssertUnwindSafe(|| run_cell(scenario, split, settings, arm, fault, artifacts)))
-    {
+    match catch_unwind(AssertUnwindSafe(|| {
+        run_cell(scenario, split, settings, arm, fault, artifacts, exec)
+    })) {
         Ok(cell) => sanitize_cell(cell),
         Err(payload) => {
             let err = DfsError::CellPanicked {
@@ -436,6 +488,7 @@ fn run_cell(
     arm: Arm,
     fault: Option<FaultKind>,
     artifacts: Option<&Arc<ArtifactCache>>,
+    exec: &Arc<Executor>,
 ) -> CellResult {
     match fault {
         Some(FaultKind::Panic) => panic!("injected fault: panic in {}", arm.name()),
@@ -456,12 +509,21 @@ fn run_cell(
         None => {}
     }
     match arm {
-        Arm::Original => {
-            CellResult::from(&run_original_features_with(scenario, split, settings, artifacts))
-        }
-        Arm::Strategy(id) => {
-            CellResult::from(&run_dfs_with(scenario, split, settings, id, artifacts))
-        }
+        Arm::Original => CellResult::from(&run_original_features_with_exec(
+            scenario,
+            split,
+            settings,
+            artifacts,
+            Some(exec),
+        )),
+        Arm::Strategy(id) => CellResult::from(&run_dfs_with_exec(
+            scenario,
+            split,
+            settings,
+            id,
+            artifacts,
+            Some(exec),
+        )),
     }
 }
 
@@ -795,6 +857,7 @@ mod tests {
     use super::*;
     use dfs_constraints::ConstraintSet;
     use dfs_models::ModelKind;
+    use parking_lot::Mutex;
 
     /// Builds a tiny hand-crafted matrix (no real execution) to test the
     /// aggregations exactly.

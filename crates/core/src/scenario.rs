@@ -1,14 +1,15 @@
 //! ML scenarios and the subset evaluator that powers every strategy.
 
 use crate::artifacts::{ranking_seed, split_fingerprint, ArtifactCache};
+use crate::exec::Executor;
 use crate::perf::EvalPerf;
 use dfs_constraints::{ConstraintSet, Evaluation};
 use dfs_data::split::Split;
 use dfs_fs::SubsetEvaluator;
 use dfs_linalg::rng::derive_seed;
 use dfs_linalg::Matrix;
-use dfs_metrics::{empirical_safety, equal_opportunity, f1_score, AttackConfig};
-use dfs_models::hpo::fit_maybe_hpo;
+use dfs_metrics::{empirical_safety_with, equal_opportunity, f1_score, AttackConfig};
+use dfs_models::hpo::fit_maybe_hpo_with;
 use dfs_models::importance::importance_or_permutation;
 use dfs_models::{ModelKind, ModelSpec, TrainedModel};
 use dfs_rankings::{Ranking, RankingKind};
@@ -115,6 +116,133 @@ pub struct ScenarioContext<'a> {
     perf: EvalPerf,
     artifacts: Option<Arc<ArtifactCache>>,
     split_key: u64,
+    exec: Arc<Executor>,
+}
+
+/// Per-measurement gather buffers. The context keeps one set for the
+/// serial path; batch workers each build their own so measurements never
+/// share mutable state.
+#[derive(Default)]
+struct Scratch {
+    train: Matrix,
+    eval: Matrix,
+    val: Matrix,
+}
+
+/// The shared, immutable inputs of one subset measurement — everything
+/// [`measure_subset`] needs besides its own scratch space and counters.
+/// `Sync` by construction, so batch evaluation can fan measurements out
+/// over the executor.
+struct MeasureEnv<'a> {
+    scenario: &'a MlScenario,
+    split: &'a Split,
+    settings: &'a ScenarioSettings,
+    train_rows: &'a [usize],
+    y_train: &'a [bool],
+    exec: &'a Executor,
+}
+
+/// Trains the scenario's model on a subset (train split only). `val`
+/// carries the gathered validation data when (and only when) the fit
+/// actually consumes it — i.e. under HPO without DP.
+fn train_subset(
+    env: &MeasureEnv<'_>,
+    subset: &[usize],
+    x_train: &Matrix,
+    val: Option<(&Matrix, &[bool])>,
+    perf: &mut EvalPerf,
+) -> TrainedModel {
+    perf.model_fits += 1;
+    match env.scenario.constraints.privacy_epsilon {
+        Some(eps) => {
+            // DP variant; HPO would multiply the privacy spend, so DP
+            // training always uses default hyperparameters (one train
+            // run per evaluation — the paper's setting trains the DP
+            // alternative of the chosen model).
+            let spec = ModelSpec::default_for(env.scenario.model);
+            let dp_seed = derive_seed(env.scenario.seed, hash_subset(subset));
+            spec.fit_dp(x_train, env.y_train, eps, dp_seed)
+        }
+        None => match val {
+            Some((x_val, y_val)) => {
+                let (_, model) = fit_maybe_hpo_with(
+                    env.scenario.model,
+                    env.scenario.hpo,
+                    x_train,
+                    env.y_train,
+                    x_val,
+                    y_val,
+                    env.exec,
+                );
+                model
+            }
+            // No validation data needed: the non-HPO fit ignores it.
+            None => ModelSpec::default_for(env.scenario.model).fit(x_train, env.y_train),
+        },
+    }
+}
+
+/// Full (train + measure on a given evaluation split) pass for a subset.
+/// Used for both validation (during search) and test (confirmation), from
+/// the serial path and from batch workers alike.
+///
+/// Gathers are fused (row subsample and column projection in one pass, no
+/// full-height intermediate) into the caller's scratch buffers, and the
+/// validation matrix is only materialized when the fit needs it: HPO
+/// scores candidates on validation, while DP and default-parameter fits
+/// never look at it.
+///
+/// All randomness (DP noise, attack trajectories) derives from
+/// `(scenario seed, subset hash)` — never from shared mutable RNG state —
+/// so a measurement is a pure function of its inputs and the batch engine
+/// may run it on any thread.
+fn measure_subset(
+    env: &MeasureEnv<'_>,
+    subset: &[usize],
+    eval_on_test: bool,
+    scratch: &mut Scratch,
+    perf: &mut EvalPerf,
+) -> Evaluation {
+    let split = env.split;
+    let needs_val = env.scenario.hpo && env.scenario.constraints.privacy_epsilon.is_none();
+
+    let gather_start = Instant::now();
+    split.train.x.select_rows_cols_into(env.train_rows, subset, &mut scratch.train);
+    let part = if eval_on_test { &split.test } else { &split.val };
+    part.x.select_cols_into(subset, &mut scratch.eval);
+    // HPO always scores on validation, never on test. When the evaluation
+    // target *is* validation, the eval gather above already produced the
+    // validation matrix — reuse it instead of gathering twice.
+    let val_data: Option<(&Matrix, &[bool])> = if !needs_val {
+        None
+    } else if eval_on_test {
+        split.val.x.select_cols_into(subset, &mut scratch.val);
+        perf.val_gathers += 1;
+        Some((&scratch.val, &split.val.y))
+    } else {
+        Some((&scratch.eval, &split.val.y))
+    };
+    perf.gather_ns += gather_start.elapsed().as_nanos() as u64;
+
+    let train_start = Instant::now();
+    let model = train_subset(env, subset, &scratch.train, val_data, perf);
+    perf.train_ns += train_start.elapsed().as_nanos() as u64;
+
+    let y_eval = &part.y;
+    let preds = model.predict(&scratch.eval);
+    let f1 = f1_score(&preds, y_eval);
+    let eo = env
+        .scenario
+        .constraints
+        .needs_eo()
+        .then(|| equal_opportunity(&preds, y_eval, &part.protected));
+    let safety = env.scenario.constraints.needs_safety().then(|| {
+        let mut cfg = env.settings.attack.clone();
+        cfg.seed = derive_seed(env.scenario.seed, 0xA77AC4 ^ hash_subset(subset));
+        let predict = |row: &[f64]| model.predict_one(row);
+        empirical_safety_with(&predict, &scratch.eval, y_eval, &cfg, env.exec)
+    });
+    Evaluation { f1, eo, safety, n_selected: subset.len(), n_total: split.n_features() }
 }
 
 impl<'a> ScenarioContext<'a> {
@@ -142,6 +270,7 @@ impl<'a> ScenarioContext<'a> {
             perf: EvalPerf::default(),
             artifacts: None,
             split_key: split_fingerprint(split),
+            exec: Arc::new(Executor::sequential()),
         }
     }
 
@@ -149,6 +278,14 @@ impl<'a> ScenarioContext<'a> {
     /// benchmark row instead of once per arm).
     pub fn with_artifacts(mut self, artifacts: Arc<ArtifactCache>) -> Self {
         self.artifacts = Some(artifacts);
+        self
+    }
+
+    /// Attaches a shared [`Executor`]; batched evaluations, HPO grids and
+    /// attack loops then draw helper threads from its permit pool.
+    /// Without this, everything runs sequentially inline.
+    pub fn with_executor(mut self, exec: Arc<Executor>) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -172,108 +309,35 @@ impl<'a> ScenarioContext<'a> {
         self.perf
     }
 
-    /// Trains the scenario's model on a subset (train split only).
-    /// `val` carries the gathered validation data when (and only when)
-    /// the fit actually consumes it — i.e. under HPO without DP.
-    fn train_on(
-        &mut self,
-        subset: &[usize],
-        x_train: &Matrix,
-        val: Option<(&Matrix, &[bool])>,
-    ) -> TrainedModel {
-        self.perf.model_fits += 1;
-        match self.scenario.constraints.privacy_epsilon {
-            Some(eps) => {
-                // DP variant; HPO would multiply the privacy spend, so DP
-                // training always uses default hyperparameters (one train
-                // run per evaluation — the paper's setting trains the DP
-                // alternative of the chosen model).
-                let spec = ModelSpec::default_for(self.scenario.model);
-                let dp_seed = derive_seed(self.scenario.seed, hash_subset(subset));
-                spec.fit_dp(x_train, &self.y_train, eps, dp_seed)
-            }
-            None => match val {
-                Some((x_val, y_val)) => {
-                    let (_, model) = fit_maybe_hpo(
-                        self.scenario.model,
-                        self.scenario.hpo,
-                        x_train,
-                        &self.y_train,
-                        x_val,
-                        y_val,
-                    );
-                    model
-                }
-                // No validation data needed: the non-HPO fit ignores it.
-                None => ModelSpec::default_for(self.scenario.model).fit(x_train, &self.y_train),
-            },
+    /// The measurement environment borrowed out of this context (shared
+    /// between the serial path and batch workers).
+    fn env(&self) -> MeasureEnv<'_> {
+        MeasureEnv {
+            scenario: self.scenario,
+            split: self.split,
+            settings: self.settings,
+            train_rows: &self.train_rows,
+            y_train: &self.y_train,
+            exec: &self.exec,
         }
     }
 
-    /// Full (train + measure on a given evaluation split) pass for a subset.
-    /// Used for both validation (during search) and test (confirmation).
-    ///
-    /// Gathers are fused (row subsample and column projection in one pass,
-    /// no full-height intermediate) into the context's scratch buffers, and
-    /// the validation matrix is only materialized when the fit needs it:
-    /// HPO scores candidates on validation, while DP and default-parameter
-    /// fits never look at it.
+    /// Serial measurement via [`measure_subset`], reusing the context's
+    /// scratch buffers (no steady-state allocation).
     fn measure(&mut self, subset: &[usize], eval_on_test: bool) -> Evaluation {
-        let split = self.split;
-        let needs_val = self.scenario.hpo && self.scenario.constraints.privacy_epsilon.is_none();
-
-        let mut x_train = std::mem::take(&mut self.scratch_train);
-        let mut x_eval = std::mem::take(&mut self.scratch_eval);
-        let mut x_val = std::mem::take(&mut self.scratch_val);
-
-        let gather_start = Instant::now();
-        split.train.x.select_rows_cols_into(&self.train_rows, subset, &mut x_train);
-        let part = if eval_on_test { &split.test } else { &split.val };
-        part.x.select_cols_into(subset, &mut x_eval);
-        // HPO always scores on validation, never on test. When the
-        // evaluation target *is* validation, the eval gather above already
-        // produced the validation matrix — reuse it instead of gathering
-        // twice.
-        let val_data: Option<(&Matrix, &[bool])> = if !needs_val {
-            None
-        } else if eval_on_test {
-            split.val.x.select_cols_into(subset, &mut x_val);
-            self.perf.val_gathers += 1;
-            Some((&x_val, &split.val.y))
-        } else {
-            Some((&x_eval, &split.val.y))
+        let mut scratch = Scratch {
+            train: std::mem::take(&mut self.scratch_train),
+            eval: std::mem::take(&mut self.scratch_eval),
+            val: std::mem::take(&mut self.scratch_val),
         };
-        self.perf.gather_ns += gather_start.elapsed().as_nanos() as u64;
-
-        let train_start = Instant::now();
-        let model = self.train_on(subset, &x_train, val_data);
-        self.perf.train_ns += train_start.elapsed().as_nanos() as u64;
-
-        let y_eval = &part.y;
-        let preds = model.predict(&x_eval);
-        let f1 = f1_score(&preds, y_eval);
-        let eo = self
-            .scenario
-            .constraints
-            .needs_eo()
-            .then(|| equal_opportunity(&preds, y_eval, &part.protected));
-        let safety = self.scenario.constraints.needs_safety().then(|| {
-            let mut cfg = self.settings.attack.clone();
-            cfg.seed = derive_seed(self.scenario.seed, 0xA77AC4 ^ hash_subset(subset));
-            let predict = |row: &[f64]| model.predict_one(row);
-            empirical_safety(&predict, &x_eval, y_eval, &cfg)
-        });
-        let eval = Evaluation {
-            f1,
-            eo,
-            safety,
-            n_selected: subset.len(),
-            n_total: split.n_features(),
-        };
+        let mut perf = self.perf;
+        let env = self.env();
+        let eval = measure_subset(&env, subset, eval_on_test, &mut scratch, &mut perf);
+        self.perf = perf;
         // Hand the buffers back for the next evaluation.
-        self.scratch_train = x_train;
-        self.scratch_eval = x_eval;
-        self.scratch_val = x_val;
+        self.scratch_train = scratch.train;
+        self.scratch_eval = scratch.eval;
+        self.scratch_val = scratch.val;
         eval
     }
 
@@ -299,6 +363,27 @@ impl<'a> ScenarioContext<'a> {
         let eval = self.measure(subset, true);
         let distance = self.scenario.constraints.distance(&eval);
         (eval, distance)
+    }
+
+    /// The per-constraint shortfall vector of a measured evaluation: one
+    /// objective per declared constraint, in a fixed order
+    /// `[accuracy, EO?, safety?, feature-size?]`, each component the
+    /// squared shortfall (zero when satisfied). Shared by the serial and
+    /// batched multi-objective paths.
+    fn objectives_for(&self, eval: &Evaluation) -> Vec<f64> {
+        let c = &self.scenario.constraints;
+        let mut objectives = vec![sq_shortfall(eval.f1, c.min_f1)];
+        if let Some(min_eo) = c.min_eo {
+            objectives.push(sq_shortfall(eval.eo.unwrap_or(0.0), min_eo));
+        }
+        if let Some(min_safety) = c.min_safety {
+            objectives.push(sq_shortfall(eval.safety.unwrap_or(0.0), min_safety));
+        }
+        if let Some(frac) = c.max_feature_frac {
+            let used = eval.n_selected as f64 / eval.n_total.max(1) as f64;
+            objectives.push(sq_shortfall(frac, used));
+        }
+        objectives
     }
 
     /// Pruned (evaluation-independent) scoring for over-cap subsets: no
@@ -406,19 +491,100 @@ impl SubsetEvaluator for ScenarioContext<'_> {
             }
         };
         let (_, eval) = score_and_eval?;
-        let c = &self.scenario.constraints;
-        let mut objectives = vec![sq_shortfall(eval.f1, c.min_f1)];
-        if let Some(min_eo) = c.min_eo {
-            objectives.push(sq_shortfall(eval.eo.unwrap_or(0.0), min_eo));
+        Some(self.objectives_for(&eval))
+    }
+
+    fn evaluate_multi_batch(&mut self, subsets: &[Vec<usize>]) -> Vec<Option<Vec<f64>>> {
+        // The parallel heart of the evaluation engine, in three phases
+        // that together emulate calling `evaluate_multi` on each subset
+        // in order:
+        //
+        //   A. *Plan* (sequential): budget admission, cache hits, pruning
+        //      and within-batch duplicate detection happen in submission
+        //      order, exactly as the serial loop would;
+        //   B. *Measure* (parallel): the surviving fresh subsets — pure
+        //      functions of `(scenario, subset)` — fan out over the
+        //      executor, each with its own scratch and local counters;
+        //   C. *Replay* (sequential): cache inserts and counter merges
+        //      land in submission order.
+        //
+        // Only phase B runs on helper threads, so the result is
+        // bit-identical to the serial path at any thread count.
+        enum Slot {
+            /// Budget exhausted before this subset was admitted.
+            Deny,
+            /// Answered at plan time (cache hit or pruned).
+            Known(Evaluation),
+            /// `fresh[j]` — measured in phase B.
+            Fresh(usize),
         }
-        if let Some(min_safety) = c.min_safety {
-            objectives.push(sq_shortfall(eval.safety.unwrap_or(0.0), min_safety));
+
+        // Phase A: plan.
+        let mut plan: Vec<Slot> = Vec::with_capacity(subsets.len());
+        let mut fresh: Vec<Vec<usize>> = Vec::new();
+        let mut pending: HashMap<&[usize], usize> = HashMap::new();
+        let mut denied = false;
+        for subset in subsets {
+            // Once exhausted, every later answer is `None` (exhaustion is
+            // checked before the cache in the serial flow too).
+            if denied || self.budget.exhausted() {
+                denied = true;
+                plan.push(Slot::Deny);
+                continue;
+            }
+            if let Some(cached) = self.cache.get(subset.as_slice()).map(|c| c.eval) {
+                self.perf.cache_hits += 1;
+                plan.push(Slot::Known(cached));
+                continue;
+            }
+            if let Some(&j) = pending.get(subset.as_slice()) {
+                // Duplicate within this batch: the serial loop would find
+                // the first occurrence in the cache by now.
+                self.perf.cache_hits += 1;
+                plan.push(Slot::Fresh(j));
+                continue;
+            }
+            if subset.len() > self.max_features() {
+                let (score, eval) = self.pruned_score(subset);
+                self.cache.insert(subset.clone(), CachedEval { score, eval, pruned: true });
+                plan.push(Slot::Known(eval));
+                continue;
+            }
+            if !self.budget.try_consume() {
+                denied = true;
+                plan.push(Slot::Deny);
+                continue;
+            }
+            pending.insert(subset.as_slice(), fresh.len());
+            plan.push(Slot::Fresh(fresh.len()));
+            fresh.push(subset.clone());
         }
-        if let Some(frac) = c.max_feature_frac {
-            let used = eval.n_selected as f64 / eval.n_total.max(1) as f64;
-            objectives.push(sq_shortfall(frac, used));
+
+        // Phase B: measure fresh subsets in parallel. Each worker owns its
+        // scratch buffers and a local `EvalPerf`.
+        let measured: Vec<(Evaluation, EvalPerf)> = {
+            let env = self.env();
+            env.exec.par_map_indexed(&fresh, |_, subset| {
+                let mut scratch = Scratch::default();
+                let mut perf = EvalPerf::default();
+                let eval = measure_subset(&env, subset, false, &mut scratch, &mut perf);
+                (eval, perf)
+            })
+        };
+
+        // Phase C: replay in submission order.
+        for (subset, (eval, perf)) in fresh.iter().zip(&measured) {
+            self.perf.merge(perf);
+            let score = self.objective_of(eval);
+            self.cache.insert(subset.clone(), CachedEval { score, eval: *eval, pruned: false });
         }
-        Some(objectives)
+        plan.iter()
+            .map(|slot| match slot {
+                Slot::Deny => None,
+                Slot::Known(eval) => Some(self.objectives_for(eval)),
+                Slot::Fresh(j) => Some(self.objectives_for(&measured[*j].0)),
+            })
+            .collect()
     }
 
     fn stop_at(&self) -> Option<f64> {

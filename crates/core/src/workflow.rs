@@ -9,6 +9,7 @@
 //!    recorded (the paper's Table 4 failure analysis).
 
 use crate::artifacts::ArtifactCache;
+use crate::exec::Executor;
 use crate::perf::EvalPerf;
 use crate::scenario::{MlScenario, ScenarioContext, ScenarioSettings};
 use dfs_constraints::Evaluation;
@@ -66,10 +67,29 @@ pub fn run_dfs_with(
     strategy: StrategyId,
     artifacts: Option<&Arc<ArtifactCache>>,
 ) -> DfsOutcome {
+    run_dfs_with_exec(scenario, split, settings, strategy, artifacts, None)
+}
+
+/// [`run_dfs_with`] plus an optional shared [`Executor`]: the cell's inner
+/// hot loops (batched NSGA-II evaluation, HPO grids, attack rows) then
+/// draw helper threads from the shared permit pool. `None` runs every
+/// inner loop sequentially inline, which is bit-identical (see
+/// `DESIGN.md` § 4d).
+pub fn run_dfs_with_exec(
+    scenario: &MlScenario,
+    split: &Split,
+    settings: &ScenarioSettings,
+    strategy: StrategyId,
+    artifacts: Option<&Arc<ArtifactCache>>,
+    exec: Option<&Arc<Executor>>,
+) -> DfsOutcome {
     debug_assert!(scenario.constraints.validate().is_ok(), "invalid constraint set");
     let mut ctx = ScenarioContext::new(scenario, split, settings);
     if let Some(cache) = artifacts {
         ctx = ctx.with_artifacts(Arc::clone(cache));
+    }
+    if let Some(exec) = exec {
+        ctx = ctx.with_executor(Arc::clone(exec));
     }
     let outcome = run_strategy(strategy, &mut ctx);
     let elapsed = ctx.elapsed();
@@ -140,9 +160,24 @@ pub fn run_original_features_with(
     settings: &ScenarioSettings,
     artifacts: Option<&Arc<ArtifactCache>>,
 ) -> DfsOutcome {
+    run_original_features_with_exec(scenario, split, settings, artifacts, None)
+}
+
+/// [`run_original_features_with`] plus an optional shared [`Executor`]
+/// (see [`run_dfs_with_exec`]).
+pub fn run_original_features_with_exec(
+    scenario: &MlScenario,
+    split: &Split,
+    settings: &ScenarioSettings,
+    artifacts: Option<&Arc<ArtifactCache>>,
+    exec: Option<&Arc<Executor>>,
+) -> DfsOutcome {
     let mut ctx = ScenarioContext::new(scenario, split, settings);
     if let Some(cache) = artifacts {
         ctx = ctx.with_artifacts(Arc::clone(cache));
+    }
+    if let Some(exec) = exec {
+        ctx = ctx.with_executor(Arc::clone(exec));
     }
     let all: Vec<usize> = (0..split.n_features()).collect();
     let val_score = ctx.evaluate(&all);

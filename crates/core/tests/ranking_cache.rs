@@ -48,20 +48,17 @@ fn ranking_arms() -> Vec<Arm> {
         .collect()
 }
 
-fn run(share_artifacts: bool) -> BenchmarkMatrix {
+fn run(share_artifacts: bool, warm_rankings: bool) -> BenchmarkMatrix {
     let mut settings = ScenarioSettings::fast();
     settings.max_evals = 12;
-    let opts = RunnerOptions { share_artifacts, ..RunnerOptions::default() };
+    let opts =
+        RunnerOptions { share_artifacts, warm_rankings, ..RunnerOptions::default() };
     run_benchmark_opts(&splits(), scenarios(), &ranking_arms(), &settings, &opts)
 }
 
-#[test]
-fn shared_ranking_cache_halves_computes_with_bit_identical_results() {
-    let uncached = run(false);
-    let cached = run(true);
-
-    for (row_u, row_c) in uncached.results.iter().zip(&cached.results) {
-        for (u, c) in row_u.iter().zip(row_c) {
+fn assert_bit_identical(a: &BenchmarkMatrix, b: &BenchmarkMatrix) {
+    for (row_a, row_b) in a.results.iter().zip(&b.results) {
+        for (u, c) in row_a.iter().zip(row_b) {
             assert_eq!(u.status, c.status);
             assert_eq!(u.success, c.success);
             assert_eq!(u.val_distance.to_bits(), c.val_distance.to_bits());
@@ -71,15 +68,29 @@ fn shared_ranking_cache_halves_computes_with_bit_identical_results() {
             assert_eq!(u.subset_size, c.subset_size);
         }
     }
+}
 
-    let (pu, pc) = (uncached.total_perf(), cached.total_perf());
+#[test]
+fn shared_ranking_cache_halves_computes_with_bit_identical_results() {
+    let uncached = run(false, false);
+    let cached = run(true, false);
+    let warmed = run(true, true);
+
+    assert_bit_identical(&uncached, &cached);
+    assert_bit_identical(&uncached, &warmed);
+
+    let (pu, pc, pw) = (uncached.total_perf(), cached.total_perf(), warmed.total_perf());
     // Uncached: every TPE(ranking) cell computes its own ranking.
     assert_eq!(pu.ranking_computes, 21, "3 scenarios x 7 ranking arms");
     assert_eq!(pu.ranking_hits, 0);
-    // Cached: each of the 7 kinds is computed once for the shared
-    // (dataset, split) key; the other two scenario rows hit the cache.
+    // Cached (no warm-up): each of the 7 kinds is computed once inside the
+    // first requesting cell; the other two scenario rows hit the cache.
     assert_eq!(pc.ranking_computes, 7);
     assert_eq!(pc.ranking_hits, 14);
+    // Warmed: the runner precomputes all 7 kinds before any cell runs, so
+    // no cell ever computes a ranking — all 21 requests are hits.
+    assert_eq!(pw.ranking_computes, 0);
+    assert_eq!(pw.ranking_hits, 21);
     assert!(
         pu.ranking_computes >= 2 * pc.ranking_computes,
         "cache must cut ranking computations at least 2x ({} vs {})",

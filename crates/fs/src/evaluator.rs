@@ -39,6 +39,33 @@ pub trait SubsetEvaluator {
     /// `0` when the corresponding constraint holds.
     fn evaluate_multi(&mut self, subset: &[usize]) -> Option<Vec<f64>>;
 
+    /// Batched [`SubsetEvaluator::evaluate_multi`]: one shortfall vector
+    /// per subset, in submission order; `None` once the budget is
+    /// exhausted (everything after the first `None` is denied too,
+    /// mirroring the serial flow where exhaustion is checked before cache
+    /// hits).
+    ///
+    /// The default evaluates serially. `dfs-core`'s `ScenarioContext`
+    /// overrides this to fan freshly-measured subsets out over the shared
+    /// executor while keeping budget admission and cache bookkeeping
+    /// sequential, so batched and serial evaluation are bit-identical.
+    fn evaluate_multi_batch(&mut self, subsets: &[Vec<usize>]) -> Vec<Option<Vec<f64>>> {
+        let mut denied = false;
+        subsets
+            .iter()
+            .map(|s| {
+                if denied {
+                    return None;
+                }
+                let out = self.evaluate_multi(s);
+                if out.is_none() {
+                    denied = true;
+                }
+                out
+            })
+            .collect()
+    }
+
     /// Early-stop target for single-objective optimizers: `Some(0.0)` for
     /// plain constraint satisfaction, `None` in utility mode (keep
     /// optimizing until the budget runs out — Eq. 2).

@@ -7,7 +7,7 @@
 
 use crate::evaluator::{bits_to_subset, SearchOutcome, SubsetEvaluator};
 use dfs_rankings::RankingKind;
-use dfs_search::nsga2::{nsga2, Nsga2Config};
+use dfs_search::nsga2::{nsga2_batch, Nsga2Config};
 use dfs_search::sa::{simulated_annealing, SaConfig};
 use dfs_search::tpe::{tpe_binary, tpe_integer, TpeConfig};
 
@@ -105,13 +105,20 @@ pub fn nsga2_no_ranking(ev: &mut dyn SubsetEvaluator) -> SearchOutcome {
         stop_at: ev.stop_at(),
         ..Nsga2Config::default()
     };
-    let mut eval_bits = |bits: &[bool]| -> Option<Vec<f64>> {
-        let subset = bits_to_subset(bits);
-        let objectives = ev.evaluate_multi(&subset)?;
-        outcome.observe(&subset, objectives.iter().sum());
-        Some(objectives)
+    // Whole chunks of genomes go through `evaluate_multi_batch`, which the
+    // core evaluation engine parallelizes; observations fold back in
+    // submission order so the outcome is identical at any thread count.
+    let mut eval_batch = |genomes: &[Vec<bool>]| -> Vec<Option<Vec<f64>>> {
+        let subsets: Vec<Vec<usize>> = genomes.iter().map(|b| bits_to_subset(b)).collect();
+        let outs = ev.evaluate_multi_batch(&subsets);
+        for (subset, out) in subsets.iter().zip(&outs) {
+            if let Some(objectives) = out {
+                outcome.observe(subset, objectives.iter().sum());
+            }
+        }
+        outs
     };
-    let _ = nsga2(d, &mut eval_bits, &cfg);
+    let _ = nsga2_batch(d, &mut eval_batch, &cfg);
     outcome
 }
 

@@ -18,7 +18,8 @@
 //! does not depend on any model implementation. Features are assumed
 //! min–max scaled to `[0, 1]` (the workspace's standard preprocessing).
 
-use dfs_linalg::rng::{rng_from_seed, standard_normal};
+use dfs_exec::Executor;
+use dfs_linalg::rng::{derive_seed, rng_from_seed, standard_normal};
 use dfs_linalg::{norm2, Matrix};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -175,10 +176,26 @@ fn bisect_to_boundary(
 /// `1 − (F1_original − F1_attacked)` clamped to `[0, 1]` (an attack can only
 /// lower F1, so the clamp handles sampling noise).
 pub fn empirical_safety(
-    predict: &dyn Fn(&[f64]) -> bool,
+    predict: &(dyn Fn(&[f64]) -> bool + Sync),
     x_test: &Matrix,
     y_test: &[bool],
     cfg: &AttackConfig,
+) -> f64 {
+    empirical_safety_with(predict, x_test, y_test, cfg, &Executor::sequential())
+}
+
+/// [`empirical_safety`] with per-instance attacks routed through a shared
+/// [`Executor`].
+///
+/// Each attacked row `i` gets its own RNG seeded
+/// `derive_seed(cfg.seed, i)` and the attacked predictions are reduced in
+/// row order, so the safety score is bit-identical at any thread count.
+pub fn empirical_safety_with(
+    predict: &(dyn Fn(&[f64]) -> bool + Sync),
+    x_test: &Matrix,
+    y_test: &[bool],
+    cfg: &AttackConfig,
+    exec: &Executor,
 ) -> f64 {
     let n = x_test.nrows().min(cfg.max_points);
     if n == 0 {
@@ -191,14 +208,13 @@ pub fn empirical_safety(
     let original_preds: Vec<bool> = x_eval.rows_iter().map(|r| predict(r)).collect();
     let f1_original = f1_score(&original_preds, y_eval);
 
-    let mut rng = rng_from_seed(cfg.seed);
-    let mut attacked_preds = Vec::with_capacity(n);
-    for (i, row) in x_eval.rows_iter().enumerate() {
-        match attack_instance(predict, row, original_preds[i], cfg, &mut rng) {
-            Some(adv) => attacked_preds.push(predict(&adv)),
-            None => attacked_preds.push(original_preds[i]),
+    let attacked_preds: Vec<bool> = exec.par_map_indexed(&rows, |i, _| {
+        let mut rng = rng_from_seed(derive_seed(cfg.seed, i as u64));
+        match attack_instance(predict, x_eval.row(i), original_preds[i], cfg, &mut rng) {
+            Some(adv) => predict(&adv),
+            None => original_preds[i],
         }
-    }
+    });
     let f1_attacked = f1_score(&attacked_preds, y_eval);
     (1.0 - (f1_original - f1_attacked)).clamp(0.0, 1.0)
 }
@@ -280,6 +296,22 @@ mod tests {
         let a = empirical_safety(&threshold_model, &x, &y, &cfg);
         let b = empirical_safety(&threshold_model, &x, &y, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_safety_is_bit_identical_to_sequential() {
+        let x = Matrix::from_rows(&[
+            vec![0.7, 0.2],
+            vec![0.3, 0.8],
+            vec![0.6, 0.6],
+            vec![0.55, 0.1],
+            vec![0.45, 0.9],
+        ]);
+        let y = vec![true, false, true, true, false];
+        let cfg = AttackConfig { seed: 13, ..AttackConfig::default() };
+        let seq = empirical_safety(&threshold_model, &x, &y, &cfg);
+        let par = empirical_safety_with(&threshold_model, &x, &y, &cfg, &Executor::new(4));
+        assert_eq!(seq.to_bits(), par.to_bits());
     }
 
     #[test]

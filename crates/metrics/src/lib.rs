@@ -20,7 +20,7 @@ pub mod attack;
 pub mod classification;
 pub mod fairness;
 
-pub use attack::{empirical_safety, AttackConfig};
+pub use attack::{empirical_safety, empirical_safety_with, AttackConfig};
 pub use classification::{accuracy, confusion, f1_score, precision, recall, ConfusionMatrix};
 pub use fairness::{
     discrimination_ratio, equal_opportunity, generalized_entropy_index, group_tpr,

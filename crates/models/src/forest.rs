@@ -8,7 +8,8 @@
 //! subspaces (√d features, the usual default).
 
 use crate::tree::DecisionTree;
-use dfs_linalg::rng::{rng_from_seed, sample_without_replacement};
+use dfs_exec::Executor;
+use dfs_linalg::rng::{derive_seed, rng_from_seed, sample_without_replacement};
 use dfs_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -40,20 +41,32 @@ pub struct RandomForest {
 }
 
 impl RandomForest {
-    /// Fits the forest.
+    /// Fits the forest (sequentially; see [`RandomForest::fit_with`]).
     pub fn fit(x: &Matrix, y: &[bool], cfg: &ForestConfig) -> Self {
+        Self::fit_with(x, y, cfg, &Executor::sequential())
+    }
+
+    /// Fits the forest with per-tree work routed through a shared
+    /// [`Executor`].
+    ///
+    /// Each tree `t` draws bootstrap + feature subspace from its own RNG
+    /// seeded `derive_seed(cfg.seed, t)`, so the forest is bit-identical
+    /// at any thread count (trees never share a sequential RNG stream) and
+    /// trees are collected in index order.
+    pub fn fit_with(x: &Matrix, y: &[bool], cfg: &ForestConfig, exec: &Executor) -> Self {
         let (n, d) = x.shape();
         assert_eq!(n, y.len(), "RandomForest: row/label mismatch");
         assert!(n > 0, "RandomForest: empty training set");
-        let mut rng = rng_from_seed(cfg.seed);
         let subspace = ((d as f64).sqrt().ceil() as usize).clamp(1, d);
 
         let pos_idx: Vec<usize> = (0..n).filter(|&i| y[i]).collect();
         let neg_idx: Vec<usize> = (0..n).filter(|&i| !y[i]).collect();
 
-        let mut trees = Vec::with_capacity(cfg.n_trees);
-        for _ in 0..cfg.n_trees {
-            let sample = if cfg.balanced && !pos_idx.is_empty() && !neg_idx.is_empty() {
+        let tree_ids: Vec<usize> = (0..cfg.n_trees).collect();
+        let trees = exec.par_map_indexed(&tree_ids, |t, _| {
+            let mut rng = rng_from_seed(derive_seed(cfg.seed, t as u64));
+            let sample: Vec<usize> = if cfg.balanced && !pos_idx.is_empty() && !neg_idx.is_empty()
+            {
                 balanced_bootstrap(&pos_idx, &neg_idx, &mut rng)
             } else {
                 (0..n).map(|_| rng.random_range(0..n)).collect()
@@ -63,8 +76,8 @@ impl RandomForest {
             let xs = x.select_rows(&sample).select_cols(&features);
             let ys: Vec<bool> = sample.iter().map(|&i| y[i]).collect();
             let tree = DecisionTree::fit(&xs, &ys, cfg.max_depth);
-            trees.push((features, tree));
-        }
+            (features, tree)
+        });
         Self { trees, n_features: d }
     }
 
@@ -186,5 +199,16 @@ mod tests {
         let a = RandomForest::fit(&x, &y, &cfg).predict(&x);
         let b = RandomForest::fit(&x, &y, &cfg).predict(&x);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_sequential() {
+        let (x, y) = ring_problem();
+        let cfg = ForestConfig { n_trees: 12, seed: 9, ..Default::default() };
+        let seq = RandomForest::fit(&x, &y, &cfg);
+        let par = RandomForest::fit_with(&x, &y, &cfg, &Executor::new(4));
+        for row in x.rows_iter() {
+            assert_eq!(seq.proba_one(row).to_bits(), par.proba_one(row).to_bits());
+        }
     }
 }

@@ -7,6 +7,7 @@
 //! depth td ∈ [1:7]."
 
 use crate::{ModelKind, ModelSpec, TrainedModel};
+use dfs_exec::Executor;
 use dfs_linalg::Matrix;
 use dfs_metrics::f1_score;
 
@@ -50,18 +51,39 @@ pub fn grid_search(
     x_val: &Matrix,
     y_val: &[bool],
 ) -> HpoResult {
+    grid_search_with(kind, x_train, y_train, x_val, y_val, &Executor::sequential())
+}
+
+/// [`grid_search`] with grid points fitted through a shared [`Executor`].
+///
+/// Grid fits are deterministic (no RNG), so the only parallel obligation
+/// is the ordered reduction: candidates are scored per-spec and then
+/// folded *in grid order* with the sequential strictly-better rule, which
+/// keeps tie-breaking (earlier grid point wins) bit-identical at any
+/// thread count.
+pub fn grid_search_with(
+    kind: ModelKind,
+    x_train: &Matrix,
+    y_train: &[bool],
+    x_val: &Matrix,
+    y_val: &[bool],
+    exec: &Executor,
+) -> HpoResult {
     let specs = grid(kind);
-    let mut best: Option<(f64, ModelSpec, TrainedModel)> = None;
     let evaluations = specs.len();
-    for spec in specs {
+    let scored = exec.par_map_indexed(&specs, |_, spec| {
         let model = spec.fit(x_train, y_train);
         let f1 = f1_score(&model.predict(x_val), y_val);
+        (f1, model)
+    });
+    let mut best: Option<(f64, ModelSpec, TrainedModel)> = None;
+    for (spec, (f1, model)) in specs.iter().zip(scored) {
         let better = match &best {
             None => true,
             Some((best_f1, _, _)) => f1 > *best_f1,
         };
         if better {
-            best = Some((f1, spec, model));
+            best = Some((f1, spec.clone(), model));
         }
     }
     let (val_f1, spec, model) = best.expect("grids are non-empty");
@@ -78,8 +100,21 @@ pub fn fit_maybe_hpo(
     x_val: &Matrix,
     y_val: &[bool],
 ) -> (ModelSpec, TrainedModel) {
+    fit_maybe_hpo_with(kind, hpo, x_train, y_train, x_val, y_val, &Executor::sequential())
+}
+
+/// [`fit_maybe_hpo`] with HPO grid fits routed through `exec`.
+pub fn fit_maybe_hpo_with(
+    kind: ModelKind,
+    hpo: bool,
+    x_train: &Matrix,
+    y_train: &[bool],
+    x_val: &Matrix,
+    y_val: &[bool],
+    exec: &Executor,
+) -> (ModelSpec, TrainedModel) {
     if hpo {
-        let result = grid_search(kind, x_train, y_train, x_val, y_val);
+        let result = grid_search_with(kind, x_train, y_train, x_val, y_val, exec);
         (result.spec, result.model)
     } else {
         let spec = ModelSpec::default_for(kind);
@@ -135,6 +170,27 @@ mod tests {
         }
         assert!(result.val_f1 > 0.9, "val f1 {}", result.val_f1);
         assert_eq!(result.evaluations, 7);
+    }
+
+    #[test]
+    fn parallel_grid_search_matches_sequential() {
+        let (x, y) = xorish();
+        let (x_train, y_train) = (x.select_rows(&(0..120).collect::<Vec<_>>()), y[..120].to_vec());
+        let (x_val, y_val) = (x.select_rows(&(120..160).collect::<Vec<_>>()), y[120..].to_vec());
+        for kind in [ModelKind::DecisionTree, ModelKind::LogisticRegression] {
+            let seq = grid_search(kind, &x_train, &y_train, &x_val, &y_val);
+            let par = grid_search_with(
+                kind,
+                &x_train,
+                &y_train,
+                &x_val,
+                &y_val,
+                &Executor::new(4),
+            );
+            assert_eq!(seq.spec, par.spec);
+            assert_eq!(seq.val_f1.to_bits(), par.val_f1.to_bits());
+            assert_eq!(seq.evaluations, par.evaluations);
+        }
     }
 
     #[test]

@@ -23,25 +23,79 @@ pub mod nsga2;
 pub mod sa;
 pub mod tpe;
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Time source for a [`Budget`].
+///
+/// Production budgets read the real wall clock; tests inject a
+/// [`ManualClock`] so deadline expiry can be exercised deterministically
+/// (no `thread::sleep`, no flakes under load).
+#[derive(Debug, Clone)]
+pub enum Clock {
+    /// The real wall clock, anchored at budget start.
+    Real(Instant),
+    /// A hand-advanced clock: elapsed nanoseconds in a shared atomic.
+    Manual(Arc<AtomicU64>),
+}
+
+impl Clock {
+    fn elapsed(&self) -> Duration {
+        match self {
+            Clock::Real(start) => start.elapsed(),
+            Clock::Manual(ns) => Duration::from_nanos(ns.load(Ordering::Acquire)),
+        }
+    }
+}
+
+/// A hand-advanced time source for deterministic budget tests.
+///
+/// Clones share the same underlying clock; [`ManualClock::clock`] hands a
+/// [`Clock`] to [`Budget::with_clock`].
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock(Arc<AtomicU64>);
+
+impl ManualClock {
+    /// A clock starting at zero elapsed time.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `by`.
+    pub fn advance(&self, by: Duration) {
+        self.0.fetch_add(by.as_nanos() as u64, Ordering::AcqRel);
+    }
+
+    /// A [`Clock`] view sharing this clock's state.
+    pub fn clock(&self) -> Clock {
+        Clock::Manual(Arc::clone(&self.0))
+    }
+}
 
 /// A combined wall-clock + evaluation-count budget.
 ///
 /// Wall clock enforces the paper's mandatory Max Search Time constraint;
-/// the evaluation cap makes tests and benchmarks deterministic.
+/// the evaluation cap makes tests and benchmarks deterministic. The type
+/// is `Sync` (atomic eval counter), so deadline checks may run inside
+/// parallel regions of the executor.
 #[derive(Debug)]
 pub struct Budget {
-    start: Instant,
+    clock: Clock,
     limit: Duration,
     max_evals: usize,
-    evals: Cell<usize>,
+    evals: AtomicUsize,
 }
 
 impl Budget {
     /// Starts a budget with a wall-clock limit and an evaluation cap.
     pub fn new(limit: Duration, max_evals: usize) -> Self {
-        Self { start: Instant::now(), limit, max_evals, evals: Cell::new(0) }
+        Self::with_clock(limit, max_evals, Clock::Real(Instant::now()))
+    }
+
+    /// Starts a budget reading time from an explicit [`Clock`].
+    pub fn with_clock(limit: Duration, max_evals: usize, clock: Clock) -> Self {
+        Self { clock, limit, max_evals, evals: AtomicUsize::new(0) }
     }
 
     /// Starts a wall-clock-only budget.
@@ -60,27 +114,35 @@ impl Budget {
 
     /// `true` once either limit is hit.
     pub fn exhausted(&self) -> bool {
-        self.evals.get() >= self.max_evals || self.start.elapsed() >= self.limit
+        self.evals.load(Ordering::Acquire) >= self.max_evals || self.clock.elapsed() >= self.limit
     }
 
     /// Registers one evaluation; returns `false` when the budget is already
-    /// exhausted (the evaluation should then not run).
+    /// exhausted (the evaluation should then not run). Exact under
+    /// concurrency: the eval cap can never be overshot.
     pub fn try_consume(&self) -> bool {
-        if self.exhausted() {
+        if self.clock.elapsed() >= self.limit {
             return false;
         }
-        self.evals.set(self.evals.get() + 1);
-        true
+        self.evals
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |e| {
+                if e >= self.max_evals {
+                    None
+                } else {
+                    Some(e + 1)
+                }
+            })
+            .is_ok()
     }
 
     /// Evaluations consumed so far.
     pub fn evals_used(&self) -> usize {
-        self.evals.get()
+        self.evals.load(Ordering::Acquire)
     }
 
     /// Elapsed wall-clock time.
     pub fn elapsed(&self) -> Duration {
-        self.start.elapsed()
+        self.clock.elapsed()
     }
 }
 
@@ -133,10 +195,24 @@ mod tests {
 
     #[test]
     fn budget_expires_on_wall_clock() {
-        let b = Budget::new(Duration::from_millis(1), usize::MAX);
-        std::thread::sleep(Duration::from_millis(5));
+        let clock = ManualClock::new();
+        let b = Budget::with_clock(Duration::from_millis(1), usize::MAX, clock.clock());
+        assert!(!b.exhausted(), "fresh budget must admit evaluations");
+        assert!(b.try_consume());
+        clock.advance(Duration::from_millis(2));
         assert!(b.exhausted());
         assert!(!b.try_consume());
+        assert_eq!(b.evals_used(), 1);
+    }
+
+    #[test]
+    fn manual_clock_is_shared_across_clones() {
+        let clock = ManualClock::new();
+        let b = Budget::with_clock(Duration::from_secs(1), usize::MAX, clock.clock());
+        let clone = clock.clone();
+        clone.advance(Duration::from_secs(2));
+        assert!(b.exhausted(), "advancing any clone must expire the budget");
+        assert_eq!(b.elapsed(), Duration::from_secs(2));
     }
 
     #[test]

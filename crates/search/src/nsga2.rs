@@ -29,6 +29,12 @@ pub struct Nsga2Config {
     pub stop_at: Option<f64>,
     /// RNG seed.
     pub seed: u64,
+    /// Genomes submitted per batch-evaluation call (see [`nsga2_batch`]).
+    /// The early-stop check runs at chunk boundaries, so a smaller chunk
+    /// stops sooner while a larger one exposes more parallelism. Chunk
+    /// boundaries are fixed by this config — never by thread count — so
+    /// results are identical at any parallelism level.
+    pub eval_chunk: usize,
 }
 
 impl Default for Nsga2Config {
@@ -40,6 +46,7 @@ impl Default for Nsga2Config {
             mutation_rate: 1.0,
             stop_at: Some(0.0),
             seed: 0,
+            eval_chunk: 8,
         }
     }
 }
@@ -68,9 +75,54 @@ pub struct Nsga2Result {
 
 /// Runs NSGA-II, minimizing each component of the objective vector returned
 /// by `eval`. `eval` returns `None` once the budget is exhausted.
+///
+/// Serial adapter over [`nsga2_batch`]: genomes are still evaluated one at
+/// a time, in order, stopping at the first `None`. Early stopping happens
+/// at [`Nsga2Config::eval_chunk`] boundaries (identical to the batch path,
+/// so both entry points produce the same result for the same config).
 pub fn nsga2(
     d: usize,
     eval: &mut dyn FnMut(&[bool]) -> Option<Vec<f64>>,
+    cfg: &Nsga2Config,
+) -> Nsga2Result {
+    let mut done = false;
+    let mut batch = |genomes: &[Vec<bool>]| -> Vec<Option<Vec<f64>>> {
+        genomes
+            .iter()
+            .map(|g| {
+                if done {
+                    return None;
+                }
+                let out = eval(g);
+                if out.is_none() {
+                    done = true;
+                }
+                out
+            })
+            .collect()
+    };
+    nsga2_batch(d, &mut batch, cfg)
+}
+
+/// Runs NSGA-II with whole-chunk genome evaluation.
+///
+/// Instead of one genome at a time, the evaluator receives up to
+/// [`Nsga2Config::eval_chunk`] genomes per call and returns one
+/// `Option<Vec<f64>>` per genome — `None` meaning "budget exhausted, not
+/// evaluated". Entries after the first `None` are discarded (the budget is
+/// spent), and a short return is padded with `None`. This is the hook the
+/// evaluation engine uses to fan a chunk out over the executor while
+/// keeping budget admission sequential.
+///
+/// **Determinism.** Genome generation draws from a single sequential RNG
+/// and never interleaves with evaluation, so the genome stream is
+/// independent of how (or how fast) chunks are evaluated. Results are
+/// absorbed in submission order and the early-stop check runs at chunk
+/// boundaries fixed by the config, making the outcome bit-identical at
+/// any thread count.
+pub fn nsga2_batch(
+    d: usize,
+    eval_batch: &mut dyn FnMut(&[Vec<bool>]) -> Vec<Option<Vec<f64>>>,
     cfg: &Nsga2Config,
 ) -> Nsga2Result {
     let mut result = Nsga2Result { front: Vec::new(), best: None, evaluations: 0, reached_target: false };
@@ -78,38 +130,51 @@ pub fn nsga2(
         return result;
     }
     let mut rng = rng_from_seed(cfg.seed);
+    let chunk = cfg.eval_chunk.max(1);
+    let mut budget_hit = false;
 
-    let mut evaluate = |bits: Vec<bool>, result: &mut Nsga2Result| -> Option<Individual> {
-        let objectives = eval(&bits)?;
-        result.evaluations += 1;
-        let ind = Individual { bits, objectives };
-        let better = match &result.best {
-            None => true,
-            Some(b) => sum(&ind.objectives) < sum(&b.objectives),
-        };
-        if better {
-            result.best = Some(ind.clone());
+    // Evaluates one chunk of genomes and folds the results, in submission
+    // order, into `result`; returns the evaluated individuals.
+    let mut absorb = |genomes: Vec<Vec<bool>>,
+                      result: &mut Nsga2Result,
+                      budget_hit: &mut bool|
+     -> Vec<Individual> {
+        let outs = eval_batch(&genomes);
+        let mut inds = Vec::with_capacity(genomes.len());
+        for (i, bits) in genomes.into_iter().enumerate() {
+            match outs.get(i).cloned().flatten() {
+                Some(objectives) => {
+                    result.evaluations += 1;
+                    let ind = Individual { bits, objectives };
+                    let better = match &result.best {
+                        None => true,
+                        Some(b) => sum(&ind.objectives) < sum(&b.objectives),
+                    };
+                    if better {
+                        result.best = Some(ind.clone());
+                    }
+                    if ind.objectives.iter().all(|&o| hit_target(o, cfg.stop_at)) {
+                        result.reached_target = true;
+                    }
+                    inds.push(ind);
+                }
+                None => {
+                    *budget_hit = true;
+                    break;
+                }
+            }
         }
-        if ind.objectives.iter().all(|&o| hit_target(o, cfg.stop_at)) {
-            result.reached_target = true;
-        }
-        Some(ind)
+        inds
     };
 
-    // Initial population.
+    // Initial population, chunk by chunk.
     let mut population: Vec<Individual> = Vec::with_capacity(cfg.population);
-    for _ in 0..cfg.population {
-        let bits = random_nonempty(d, &mut rng);
-        match evaluate(bits, &mut result) {
-            Some(ind) => population.push(ind),
-            None => break,
-        }
-        if result.reached_target {
-            break;
-        }
+    while population.len() < cfg.population && !budget_hit && !result.reached_target {
+        let want = chunk.min(cfg.population - population.len());
+        let genomes: Vec<Vec<bool>> = (0..want).map(|_| random_nonempty(d, &mut rng)).collect();
+        population.extend(absorb(genomes, &mut result, &mut budget_hit));
     }
 
-    let mut budget_hit = population.len() < cfg.population;
     'gens: for _ in 0..cfg.generations {
         if result.reached_target || budget_hit || population.is_empty() {
             break;
@@ -118,27 +183,32 @@ pub fn nsga2(
         // Offspring via binary tournament + uniform crossover + mutation.
         let mut offspring: Vec<Individual> = Vec::with_capacity(cfg.population);
         while offspring.len() < cfg.population {
-            let p1 = tournament(&population, &ranks, &crowding, &mut rng);
-            let p2 = tournament(&population, &ranks, &crowding, &mut rng);
-            let mut child = if rng.random::<f64>() < cfg.crossover_prob {
-                uniform_crossover(&population[p1].bits, &population[p2].bits, &mut rng)
-            } else {
-                population[p1].bits.clone()
-            };
-            mutate(&mut child, cfg.mutation_rate, &mut rng);
-            if !child.iter().any(|&b| b) {
-                let j = rng.random_range(0..d);
-                child[j] = true;
-            }
-            match evaluate(child, &mut result) {
-                Some(ind) => offspring.push(ind),
-                None => {
-                    budget_hit = true;
-                    break;
-                }
-            }
+            let want = chunk.min(cfg.population - offspring.len());
+            let genomes: Vec<Vec<bool>> = (0..want)
+                .map(|_| {
+                    let p1 = tournament(&population, &ranks, &crowding, &mut rng);
+                    let p2 = tournament(&population, &ranks, &crowding, &mut rng);
+                    let mut child = if rng.random::<f64>() < cfg.crossover_prob {
+                        uniform_crossover(&population[p1].bits, &population[p2].bits, &mut rng)
+                    } else {
+                        population[p1].bits.clone()
+                    };
+                    mutate(&mut child, cfg.mutation_rate, &mut rng);
+                    if !child.iter().any(|&b| b) {
+                        let j = rng.random_range(0..d);
+                        child[j] = true;
+                    }
+                    child
+                })
+                .collect();
+            offspring.extend(absorb(genomes, &mut result, &mut budget_hit));
             if result.reached_target {
+                // The winning genome is already in `result.best`; the front
+                // reports the parent population, as in the serial flow.
                 break 'gens;
+            }
+            if budget_hit {
+                break;
             }
         }
         // Environmental selection over parents + offspring.
@@ -340,7 +410,38 @@ mod tests {
         let mut eval = |_: &[bool]| Some(vec![0.0, 0.0]);
         let r = nsga2(6, &mut eval, &Nsga2Config::default());
         assert!(r.reached_target);
-        assert_eq!(r.evaluations, 1);
+        // Early stop happens at chunk granularity: one full eval_chunk (8)
+        // is evaluated before the target check.
+        assert_eq!(r.evaluations, Nsga2Config::default().eval_chunk);
+
+        let cfg = Nsga2Config { eval_chunk: 1, ..Default::default() };
+        let r1 = nsga2(6, &mut eval, &cfg);
+        assert!(r1.reached_target);
+        assert_eq!(r1.evaluations, 1, "chunk size 1 restores per-genome stopping");
+    }
+
+    #[test]
+    fn batch_and_serial_entry_points_agree() {
+        let target: Vec<bool> = (0..10).map(|i| i < 4).collect();
+        let serial = {
+            let mut eval = conflicting_eval(target.clone());
+            let cfg = Nsga2Config { generations: 6, stop_at: None, seed: 3, ..Default::default() };
+            nsga2(10, &mut eval, &cfg)
+        };
+        let batched = {
+            let mut eval = conflicting_eval(target);
+            let mut batch = |genomes: &[Vec<bool>]| -> Vec<Option<Vec<f64>>> {
+                genomes.iter().map(|g| eval(g)).collect()
+            };
+            let cfg = Nsga2Config { generations: 6, stop_at: None, seed: 3, ..Default::default() };
+            nsga2_batch(10, &mut batch, &cfg)
+        };
+        assert_eq!(serial.evaluations, batched.evaluations);
+        assert_eq!(
+            serial.best.as_ref().map(|b| &b.bits),
+            batched.best.as_ref().map(|b| &b.bits)
+        );
+        assert_eq!(serial.front.len(), batched.front.len());
     }
 
     #[test]

@@ -45,7 +45,7 @@ fn main() {
     let settings = ScenarioSettings::default_bench();
 
     println!("racing {} strategies on '{}'…", portfolio.len(), dataset.name);
-    let outcomes: Vec<(StrategyId, DfsOutcome)> = crossbeam_run(&portfolio, &scenario, &split, &settings);
+    let outcomes: Vec<(StrategyId, DfsOutcome)> = race_portfolio(&portfolio, &scenario, &split, &settings);
 
     let mut winner: Option<&(StrategyId, DfsOutcome)> = None;
     for (strategy, outcome) in &outcomes {
@@ -76,20 +76,17 @@ fn main() {
     }
 }
 
-/// Runs each strategy on its own thread (scoped, no 'static bounds needed).
-fn crossbeam_run(
+/// Runs each strategy as one item of a permit-pool map: with one permit
+/// per strategy they all race concurrently, and the results come back in
+/// portfolio order regardless of finish order.
+fn race_portfolio(
     portfolio: &[StrategyId],
     scenario: &MlScenario,
     split: &dfs_repro::data::Split,
     settings: &ScenarioSettings,
 ) -> Vec<(StrategyId, DfsOutcome)> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = portfolio
-            .iter()
-            .map(|&strategy| {
-                scope.spawn(move || (strategy, run_dfs(scenario, split, settings, strategy)))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("strategy thread")).collect()
+    let exec = Executor::new(portfolio.len());
+    exec.par_map_indexed(portfolio, |_, &strategy| {
+        (strategy, run_dfs(scenario, split, settings, strategy))
     })
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Typecheck / test the workspace WITHOUT network access.
 #
-# The container this repo grows in has no route to crates.io, so the five
+# The container this repo grows in has no route to crates.io, so the four
 # external dependencies are patched to minimal local stand-ins under
 # .buildstubs/ (see .buildstubs/README.md for fidelity notes). The patch is
 # applied via `--config` on the command line only — the committed
@@ -29,7 +29,6 @@ STUBS=.buildstubs
 CFG=(
   --config "patch.crates-io.rand.path='$STUBS/rand'"
   --config "patch.crates-io.parking_lot.path='$STUBS/parking_lot'"
-  --config "patch.crates-io.crossbeam.path='$STUBS/crossbeam'"
   --config "patch.crates-io.proptest.path='$STUBS/proptest'"
   --config "patch.crates-io.criterion.path='$STUBS/criterion'"
 )
