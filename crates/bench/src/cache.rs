@@ -4,8 +4,10 @@
 //! that needs it first looks here. The format is a line-oriented TSV keyed
 //! by a config fingerprint, written atomically (temp file + rename).
 //!
-//! Codec v3 carries each cell's [`CellStatus`] (so fault-isolated runs
-//! roundtrip losslessly) and its [`EvalPerf`] work counters. A file that
+//! Codec v4 carries each cell's [`CellStatus`] (so fault-isolated runs
+//! roundtrip losslessly) and its [`EvalPerf`] work counters, including the
+//! attack/ranking timing and HPO grid-point fields added with the
+//! observability layer. A file that
 //! fails validation — wrong version, truncated, or garbled — is never
 //! trusted partially: [`load`] quarantines it (renames it aside with a
 //! `.quarantined` suffix) and the caller recomputes. The per-cell line
@@ -52,7 +54,7 @@ pub fn fingerprint(cfg: &CorpusConfig) -> u64 {
     h
 }
 
-/// Serializes a matrix to the TSV codec (v3).
+/// Serializes a matrix to the TSV codec (v4).
 ///
 /// Errors with [`DfsError::CacheEncode`] on a non-canonical arm set — the
 /// compact codec stores no arm column, so only `Arm::all()` matrices are
@@ -69,7 +71,7 @@ pub fn encode(matrix: &BenchmarkMatrix) -> DfsResult<String> {
             ),
         });
     }
-    let _ = writeln!(out, "#dfs-matrix\tv3\t{}\t{}", matrix.scenarios.len(), matrix.arms.len());
+    let _ = writeln!(out, "#dfs-matrix\tv4\t{}\t{}", matrix.scenarios.len(), matrix.arms.len());
     for (s, row) in matrix.scenarios.iter().zip(&matrix.results) {
         let c = &s.constraints;
         let _ = writeln!(
@@ -94,13 +96,13 @@ pub fn encode(matrix: &BenchmarkMatrix) -> DfsResult<String> {
     Ok(out)
 }
 
-/// Writes one `R` result line (v3: leading one-character status code, then
-/// the metrics, then the seven [`EvalPerf`] work counters).
+/// Writes one `R` result line (v4: leading one-character status code, then
+/// the metrics, then the ten [`EvalPerf`] work counters).
 pub(crate) fn encode_cell(out: &mut String, cell: &CellResult) {
     let p = &cell.perf;
     let _ = writeln!(
         out,
-        "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
         cell.status.code(),
         cell.success as u8,
         cell.elapsed.as_secs_f64(),
@@ -116,15 +118,18 @@ pub(crate) fn encode_cell(out: &mut String, cell: &CellResult) {
         p.val_gathers,
         p.gather_ns,
         p.train_ns,
+        p.attack_ns,
+        p.ranking_ns,
+        p.hpo_grid_points,
     );
 }
 
-/// Parses one tab-split `R` line (`fields[0] == "R"`, 16 fields). Every
+/// Parses one tab-split `R` line (`fields[0] == "R"`, 19 fields). Every
 /// field is validated — a truncated or bit-flipped line is an error, never
 /// a silently wrong cell.
 pub(crate) fn decode_cell(fields: &[&str]) -> Result<CellResult, String> {
-    if fields.len() != 16 {
-        return Err(format!("result line has {} fields, expected 16", fields.len()));
+    if fields.len() != 19 {
+        return Err(format!("result line has {} fields, expected 19", fields.len()));
     }
     let parse = |i: usize| -> Result<f64, String> {
         fields[i].parse().map_err(|e| format!("result field {i}: {e}"))
@@ -164,6 +169,9 @@ pub(crate) fn decode_cell(fields: &[&str]) -> Result<CellResult, String> {
             val_gathers: count(13)?,
             gather_ns: count(14)?,
             train_ns: count(15)?,
+            attack_ns: count(16)?,
+            ranking_ns: count(17)?,
+            hpo_grid_points: count(18)?,
         },
     })
 }
@@ -176,8 +184,8 @@ pub fn decode(s: &str) -> Result<BenchmarkMatrix, String> {
     if head.len() != 4 || head[0] != "#dfs-matrix" {
         return Err(format!("bad header '{header}'"));
     }
-    if head[1] != "v3" {
-        return Err(format!("unsupported cache version '{}' (this build reads v3)", head[1]));
+    if head[1] != "v4" {
+        return Err(format!("unsupported cache version '{}' (this build reads v4)", head[1]));
     }
     let n_scenarios: usize = head[2].parse().map_err(|e| format!("bad count: {e}"))?;
     let n_arms: usize = head[3].parse().map_err(|e| format!("bad arm count: {e}"))?;
@@ -253,7 +261,7 @@ pub fn quarantine(path: &Path) -> Option<PathBuf> {
     match std::fs::rename(path, &dest) {
         Ok(()) => Some(dest),
         Err(e) => {
-            eprintln!("[dfs-bench] warning: could not quarantine {}: {e}", path.display());
+            dfs_obs::warn!("dfs-bench", "could not quarantine {}: {e}", path.display());
             None
         }
     }
@@ -269,11 +277,12 @@ pub fn load(path: &Path) -> Option<BenchmarkMatrix> {
         Err(reason) => {
             let err = DfsError::CacheCorrupt { path: path.to_path_buf(), reason };
             match quarantine(path) {
-                Some(dest) => eprintln!(
-                    "[dfs-bench] warning: {err}; quarantined to {}",
+                Some(dest) => dfs_obs::warn!(
+                    "dfs-bench",
+                    "{err}; quarantined to {}",
                     dest.display()
                 ),
-                None => eprintln!("[dfs-bench] warning: {err}"),
+                None => dfs_obs::warn!("dfs-bench", "{err}"),
             }
             None
         }
@@ -337,6 +346,9 @@ mod tests {
                     val_gathers: (i % 2) as u64,
                     gather_ns: 1_000 + i as u64,
                     train_ns: 2_000 + i as u64,
+                    attack_ns: 3_000 + i as u64,
+                    ranking_ns: 4_000 + i as u64,
+                    hpo_grid_points: (i % 7) as u64,
                 },
             })
             .collect();
@@ -393,16 +405,16 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert!(decode("").is_err());
-        // Older codecs (v1 pre-status, v2 pre-perf) are a version
-        // mismatch, not a panic; so is any future version.
-        assert!(decode("#dfs-matrix\tv1\t0\t17\n")
-            .is_err_and(|e| e.contains("unsupported cache version")));
-        assert!(decode("#dfs-matrix\tv2\t0\t17\n")
-            .is_err_and(|e| e.contains("unsupported cache version")));
-        assert!(decode("#dfs-matrix\tv4\t0\t17\n").is_err());
-        assert!(decode("#dfs-matrix\tv3\t1\t17\nX\tfoo\n").is_err());
+        // Older codecs (v1 pre-status, v2 pre-perf, v3 pre-obs-counters)
+        // are a version mismatch, not a panic; so is any future version.
+        for old in ["v1", "v2", "v3"] {
+            assert!(decode(&format!("#dfs-matrix\t{old}\t0\t17\n"))
+                .is_err_and(|e| e.contains("unsupported cache version")));
+        }
+        assert!(decode("#dfs-matrix\tv5\t0\t17\n").is_err());
+        assert!(decode("#dfs-matrix\tv4\t1\t17\nX\tfoo\n").is_err());
         // Wrong arm count.
-        assert!(decode("#dfs-matrix\tv3\t0\t3\n").is_err());
+        assert!(decode("#dfs-matrix\tv4\t0\t3\n").is_err());
     }
 
     #[test]
@@ -449,7 +461,9 @@ mod tests {
         let path = dir.join("bad.tsv");
         let qpath = PathBuf::from(format!("{}.quarantined", path.display()));
         std::fs::remove_file(&qpath).ok();
-        std::fs::write(&path, "#dfs-matrix\tv1\t0\t17\n").expect("write");
+        // A v3 file from the previous build is quarantined like any other
+        // version mismatch — the recompute writes fresh v4 bytes.
+        std::fs::write(&path, "#dfs-matrix\tv3\t0\t17\n").expect("write");
         assert!(load(&path).is_none());
         // The bad file was moved aside, not deleted and not left in place.
         assert!(!path.exists());

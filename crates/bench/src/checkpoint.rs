@@ -23,8 +23,11 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, MutexGuard};
 
+// Tracks the cell-line codec version in `cache` (v4 added the attack/
+// ranking timing and HPO grid-point perf fields), so a sidecar written by
+// an older build is a header mismatch, never a misparsed row.
 const HEADER_TAG: &str = "#dfs-checkpoint";
-const VERSION: &str = "v3";
+const VERSION: &str = "v4";
 
 /// A partially computed matrix being persisted row by row.
 ///
@@ -68,7 +71,7 @@ impl Checkpoint {
                 path: path.to_path_buf(),
                 reason: "checkpoint header/fingerprint mismatch".into(),
             };
-            eprintln!("[dfs-bench] warning: {err}; quarantining and starting fresh");
+            dfs_obs::warn!("dfs-bench", "{err}; quarantining and starting fresh");
             cache::quarantine(path);
             return HashMap::new();
         }
@@ -103,8 +106,9 @@ impl Checkpoint {
                 _ => false,
             };
             if !ok {
-                eprintln!(
-                    "[dfs-bench] warning: checkpoint {} damaged at '{line}'; keeping the {} complete rows before it",
+                dfs_obs::warn!(
+                    "dfs-bench",
+                    "checkpoint {} damaged at '{line}'; keeping the {} complete rows before it",
                     path.display(),
                     rows.len()
                 );
@@ -178,7 +182,7 @@ impl Checkpoint {
             .and_then(|_| std::fs::rename(&tmp, &self.path));
         if let Err(e) = write {
             let err = DfsError::Io { path: self.path.clone(), source: e };
-            eprintln!("[dfs-bench] warning: checkpoint flush failed: {err}");
+            dfs_obs::warn!("dfs-bench", "checkpoint flush failed: {err}");
         }
     }
 }

@@ -145,10 +145,16 @@ pub fn compute_or_load_matrix(
     cfg: &CorpusConfig,
     version: BenchVersion,
 ) -> DfsResult<(BenchmarkMatrix, HashMap<String, Split>)> {
+    // The harness narration (cache hits, resume, matrix progress) is part
+    // of the expected stderr output; keep it visible unless the user set
+    // an explicit DFS_LOG filter.
+    if std::env::var_os("DFS_LOG").is_none() {
+        dfs_obs::set_log_level(dfs_obs::Level::Info);
+    }
     let splits = build_splits(cfg)?;
     let path = crate::cache::cache_path(cfg, version);
     if let Some(matrix) = crate::cache::load(&path) {
-        eprintln!("[dfs-bench] loaded cached matrix from {}", path.display());
+        dfs_obs::info!("dfs-bench", "loaded cached matrix from {}", path.display());
         return Ok((matrix, splits));
     }
     let scenarios = build_scenarios(cfg, version);
@@ -157,15 +163,17 @@ pub fn compute_or_load_matrix(
     let ckpt_path = Checkpoint::sidecar_path(&path);
     let resume = Checkpoint::load_rows(&ckpt_path, fingerprint, scenarios.len(), arms.len());
     if !resume.is_empty() {
-        eprintln!(
-            "[dfs-bench] resuming from checkpoint {}: {} of {} rows already computed",
+        dfs_obs::info!(
+            "dfs-bench",
+            "resuming from checkpoint {}: {} of {} rows already computed",
             ckpt_path.display(),
             resume.len(),
             scenarios.len()
         );
     }
-    eprintln!(
-        "[dfs-bench] computing {} matrix: {} scenarios x {} arms ({} threads)…",
+    dfs_obs::info!(
+        "dfs-bench",
+        "computing {} matrix: {} scenarios x {} arms ({} threads)…",
         version.tag(),
         scenarios.len(),
         arms.len(),
@@ -174,23 +182,56 @@ pub fn compute_or_load_matrix(
     let settings = bench_settings();
     let ckpt = Checkpoint::start(ckpt_path, fingerprint, scenarios.len(), arms.len(), &resume);
     let sink = |i: usize, row: &[CellResult]| ckpt.append_row(i, row);
+    let observer = dfs_obs::RunObserver::new(format!("matrix-{}", version.tag()));
     let opts = RunnerOptions {
         threads: cfg.threads,
         resume,
         on_row: Some(&sink),
+        observer: dfs_obs::trace_enabled().then_some(&observer),
         ..RunnerOptions::default()
     };
     let matrix = run_benchmark_opts(&splits, scenarios, &arms, &settings, &opts);
     let (ok, panicked, timed_out, skipped) = matrix.status_counts();
     if panicked + timed_out + skipped > 0 {
-        eprintln!(
-            "[dfs-bench] matrix completed with faults: {ok} ok, {panicked} panicked, \
+        dfs_obs::warn!(
+            "dfs-bench",
+            "matrix completed with faults: {ok} ok, {panicked} panicked, \
              {timed_out} timed out, {skipped} skipped"
         );
     }
     crate::cache::save(&path, &matrix)?;
     ckpt.finish();
+    if dfs_obs::trace_enabled() {
+        export_traces(&observer);
+    }
     Ok((matrix, splits))
+}
+
+/// Writes the observer's three export formats (Chrome trace, Prometheus
+/// metrics, JSONL journal) under `DFS_TRACE_DIR` (default:
+/// `<tmp>/dfs-trace`). Export is best-effort: IO failures warn and the
+/// matrix result stands.
+pub fn export_traces(observer: &dfs_obs::RunObserver) {
+    let dir = std::env::var("DFS_TRACE_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir().join("dfs-trace"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        dfs_obs::warn!("dfs-bench", "could not create trace dir {}: {e}", dir.display());
+        return;
+    }
+    let label = observer.label();
+    let exports = [
+        (format!("{label}.trace.json"), observer.chrome_trace()),
+        (format!("{label}.metrics.txt"), observer.metrics_text(false)),
+        (format!("{label}.journal.jsonl"), observer.journal(false)),
+    ];
+    for (name, contents) in exports {
+        let path = dir.join(name);
+        match std::fs::write(&path, contents) {
+            Ok(()) => dfs_obs::info!("dfs-bench", "wrote {}", path.display()),
+            Err(e) => dfs_obs::warn!("dfs-bench", "could not write {}: {e}", path.display()),
+        }
+    }
 }
 
 fn hash_name(name: &str) -> u64 {

@@ -102,10 +102,19 @@ impl ArtifactCache {
             return;
         }
         let computed = exec.par_map_indexed(&missing, |_, kind| {
-            kind.compute(&split.train.x, &split.train.y, ranking_seed(dataset, *kind))
+            // Each warm compute records into its own scoped collector (a
+            // no-op when tracing is off); absorption below happens in kind
+            // order, keeping the trace deterministic at any thread count.
+            dfs_obs::scoped(|| {
+                let _g = dfs_obs::span(format!("ranking.compute.{}", kind.name()));
+                kind.compute(&split.train.x, &split.train.y, ranking_seed(dataset, *kind))
+            })
         });
         let mut map = self.rankings.lock();
-        for (kind, ranking) in missing.into_iter().zip(computed) {
+        for (kind, (ranking, trace)) in missing.into_iter().zip(computed) {
+            if let Some(child) = trace {
+                dfs_obs::absorb(child);
+            }
             let key = (dataset.to_string(), split_key, kind);
             map.entry(key).or_insert_with(|| {
                 self.computes.fetch_add(1, Ordering::Relaxed);

@@ -67,6 +67,10 @@ pub enum DfsError {
         arm: String,
         /// The enforced hard deadline.
         deadline: Duration,
+        /// The last phase the cell's heartbeat reported before the
+        /// watchdog fired (`"start"` when the cell never got going), so a
+        /// timeout report names *where* the stall was detected.
+        phase: String,
     },
     /// A configuration precondition was violated (empty schedule, bad
     /// fraction, zero arms, …).
@@ -95,8 +99,12 @@ impl std::fmt::Display for DfsError {
             DfsError::CellPanicked { scenario, arm, payload } => {
                 write!(f, "cell ({scenario} x {arm}) panicked: {payload}")
             }
-            DfsError::CellTimedOut { scenario, arm, deadline } => {
-                write!(f, "cell ({scenario} x {arm}) exceeded watchdog deadline {deadline:?}")
+            DfsError::CellTimedOut { scenario, arm, deadline, phase } => {
+                write!(
+                    f,
+                    "cell ({scenario} x {arm}) exceeded watchdog deadline {deadline:?} \
+                     (last phase: {phase})"
+                )
             }
             DfsError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
         }
@@ -138,8 +146,10 @@ mod tests {
             scenario: "adult#3".into(),
             arm: "SBS(NR)".into(),
             deadline: Duration::from_millis(250),
+            phase: "eval.fit".into(),
         };
         assert!(e.to_string().contains("SBS(NR)"));
+        assert!(e.to_string().contains("eval.fit"), "timeout display names the stalled phase");
     }
 
     #[test]

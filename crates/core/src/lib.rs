@@ -30,7 +30,10 @@
 //! - [`fault`] — deterministic fault injection ([`fault::FaultPlan`]) for
 //!   the fault-tolerance tests;
 //! - [`transfer`] — feature-set reusability across model families
-//!   (Table 7).
+//!   (Table 7);
+//! - [`obs`] (re-exported `dfs-obs`) — deterministic span tracing, metrics
+//!   and journal export, live progress, and the watchdog heartbeat
+//!   (DESIGN.md § 4e).
 //!
 //! # Example
 //!
@@ -66,6 +69,10 @@ pub mod scenario;
 pub mod switching;
 pub mod transfer;
 pub mod workflow;
+
+/// Deterministic observability (spans, counters, exporters, progress) —
+/// the `dfs-obs` crate re-exported under its conventional alias.
+pub use dfs_obs as obs;
 
 pub use artifacts::ArtifactCache;
 pub use error::{DfsError, DfsResult};

@@ -37,6 +37,12 @@ pub struct EvalPerf {
     pub gather_ns: u64,
     /// Nanoseconds spent fitting models.
     pub train_ns: u64,
+    /// Nanoseconds spent running evasion attacks for the Min Safety metric.
+    pub attack_ns: u64,
+    /// Nanoseconds spent computing feature rankings (cache hits cost 0).
+    pub ranking_ns: u64,
+    /// Hyperparameter grid points evaluated by HPO searches.
+    pub hpo_grid_points: u64,
 }
 
 impl EvalPerf {
@@ -50,16 +56,19 @@ impl EvalPerf {
         self.val_gathers += other.val_gathers;
         self.gather_ns += other.gather_ns;
         self.train_ns += other.train_ns;
+        self.attack_ns += other.attack_ns;
+        self.ranking_ns += other.ranking_ns;
+        self.hpo_grid_points += other.hpo_grid_points;
     }
 
     /// This counter set with the wall-clock-derived fields zeroed.
     ///
-    /// `gather_ns`/`train_ns` measure real elapsed time and therefore vary
-    /// run to run; the remaining counters are exact work counts. Bit-
-    /// identity comparisons (e.g. the threads=1 vs threads=4 determinism
+    /// The `*_ns` fields measure real elapsed time and therefore vary run
+    /// to run; the remaining counters are exact work counts. Bit-identity
+    /// comparisons (e.g. the threads=1 vs threads=4 determinism
     /// regression) compare `without_timings()` views.
     pub fn without_timings(&self) -> EvalPerf {
-        EvalPerf { gather_ns: 0, train_ns: 0, ..*self }
+        EvalPerf { gather_ns: 0, train_ns: 0, attack_ns: 0, ranking_ns: 0, ..*self }
     }
 }
 
@@ -76,6 +85,9 @@ mod tests {
             ranking_hits: 5,
             val_gathers: 6,
             train_ns: 7,
+            attack_ns: 8,
+            ranking_ns: 9,
+            hpo_grid_points: 11,
             ..EvalPerf::default()
         };
         a.merge(&b);
@@ -89,6 +101,9 @@ mod tests {
                 val_gathers: 6,
                 gather_ns: 10,
                 train_ns: 7,
+                attack_ns: 8,
+                ranking_ns: 9,
+                hpo_grid_points: 11,
             }
         );
     }
@@ -98,18 +113,21 @@ mod tests {
         let samples = [
             EvalPerf { model_fits: 1, cache_hits: 9, gather_ns: 100, ..EvalPerf::default() },
             EvalPerf { ranking_computes: 3, val_gathers: 2, train_ns: 7, ..EvalPerf::default() },
-            EvalPerf { model_fits: 5, ranking_hits: 4, cache_hits: 1, ..EvalPerf::default() },
+            EvalPerf { model_fits: 5, ranking_hits: 4, attack_ns: 3, ..EvalPerf::default() },
+            EvalPerf { ranking_ns: 6, hpo_grid_points: 2, cache_hits: 1, ..EvalPerf::default() },
         ];
-        let [a, b, c] = samples;
+        let [a, b, c, d] = samples;
 
-        // (a + b) + c == a + (b + c)
+        // ((a + b) + c) + d == a + ((b + c) + d)
         let mut left = a;
         left.merge(&b);
         left.merge(&c);
-        let mut bc = b;
-        bc.merge(&c);
+        left.merge(&d);
+        let mut bcd = b;
+        bcd.merge(&c);
+        bcd.merge(&d);
         let mut right = a;
-        right.merge(&bc);
+        right.merge(&bcd);
         assert_eq!(left, right);
 
         // default() is the identity on both sides.
@@ -133,8 +151,15 @@ mod tests {
             val_gathers: 6,
             gather_ns: 1_000,
             train_ns: 2_000,
+            attack_ns: 3_000,
+            ranking_ns: 4_000,
+            hpo_grid_points: 7,
         };
         let t = p.without_timings();
-        assert_eq!(t, EvalPerf { gather_ns: 0, train_ns: 0, ..p });
+        assert_eq!(
+            t,
+            EvalPerf { gather_ns: 0, train_ns: 0, attack_ns: 0, ranking_ns: 0, ..p }
+        );
+        assert_eq!(t.hpo_grid_points, 7, "grid points are a work count, not a timing");
     }
 }

@@ -23,9 +23,12 @@ use crate::scenario::{MlScenario, ScenarioSettings};
 use crate::workflow::{run_dfs_with_exec, run_original_features_with_exec, DfsOutcome};
 use dfs_data::split::Split;
 use dfs_fs::StrategyId;
+use dfs_obs as obs;
 use dfs_rankings::RankingKind;
 use std::collections::HashMap;
+use std::io::IsTerminal;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -211,6 +214,17 @@ pub struct RunnerOptions<'a> {
     /// TPE(ranking) arm. Bit-identical results either way (the ranking
     /// seed is dataset-scoped); disable only to measure the difference.
     pub share_artifacts: bool,
+    /// Emit a throttled live progress line on stderr (cells done/total,
+    /// faults, evals/s, ETA). Defaults to the `DFS_PROGRESS` or
+    /// `DFS_TRACE` environment flags. The line is written directly to
+    /// stderr — never through the deterministic journal — so enabling it
+    /// cannot perturb any exported artifact.
+    pub progress: bool,
+    /// Collects per-cell trace data when tracing is enabled
+    /// ([`dfs_obs::trace_enabled`]): span streams, counters, log records
+    /// and the run/row/cell scope structure behind the Chrome-trace,
+    /// metrics and journal exporters.
+    pub observer: Option<&'a obs::RunObserver>,
 }
 
 impl Default for RunnerOptions<'_> {
@@ -225,6 +239,101 @@ impl Default for RunnerOptions<'_> {
             resume: HashMap::new(),
             on_row: None,
             share_artifacts: true,
+            progress: obs::env_flag("DFS_PROGRESS") || obs::env_flag("DFS_TRACE"),
+            observer: None,
+        }
+    }
+}
+
+/// Throttled live progress reporting for a benchmark run. All updates are
+/// relaxed atomics; the stderr write happens at most every ~500 ms (plus a
+/// forced final summary), so progress costs nothing measurable and writes
+/// nothing into the deterministic exporters.
+struct ProgressMeter {
+    enabled: bool,
+    total: usize,
+    done: AtomicUsize,
+    faulted: AtomicUsize,
+    evals: AtomicU64,
+    started: Instant,
+    last_print: parking_lot::Mutex<Instant>,
+}
+
+impl ProgressMeter {
+    fn new(enabled: bool, total: usize) -> ProgressMeter {
+        let now = Instant::now();
+        ProgressMeter {
+            enabled,
+            total,
+            done: AtomicUsize::new(0),
+            faulted: AtomicUsize::new(0),
+            evals: AtomicU64::new(0),
+            started: now,
+            // Backdate so the first completed cell prints immediately.
+            last_print: parking_lot::Mutex::new(now - Duration::from_secs(60)),
+        }
+    }
+
+    /// Records a finished cell and maybe redraws the line.
+    fn cell_done(&self, cell: &CellResult) {
+        if !self.enabled {
+            return;
+        }
+        self.done.fetch_add(1, Ordering::Relaxed);
+        if !cell.status.is_ok() {
+            self.faulted.fetch_add(1, Ordering::Relaxed);
+        }
+        self.evals.fetch_add(cell.evaluations as u64, Ordering::Relaxed);
+        self.print(false);
+    }
+
+    /// Records a whole row that never ran (missing split).
+    fn row_skipped(&self, arms: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.done.fetch_add(arms, Ordering::Relaxed);
+        self.faulted.fetch_add(arms, Ordering::Relaxed);
+        self.print(false);
+    }
+
+    fn print(&self, force: bool) {
+        let mut last = self.last_print.lock();
+        if !force && last.elapsed() < Duration::from_millis(500) {
+            return;
+        }
+        *last = Instant::now();
+        let done = self.done.load(Ordering::Relaxed);
+        let faulted = self.faulted.load(Ordering::Relaxed);
+        let evals = self.evals.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let rate = evals as f64 / elapsed;
+        let eta = if done > 0 && done < self.total {
+            (elapsed / done as f64) * (self.total - done) as f64
+        } else {
+            0.0
+        };
+        let line = format!(
+            "[dfs-core] progress: {done}/{} cells | {faulted} faulted | \
+             {rate:.1} evals/s | eta {eta:.0}s",
+            self.total
+        );
+        // On a terminal, redraw in place; in a log, emit discrete lines.
+        if std::io::stderr().is_terminal() {
+            eprint!("\r\x1b[2K{line}");
+        } else {
+            eprintln!("{line}");
+        }
+    }
+
+    /// Forces the final summary (and terminates the in-place line).
+    fn finish(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.print(true);
+        if std::io::stderr().is_terminal() {
+            eprintln!();
         }
     }
 }
@@ -296,32 +405,44 @@ pub fn run_benchmark_opts(
     // Warm the shared ranking cache before the cells race for it: the
     // cache's exactly-once semantics would serialize the first arms on the
     // heavyweight rankings; warming computes them in parallel up front.
+    let observing = opts.observer.is_some() && obs::trace_enabled();
     if opts.warm_rankings {
         if let Some(cache) = &artifacts {
-            let mut kinds: Vec<RankingKind> = Vec::new();
-            for arm in arms {
-                if let Arm::Strategy(StrategyId::TpeRanking(k)) = arm {
-                    if !kinds.contains(k) {
-                        kinds.push(*k);
+            let warm_depth = observing.then(obs::push_collector);
+            {
+                let _g = obs::span("warm_rankings");
+                let mut kinds: Vec<RankingKind> = Vec::new();
+                for arm in arms {
+                    if let Arm::Strategy(StrategyId::TpeRanking(k)) = arm {
+                        if !kinds.contains(k) {
+                            kinds.push(*k);
+                        }
+                    }
+                }
+                let mut datasets: Vec<&str> = Vec::new();
+                for (i, s) in scenarios.iter().enumerate() {
+                    if !resumed.contains_key(&i) && !datasets.contains(&s.dataset.as_str()) {
+                        datasets.push(s.dataset.as_str());
+                    }
+                }
+                if !kinds.is_empty() {
+                    for ds in datasets {
+                        if let Some(split) = shared_splits.get(ds) {
+                            cache.warm_rankings(ds, split, &kinds, &exec);
+                        }
                     }
                 }
             }
-            let mut datasets: Vec<&str> = Vec::new();
-            for (i, s) in scenarios.iter().enumerate() {
-                if !resumed.contains_key(&i) && !datasets.contains(&s.dataset.as_str()) {
-                    datasets.push(s.dataset.as_str());
-                }
-            }
-            if !kinds.is_empty() {
-                for ds in datasets {
-                    if let Some(split) = shared_splits.get(ds) {
-                        cache.warm_rankings(ds, split, &kinds, &exec);
-                    }
+            if let (Some(observer), Some(depth)) = (opts.observer, warm_depth) {
+                if let Some(c) = obs::take_collector(depth) {
+                    observer.absorb_run(c);
                 }
             }
         }
     }
 
+    let fresh_rows = n - resumed.len();
+    let progress = ProgressMeter::new(opts.progress, fresh_rows * arms.len());
     let row_indices: Vec<usize> = (0..n).collect();
     let computed: Vec<Option<Vec<CellResult>>> =
         exec.par_map_indexed_limit(&row_indices, outer, |_, &i| {
@@ -331,14 +452,15 @@ pub fn run_benchmark_opts(
             // A panic anywhere outside the (already panic-isolated) cells —
             // e.g. in the checkpoint sink — loses this row, not the run.
             catch_unwind(AssertUnwindSafe(|| {
+                let row_depth = observing.then(obs::push_collector);
+                let row_span = obs::span("row");
                 let scenario = &scenarios[i];
                 let row: Vec<CellResult> = match shared_splits.get(scenario.dataset.as_str()) {
                     None => {
                         let err =
                             DfsError::UnknownDataset { dataset: scenario.dataset.clone() };
-                        eprintln!(
-                            "[dfs-core] warning: {err}; scenario row {i} recorded as skipped"
-                        );
+                        obs::warn!("dfs-core", "{err}; scenario row {i} recorded as skipped");
+                        progress.row_skipped(arms.len());
                         arms.iter()
                             .map(|_| CellResult::faulted(CellStatus::Skipped, Duration::ZERO))
                             .collect()
@@ -348,9 +470,10 @@ pub fn run_benchmark_opts(
                         .enumerate()
                         .map(|(a, &arm)| {
                             let fault = opts.fault_plan.and_then(|p| p.get(i, a));
-                            run_cell_guarded(
+                            let (cell, trace) = run_cell_guarded(
                                 scenario,
                                 i,
+                                a,
                                 split,
                                 &shared_settings,
                                 arm,
@@ -358,18 +481,33 @@ pub fn run_benchmark_opts(
                                 artifacts.as_ref(),
                                 &exec,
                                 opts,
-                            )
+                            );
+                            if let (Some(observer), Some(c)) = (opts.observer, trace) {
+                                let label =
+                                    format!("{}#{i} {}", scenario.dataset, arm.name());
+                                observer.record_cell(i, a, label, c);
+                            }
+                            progress.cell_done(&cell);
+                            cell
                         })
                         .collect(),
                 };
                 if let Some(sink) = opts.on_row {
+                    let _g = obs::span("checkpoint.write");
                     sink(i, &row);
+                }
+                drop(row_span);
+                if let (Some(observer), Some(depth)) = (opts.observer, row_depth) {
+                    if let Some(c) = obs::take_collector(depth) {
+                        observer.record_row(i, c);
+                    }
                 }
                 row
             }))
             .map_err(|_| {
-                eprintln!(
-                    "[dfs-core] warning: a benchmark worker died on row {i}; recorded as skipped"
+                obs::warn!(
+                    "dfs-core",
+                    "a benchmark worker died on row {i}; recorded as skipped"
                 );
             })
             .ok()
@@ -386,15 +524,27 @@ pub fn run_benchmark_opts(
             })
         })
         .collect();
-    BenchmarkMatrix { arms: arms.to_vec(), scenarios, results }
+    progress.finish();
+    let matrix = BenchmarkMatrix { arms: arms.to_vec(), scenarios, results };
+    if let Some(observer) = opts.observer {
+        let (ok, panicked, timed_out, skipped) = matrix.status_counts();
+        observer.run_counter("cells.ok", ok as u64);
+        observer.run_counter("cells.panicked", panicked as u64);
+        observer.run_counter("cells.timed_out", timed_out as u64);
+        observer.run_counter("cells.skipped", skipped as u64);
+    }
+    matrix
 }
 
 /// One cell with panic isolation and (unless disabled) a watchdog thread
-/// enforcing a hard wall-clock deadline. Always returns a cell.
+/// enforcing a hard wall-clock deadline. Always returns a cell, plus the
+/// cell's trace collector when one was recorded (a timed-out cell's
+/// collector is stranded on the abandoned thread and therefore absent).
 #[allow(clippy::too_many_arguments)]
 fn run_cell_guarded(
     scenario: &MlScenario,
     scenario_idx: usize,
+    arm_idx: usize,
     split: &Arc<Split>,
     settings: &Arc<ScenarioSettings>,
     arm: Arm,
@@ -402,13 +552,17 @@ fn run_cell_guarded(
     artifacts: Option<&Arc<ArtifactCache>>,
     exec: &Arc<Executor>,
     opts: &RunnerOptions<'_>,
-) -> CellResult {
+) -> (CellResult, Option<obs::Collector>) {
     let label = format!("{}#{scenario_idx}", scenario.dataset);
+    let observe = opts.observer.is_some();
     if opts.deadline_factor <= 0.0 {
-        return run_cell_isolated(scenario, split, settings, arm, fault, artifacts, exec, &label);
+        return run_cell_isolated(
+            scenario, split, settings, arm, fault, artifacts, exec, &label, None, observe,
+        );
     }
     let deadline =
         scenario.constraints.max_search_time.mul_f64(opts.deadline_factor) + opts.deadline_grace;
+    let heartbeat = Arc::new(obs::Heartbeat::new());
     let (tx, rx) = mpsc::channel();
     let spawned = {
         let scenario = scenario.clone();
@@ -417,6 +571,7 @@ fn run_cell_guarded(
         let artifacts = artifacts.map(Arc::clone);
         let exec = Arc::clone(exec);
         let label = label.clone();
+        let heartbeat = Arc::clone(&heartbeat);
         std::thread::Builder::new().name(format!("dfs-cell-{scenario_idx}")).spawn(move || {
             // After a timeout the receiver is gone and the send fails
             // silently; the thread just exits.
@@ -429,28 +584,59 @@ fn run_cell_guarded(
                 artifacts.as_ref(),
                 &exec,
                 &label,
+                Some(&heartbeat),
+                observe,
             ));
         })
     };
     if spawned.is_err() {
         // Thread exhaustion: degrade to inline panic isolation (no
         // deadline) rather than losing the cell.
-        return run_cell_isolated(scenario, split, settings, arm, fault, artifacts, exec, &label);
+        return run_cell_isolated(
+            scenario, split, settings, arm, fault, artifacts, exec, &label, None, observe,
+        );
     }
     match rx.recv_timeout(deadline) {
         Ok(cell) => cell,
         Err(_) => {
             // The cell thread is abandoned — it may be holding a stuck
             // model fit — and exits on its own whenever the arm returns.
-            let err = DfsError::CellTimedOut { scenario: label, arm: arm.name(), deadline };
-            eprintln!("[dfs-core] warning: {err}");
-            CellResult::faulted(CellStatus::TimedOut, deadline)
+            // The heartbeat names the last phase the cell reported, so the
+            // timeout report says *where* the stall was detected.
+            let phase = heartbeat.last();
+            let err = DfsError::CellTimedOut {
+                scenario: label.clone(),
+                arm: arm.name(),
+                deadline,
+                phase,
+            };
+            obs::warn!("dfs-core", "{err}");
+            if let Some(observer) = opts.observer {
+                if obs::trace_enabled() {
+                    let cell_label = format!("{label} {}", arm.name());
+                    observer.log_cell(
+                        scenario_idx,
+                        arm_idx,
+                        cell_label,
+                        obs::Level::Warn,
+                        "dfs-core",
+                        err.to_string(),
+                    );
+                }
+            }
+            (CellResult::faulted(CellStatus::TimedOut, deadline), None)
         }
     }
 }
 
 /// Runs one cell under `catch_unwind`; a panic becomes a
 /// [`CellStatus::Panicked`] sentinel, a normal return is sanitized.
+///
+/// When `hb` is given, it is installed as the thread's heartbeat for the
+/// duration (the watchdog's stall-attribution channel); when `observe` is
+/// set and tracing is on, the cell records into a fresh collector that is
+/// returned alongside the result — even when the cell panicked, so partial
+/// traces of failed cells survive.
 #[allow(clippy::too_many_arguments)]
 fn run_cell_isolated(
     scenario: &MlScenario,
@@ -461,11 +647,20 @@ fn run_cell_isolated(
     artifacts: Option<&Arc<ArtifactCache>>,
     exec: &Arc<Executor>,
     label: &str,
-) -> CellResult {
+    hb: Option<&Arc<obs::Heartbeat>>,
+    observe: bool,
+) -> (CellResult, Option<obs::Collector>) {
     let started = Instant::now();
-    match catch_unwind(AssertUnwindSafe(|| {
+    if let Some(hb) = hb {
+        obs::install_heartbeat(Arc::clone(hb));
+    }
+    obs::heartbeat("cell.start");
+    let depth = (observe && obs::trace_enabled()).then(obs::push_collector);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _g = obs::span("cell");
         run_cell(scenario, split, settings, arm, fault, artifacts, exec)
-    })) {
+    }));
+    let cell = match outcome {
         Ok(cell) => sanitize_cell(cell),
         Err(payload) => {
             let err = DfsError::CellPanicked {
@@ -473,10 +668,17 @@ fn run_cell_isolated(
                 arm: arm.name(),
                 payload: panic_payload_to_string(&*payload),
             };
-            eprintln!("[dfs-core] warning: {err}");
+            // Logged while the cell collector is still attached, so the
+            // record lands in this cell's journal scope.
+            obs::warn!("dfs-core", "{err}");
             CellResult::faulted(CellStatus::Panicked, started.elapsed())
         }
+    };
+    let trace = depth.and_then(obs::take_collector);
+    if hb.is_some() {
+        obs::clear_heartbeat();
     }
+    (cell, trace)
 }
 
 /// The unguarded cell body; the only place faults are injected, so injected
@@ -492,7 +694,12 @@ fn run_cell(
 ) -> CellResult {
     match fault {
         Some(FaultKind::Panic) => panic!("injected fault: panic in {}", arm.name()),
-        Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+        Some(FaultKind::Stall(d)) => {
+            // Name the stall for the watchdog before blocking, so a
+            // timed-out cell's report points at the injected fault.
+            obs::heartbeat("fault.stall");
+            std::thread::sleep(d);
+        }
         Some(FaultKind::Garbage) => {
             return CellResult {
                 status: CellStatus::Ok,

@@ -12,6 +12,7 @@ use dfs_metrics::{empirical_safety_with, equal_opportunity, f1_score, AttackConf
 use dfs_models::hpo::fit_maybe_hpo_with;
 use dfs_models::importance::importance_or_permutation;
 use dfs_models::{ModelKind, ModelSpec, TrainedModel};
+use dfs_obs as obs;
 use dfs_rankings::{Ranking, RankingKind};
 use dfs_search::Budget;
 use std::collections::HashMap;
@@ -165,6 +166,10 @@ fn train_subset(
         }
         None => match val {
             Some((x_val, y_val)) => {
+                if env.scenario.hpo {
+                    perf.hpo_grid_points +=
+                        dfs_models::hpo::grid(env.scenario.model).len() as u64;
+                }
                 let (_, model) = fit_maybe_hpo_with(
                     env.scenario.model,
                     env.scenario.hpo,
@@ -205,7 +210,10 @@ fn measure_subset(
 ) -> Evaluation {
     let split = env.split;
     let needs_val = env.scenario.hpo && env.scenario.constraints.privacy_epsilon.is_none();
+    obs::observe("eval.subset_size", subset.len() as u64);
 
+    obs::heartbeat("eval.gather");
+    let gather_span = obs::span("gather");
     let gather_start = Instant::now();
     split.train.x.select_rows_cols_into(env.train_rows, subset, &mut scratch.train);
     let part = if eval_on_test { &split.test } else { &split.val };
@@ -223,10 +231,14 @@ fn measure_subset(
         Some((&scratch.eval, &split.val.y))
     };
     perf.gather_ns += gather_start.elapsed().as_nanos() as u64;
+    drop(gather_span);
 
+    obs::heartbeat("eval.fit");
+    let fit_span = obs::span("fit");
     let train_start = Instant::now();
     let model = train_subset(env, subset, &scratch.train, val_data, perf);
     perf.train_ns += train_start.elapsed().as_nanos() as u64;
+    drop(fit_span);
 
     let y_eval = &part.y;
     let preds = model.predict(&scratch.eval);
@@ -237,10 +249,15 @@ fn measure_subset(
         .needs_eo()
         .then(|| equal_opportunity(&preds, y_eval, &part.protected));
     let safety = env.scenario.constraints.needs_safety().then(|| {
+        obs::heartbeat("eval.attack");
+        let _attack_span = obs::span("attack");
+        let attack_start = Instant::now();
         let mut cfg = env.settings.attack.clone();
         cfg.seed = derive_seed(env.scenario.seed, 0xA77AC4 ^ hash_subset(subset));
         let predict = |row: &[f64]| model.predict_one(row);
-        empirical_safety_with(&predict, &scratch.eval, y_eval, &cfg, env.exec)
+        let safety = empirical_safety_with(&predict, &scratch.eval, y_eval, &cfg, env.exec);
+        perf.attack_ns += attack_start.elapsed().as_nanos() as u64;
+        safety
     });
     Evaluation { f1, eo, safety, n_selected: subset.len(), n_total: split.n_features() }
 }
@@ -430,15 +447,18 @@ impl SubsetEvaluator for ScenarioContext<'_> {
         }
         if let Some(score) = self.cache.get(subset).map(|c| c.score) {
             self.perf.cache_hits += 1;
+            obs::counter("eval.cache_hit", 1);
             return Some(score);
         }
         // Evaluation-independent pruning (no budget *count*, no training).
         if subset.len() > self.max_features() {
             let (score, eval) = self.pruned_score(subset);
             self.cache.insert(subset.to_vec(), CachedEval { score, eval, pruned: true });
+            obs::counter("eval.pruned", 1);
             return Some(score);
         }
         if !self.budget.try_consume() {
+            obs::counter("eval.budget_denied", 1);
             return None;
         }
         let eval = self.measure(subset, false);
@@ -456,9 +476,11 @@ impl SubsetEvaluator for ScenarioContext<'_> {
         // not — the caller insists on the wrapper approach.
         if let Some(score) = self.cache.get(subset).filter(|c| !c.pruned).map(|c| c.score) {
             self.perf.cache_hits += 1;
+            obs::counter("eval.cache_hit", 1);
             return Some(score);
         }
         if !self.budget.try_consume() {
+            obs::counter("eval.budget_denied", 1);
             return None;
         }
         let eval = self.measure(subset, false);
@@ -476,12 +498,15 @@ impl SubsetEvaluator for ScenarioContext<'_> {
                 None
             } else if let Some(cached) = self.cache.get(subset).map(|c| (c.score, c.eval)) {
                 self.perf.cache_hits += 1;
+                obs::counter("eval.cache_hit", 1);
                 Some(cached)
             } else if subset.len() > self.max_features() {
                 let (score, eval) = self.pruned_score(subset);
                 self.cache.insert(subset.to_vec(), CachedEval { score, eval, pruned: true });
+                obs::counter("eval.pruned", 1);
                 Some((score, eval))
             } else if !self.budget.try_consume() {
+                obs::counter("eval.budget_denied", 1);
                 None
             } else {
                 let eval = self.measure(subset, false);
@@ -520,6 +545,7 @@ impl SubsetEvaluator for ScenarioContext<'_> {
         }
 
         // Phase A: plan.
+        let plan_span = obs::span("eval.plan");
         let mut plan: Vec<Slot> = Vec::with_capacity(subsets.len());
         let mut fresh: Vec<Vec<usize>> = Vec::new();
         let mut pending: HashMap<&[usize], usize> = HashMap::new();
@@ -534,6 +560,7 @@ impl SubsetEvaluator for ScenarioContext<'_> {
             }
             if let Some(cached) = self.cache.get(subset.as_slice()).map(|c| c.eval) {
                 self.perf.cache_hits += 1;
+                obs::counter("eval.cache_hit", 1);
                 plan.push(Slot::Known(cached));
                 continue;
             }
@@ -541,16 +568,19 @@ impl SubsetEvaluator for ScenarioContext<'_> {
                 // Duplicate within this batch: the serial loop would find
                 // the first occurrence in the cache by now.
                 self.perf.cache_hits += 1;
+                obs::counter("eval.cache_hit", 1);
                 plan.push(Slot::Fresh(j));
                 continue;
             }
             if subset.len() > self.max_features() {
                 let (score, eval) = self.pruned_score(subset);
                 self.cache.insert(subset.clone(), CachedEval { score, eval, pruned: true });
+                obs::counter("eval.pruned", 1);
                 plan.push(Slot::Known(eval));
                 continue;
             }
             if !self.budget.try_consume() {
+                obs::counter("eval.budget_denied", 1);
                 denied = true;
                 plan.push(Slot::Deny);
                 continue;
@@ -559,30 +589,47 @@ impl SubsetEvaluator for ScenarioContext<'_> {
             plan.push(Slot::Fresh(fresh.len()));
             fresh.push(subset.clone());
         }
+        drop(plan_span);
 
         // Phase B: measure fresh subsets in parallel. Each worker owns its
-        // scratch buffers and a local `EvalPerf`.
-        let measured: Vec<(Evaluation, EvalPerf)> = {
+        // scratch buffers, a local `EvalPerf`, and (when tracing) a scoped
+        // collector, so recording never touches shared state.
+        obs::heartbeat("eval.measure");
+        let measure_span = obs::span("eval.measure");
+        obs::observe("eval.batch_fresh", fresh.len() as u64);
+        let measured: Vec<(Evaluation, EvalPerf, Option<obs::Collector>)> = {
             let env = self.env();
             env.exec.par_map_indexed(&fresh, |_, subset| {
-                let mut scratch = Scratch::default();
-                let mut perf = EvalPerf::default();
-                let eval = measure_subset(&env, subset, false, &mut scratch, &mut perf);
-                (eval, perf)
+                let ((eval, perf), trace) = obs::scoped(|| {
+                    let mut scratch = Scratch::default();
+                    let mut perf = EvalPerf::default();
+                    let eval = measure_subset(&env, subset, false, &mut scratch, &mut perf);
+                    (eval, perf)
+                });
+                (eval, perf, trace)
             })
         };
+        drop(measure_span);
 
-        // Phase C: replay in submission order.
-        for (subset, (eval, perf)) in fresh.iter().zip(&measured) {
-            self.perf.merge(perf);
-            let score = self.objective_of(eval);
-            self.cache.insert(subset.clone(), CachedEval { score, eval: *eval, pruned: false });
+        // Phase C: replay in submission order — cache inserts, counter
+        // merges, and trace absorption all land in the serial order.
+        let commit_span = obs::span("eval.commit");
+        let mut measured_evals: Vec<Evaluation> = Vec::with_capacity(measured.len());
+        for (subset, (eval, perf, trace)) in fresh.iter().zip(measured) {
+            self.perf.merge(&perf);
+            if let Some(child) = trace {
+                obs::absorb(child);
+            }
+            let score = self.objective_of(&eval);
+            self.cache.insert(subset.clone(), CachedEval { score, eval, pruned: false });
+            measured_evals.push(eval);
         }
+        drop(commit_span);
         plan.iter()
             .map(|slot| match slot {
                 Slot::Deny => None,
                 Slot::Known(eval) => Some(self.objectives_for(eval)),
-                Slot::Fresh(j) => Some(self.objectives_for(&measured[*j].0)),
+                Slot::Fresh(j) => Some(self.objectives_for(&measured_evals[*j])),
             })
             .collect()
     }
@@ -606,20 +653,33 @@ impl SubsetEvaluator for ScenarioContext<'_> {
         let seed = ranking_seed(&self.scenario.dataset, kind);
         match self.artifacts.clone() {
             Some(cache) => {
+                let computed_ns = std::cell::Cell::new(0u64);
                 let (ranking, hit) =
                     cache.ranking(&self.scenario.dataset, self.split_key, kind, || {
-                        kind.compute(&self.split.train.x, &self.split.train.y, seed)
+                        let _g = obs::span(format!("ranking.compute.{}", kind.name()));
+                        let t0 = Instant::now();
+                        let r = kind.compute(&self.split.train.x, &self.split.train.y, seed);
+                        computed_ns.set(t0.elapsed().as_nanos() as u64);
+                        r
                     });
                 if hit {
                     self.perf.ranking_hits += 1;
+                    obs::counter("ranking.hit", 1);
                 } else {
                     self.perf.ranking_computes += 1;
+                    self.perf.ranking_ns += computed_ns.get();
+                    obs::counter("ranking.compute", 1);
                 }
                 (*ranking).clone()
             }
             None => {
                 self.perf.ranking_computes += 1;
-                kind.compute(&self.split.train.x, &self.split.train.y, seed)
+                obs::counter("ranking.compute", 1);
+                let _g = obs::span(format!("ranking.compute.{}", kind.name()));
+                let t0 = Instant::now();
+                let r = kind.compute(&self.split.train.x, &self.split.train.y, seed);
+                self.perf.ranking_ns += t0.elapsed().as_nanos() as u64;
+                r
             }
         }
     }
@@ -630,11 +690,14 @@ impl SubsetEvaluator for ScenarioContext<'_> {
         // the cache without a second training run or budget spend.
         if let Some(cached) = self.importance_cache.get(subset) {
             self.perf.cache_hits += 1;
+            obs::counter("eval.cache_hit", 1);
             return Some(cached.clone());
         }
         if !self.budget.try_consume() {
+            obs::counter("eval.budget_denied", 1);
             return None;
         }
+        let _g = obs::span("importances");
         let split = self.split;
         let mut x_train = std::mem::take(&mut self.scratch_train);
         let mut x_val = std::mem::take(&mut self.scratch_val);

@@ -91,7 +91,11 @@ pub fn run_dfs_with_exec(
     if let Some(exec) = exec {
         ctx = ctx.with_executor(Arc::clone(exec));
     }
-    let outcome = run_strategy(strategy, &mut ctx);
+    dfs_obs::heartbeat("search");
+    let outcome = {
+        let _g = dfs_obs::span("search");
+        run_strategy(strategy, &mut ctx)
+    };
     let elapsed = ctx.elapsed();
     let evaluations = ctx.evals_used();
 
@@ -125,7 +129,11 @@ pub fn run_dfs_with_exec(
 
     // Confirmation on test (always measured so Table 4 can report failed
     // cases' test distance too).
-    let (test_eval, test_distance) = ctx.confirm_on_test(&subset);
+    dfs_obs::heartbeat("confirm");
+    let (test_eval, test_distance) = {
+        let _g = dfs_obs::span("confirm");
+        ctx.confirm_on_test(&subset)
+    };
     let success = satisfied_val && test_distance == 0.0;
 
     DfsOutcome {
@@ -187,7 +195,11 @@ pub fn run_original_features_with_exec(
     let val_distance = val_eval
         .map(|e| scenario.constraints.distance(&e))
         .unwrap_or(f64::INFINITY);
-    let (test_eval, test_distance) = ctx.confirm_on_test(&all);
+    dfs_obs::heartbeat("confirm");
+    let (test_eval, test_distance) = {
+        let _g = dfs_obs::span("confirm");
+        ctx.confirm_on_test(&all)
+    };
     // The full set can violate Max Feature Set Size by construction.
     let success = val_score.is_some() && val_distance == 0.0 && test_distance == 0.0;
     DfsOutcome {

@@ -201,6 +201,9 @@ pub fn empirical_safety_with(
     if n == 0 {
         return 1.0;
     }
+    // Recorded at the call level, never inside the per-row closure (which
+    // may land on collector-less helper threads).
+    dfs_obs::counter("attack.rows", n as u64);
     let rows: Vec<usize> = (0..n).collect();
     let x_eval = x_test.select_rows(&rows);
     let y_eval = &y_test[..n];

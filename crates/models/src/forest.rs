@@ -54,6 +54,9 @@ impl RandomForest {
     /// at any thread count (trees never share a sequential RNG stream) and
     /// trees are collected in index order.
     pub fn fit_with(x: &Matrix, y: &[bool], cfg: &ForestConfig, exec: &Executor) -> Self {
+        // One span for the whole forest — per-tree closures may run on
+        // collector-less helper threads and record nothing, by design.
+        let _g = dfs_obs::span("forest.fit");
         let (n, d) = x.shape();
         assert_eq!(n, y.len(), "RandomForest: row/label mismatch");
         assert!(n > 0, "RandomForest: empty training set");

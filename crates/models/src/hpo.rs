@@ -71,6 +71,10 @@ pub fn grid_search_with(
 ) -> HpoResult {
     let specs = grid(kind);
     let evaluations = specs.len();
+    // Span and counter at the grid level only — per-spec fits may run on
+    // collector-less helper threads and record nothing, by design.
+    let _g = dfs_obs::span("hpo.grid");
+    dfs_obs::counter("hpo.grid_points", evaluations as u64);
     let scored = exec.par_map_indexed(&specs, |_, spec| {
         let model = spec.fit(x_train, y_train);
         let f1 = f1_score(&model.predict(x_val), y_val);

@@ -176,6 +176,7 @@ pub fn nsga2_batch(
     }
 
     'gens: for _ in 0..cfg.generations {
+        let _gen_span = dfs_obs::span("nsga2.gen");
         if result.reached_target || budget_hit || population.is_empty() {
             break;
         }

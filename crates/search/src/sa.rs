@@ -66,6 +66,7 @@ pub fn simulated_annealing(
 
     let mut temperature = cfg.initial_temperature;
     for _ in 1..cfg.max_iters {
+        let _iter_span = dfs_obs::span("sa.iter");
         let mut candidate = current.clone();
         let flips = if rng.random::<f64>() < 0.2 { 2 } else { 1 };
         for _ in 0..flips {

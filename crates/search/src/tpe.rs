@@ -54,6 +54,7 @@ pub fn tpe_binary(
     let mut seen: HashSet<Vec<bool>> = HashSet::new();
 
     for iter in 0..cfg.max_iters {
+        let _iter_span = dfs_obs::span("tpe.iter");
         let candidate = if iter < cfg.n_startup || history.len() < 4 {
             random_nonempty(d, &mut rng)
         } else {
@@ -177,6 +178,7 @@ pub fn tpe_integer(
     let span = hi - lo + 1;
 
     for iter in 0..cfg.max_iters {
+        let _iter_span = dfs_obs::span("tpe.iter");
         if seen.len() == span {
             break; // exhausted the whole domain
         }
