@@ -1,0 +1,389 @@
+//! Before/after benchmark for the presorted CART tree kernel.
+//!
+//! Three measurements on a realistic corpus (the synthetic german_credit
+//! dataset, train subsampled to the evaluation engine's row cap):
+//!
+//! 1. **Tree fit** at the deepest grid depth — the historical per-node
+//!    gather-and-sort builder (carried here verbatim as the "before"
+//!    implementation) vs the presorted kernel, with bit-identity between
+//!    the two asserted on every node count, importance bit pattern, and
+//!    per-row probability bit pattern.
+//! 2. **DT-HPO grid** — seven independent fits (the pre-truncation
+//!    `grid_search` loop) vs one deep fit + six O(nodes) truncations, with
+//!    the winning spec, its `val_f1` bits, and its predictions asserted
+//!    equal. The issue's acceptance bar is ≥ 3x here.
+//! 3. **Forest fit / predict** — the class-balanced 50-tree forest through
+//!    the pooled-workspace fused-gather path, plus the per-row cost of the
+//!    scratch-reusing batch predictor.
+//!
+//! Results are printed as JSON and, when a path argument is given, also
+//! written there (committed snapshot: `BENCH_tree.json` in the repo root).
+//! `--smoke` shrinks repetition counts for CI; the bit-identity assertions
+//! run in every mode and exit nonzero on violation.
+//!
+//! Run offline with `scripts/offline-check.sh run --release -p dfs-bench
+//! --bin bench_tree -- BENCH_tree.json`.
+
+use dfs_bench::ok_or_exit;
+use dfs_core::DfsError;
+use dfs_data::split::stratified_three_way;
+use dfs_data::synthetic::{generate, spec_by_name};
+use dfs_linalg::Matrix;
+use dfs_models::forest::{ForestConfig, RandomForest};
+use dfs_models::tree::{DecisionTree, Node, TreeWorkspace};
+use dfs_models::{hpo, ModelKind, ModelSpec, TrainedModel};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Train-row cap, matching `ScenarioSettings::default_bench().max_train_rows`.
+const TRAIN_ROWS: usize = 600;
+/// Deepest depth of the paper's DT grid (`td ∈ [1:7]`).
+const GRID_DEPTH: usize = 7;
+
+/// Median wall-clock over `reps` runs of `f`, in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+// ---------------------------------------------------------------------------
+// The "before" implementation: the per-node gather-and-sort CART builder
+// exactly as it shipped before the presorted kernel, kept here as the
+// benchmark baseline and bit-identity reference.
+// ---------------------------------------------------------------------------
+
+const MIN_SAMPLES_SPLIT: usize = 4;
+
+fn gini(pos: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+struct NaiveSplit {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+struct NaiveBuilder<'a> {
+    x: &'a Matrix,
+    y: &'a [bool],
+    w: &'a [f64],
+    nodes: Vec<Node>,
+    importances: Vec<f64>,
+    max_depth: usize,
+}
+
+fn naive_fit(x: &Matrix, y: &[bool], max_depth: usize) -> DecisionTree {
+    let (n, d) = x.shape();
+    assert_eq!(n, y.len());
+    assert!(n > 0);
+    let max_depth = max_depth.max(1);
+    let w = vec![1.0; n];
+    let mut b = NaiveBuilder {
+        x,
+        y,
+        w: &w,
+        nodes: Vec::new(),
+        importances: vec![0.0; d],
+        max_depth,
+    };
+    let all: Vec<usize> = (0..n).collect();
+    b.build(&all, 0);
+    let total: f64 = b.importances.iter().sum();
+    if total > 0.0 {
+        for imp in &mut b.importances {
+            *imp /= total;
+        }
+    }
+    DecisionTree::from_parts(b.nodes, b.importances, max_depth)
+}
+
+impl NaiveBuilder<'_> {
+    fn build(&mut self, idx: &[usize], depth: usize) -> usize {
+        let (w_pos, w_total) = self.weighted_counts(idx);
+        let proba = if w_total > 0.0 { w_pos / w_total } else { 0.5 };
+        let node_gini = gini(w_pos, w_total);
+
+        if depth >= self.max_depth
+            || idx.len() < MIN_SAMPLES_SPLIT
+            || node_gini <= dfs_linalg::EPS
+        {
+            return self.push(Node::Leaf { proba });
+        }
+
+        match self.best_split(idx, node_gini, w_pos, w_total) {
+            None => self.push(Node::Leaf { proba }),
+            Some(split) => {
+                self.importances[split.feature] += split.gain * w_total;
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| self.x[(i, split.feature)] <= split.threshold);
+                let me = self.push(Node::Leaf { proba });
+                let left = self.build(&left_idx, depth + 1);
+                let right = self.build(&right_idx, depth + 1);
+                self.nodes[me] = Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left,
+                    right,
+                };
+                me
+            }
+        }
+    }
+
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn weighted_counts(&self, idx: &[usize]) -> (f64, f64) {
+        let mut pos = 0.0;
+        let mut total = 0.0;
+        for &i in idx {
+            total += self.w[i];
+            if self.y[i] {
+                pos += self.w[i];
+            }
+        }
+        (pos, total)
+    }
+
+    fn best_split(
+        &self,
+        idx: &[usize],
+        node_gini: f64,
+        w_pos: f64,
+        w_total: f64,
+    ) -> Option<NaiveSplit> {
+        let d = self.x.ncols();
+        let mut best: Option<NaiveSplit> = None;
+        let mut values: Vec<(f64, f64, bool)> = Vec::with_capacity(idx.len());
+        for feature in 0..d {
+            values.clear();
+            values.extend(idx.iter().map(|&i| (self.x[(i, feature)], self.w[i], self.y[i])));
+            // Features are finite by construction; equal-order fallback for
+            // the impossible NaN keeps the runner path panic-free.
+            values.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            if values.first().map(|v| v.0) == values.last().map(|v| v.0) {
+                continue;
+            }
+            let len = values.len();
+            let mut prefix_pos = vec![0.0; len + 1];
+            let mut prefix_total = vec![0.0; len + 1];
+            for (k, v) in values.iter().enumerate() {
+                prefix_total[k + 1] = prefix_total[k] + v.1;
+                prefix_pos[k + 1] = prefix_pos[k] + if v.2 { v.1 } else { 0.0 };
+            }
+            for k in (1..len).filter(|&k| values[k].0 > values[k - 1].0) {
+                let threshold = 0.5 * (values[k - 1].0 + values[k].0);
+                let left_total = prefix_total[k];
+                let right_total = w_total - left_total;
+                if left_total <= 0.0 || right_total <= 0.0 {
+                    continue;
+                }
+                let left_pos = prefix_pos[k];
+                let right_pos = w_pos - left_pos;
+                let child = (left_total * gini(left_pos, left_total)
+                    + right_total * gini(right_pos, right_total))
+                    / w_total;
+                let gain = (node_gini - child).max(0.0);
+                if best.as_ref().map(|b| gain > b.gain).unwrap_or(true) {
+                    best = Some(NaiveSplit { feature, threshold, gain });
+                }
+            }
+        }
+        best
+    }
+}
+
+/// The pre-truncation DT grid: one full fit per grid point, folded with the
+/// strictly-better-in-grid-order rule `grid_search` uses.
+fn naive_dt_grid(
+    x_train: &Matrix,
+    y_train: &[bool],
+    x_val: &Matrix,
+    y_val: &[bool],
+) -> (ModelSpec, f64, TrainedModel) {
+    let mut best: Option<(f64, ModelSpec, TrainedModel)> = None;
+    for spec in hpo::grid(ModelKind::DecisionTree) {
+        let model = spec.fit(x_train, y_train);
+        let f1 = dfs_metrics::f1_score(&model.predict(x_val), y_val);
+        let better = best.as_ref().map(|(b, _, _)| f1 > *b).unwrap_or(true);
+        if better {
+            best = Some((f1, spec, model));
+        }
+    }
+    let Some((f1, spec, model)) = best else {
+        eprintln!("[dfs-bench] fatal: empty DT grid");
+        std::process::exit(1);
+    };
+    (spec, f1, model)
+}
+
+// ---------------------------------------------------------------------------
+
+fn corpus() -> (Matrix, Vec<bool>, Matrix, Vec<bool>) {
+    let Some(spec) = spec_by_name("german_credit") else {
+        eprintln!("[dfs-bench] fatal: unknown dataset german_credit");
+        std::process::exit(1);
+    };
+    let ds = generate(&spec, 41);
+    let split = stratified_three_way(&ds, 41);
+    let cap = TRAIN_ROWS.min(split.train.x.nrows());
+    let rows: Vec<usize> = (0..cap).collect();
+    let x_train = split.train.x.select_rows(&rows);
+    let y_train: Vec<bool> = rows.iter().map(|&i| split.train.y[i]).collect();
+    (x_train, y_train, split.val.x.clone(), split.val.y.clone())
+}
+
+/// Observable-level bit-identity: node count, importance bits, and the
+/// probability bits of every probe row.
+fn assert_trees_identical(a: &DecisionTree, b: &DecisionTree, probes: &[&Matrix]) -> bool {
+    if a.n_nodes() != b.n_nodes() || a.max_depth() != b.max_depth() {
+        return false;
+    }
+    let same_importances = a
+        .importances()
+        .iter()
+        .zip(b.importances())
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    if !same_importances || a.importances().len() != b.importances().len() {
+        return false;
+    }
+    probes.iter().all(|m| {
+        m.rows_iter().all(|row| a.proba_one(row).to_bits() == b.proba_one(row).to_bits())
+    })
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = Some(arg);
+        }
+    }
+    let reps = if smoke { 3 } else { 9 };
+    let forest_reps = if smoke { 1 } else { 5 };
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let (x_train, y_train, x_val, y_val) = corpus();
+    let (n, d) = x_train.shape();
+    let probes: [&Matrix; 2] = [&x_train, &x_val];
+    let mut bit_identical = true;
+
+    // 1. Single deep tree fit: naive per-node sort vs presorted kernel.
+    let naive_tree = naive_fit(&x_train, &y_train, GRID_DEPTH);
+    let mut ws = TreeWorkspace::new();
+    let kernel_tree = DecisionTree::fit_in(&x_train, &y_train, GRID_DEPTH, None, &mut ws);
+    bit_identical &= assert_trees_identical(&naive_tree, &kernel_tree, &probes);
+    let fit_naive_ns = median_ns(reps, || {
+        let t = naive_fit(&x_train, &y_train, GRID_DEPTH);
+        assert!(t.n_nodes() > 0);
+    });
+    let fit_kernel_ns = median_ns(reps, || {
+        let t = DecisionTree::fit_in(&x_train, &y_train, GRID_DEPTH, None, &mut ws);
+        assert!(t.n_nodes() > 0);
+    });
+
+    // 2. DT-HPO grid: 7 independent fits vs 1 deep fit + 6 truncations.
+    let (naive_spec, naive_f1, naive_model) = naive_dt_grid(&x_train, &y_train, &x_val, &y_val);
+    let fast = hpo::grid_search(ModelKind::DecisionTree, &x_train, &y_train, &x_val, &y_val);
+    bit_identical &= fast.spec == naive_spec
+        && fast.val_f1.to_bits() == naive_f1.to_bits()
+        && fast.evaluations == hpo::grid(ModelKind::DecisionTree).len()
+        && fast.model.predict(&x_val) == naive_model.predict(&x_val)
+        && fast.model.predict(&x_train) == naive_model.predict(&x_train);
+    let grid_naive_ns = median_ns(reps, || {
+        let (_, f1, _) = naive_dt_grid(&x_train, &y_train, &x_val, &y_val);
+        assert!(f1.is_finite());
+    });
+    let grid_fast_ns = median_ns(reps, || {
+        let r = hpo::grid_search(ModelKind::DecisionTree, &x_train, &y_train, &x_val, &y_val);
+        assert!(r.val_f1.is_finite());
+    });
+
+    // 3. Forest fit + batch predict through the pooled-workspace path.
+    let cfg = ForestConfig::default();
+    let forest = RandomForest::fit(&x_train, &y_train, &cfg);
+    let forest_fit_ns = median_ns(forest_reps, || {
+        let f = RandomForest::fit(&x_train, &y_train, &cfg);
+        assert_eq!(f.n_trees(), cfg.n_trees);
+    });
+    let predict_rows = x_val.nrows().max(1);
+    let forest_predict_ns = median_ns(reps, || {
+        let preds = forest.predict(&x_val);
+        assert_eq!(preds.len(), predict_rows);
+    });
+
+    let fit_speedup = fit_naive_ns as f64 / fit_kernel_ns.max(1) as f64;
+    let grid_speedup = grid_naive_ns as f64 / grid_fast_ns.max(1) as f64;
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        r#"{{
+  "bench": "tree_kernel",
+  "host_cpus": {host_cpus},
+  "smoke": {smoke},
+  "corpus": {{ "dataset": "german_credit", "train_rows": {n}, "features": {d} }},
+  "tree_fit": {{
+    "max_depth": {GRID_DEPTH},
+    "naive_ns": {fit_naive_ns},
+    "presorted_ns": {fit_kernel_ns},
+    "speedup": {fit_speedup:.2}
+  }},
+  "dt_hpo_grid": {{
+    "grid_points": 7,
+    "evaluations_reported": {evals},
+    "independent_fits_ns": {grid_naive_ns},
+    "truncated_ns": {grid_fast_ns},
+    "speedup": {grid_speedup:.2}
+  }},
+  "forest_fit": {{
+    "n_trees": {n_trees},
+    "max_depth": {forest_depth},
+    "median_ns": {forest_fit_ns}
+  }},
+  "forest_predict": {{
+    "rows": {predict_rows},
+    "batch_ns": {forest_predict_ns},
+    "ns_per_row": {per_row}
+  }},
+  "bit_identical_to_naive_builder": {bit_identical}
+}}
+"#,
+        evals = fast.evaluations,
+        n_trees = cfg.n_trees,
+        forest_depth = cfg.max_depth,
+        per_row = forest_predict_ns / predict_rows as u64,
+    );
+
+    print!("{json}");
+    if !bit_identical {
+        eprintln!("[dfs-bench] fatal: presorted kernel diverged from the naive builder");
+        std::process::exit(1);
+    }
+    if let Some(path) = out_path {
+        ok_or_exit(
+            std::fs::write(&path, &json)
+                .map_err(|source| DfsError::Io { path: PathBuf::from(&path), source }),
+        );
+        eprintln!("wrote {path}");
+    }
+}

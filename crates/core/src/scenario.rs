@@ -9,8 +9,9 @@ use dfs_fs::SubsetEvaluator;
 use dfs_linalg::rng::derive_seed;
 use dfs_linalg::Matrix;
 use dfs_metrics::{empirical_safety_with, equal_opportunity, f1_score, AttackConfig};
-use dfs_models::hpo::fit_maybe_hpo_with;
+use dfs_models::hpo::fit_maybe_hpo_ws;
 use dfs_models::importance::importance_or_permutation;
+use dfs_models::tree::TreeWorkspace;
 use dfs_models::{ModelKind, ModelSpec, TrainedModel};
 use dfs_obs as obs;
 use dfs_rankings::{Ranking, RankingKind};
@@ -114,6 +115,9 @@ pub struct ScenarioContext<'a> {
     scratch_train: Matrix,
     scratch_eval: Matrix,
     scratch_val: Matrix,
+    /// Presorted-CART scratch shared by every serial tree fit (HPO grids,
+    /// default fits, RFE importances).
+    scratch_tree: TreeWorkspace,
     perf: EvalPerf,
     artifacts: Option<Arc<ArtifactCache>>,
     split_key: u64,
@@ -128,6 +132,7 @@ struct Scratch {
     train: Matrix,
     eval: Matrix,
     val: Matrix,
+    tree: TreeWorkspace,
 }
 
 /// The shared, immutable inputs of one subset measurement — everything
@@ -151,6 +156,7 @@ fn train_subset(
     subset: &[usize],
     x_train: &Matrix,
     val: Option<(&Matrix, &[bool])>,
+    tree_ws: &mut TreeWorkspace,
     perf: &mut EvalPerf,
 ) -> TrainedModel {
     perf.model_fits += 1;
@@ -170,7 +176,7 @@ fn train_subset(
                     perf.hpo_grid_points +=
                         dfs_models::hpo::grid(env.scenario.model).len() as u64;
                 }
-                let (_, model) = fit_maybe_hpo_with(
+                let (_, model) = fit_maybe_hpo_ws(
                     env.scenario.model,
                     env.scenario.hpo,
                     x_train,
@@ -178,11 +184,19 @@ fn train_subset(
                     x_val,
                     y_val,
                     env.exec,
+                    tree_ws,
                 );
                 model
             }
             // No validation data needed: the non-HPO fit ignores it.
-            None => ModelSpec::default_for(env.scenario.model).fit(x_train, env.y_train),
+            None => {
+                let spec = ModelSpec::default_for(env.scenario.model);
+                let model = spec.fit_ws(x_train, env.y_train, tree_ws);
+                if env.scenario.model == ModelKind::DecisionTree {
+                    tree_ws.last_stats().record();
+                }
+                model
+            }
         },
     }
 }
@@ -236,7 +250,7 @@ fn measure_subset(
     obs::heartbeat("eval.fit");
     let fit_span = obs::span("fit");
     let train_start = Instant::now();
-    let model = train_subset(env, subset, &scratch.train, val_data, perf);
+    let model = train_subset(env, subset, &scratch.train, val_data, &mut scratch.tree, perf);
     perf.train_ns += train_start.elapsed().as_nanos() as u64;
     drop(fit_span);
 
@@ -284,6 +298,7 @@ impl<'a> ScenarioContext<'a> {
             scratch_train: Matrix::zeros(0, 0),
             scratch_eval: Matrix::zeros(0, 0),
             scratch_val: Matrix::zeros(0, 0),
+            scratch_tree: TreeWorkspace::new(),
             perf: EvalPerf::default(),
             artifacts: None,
             split_key: split_fingerprint(split),
@@ -346,6 +361,7 @@ impl<'a> ScenarioContext<'a> {
             train: std::mem::take(&mut self.scratch_train),
             eval: std::mem::take(&mut self.scratch_eval),
             val: std::mem::take(&mut self.scratch_val),
+            tree: std::mem::take(&mut self.scratch_tree),
         };
         let mut perf = self.perf;
         let env = self.env();
@@ -355,6 +371,7 @@ impl<'a> ScenarioContext<'a> {
         self.scratch_train = scratch.train;
         self.scratch_eval = scratch.eval;
         self.scratch_val = scratch.val;
+        self.scratch_tree = scratch.tree;
         eval
     }
 
@@ -710,7 +727,12 @@ impl SubsetEvaluator for ScenarioContext<'_> {
         // HPO'd in the reference implementation either).
         let spec = ModelSpec::default_for(self.scenario.model);
         let train_start = Instant::now();
-        let model = spec.fit(&x_train, &self.y_train);
+        let mut tree_ws = std::mem::take(&mut self.scratch_tree);
+        let model = spec.fit_ws(&x_train, &self.y_train, &mut tree_ws);
+        if self.scenario.model == ModelKind::DecisionTree {
+            tree_ws.last_stats().record();
+        }
+        self.scratch_tree = tree_ws;
         self.perf.train_ns += train_start.elapsed().as_nanos() as u64;
         self.perf.model_fits += 1;
         let seed = derive_seed(self.scenario.seed, 0x1339 ^ hash_subset(subset));

@@ -16,6 +16,8 @@
 //!   by rankings and preprocessing.
 //! - [`rng`] — deterministic random-number utilities (shuffles, subsampling,
 //!   Laplace/Gaussian noise for differential privacy).
+//! - [`sort`] — stable argsort and in-place stable partition, the order
+//!   invariants behind the presorted CART tree kernel.
 //! - [`eigen`] — symmetric eigen-solver (power iteration with deflation) used
 //!   by the MCFS spectral embedding.
 //! - [`solvers`] — coordinate-descent lasso used by MCFS's per-eigenvector
@@ -25,6 +27,7 @@ pub mod eigen;
 pub mod matrix;
 pub mod rng;
 pub mod solvers;
+pub mod sort;
 pub mod stats;
 
 pub use matrix::Matrix;

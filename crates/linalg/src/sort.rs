@@ -1,0 +1,128 @@
+//! Stable ordering primitives for the presorted tree kernel.
+//!
+//! The presort CART builder (`dfs-models::tree`) sorts every feature column
+//! once per fit and then *partitions* the sorted index lists down the tree
+//! instead of re-sorting at every node. Its bit-identity contract with the
+//! naive per-node splitter rests on two properties supplied here:
+//!
+//! - [`stable_sort_indices_by_key`] orders ties by ascending index, exactly
+//!   like a stable per-node sort of a row-ascending index list; and
+//! - [`stable_partition_in_place`] preserves relative order on both sides,
+//!   exactly like `Iterator::partition` on that list.
+
+/// Stably sorts `idx` in place by ascending `key[i]`.
+///
+/// Ties keep their current relative order, so an index list that starts
+/// row-ascending stays row-ascending within equal keys — the invariant the
+/// presorted tree kernel relies on.
+///
+/// # Panics
+/// Panics when a key is NaN (features are required to be finite) or when an
+/// index is out of bounds for `key`.
+pub fn stable_sort_indices_by_key(idx: &mut [u32], key: &[f64]) {
+    idx.sort_by(|&a, &b| {
+        key[a as usize].partial_cmp(&key[b as usize]).expect("stable_sort_indices_by_key: finite keys")
+    });
+}
+
+/// Stably partitions `seg` in place: elements satisfying `pred` move to the
+/// front, the rest to the back, each side keeping its relative order.
+/// Returns the number of elements satisfying `pred`.
+///
+/// `scratch` is a reusable holding buffer for the right side; it is cleared
+/// on entry and never shrunk, so repeated calls are allocation-free at
+/// steady state.
+pub fn stable_partition_in_place<T: Copy>(
+    seg: &mut [T],
+    scratch: &mut Vec<T>,
+    mut pred: impl FnMut(&T) -> bool,
+) -> usize {
+    scratch.clear();
+    let mut write = 0usize;
+    for read in 0..seg.len() {
+        let v = seg[read];
+        if pred(&v) {
+            seg[write] = v;
+            write += 1;
+        } else {
+            scratch.push(v);
+        }
+    }
+    seg[write..].copy_from_slice(scratch);
+    write
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argsort_orders_by_key_with_stable_ties() {
+        let key = [0.5, 0.1, 0.5, 0.0, 0.1];
+        let mut idx: Vec<u32> = (0..5).collect();
+        stable_sort_indices_by_key(&mut idx, &key);
+        // Equal keys keep ascending index order: 1 before 4, 0 before 2.
+        assert_eq!(idx, vec![3, 1, 4, 0, 2]);
+    }
+
+    #[test]
+    fn argsort_matches_stable_sort_of_pairs() {
+        let key: Vec<f64> = (0..64).map(|i| ((i * 37) % 8) as f64 * 0.25).collect();
+        let mut idx: Vec<u32> = (0..64).collect();
+        stable_sort_indices_by_key(&mut idx, &key);
+        let mut pairs: Vec<(f64, u32)> = key.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        assert_eq!(idx, pairs.into_iter().map(|(_, i)| i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite keys")]
+    fn argsort_rejects_nan_keys() {
+        let mut idx: Vec<u32> = (0..2).collect();
+        stable_sort_indices_by_key(&mut idx, &[0.0, f64::NAN]);
+    }
+
+    #[test]
+    fn partition_preserves_order_on_both_sides() {
+        let mut seg = [5u32, 2, 8, 1, 9, 3, 7];
+        let mut scratch = Vec::new();
+        let split = stable_partition_in_place(&mut seg, &mut scratch, |&v| v < 5);
+        assert_eq!(split, 3);
+        assert_eq!(seg, [2, 1, 3, 5, 8, 9, 7]);
+    }
+
+    #[test]
+    fn partition_matches_iterator_partition() {
+        let items: Vec<u32> = (0..100).map(|i| (i * 53) % 100).collect();
+        let (left, right): (Vec<u32>, Vec<u32>) = items.iter().partition(|&&v| v % 3 == 0);
+        let mut seg = items.clone();
+        let mut scratch = Vec::new();
+        let split = stable_partition_in_place(&mut seg, &mut scratch, |&v| v % 3 == 0);
+        assert_eq!(split, left.len());
+        assert_eq!(&seg[..split], left.as_slice());
+        assert_eq!(&seg[split..], right.as_slice());
+    }
+
+    #[test]
+    fn partition_handles_degenerate_sides() {
+        let mut scratch = Vec::new();
+        let mut all = [1u32, 2, 3];
+        assert_eq!(stable_partition_in_place(&mut all, &mut scratch, |_| true), 3);
+        assert_eq!(all, [1, 2, 3]);
+        let mut none = [1u32, 2, 3];
+        assert_eq!(stable_partition_in_place(&mut none, &mut scratch, |_| false), 0);
+        assert_eq!(none, [1, 2, 3]);
+        let mut empty: [u32; 0] = [];
+        assert_eq!(stable_partition_in_place(&mut empty, &mut scratch, |_| true), 0);
+    }
+
+    #[test]
+    fn partition_scratch_is_reused_without_growth() {
+        let mut scratch = Vec::with_capacity(8);
+        let mut seg = [4u32, 1, 3, 2, 8, 6, 5, 7];
+        stable_partition_in_place(&mut seg, &mut scratch, |&v| v % 2 == 0);
+        let cap = scratch.capacity();
+        stable_partition_in_place(&mut seg, &mut scratch, |&v| v < 5);
+        assert_eq!(scratch.capacity(), cap, "equal-size partition must not reallocate");
+    }
+}

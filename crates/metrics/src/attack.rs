@@ -72,12 +72,25 @@ pub fn attack_instance(
         return None;
     }
 
+    // Scratch reused across phases and refinement iterations: a constant
+    // handful of buffers per call instead of a fresh Vec per probe/blend
+    // (the attack issues O(iterations × grad_queries + bisection steps)
+    // model queries, each of which needed its own allocation before).
+    // Every floating-point operation and RNG draw happens in the same
+    // order as the allocating version, so results are bit-identical.
+    let mut u = Vec::with_capacity(d);
+    let mut probe = Vec::with_capacity(d);
+    let mut grad = vec![0.0; d];
+    let mut stepped = Vec::with_capacity(d);
+    let mut blend = Vec::with_capacity(d);
+
     // Phase 1: find any misclassified starting point (random restarts).
     let mut adv: Option<Vec<f64>> = None;
     for _ in 0..cfg.init_trials {
-        let candidate: Vec<f64> = (0..d).map(|_| rng.random::<f64>()).collect();
-        if predict(&candidate) != original_label {
-            adv = Some(candidate);
+        probe.clear();
+        probe.extend((0..d).map(|_| rng.random::<f64>()));
+        if predict(&probe) != original_label {
+            adv = Some(probe.clone());
             break;
         }
     }
@@ -85,23 +98,23 @@ pub fn attack_instance(
 
     // Phase 2: bisect towards x to land on the decision boundary
     // (keeps the adversarial side).
-    adv = bisect_to_boundary(predict, x, &adv, original_label, cfg.boundary_steps);
+    bisect_to_boundary(predict, x, &mut adv, original_label, cfg.boundary_steps, &mut blend);
 
     // Phase 3: HopSkipJump-style refinement — estimate the gradient
     // direction of the decision function at the boundary point with
     // label-only Monte-Carlo queries, take a geometric step, re-project.
-    let mut dist = norm2(&sub(&adv, x));
+    let mut dist = dfs_linalg::sq_dist(&adv, x).sqrt();
     for it in 0..cfg.iterations {
         let delta = (dist / (d as f64).sqrt()).max(1e-3);
-        let mut grad = vec![0.0; d];
+        grad.iter_mut().for_each(|g| *g = 0.0);
         for _ in 0..cfg.grad_queries {
-            let u: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
+            u.clear();
+            u.extend((0..d).map(|_| standard_normal(rng)));
             let nu = norm2(&u).max(dfs_linalg::EPS);
-            let probe: Vec<f64> = adv
-                .iter()
-                .zip(&u)
-                .map(|(a, ui)| (a + delta * ui / nu).clamp(0.0, 1.0))
-                .collect();
+            probe.clear();
+            probe.extend(
+                adv.iter().zip(&u).map(|(a, ui)| (a + delta * ui / nu).clamp(0.0, 1.0)),
+            );
             // +1 if the probe stays adversarial, -1 otherwise.
             let sign = if predict(&probe) != original_label { 1.0 } else { -1.0 };
             for (g, ui) in grad.iter_mut().zip(&u) {
@@ -114,18 +127,13 @@ pub fn attack_instance(
         }
         // Geometric step size shrinking over iterations.
         let step = dist / (it as f64 + 2.0).sqrt();
-        let stepped: Vec<f64> = adv
-            .iter()
-            .zip(&grad)
-            .map(|(a, g)| (a + step * g / gn).clamp(0.0, 1.0))
-            .collect();
-        let candidate = if predict(&stepped) != original_label {
-            stepped
-        } else {
-            adv.clone() // step left the adversarial region; keep previous
-        };
-        adv = bisect_to_boundary(predict, x, &candidate, original_label, cfg.boundary_steps);
-        let new_dist = norm2(&sub(&adv, x));
+        stepped.clear();
+        stepped.extend(adv.iter().zip(&grad).map(|(a, g)| (a + step * g / gn).clamp(0.0, 1.0)));
+        if predict(&stepped) != original_label {
+            adv.copy_from_slice(&stepped);
+        } // else: the step left the adversarial region; keep the previous adv
+        bisect_to_boundary(predict, x, &mut adv, original_label, cfg.boundary_steps, &mut blend);
+        let new_dist = dfs_linalg::sq_dist(&adv, x).sqrt();
         if new_dist < dist {
             dist = new_dist;
         }
@@ -140,33 +148,34 @@ pub fn attack_instance(
     }
 }
 
-fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
-    a.iter().zip(b).map(|(x, y)| x - y).collect()
-}
-
-/// Bisects the segment `[x, adv]`, returning the point closest to `x` that
-/// still classifies differently from `original_label`.
+/// Bisects the segment `[x, adv]` in place, leaving in `adv` the point
+/// closest to `x` that still classifies differently from `original_label`.
+/// `blend` is the caller's interpolation buffer (reused across calls).
 fn bisect_to_boundary(
     predict: &dyn Fn(&[f64]) -> bool,
     x: &[f64],
-    adv: &[f64],
+    adv: &mut [f64],
     original_label: bool,
     steps: usize,
-) -> Vec<f64> {
+    blend: &mut Vec<f64>,
+) {
     let mut lo = 0.0f64; // fraction toward adv that is still original side
     let mut hi = 1.0f64; // fraction that is adversarial
-    let blend = |t: f64| -> Vec<f64> {
-        x.iter().zip(adv).map(|(a, b)| a + t * (b - a)).collect()
+    let fill = |out: &mut Vec<f64>, adv: &[f64], t: f64| {
+        out.clear();
+        out.extend(x.iter().zip(adv).map(|(a, b)| a + t * (b - a)));
     };
     for _ in 0..steps {
         let mid = 0.5 * (lo + hi);
-        if predict(&blend(mid)) != original_label {
+        fill(blend, adv, mid);
+        if predict(blend) != original_label {
             hi = mid;
         } else {
             lo = mid;
         }
     }
-    blend(hi)
+    fill(blend, adv, hi);
+    adv.copy_from_slice(blend);
 }
 
 /// Empirical safety of a model on a test set, per the paper's § 3.

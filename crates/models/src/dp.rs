@@ -172,40 +172,69 @@ pub fn dp_decision_tree(
     let max_depth = max_depth.max(1);
     let mut rng = rng_from_seed(seed);
     let mut nodes: Vec<Node> = Vec::new();
-    let all: Vec<usize> = (0..n).collect();
-    build_random(&mut nodes, x, y, &all, 0, max_depth, epsilon, d, &mut rng);
+    // Segment-based recursion over one shared row array (stably partitioned
+    // in place, like the presorted CART kernel) — no per-node index Vecs.
+    let mut rows: Vec<usize> = (0..n).collect();
+    let mut scratch: Vec<usize> = Vec::new();
+    build_random(
+        &mut nodes,
+        x,
+        y,
+        &mut rows,
+        &mut scratch,
+        0,
+        n,
+        0,
+        max_depth,
+        epsilon,
+        d,
+        &mut rng,
+    );
     // Random splits carry no data-driven importance signal; expose a uniform
     // vector so downstream ranking consumers stay well-defined.
     let importances = vec![1.0 / d.max(1) as f64; d];
     DecisionTree::from_parts(nodes, importances, max_depth)
 }
 
+/// Builds the random subtree over `rows[lo..hi]`. The stable in-place
+/// partition keeps each side row-ascending, exactly like the per-node
+/// `Iterator::partition` it replaces, and the RNG draw order (feature,
+/// threshold, then leaf noise in preorder) is unchanged — so the tree is
+/// identical to the allocating builder's, just without the per-node Vecs.
 #[allow(clippy::too_many_arguments)]
 fn build_random(
     nodes: &mut Vec<Node>,
     x: &Matrix,
     y: &[bool],
-    idx: &[usize],
+    rows: &mut [usize],
+    scratch: &mut Vec<usize>,
+    lo: usize,
+    hi: usize,
     depth: usize,
     max_depth: usize,
     epsilon: f64,
     d: usize,
     rng: &mut StdRng,
 ) -> usize {
-    if depth >= max_depth || idx.len() < 2 {
-        return push_noisy_leaf(nodes, y, idx, epsilon, rng);
+    if depth >= max_depth || hi - lo < 2 {
+        return push_noisy_leaf(nodes, y, &rows[lo..hi], epsilon, rng);
     }
     let feature = rng.random_range(0..d);
     let threshold = rng.random::<f64>(); // features are min–max scaled
-    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-        idx.iter().partition(|&&i| x[(i, feature)] <= threshold);
-    if left_idx.is_empty() || right_idx.is_empty() {
-        return push_noisy_leaf(nodes, y, idx, epsilon, rng);
+    let nl = dfs_linalg::sort::stable_partition_in_place(&mut rows[lo..hi], scratch, |&i| {
+        x[(i, feature)] <= threshold
+    });
+    if nl == 0 || nl == hi - lo {
+        return push_noisy_leaf(nodes, y, &rows[lo..hi], epsilon, rng);
     }
     let me = nodes.len();
     nodes.push(Node::Leaf { proba: 0.5 }); // placeholder
-    let left = build_random(nodes, x, y, &left_idx, depth + 1, max_depth, epsilon, d, rng);
-    let right = build_random(nodes, x, y, &right_idx, depth + 1, max_depth, epsilon, d, rng);
+    let left = build_random(
+        nodes, x, y, rows, scratch, lo, lo + nl, depth + 1, max_depth, epsilon, d, rng,
+    );
+    let right = build_random(
+        nodes, x, y, rows, scratch, lo + nl, hi, depth + 1, max_depth, epsilon, d, rng,
+    );
     nodes[me] = Node::Split { feature, threshold, left, right };
     me
 }

@@ -7,12 +7,13 @@
 //! with-replacement samples from each class) with per-tree random feature
 //! subspaces (√d features, the usual default).
 
-use crate::tree::DecisionTree;
+use crate::tree::{DecisionTree, FitStats, TreeWorkspace};
 use dfs_exec::Executor;
 use dfs_linalg::rng::{derive_seed, rng_from_seed, sample_without_replacement};
 use dfs_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::sync::Mutex;
 
 /// Random-forest hyperparameters.
 #[derive(Debug, Clone)]
@@ -38,6 +39,16 @@ impl Default for ForestConfig {
 pub struct RandomForest {
     trees: Vec<(Vec<usize>, DecisionTree)>, // (feature subset, tree)
     n_features: usize,
+}
+
+/// Per-tree fit scratch: the fused-gather output, the gathered labels, and
+/// the presorted kernel's workspace. Pooled across trees (and threads) so
+/// a 50-tree fit performs a handful of buffer allocations instead of 50.
+#[derive(Default)]
+struct TreeScratch {
+    xs: Matrix,
+    ys: Vec<bool>,
+    ws: TreeWorkspace,
 }
 
 impl RandomForest {
@@ -66,7 +77,13 @@ impl RandomForest {
         let neg_idx: Vec<usize> = (0..n).filter(|&i| !y[i]).collect();
 
         let tree_ids: Vec<usize> = (0..cfg.n_trees).collect();
-        let trees = exec.par_map_indexed(&tree_ids, |t, _| {
+        // Scratch pool shared across tree slots: a worker pops a buffer set
+        // (or starts a fresh one), fits through it, and returns it. Pool
+        // traffic affects only *which* buffers a tree reuses, never the
+        // fitted tree, so the forest stays bit-identical at any thread
+        // count.
+        let pool: Mutex<Vec<TreeScratch>> = Mutex::new(Vec::new());
+        let fitted = exec.par_map_indexed(&tree_ids, |t, _| {
             let mut rng = rng_from_seed(derive_seed(cfg.seed, t as u64));
             let sample: Vec<usize> = if cfg.balanced && !pos_idx.is_empty() && !neg_idx.is_empty()
             {
@@ -76,26 +93,54 @@ impl RandomForest {
             };
             let mut features = sample_without_replacement(d, subspace, &mut rng);
             features.sort_unstable();
-            let xs = x.select_rows(&sample).select_cols(&features);
-            let ys: Vec<bool> = sample.iter().map(|&i| y[i]).collect();
-            let tree = DecisionTree::fit(&xs, &ys, cfg.max_depth);
-            (features, tree)
+            let mut scratch =
+                pool.lock().ok().and_then(|mut p| p.pop()).unwrap_or_default();
+            // Fused gather: row bootstrap and column subspace in one pass,
+            // no full-height intermediate matrix.
+            x.select_rows_cols_into(&sample, &features, &mut scratch.xs);
+            scratch.ys.clear();
+            scratch.ys.extend(sample.iter().map(|&i| y[i]));
+            let tree =
+                DecisionTree::fit_in(&scratch.xs, &scratch.ys, cfg.max_depth, None, &mut scratch.ws);
+            let stats = scratch.ws.last_stats();
+            if let Ok(mut p) = pool.lock() {
+                p.push(scratch);
+            }
+            (features, tree, stats)
         });
+        // Tree counters are summed from the worker returns and recorded
+        // here, on the caller thread, after the join — workers may run on
+        // collector-less helpers and must record nothing themselves.
+        let mut total = FitStats::default();
+        let trees = fitted
+            .into_iter()
+            .map(|(features, tree, stats)| {
+                total.merge(stats);
+                (features, tree)
+            })
+            .collect();
+        total.record();
         Self { trees, n_features: d }
     }
 
     /// Mean positive-class probability across trees.
     pub fn proba_one(&self, x: &[f64]) -> f64 {
+        self.proba_one_with(x, &mut Vec::with_capacity(16))
+    }
+
+    /// [`RandomForest::proba_one`] with a caller-owned projection buffer:
+    /// per-row callers in a loop (batch prediction, attack probes) reuse
+    /// one buffer instead of allocating per call.
+    pub fn proba_one_with(&self, x: &[f64], projected: &mut Vec<f64>) -> f64 {
         assert_eq!(x.len(), self.n_features, "RandomForest: feature width mismatch");
         if self.trees.is_empty() {
             return 0.5;
         }
         let mut sum = 0.0;
-        let mut projected = Vec::new();
         for (features, tree) in &self.trees {
             projected.clear();
             projected.extend(features.iter().map(|&f| x[f]));
-            sum += tree.proba_one(&projected);
+            sum += tree.proba_one(projected);
         }
         sum / self.trees.len() as f64
     }
@@ -105,9 +150,17 @@ impl RandomForest {
         self.proba_one(x) > 0.5
     }
 
-    /// Predicts every row.
+    /// Mean tree probability for every row, sharing one projection buffer
+    /// across the batch.
+    pub fn proba(&self, x: &Matrix) -> Vec<f64> {
+        let mut projected = Vec::with_capacity(16);
+        x.rows_iter().map(|r| self.proba_one_with(r, &mut projected)).collect()
+    }
+
+    /// Predicts every row (allocation-free past the output vector).
     pub fn predict(&self, x: &Matrix) -> Vec<bool> {
-        x.rows_iter().map(|r| self.predict_one(r)).collect()
+        let mut projected = Vec::with_capacity(16);
+        x.rows_iter().map(|r| self.proba_one_with(r, &mut projected) > 0.5).collect()
     }
 
     /// Number of trees.
@@ -202,6 +255,18 @@ mod tests {
         let a = RandomForest::fit(&x, &y, &cfg).predict(&x);
         let b = RandomForest::fit(&x, &y, &cfg).predict(&x);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_proba_matches_per_row_calls_bitwise() {
+        let (x, y) = ring_problem();
+        let f = RandomForest::fit(&x, &y, &ForestConfig { n_trees: 9, ..Default::default() });
+        let batch = f.proba(&x);
+        let preds = f.predict(&x);
+        for (i, row) in x.rows_iter().enumerate() {
+            assert_eq!(batch[i].to_bits(), f.proba_one(row).to_bits());
+            assert_eq!(preds[i], f.predict_one(row));
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! var_smoothing ∈ [1e−12 : 1e−6]. For DT, we optimize the maximum tree
 //! depth td ∈ [1:7]."
 
+use crate::tree::{DecisionTree, TreeWorkspace};
 use crate::{ModelKind, ModelSpec, TrainedModel};
 use dfs_exec::Executor;
 use dfs_linalg::Matrix;
@@ -69,17 +70,44 @@ pub fn grid_search_with(
     y_val: &[bool],
     exec: &Executor,
 ) -> HpoResult {
+    grid_search_ws(kind, x_train, y_train, x_val, y_val, exec, &mut TreeWorkspace::new())
+}
+
+/// [`grid_search_with`] with tree fits routed through a caller-owned
+/// [`TreeWorkspace`] (the scenario engine keeps one per evaluation slot).
+///
+/// For `ModelKind::DecisionTree` the grid is *not* fitted point by point:
+/// greedy CART's split sequence does not depend on `max_depth` (depth only
+/// gates stopping), so the deepest grid tree is fitted once and every
+/// shallower grid point is derived by O(nodes) truncation
+/// ([`DeepTree::truncate`](crate::tree::DeepTree::truncate)), bit-identical
+/// to the 7 independent fits the naive loop performs — same winning `spec`,
+/// same `val_f1` bits, same predictions, and `evaluations` still reports
+/// every grid point scored.
+pub fn grid_search_ws(
+    kind: ModelKind,
+    x_train: &Matrix,
+    y_train: &[bool],
+    x_val: &Matrix,
+    y_val: &[bool],
+    exec: &Executor,
+    ws: &mut TreeWorkspace,
+) -> HpoResult {
     let specs = grid(kind);
     let evaluations = specs.len();
     // Span and counter at the grid level only — per-spec fits may run on
     // collector-less helper threads and record nothing, by design.
     let _g = dfs_obs::span("hpo.grid");
     dfs_obs::counter("hpo.grid_points", evaluations as u64);
-    let scored = exec.par_map_indexed(&specs, |_, spec| {
-        let model = spec.fit(x_train, y_train);
-        let f1 = f1_score(&model.predict(x_val), y_val);
-        (f1, model)
-    });
+    let scored = if kind == ModelKind::DecisionTree {
+        score_dt_grid_by_truncation(&specs, x_train, y_train, x_val, y_val, ws)
+    } else {
+        exec.par_map_indexed(&specs, |_, spec| {
+            let model = spec.fit(x_train, y_train);
+            let f1 = f1_score(&model.predict(x_val), y_val);
+            (f1, model)
+        })
+    };
     let mut best: Option<(f64, ModelSpec, TrainedModel)> = None;
     for (spec, (f1, model)) in specs.iter().zip(scored) {
         let better = match &best {
@@ -92,6 +120,38 @@ pub fn grid_search_with(
     }
     let (val_f1, spec, model) = best.expect("grids are non-empty");
     HpoResult { spec, model, val_f1, evaluations }
+}
+
+/// Scores the DT depth grid from one deep fit plus per-depth truncations.
+/// Runs sequentially on the calling thread (a truncation is a preorder
+/// arena copy — parallelism would cost more than it saves), which also
+/// makes it safe to record the fit-level tree counters here.
+fn score_dt_grid_by_truncation(
+    specs: &[ModelSpec],
+    x_train: &Matrix,
+    y_train: &[bool],
+    x_val: &Matrix,
+    y_val: &[bool],
+    ws: &mut TreeWorkspace,
+) -> Vec<(f64, TrainedModel)> {
+    let depths: Vec<usize> = specs
+        .iter()
+        .map(|spec| match spec {
+            ModelSpec::Dt { max_depth } => *max_depth,
+            other => unreachable!("DT grid holds only Dt specs, found {other:?}"),
+        })
+        .collect();
+    let deepest = depths.iter().copied().max().unwrap_or(1);
+    let deep = DecisionTree::fit_deep_in(x_train, y_train, deepest, None, ws);
+    deep.stats().record();
+    depths
+        .iter()
+        .map(|&depth| {
+            let model = TrainedModel::Dt(deep.truncate(depth));
+            let f1 = f1_score(&model.predict(x_val), y_val);
+            (f1, model)
+        })
+        .collect()
 }
 
 /// Fits a model either with default hyperparameters or with grid-search HPO,
@@ -117,12 +177,31 @@ pub fn fit_maybe_hpo_with(
     y_val: &[bool],
     exec: &Executor,
 ) -> (ModelSpec, TrainedModel) {
+    fit_maybe_hpo_ws(kind, hpo, x_train, y_train, x_val, y_val, exec, &mut TreeWorkspace::new())
+}
+
+/// [`fit_maybe_hpo_with`] with tree fits routed through a caller-owned
+/// [`TreeWorkspace`], so repeated evaluations reuse the kernel's scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn fit_maybe_hpo_ws(
+    kind: ModelKind,
+    hpo: bool,
+    x_train: &Matrix,
+    y_train: &[bool],
+    x_val: &Matrix,
+    y_val: &[bool],
+    exec: &Executor,
+    ws: &mut TreeWorkspace,
+) -> (ModelSpec, TrainedModel) {
     if hpo {
-        let result = grid_search_with(kind, x_train, y_train, x_val, y_val, exec);
+        let result = grid_search_ws(kind, x_train, y_train, x_val, y_val, exec, ws);
         (result.spec, result.model)
     } else {
         let spec = ModelSpec::default_for(kind);
-        let model = spec.fit(x_train, y_train);
+        let model = spec.fit_ws(x_train, y_train, ws);
+        if kind == ModelKind::DecisionTree {
+            ws.last_stats().record();
+        }
         (spec, model)
     }
 }
@@ -195,6 +274,35 @@ mod tests {
             assert_eq!(seq.val_f1.to_bits(), par.val_f1.to_bits());
             assert_eq!(seq.evaluations, par.evaluations);
         }
+    }
+
+    #[test]
+    fn truncated_dt_grid_matches_independent_fits() {
+        // The production DT grid path fits the deepest tree once and
+        // truncates; this replays the pre-truncation loop (one full fit per
+        // grid point, same fold rule) and demands bit-identical results.
+        let (x, y) = xorish();
+        let (x_train, y_train) = (x.select_rows(&(0..120).collect::<Vec<_>>()), y[..120].to_vec());
+        let (x_val, y_val) = (x.select_rows(&(120..160).collect::<Vec<_>>()), y[120..].to_vec());
+
+        let specs = grid(ModelKind::DecisionTree);
+        let mut best: Option<(f64, ModelSpec, TrainedModel)> = None;
+        for spec in &specs {
+            let model = spec.fit(&x_train, &y_train);
+            let f1 = f1_score(&model.predict(&x_val), &y_val);
+            let better = best.as_ref().map(|(b, _, _)| f1 > *b).unwrap_or(true);
+            if better {
+                best = Some((f1, spec.clone(), model));
+            }
+        }
+        let (naive_f1, naive_spec, naive_model) = best.expect("non-empty grid");
+
+        let fast = grid_search(ModelKind::DecisionTree, &x_train, &y_train, &x_val, &y_val);
+        assert_eq!(fast.spec, naive_spec);
+        assert_eq!(fast.val_f1.to_bits(), naive_f1.to_bits());
+        assert_eq!(fast.evaluations, specs.len());
+        assert_eq!(fast.model.predict(&x_val), naive_model.predict(&x_val));
+        assert_eq!(fast.model.predict(&x_train), naive_model.predict(&x_train));
     }
 
     #[test]

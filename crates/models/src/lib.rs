@@ -139,6 +139,21 @@ impl ModelSpec {
         }
     }
 
+    /// [`ModelSpec::fit`] with decision-tree fits routed through a
+    /// caller-owned [`tree::TreeWorkspace`] (repeated fits reuse the
+    /// presorted kernel's scratch). Other model families ignore the
+    /// workspace.
+    pub fn fit_ws(&self, x: &Matrix, y: &[bool], ws: &mut tree::TreeWorkspace) -> TrainedModel {
+        match self {
+            ModelSpec::Dt { max_depth } => {
+                assert_eq!(x.nrows(), y.len(), "fit: row/label mismatch");
+                assert!(!y.is_empty(), "fit: empty training set");
+                TrainedModel::Dt(tree::DecisionTree::fit_in(x, y, *max_depth, None, ws))
+            }
+            other => other.fit(x, y),
+        }
+    }
+
     /// Trains the ε-differentially-private variant of the model.
     ///
     /// See [`dp`] for the mechanisms (output-perturbed ERM for LR, Laplace

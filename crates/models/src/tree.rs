@@ -1,11 +1,44 @@
-//! CART decision tree with Gini impurity.
+//! CART decision tree with Gini impurity, built by a presorted-column kernel.
 //!
 //! Depth-limited binary tree over continuous features. Candidate thresholds
 //! are the midpoints between consecutive distinct values, evaluated in O(1)
-//! each via prefix sums. Feature importances accumulate the
+//! each via running prefix sums. Feature importances accumulate the
 //! instance-weighted impurity decrease per feature, normalized to sum to 1 —
 //! the same notion scikit-learn exposes.
+//!
+//! # The presorted kernel
+//!
+//! The classic CART bottleneck is re-sorting every feature column at every
+//! node: O(nodes × d × n log n) with fresh allocations throughout. This
+//! implementation sorts each feature's row order **once per fit** (a stable
+//! argsort by value) and then *stably partitions* the per-feature sorted
+//! index lists down to the children after each split — scikit-learn's old
+//! `presort=True` strategy. Every node's split scan is then O(d × n_node)
+//! with zero sorts, and all scratch (per-feature orders, partition buffers,
+//! the row-ascending node sets) lives in a reusable [`TreeWorkspace`], so a
+//! fit performs no per-node allocation.
+//!
+//! **Bit-identity contract.** The kernel is bit-identical to the naive
+//! per-node splitter (kept as a `#[cfg(test)]` reference below): a stable
+//! sort of a row-ascending index list orders ties by row, and a stable
+//! partition preserves exactly that order on both sides, so every node
+//! scans values, accumulates prefix sums, compares candidate gains, and
+//! computes leaf probabilities in the *identical floating-point order* the
+//! naive builder would.
+//!
+//! # Depth truncation
+//!
+//! Greedy CART's split sequence is independent of `max_depth` — depth only
+//! gates *stopping*. [`DecisionTree::fit_deep_in`] therefore fits once at
+//! the deepest depth and annotates every node with its creation depth and
+//! impurity-decrease contribution; [`DeepTree::truncate`] then derives the
+//! tree for any shallower depth in O(nodes), bit-identical to a direct fit
+//! at that depth (same preorder arena, same probabilities, importances
+//! reconstructed from the recorded gains in the same accumulation order).
+//! The HPO grid exploits this to turn 7 depth fits into 1 fit + 6
+//! truncations.
 
+use dfs_linalg::sort::{stable_partition_in_place, stable_sort_indices_by_key};
 use dfs_linalg::Matrix;
 
 /// Nodes stop splitting below this many instances.
@@ -32,6 +65,66 @@ pub enum Node {
     },
 }
 
+/// Work counters of one kernel fit (recorded on [`TreeWorkspace`] and on
+/// [`DeepTree`]); callers surface them as `tree.nodes` / `split.scans`
+/// observability counters at the fit level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FitStats {
+    /// Nodes in the arena (leaves included).
+    pub nodes: u64,
+    /// Feature segments scanned for split candidates.
+    pub split_scans: u64,
+}
+
+impl FitStats {
+    /// Element-wise accumulation (used when summing per-tree stats).
+    pub fn merge(&mut self, other: FitStats) {
+        self.nodes += other.nodes;
+        self.split_scans += other.split_scans;
+    }
+
+    /// Emits the fit-level `tree.nodes` / `split.scans` observability
+    /// counters. Call on the fit's *caller* thread only — never inside
+    /// parallel workers, which may have no collector and would make traces
+    /// thread-count-dependent.
+    pub fn record(&self) {
+        dfs_obs::counter("tree.nodes", self.nodes);
+        dfs_obs::counter("split.scans", self.split_scans);
+    }
+}
+
+/// Reusable scratch for the presorted kernel: per-feature sorted row
+/// orders, the row-ascending node sets, partition buffers, and the unit
+/// weight vector. After the first fit of a given shape, subsequent fits
+/// through the same workspace allocate nothing.
+#[derive(Debug, Default)]
+pub struct TreeWorkspace {
+    /// Flattened `d × n` per-feature sorted row orders.
+    order: Vec<u32>,
+    /// Node row sets in row-ascending order, partitioned in place.
+    rows: Vec<u32>,
+    /// Stable-partition holding buffer.
+    scratch: Vec<u32>,
+    /// Column gather buffer for the presort keys.
+    col: Vec<f64>,
+    /// All-ones weights when the caller passes none.
+    unit_w: Vec<f64>,
+    /// Counters of the most recent fit through this workspace.
+    last_stats: FitStats,
+}
+
+impl TreeWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Work counters of the most recent fit through this workspace.
+    pub fn last_stats(&self) -> FitStats {
+        self.last_stats
+    }
+}
+
 /// A trained decision tree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTree {
@@ -49,27 +142,36 @@ impl DecisionTree {
     /// Fits with optional per-instance weights (used for class balancing by
     /// the random forest).
     pub fn fit_weighted(x: &Matrix, y: &[bool], max_depth: usize, weights: Option<&[f64]>) -> Self {
-        let (n, d) = x.shape();
-        assert_eq!(n, y.len(), "DecisionTree: row/label mismatch");
-        assert!(n > 0, "DecisionTree: empty training set");
+        let mut ws = TreeWorkspace::default();
+        Self::fit_in(x, y, max_depth, weights, &mut ws)
+    }
+
+    /// [`DecisionTree::fit_weighted`] through a caller-owned workspace:
+    /// repeated fits (forest trees, wrapper evaluations) reuse every
+    /// buffer and perform no steady-state allocation beyond the arena.
+    pub fn fit_in(
+        x: &Matrix,
+        y: &[bool],
+        max_depth: usize,
+        weights: Option<&[f64]>,
+        ws: &mut TreeWorkspace,
+    ) -> Self {
         let max_depth = max_depth.max(1);
-        let w: Vec<f64> = match weights {
-            Some(w) => {
-                assert_eq!(w.len(), n, "DecisionTree: weight length mismatch");
-                w.to_vec()
-            }
-            None => vec![1.0; n],
-        };
-        let mut builder = Builder { x, y, w: &w, nodes: Vec::new(), importances: vec![0.0; d], max_depth };
-        let all: Vec<usize> = (0..n).collect();
-        builder.build(&all, 0);
-        let total: f64 = builder.importances.iter().sum();
-        if total > 0.0 {
-            for imp in &mut builder.importances {
-                *imp /= total;
-            }
-        }
-        DecisionTree { nodes: builder.nodes, importances: builder.importances, max_depth }
+        let deep = run_kernel(x, y, max_depth, weights, ws);
+        let importances = deep.importances_at(max_depth);
+        DecisionTree { nodes: deep.nodes, importances, max_depth }
+    }
+
+    /// Fits the full-depth tree once, annotated for O(nodes) derivation of
+    /// every shallower tree via [`DeepTree::truncate`].
+    pub fn fit_deep_in(
+        x: &Matrix,
+        y: &[bool],
+        max_depth: usize,
+        weights: Option<&[f64]>,
+        ws: &mut TreeWorkspace,
+    ) -> DeepTree {
+        run_kernel(x, y, max_depth.max(1), weights, ws)
     }
 
     /// Assembles a tree from raw parts (used by the DP random tree).
@@ -112,40 +214,258 @@ impl DecisionTree {
     }
 }
 
-struct Builder<'a> {
+/// A full-depth fit annotated with per-node creation depth, node
+/// probability, and impurity-decrease contribution — everything needed to
+/// derive any shallower tree in O(nodes) without refitting.
+#[derive(Debug, Clone)]
+pub struct DeepTree {
+    /// Preorder node arena of the full-depth tree.
+    nodes: Vec<Node>,
+    /// Creation depth per node (root = 0).
+    depth: Vec<u32>,
+    /// `P(y = 1)` among the training instances reaching each node.
+    proba: Vec<f64>,
+    /// `gain × w_total` per split node (0 for leaves): the exact term the
+    /// builder adds to that feature's importance.
+    gain_w: Vec<f64>,
+    n_features: usize,
+    max_depth: usize,
+    stats: FitStats,
+}
+
+impl DeepTree {
+    /// The depth this tree was fitted at.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Nodes in the full-depth arena.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Work counters of the underlying kernel fit.
+    pub fn stats(&self) -> FitStats {
+        self.stats
+    }
+
+    /// Total impurity-decrease contribution of splits created at each
+    /// depth `0..max_depth` (the per-depth gain totals behind truncation).
+    pub fn gain_by_depth(&self) -> Vec<f64> {
+        let mut totals = vec![0.0; self.max_depth];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if matches!(node, Node::Split { .. }) {
+                totals[self.depth[i] as usize] += self.gain_w[i];
+            }
+        }
+        totals
+    }
+
+    /// Derives the tree a direct fit at `max_depth = depth` would produce,
+    /// bit-identically, in O(nodes): split nodes created at `depth` become
+    /// leaves carrying their recorded probability, deeper subtrees are
+    /// dropped, and importances are re-accumulated from the recorded gains
+    /// in the original (preorder) order.
+    ///
+    /// # Panics
+    /// Panics when `depth` exceeds the fitted depth — the annotation only
+    /// records what the deep fit explored.
+    pub fn truncate(&self, depth: usize) -> DecisionTree {
+        let depth = depth.max(1);
+        assert!(
+            depth <= self.max_depth,
+            "DeepTree::truncate: depth {depth} exceeds fitted depth {}",
+            self.max_depth
+        );
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        self.copy_subtree(0, depth, &mut nodes);
+        DecisionTree { nodes, importances: self.importances_at(depth), max_depth: depth }
+    }
+
+    /// Preorder copy of the subtree at `i` with split nodes at
+    /// `depth >= cutoff` demoted to leaves. Returns the new arena index.
+    fn copy_subtree(&self, i: usize, cutoff: usize, out: &mut Vec<Node>) -> usize {
+        match self.nodes[i] {
+            Node::Leaf { proba } => {
+                out.push(Node::Leaf { proba });
+                out.len() - 1
+            }
+            Node::Split { feature, threshold, left, right } => {
+                if self.depth[i] as usize >= cutoff {
+                    out.push(Node::Leaf { proba: self.proba[i] });
+                    out.len() - 1
+                } else {
+                    // Reserve this node's slot before the children, exactly
+                    // like the builder does.
+                    let me = out.len();
+                    out.push(Node::Leaf { proba: self.proba[i] });
+                    let l = self.copy_subtree(left, cutoff, out);
+                    let r = self.copy_subtree(right, cutoff, out);
+                    out[me] = Node::Split { feature, threshold, left: l, right: r };
+                    me
+                }
+            }
+        }
+    }
+
+    /// Normalized importances of the depth-`cutoff` truncation. The arena
+    /// is in preorder — the order the builder accumulates importances in —
+    /// so a linear scan reproduces the identical floating-point sums.
+    /// Splits inside dropped subtrees sit at depth > `cutoff` and are
+    /// skipped by the same depth test that drops them.
+    fn importances_at(&self, cutoff: usize) -> Vec<f64> {
+        let mut imp = vec![0.0; self.n_features];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Node::Split { feature, .. } = node {
+                if (self.depth[i] as usize) < cutoff {
+                    imp[*feature] += self.gain_w[i];
+                }
+            }
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+}
+
+/// Runs the presorted kernel at `max_depth` (already clamped ≥ 1) and
+/// returns the annotated full arena. Scratch comes from — and returns to —
+/// `ws`; `ws.last_stats` is refreshed.
+fn run_kernel(
+    x: &Matrix,
+    y: &[bool],
+    max_depth: usize,
+    weights: Option<&[f64]>,
+    ws: &mut TreeWorkspace,
+) -> DeepTree {
+    let (n, d) = x.shape();
+    assert_eq!(n, y.len(), "DecisionTree: row/label mismatch");
+    assert!(n > 0, "DecisionTree: empty training set");
+    assert!(n <= u32::MAX as usize, "DecisionTree: too many rows for the u32 kernel");
+
+    let mut unit_w = std::mem::take(&mut ws.unit_w);
+    let w: &[f64] = match weights {
+        Some(w) => {
+            assert_eq!(w.len(), n, "DecisionTree: weight length mismatch");
+            w
+        }
+        None => {
+            unit_w.clear();
+            unit_w.resize(n, 1.0);
+            &unit_w
+        }
+    };
+
+    // Presort: each feature's row order, stably sorted by value. A node's
+    // segment of every order array is the node's rows sorted by that
+    // feature, ties in row-ascending order — the same order the naive
+    // builder's stable per-node sort would produce.
+    let mut order = std::mem::take(&mut ws.order);
+    let mut col = std::mem::take(&mut ws.col);
+    order.clear();
+    order.reserve(d * n);
+    for f in 0..d {
+        let start = order.len();
+        order.extend(0..n as u32);
+        col.clear();
+        col.extend((0..n).map(|i| x[(i, f)]));
+        stable_sort_indices_by_key(&mut order[start..], &col);
+    }
+    let mut rows = std::mem::take(&mut ws.rows);
+    rows.clear();
+    rows.extend(0..n as u32);
+
+    let mut kernel = Kernel {
+        x,
+        y,
+        w,
+        n,
+        d,
+        max_depth,
+        order,
+        rows,
+        scratch: std::mem::take(&mut ws.scratch),
+        nodes: Vec::new(),
+        depth: Vec::new(),
+        proba: Vec::new(),
+        gain_w: Vec::new(),
+        stats: FitStats::default(),
+    };
+    // Root class counts, accumulated in row-ascending order (the same
+    // order the naive builder's `weighted_counts` walks).
+    let mut w_pos = 0.0;
+    let mut w_total = 0.0;
+    for i in 0..n {
+        w_total += w[i];
+        if y[i] {
+            w_pos += w[i];
+        }
+    }
+    kernel.build(0, n, 0, w_pos, w_total);
+    let Kernel { order, rows, scratch, nodes, depth, proba, gain_w, stats, .. } = kernel;
+
+    // Hand the buffers back for the next fit.
+    ws.order = order;
+    ws.rows = rows;
+    ws.scratch = scratch;
+    ws.col = col;
+    ws.unit_w = unit_w;
+    ws.last_stats = stats;
+
+    DeepTree { nodes, depth, proba, gain_w, n_features: d, max_depth, stats }
+}
+
+/// The presorted builder: every node owns the segment `[lo, hi)` of the
+/// shared `rows` array (row-ascending) and of each feature's `order` array
+/// (value-sorted), and hands disjoint subsegments to its children by
+/// stable partition.
+struct Kernel<'a> {
     x: &'a Matrix,
     y: &'a [bool],
     w: &'a [f64],
-    nodes: Vec<Node>,
-    importances: Vec<f64>,
+    n: usize,
+    d: usize,
     max_depth: usize,
+    order: Vec<u32>,
+    rows: Vec<u32>,
+    scratch: Vec<u32>,
+    nodes: Vec<Node>,
+    depth: Vec<u32>,
+    proba: Vec<f64>,
+    gain_w: Vec<f64>,
+    stats: FitStats,
 }
 
-impl Builder<'_> {
-    /// Builds the subtree over `idx`, returning its arena index.
-    fn build(&mut self, idx: &[usize], depth: usize) -> usize {
-        let (w_pos, w_total) = self.weighted_counts(idx);
+impl Kernel<'_> {
+    /// Builds the subtree over segment `[lo, hi)`, returning its arena
+    /// index. `w_pos` / `w_total` are this node's class counts, accumulated
+    /// by the parent's partition in this node's row-ascending order (so
+    /// they carry the exact bits a fresh scan would produce).
+    fn build(&mut self, lo: usize, hi: usize, depth: usize, w_pos: f64, w_total: f64) -> usize {
         let proba = if w_total > 0.0 { w_pos / w_total } else { 0.5 };
         let node_gini = gini(w_pos, w_total);
 
         if depth >= self.max_depth
-            || idx.len() < MIN_SAMPLES_SPLIT
+            || hi - lo < MIN_SAMPLES_SPLIT
             || node_gini <= dfs_linalg::EPS
         {
-            return self.push(Node::Leaf { proba });
+            return self.push(Node::Leaf { proba }, depth, proba, 0.0);
         }
 
-        match self.best_split(idx, node_gini, w_total) {
-            None => self.push(Node::Leaf { proba }),
+        match self.best_split(lo, hi, node_gini, w_pos, w_total) {
+            None => self.push(Node::Leaf { proba }, depth, proba, 0.0),
             Some(split) => {
-                self.importances[split.feature] += split.gain * w_total;
-                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
-                    .iter()
-                    .partition(|&&i| self.x[(i, split.feature)] <= split.threshold);
+                let gain_w = split.gain * w_total;
+                let (nl, left_counts, right_counts) =
+                    self.partition(lo, hi, split.feature, split.threshold);
                 // Reserve this node's slot before recursing.
-                let me = self.push(Node::Leaf { proba });
-                let left = self.build(&left_idx, depth + 1);
-                let right = self.build(&right_idx, depth + 1);
+                let me = self.push(Node::Leaf { proba }, depth, proba, gain_w);
+                let left = self.build(lo, lo + nl, depth + 1, left_counts.0, left_counts.1);
+                let right = self.build(lo + nl, hi, depth + 1, right_counts.0, right_counts.1);
                 self.nodes[me] =
                     Node::Split { feature: split.feature, threshold: split.threshold, left, right };
                 me
@@ -153,68 +473,123 @@ impl Builder<'_> {
         }
     }
 
-    fn push(&mut self, node: Node) -> usize {
+    fn push(&mut self, node: Node, depth: usize, proba: f64, gain_w: f64) -> usize {
         self.nodes.push(node);
+        self.depth.push(depth as u32);
+        self.proba.push(proba);
+        self.gain_w.push(gain_w);
+        self.stats.nodes += 1;
         self.nodes.len() - 1
     }
 
-    fn weighted_counts(&self, idx: &[usize]) -> (f64, f64) {
-        let mut pos = 0.0;
-        let mut total = 0.0;
-        for &i in idx {
-            total += self.w[i];
-            if self.y[i] {
-                pos += self.w[i];
-            }
-        }
-        (pos, total)
-    }
-
-    fn best_split(&self, idx: &[usize], node_gini: f64, w_total: f64) -> Option<SplitChoice> {
-        let d = self.x.ncols();
-        let (w_pos, _) = self.weighted_counts(idx);
+    /// Scans every feature's presorted segment for the best threshold.
+    /// Identical candidate enumeration and floating-point order to the
+    /// naive splitter: features ascending, positions ascending, running
+    /// prefix sums accumulated one element at a time.
+    fn best_split(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        node_gini: f64,
+        w_pos: f64,
+        w_total: f64,
+    ) -> Option<SplitChoice> {
+        let len = hi - lo;
         let mut best: Option<SplitChoice> = None;
-        let mut values: Vec<(f64, f64, bool)> = Vec::with_capacity(idx.len());
-        for feature in 0..d {
-            values.clear();
-            values.extend(idx.iter().map(|&i| (self.x[(i, feature)], self.w[i], self.y[i])));
-            values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
-            if values.first().map(|v| v.0) == values.last().map(|v| v.0) {
-                continue; // constant feature
+        for feature in 0..self.d {
+            self.stats.split_scans += 1;
+            let seg = &self.order[feature * self.n + lo..feature * self.n + hi];
+            let mut prev = self.x[(seg[0] as usize, feature)];
+            if prev == self.x[(seg[len - 1] as usize, feature)] {
+                continue; // constant feature on this node
             }
-            // Prefix sums over the sorted order: left_pos[k] / left_total[k]
-            // cover values[0..k].
-            let len = values.len();
-            let mut prefix_pos = vec![0.0; len + 1];
-            let mut prefix_total = vec![0.0; len + 1];
-            for (k, v) in values.iter().enumerate() {
-                prefix_total[k + 1] = prefix_total[k] + v.1;
-                prefix_pos[k + 1] = prefix_pos[k] + if v.2 { v.1 } else { 0.0 };
-            }
-            // Candidate boundaries: every position where the value changes.
-            // Prefix sums make each check O(1), so no subsampling is needed.
-            for k in (1..len).filter(|&k| values[k].0 > values[k - 1].0) {
-                let threshold = 0.5 * (values[k - 1].0 + values[k].0);
-                let left_total = prefix_total[k];
-                let right_total = w_total - left_total;
-                if left_total <= 0.0 || right_total <= 0.0 {
-                    continue;
+            // Running prefix sums over the sorted order: after step k they
+            // cover seg[0..k], matching the naive prefix arrays bit-for-bit.
+            let mut left_total = 0.0;
+            let mut left_pos = 0.0;
+            for k in 1..len {
+                let r = seg[k - 1] as usize;
+                let wr = self.w[r];
+                left_total += wr;
+                if self.y[r] {
+                    left_pos += wr;
                 }
-                let left_pos = prefix_pos[k];
-                let right_pos = w_pos - left_pos;
-                let child =
-                    (left_total * gini(left_pos, left_total) + right_total * gini(right_pos, right_total))
-                        / w_total;
-                // Like scikit-learn, zero-gain splits are allowed (depth and
-                // purity are the stopping rules) — this is what lets a depth-2
-                // tree solve XOR, whose root split has exactly zero Gini gain.
-                let gain = (node_gini - child).max(0.0);
-                if best.as_ref().map(|b| gain > b.gain).unwrap_or(true) {
-                    best = Some(SplitChoice { feature, threshold, gain });
+                // Candidate boundary: every position where the value changes.
+                let v = self.x[(seg[k] as usize, feature)];
+                if v > prev {
+                    let threshold = 0.5 * (prev + v);
+                    let right_total = w_total - left_total;
+                    if left_total > 0.0 && right_total > 0.0 {
+                        let right_pos = w_pos - left_pos;
+                        let child = (left_total * gini(left_pos, left_total)
+                            + right_total * gini(right_pos, right_total))
+                            / w_total;
+                        // Like scikit-learn, zero-gain splits are allowed
+                        // (depth and purity are the stopping rules) — this
+                        // is what lets a depth-2 tree solve XOR, whose root
+                        // split has exactly zero Gini gain.
+                        let gain = (node_gini - child).max(0.0);
+                        if best.as_ref().map(|b| gain > b.gain).unwrap_or(true) {
+                            best = Some(SplitChoice { feature, threshold, gain });
+                        }
+                    }
                 }
+                prev = v;
             }
         }
         best
+    }
+
+    /// Stably partitions the node's segment of `rows` and of every
+    /// feature's order array by the chosen split, accumulating each child's
+    /// class counts in that child's row-ascending order along the way.
+    /// Returns `(left_len, (left_pos, left_total), (right_pos, right_total))`.
+    fn partition(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        feature: usize,
+        threshold: f64,
+    ) -> (usize, (f64, f64), (f64, f64)) {
+        let x = self.x;
+        let mut left_pos = 0.0;
+        let mut left_total = 0.0;
+        let mut right_pos = 0.0;
+        let mut right_total = 0.0;
+        // Manual stable partition of the row-ascending set so the count
+        // accumulators see each child's rows in exactly the order a fresh
+        // `weighted_counts` scan of that child would.
+        self.scratch.clear();
+        let seg = &mut self.rows[lo..hi];
+        let mut write = 0usize;
+        for read in 0..seg.len() {
+            let r = seg[read];
+            let ri = r as usize;
+            let wr = self.w[ri];
+            if x[(ri, feature)] <= threshold {
+                seg[write] = r;
+                write += 1;
+                left_total += wr;
+                if self.y[ri] {
+                    left_pos += wr;
+                }
+            } else {
+                self.scratch.push(r);
+                right_total += wr;
+                if self.y[ri] {
+                    right_pos += wr;
+                }
+            }
+        }
+        seg[write..].copy_from_slice(&self.scratch);
+
+        for f in 0..self.d {
+            let seg = &mut self.order[f * self.n + lo..f * self.n + hi];
+            stable_partition_in_place(seg, &mut self.scratch, |&r| {
+                x[(r as usize, feature)] <= threshold
+            });
+        }
+        (write, (left_pos, left_total), (right_pos, right_total))
     }
 }
 
@@ -236,6 +611,207 @@ fn gini(pos: f64, total: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-kernel naive splitter, kept verbatim as the bit-identity
+    /// reference: per-node gather + stable sort + prefix arrays. The only
+    /// change from the historical builder is that the node's class counts
+    /// are computed once in `build` and passed to `best_split` (the sums
+    /// are identical either way).
+    mod reference {
+        use super::super::*;
+
+        pub fn fit(
+            x: &Matrix,
+            y: &[bool],
+            max_depth: usize,
+            weights: Option<&[f64]>,
+        ) -> DecisionTree {
+            let (n, d) = x.shape();
+            assert_eq!(n, y.len());
+            assert!(n > 0);
+            let max_depth = max_depth.max(1);
+            let w: Vec<f64> = match weights {
+                Some(w) => w.to_vec(),
+                None => vec![1.0; n],
+            };
+            let mut builder = Builder {
+                x,
+                y,
+                w: &w,
+                nodes: Vec::new(),
+                importances: vec![0.0; d],
+                max_depth,
+            };
+            let all: Vec<usize> = (0..n).collect();
+            builder.build(&all, 0);
+            let total: f64 = builder.importances.iter().sum();
+            if total > 0.0 {
+                for imp in &mut builder.importances {
+                    *imp /= total;
+                }
+            }
+            DecisionTree {
+                nodes: builder.nodes,
+                importances: builder.importances,
+                max_depth,
+            }
+        }
+
+        struct Builder<'a> {
+            x: &'a Matrix,
+            y: &'a [bool],
+            w: &'a [f64],
+            nodes: Vec<Node>,
+            importances: Vec<f64>,
+            max_depth: usize,
+        }
+
+        impl Builder<'_> {
+            fn build(&mut self, idx: &[usize], depth: usize) -> usize {
+                let (w_pos, w_total) = self.weighted_counts(idx);
+                let proba = if w_total > 0.0 { w_pos / w_total } else { 0.5 };
+                let node_gini = gini(w_pos, w_total);
+
+                if depth >= self.max_depth
+                    || idx.len() < MIN_SAMPLES_SPLIT
+                    || node_gini <= dfs_linalg::EPS
+                {
+                    return self.push(Node::Leaf { proba });
+                }
+
+                match self.best_split(idx, node_gini, w_pos, w_total) {
+                    None => self.push(Node::Leaf { proba }),
+                    Some(split) => {
+                        self.importances[split.feature] += split.gain * w_total;
+                        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+                            .iter()
+                            .partition(|&&i| self.x[(i, split.feature)] <= split.threshold);
+                        let me = self.push(Node::Leaf { proba });
+                        let left = self.build(&left_idx, depth + 1);
+                        let right = self.build(&right_idx, depth + 1);
+                        self.nodes[me] = Node::Split {
+                            feature: split.feature,
+                            threshold: split.threshold,
+                            left,
+                            right,
+                        };
+                        me
+                    }
+                }
+            }
+
+            fn push(&mut self, node: Node) -> usize {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+
+            fn weighted_counts(&self, idx: &[usize]) -> (f64, f64) {
+                let mut pos = 0.0;
+                let mut total = 0.0;
+                for &i in idx {
+                    total += self.w[i];
+                    if self.y[i] {
+                        pos += self.w[i];
+                    }
+                }
+                (pos, total)
+            }
+
+            fn best_split(
+                &self,
+                idx: &[usize],
+                node_gini: f64,
+                w_pos: f64,
+                w_total: f64,
+            ) -> Option<SplitChoice> {
+                let d = self.x.ncols();
+                let mut best: Option<SplitChoice> = None;
+                let mut values: Vec<(f64, f64, bool)> = Vec::with_capacity(idx.len());
+                for feature in 0..d {
+                    values.clear();
+                    values.extend(
+                        idx.iter().map(|&i| (self.x[(i, feature)], self.w[i], self.y[i])),
+                    );
+                    values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+                    if values.first().map(|v| v.0) == values.last().map(|v| v.0) {
+                        continue;
+                    }
+                    let len = values.len();
+                    let mut prefix_pos = vec![0.0; len + 1];
+                    let mut prefix_total = vec![0.0; len + 1];
+                    for (k, v) in values.iter().enumerate() {
+                        prefix_total[k + 1] = prefix_total[k] + v.1;
+                        prefix_pos[k + 1] = prefix_pos[k] + if v.2 { v.1 } else { 0.0 };
+                    }
+                    for k in (1..len).filter(|&k| values[k].0 > values[k - 1].0) {
+                        let threshold = 0.5 * (values[k - 1].0 + values[k].0);
+                        let left_total = prefix_total[k];
+                        let right_total = w_total - left_total;
+                        if left_total <= 0.0 || right_total <= 0.0 {
+                            continue;
+                        }
+                        let left_pos = prefix_pos[k];
+                        let right_pos = w_pos - left_pos;
+                        let child = (left_total * gini(left_pos, left_total)
+                            + right_total * gini(right_pos, right_total))
+                            / w_total;
+                        let gain = (node_gini - child).max(0.0);
+                        if best.as_ref().map(|b| gain > b.gain).unwrap_or(true) {
+                            best = Some(SplitChoice { feature, threshold, gain });
+                        }
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    fn assert_bit_identical(a: &DecisionTree, b: &DecisionTree) {
+        assert_eq!(a.nodes, b.nodes, "node arenas differ");
+        assert_eq!(a.max_depth, b.max_depth);
+        assert_eq!(a.importances.len(), b.importances.len());
+        for (i, (x, y)) in a.importances.iter().zip(&b.importances).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "importance {i}: {x} vs {y}");
+        }
+    }
+
+    /// Deterministic data generator exercising the awkward cases: duplicate
+    /// values (quantized columns), constant features, and non-uniform
+    /// instance weights.
+    fn awkward_problem(seed: u64, n: usize, d: usize) -> (Matrix, Vec<bool>, Vec<f64>) {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        let mut w = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(d);
+            for f in 0..d {
+                let v = if f == d - 1 {
+                    0.37 // constant feature
+                } else {
+                    // Quantize to force duplicate values and ties.
+                    ((next() % 7) as f64) / 7.0
+                };
+                row.push(v);
+            }
+            let label = (row[0] + row[1 % d] > 0.9) ^ (next() % 11 == 0);
+            y.push(label);
+            w.push(match next() % 4 {
+                0 => 0.25,
+                1 => 1.0,
+                2 => 2.5,
+                _ => 10.0,
+            });
+            rows.push(row);
+        }
+        (Matrix::from_rows(&rows), y, w)
+    }
 
     /// `y = (x0 > 0.5) AND (x1 > 0.5)` — solvable exactly by greedy CART at
     /// depth 2 (unlike balanced XOR, whose root split has zero Gini gain and
@@ -329,5 +905,82 @@ mod tests {
     fn deterministic_fit() {
         let (x, y) = and_problem();
         assert_eq!(DecisionTree::fit(&x, &y, 4), DecisionTree::fit(&x, &y, 4));
+    }
+
+    #[test]
+    fn presorted_kernel_matches_naive_reference_on_clean_data() {
+        let (x, y) = and_problem();
+        for depth in 1..=5 {
+            let kernel = DecisionTree::fit(&x, &y, depth);
+            let naive = reference::fit(&x, &y, depth, None);
+            assert_bit_identical(&kernel, &naive);
+        }
+    }
+
+    #[test]
+    fn presorted_kernel_matches_naive_reference_on_awkward_data() {
+        // Duplicate values, constant features, weighted rows, many seeds.
+        let mut ws = TreeWorkspace::new();
+        for seed in 0..12u64 {
+            let (x, y, w) = awkward_problem(seed, 90 + (seed as usize % 3) * 17, 5);
+            for (depth, weights) in [(1, None), (3, Some(&w)), (6, None), (7, Some(&w))] {
+                let weights = weights.map(|w| w.as_slice());
+                let kernel = DecisionTree::fit_in(&x, &y, depth, weights, &mut ws);
+                let naive = reference::fit(&x, &y, depth, weights);
+                assert_bit_identical(&kernel, &naive);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_matches_direct_fits_at_every_depth() {
+        let mut ws = TreeWorkspace::new();
+        for seed in [3u64, 8, 21] {
+            let (x, y, w) = awkward_problem(seed, 110, 4);
+            for weights in [None, Some(w.as_slice())] {
+                let deep = DecisionTree::fit_deep_in(&x, &y, 7, weights, &mut ws);
+                for depth in 1..=7 {
+                    let truncated = deep.truncate(depth);
+                    let direct = DecisionTree::fit_in(&x, &y, depth, weights, &mut ws);
+                    assert_bit_identical(&truncated, &direct);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds fitted depth")]
+    fn truncation_beyond_fitted_depth_panics() {
+        let (x, y) = and_problem();
+        let mut ws = TreeWorkspace::new();
+        let deep = DecisionTree::fit_deep_in(&x, &y, 3, None, &mut ws);
+        let _ = deep.truncate(4);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_and_tracks_stats() {
+        let (x, y) = and_problem();
+        let mut ws = TreeWorkspace::new();
+        let first = DecisionTree::fit_in(&x, &y, 4, None, &mut ws);
+        let stats = ws.last_stats();
+        assert_eq!(stats.nodes, first.n_nodes() as u64);
+        assert!(stats.split_scans > 0);
+        // A different fit in between must not perturb a repeat fit.
+        let (x2, y2, w2) = awkward_problem(5, 60, 3);
+        let _ = DecisionTree::fit_in(&x2, &y2, 6, Some(&w2), &mut ws);
+        let again = DecisionTree::fit_in(&x, &y, 4, None, &mut ws);
+        assert_bit_identical(&first, &again);
+    }
+
+    #[test]
+    fn gain_by_depth_covers_all_importance_mass() {
+        let (x, y, _) = awkward_problem(9, 120, 4);
+        let mut ws = TreeWorkspace::new();
+        let deep = DecisionTree::fit_deep_in(&x, &y, 5, None, &mut ws);
+        let by_depth = deep.gain_by_depth();
+        assert_eq!(by_depth.len(), 5);
+        let from_depths: f64 = by_depth.iter().sum();
+        let from_nodes: f64 = deep.gain_w.iter().sum();
+        assert!((from_depths - from_nodes).abs() < 1e-12);
     }
 }
