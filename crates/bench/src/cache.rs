@@ -259,7 +259,10 @@ pub fn decode(s: &str) -> Result<BenchmarkMatrix, String> {
 pub fn quarantine(path: &Path) -> Option<PathBuf> {
     let dest = PathBuf::from(format!("{}.quarantined", path.display()));
     match std::fs::rename(path, &dest) {
-        Ok(()) => Some(dest),
+        Ok(()) => {
+            dfs_obs::counter("cache.quarantined", 1);
+            Some(dest)
+        }
         Err(e) => {
             dfs_obs::warn!("dfs-bench", "could not quarantine {}: {e}", path.display());
             None
@@ -464,10 +467,24 @@ mod tests {
         // A v3 file from the previous build is quarantined like any other
         // version mismatch — the recompute writes fresh v4 bytes.
         std::fs::write(&path, "#dfs-matrix\tv3\t0\t17\n").expect("write");
-        assert!(load(&path).is_none());
+        dfs_obs::set_trace_enabled(true);
+        let (loaded, collected) = dfs_obs::scoped(|| load(&path));
+        assert!(loaded.is_none());
         // The bad file was moved aside, not deleted and not left in place.
         assert!(!path.exists());
         assert!(qpath.exists());
+        // The quarantine is observable: a counter plus a warn event.
+        let collected = collected.expect("collector");
+        assert_eq!(
+            collected.counters().get("cache.quarantined").copied(),
+            Some(1),
+            "quarantine must bump its obs counter: {:?}",
+            collected.counters()
+        );
+        assert!(
+            collected.events().iter().any(|e| format!("{e:?}").contains("quarantined")),
+            "quarantine must leave a journal entry"
+        );
         std::fs::remove_file(&qpath).ok();
     }
 }

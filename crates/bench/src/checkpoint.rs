@@ -72,6 +72,7 @@ impl Checkpoint {
                 reason: "checkpoint header/fingerprint mismatch".into(),
             };
             dfs_obs::warn!("dfs-bench", "{err}; quarantining and starting fresh");
+            dfs_obs::counter("checkpoint.quarantined", 1);
             cache::quarantine(path);
             return HashMap::new();
         }
@@ -112,6 +113,7 @@ impl Checkpoint {
                     path.display(),
                     rows.len()
                 );
+                dfs_obs::counter("checkpoint.damaged_tail", 1);
                 current = None;
                 break;
             }

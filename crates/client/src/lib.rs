@@ -1,0 +1,421 @@
+//! `dfs-client` — a retrying client for the DFS constraint-query server.
+//!
+//! The retry policy is the client half of the protocol's failure
+//! contract:
+//!
+//! - **Retryable** — transport loss (connect refused, connection reset,
+//!   truncated frame, checksum-corrupt frame) and the server's explicit
+//!   `overloaded` shed. Each retry opens a fresh connection and waits a
+//!   capped exponential backoff with deterministic jitter.
+//! - **Terminal** — everything the server classifies as hopeless to
+//!   retry verbatim: `malformed_query`, `budget_exceeded`,
+//!   `deadline_exceeded`, `internal`. These surface immediately without
+//!   burning the backoff budget.
+//!
+//! Queries are idempotent (same spec ⇒ bit-identical result), so
+//! retrying after a lost *response* is always safe.
+//!
+//! Jitter is a hand-rolled xorshift keyed by `(jitter_seed, attempt)` —
+//! deterministic for tests, decorrelated across clients by seed.
+
+use dfs_proto::frame::{read_frame, write_frame, FrameError};
+use dfs_proto::{QueryResult, QuerySpec, Request, Response, ServerStats, WireError};
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-attempt connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-attempt socket read/write timeout.
+    pub io_timeout: Duration,
+    /// Total attempts (first try + retries).
+    pub max_attempts: usize,
+    /// First backoff delay; doubles each retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(30),
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_millis(400),
+            jitter_seed: 0x5f3759df,
+        }
+    }
+}
+
+/// Why a request ultimately failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server answered with a terminal error code.
+    Server(WireError),
+    /// Every attempt failed on a retryable condition; `last` describes
+    /// the final one.
+    Exhausted {
+        /// Attempts made.
+        attempts: usize,
+        /// The last transient failure.
+        last: String,
+    },
+    /// A protocol violation retrying cannot fix (version mismatch,
+    /// oversized frame, undecodable response).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Server(err) => write!(f, "server error: {err}"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last failure: {last}")
+            }
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// The terminal wire error, if that is what this is.
+    pub fn wire(&self) -> Option<&WireError> {
+        match self {
+            ClientError::Server(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+/// A transient failure inside one attempt (internal).
+struct Transient(String);
+
+/// Deterministic backoff for `attempt` (0-based): capped exponential
+/// doubling plus xorshift jitter in `[0, delay/2]`.
+pub fn backoff_delay(cfg: &ClientConfig, attempt: usize) -> Duration {
+    let doubled = cfg
+        .backoff_base
+        .saturating_mul(1u32 << attempt.min(16) as u32)
+        .min(cfg.backoff_cap);
+    let half = doubled.as_nanos() as u64 / 2;
+    if half == 0 {
+        return doubled;
+    }
+    let jitter = xorshift64(cfg.jitter_seed ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) % (half + 1);
+    doubled + Duration::from_nanos(jitter)
+}
+
+fn xorshift64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x2545_f491_4f6c_dd1d); // avoid the zero fixed point
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// A connection-per-request client with retry.
+pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+}
+
+impl Client {
+    /// A client for `addr` with default configuration.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::with_config(addr, ClientConfig::default())
+    }
+
+    /// A client with explicit configuration.
+    pub fn with_config(addr: impl ToSocketAddrs, cfg: ClientConfig) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        Ok(Self { addr, cfg })
+    }
+
+    /// The configured server address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.cfg
+    }
+
+    /// Runs a constraint query with retry/backoff.
+    pub fn query(&self, spec: &QuerySpec) -> Result<QueryResult, ClientError> {
+        match self.request(&Request::Query(spec.clone()))? {
+            Response::Result(result) => Ok(result),
+            other => Err(ClientError::Protocol(format!("expected result, got {other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Fetches server counters.
+    pub fn stats(&self) -> Result<ServerStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(ClientError::Protocol(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected bye, got {other:?}"))),
+        }
+    }
+
+    /// Sends a request with the full retry policy.
+    pub fn request(&self, req: &Request) -> Result<Response, ClientError> {
+        let attempts = self.cfg.max_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff_delay(&self.cfg, attempt - 1));
+            }
+            match self.request_once(req) {
+                Ok(Response::Error(err)) if err.code.retryable() => {
+                    last = format!("server overloaded: {err}");
+                }
+                Ok(resp) => {
+                    return match resp {
+                        Response::Error(err) => Err(ClientError::Server(err)),
+                        other => Ok(other),
+                    };
+                }
+                Err(AttemptError::Transient(Transient(msg))) => last = msg,
+                Err(AttemptError::Fatal(err)) => return Err(err),
+            }
+        }
+        Err(ClientError::Exhausted { attempts, last })
+    }
+
+    /// One attempt on a fresh connection, no retry. Exposed so tests can
+    /// observe raw transport failures (truncated frames, corrupt frames)
+    /// without the retry policy masking them.
+    pub fn request_raw(&self, req: &Request) -> Result<Response, ClientError> {
+        match self.request_once(req) {
+            // Error responses normalize to `Server` here even when the
+            // code is retryable — "raw" means no retry, not no taxonomy.
+            Ok(Response::Error(err)) => Err(ClientError::Server(err)),
+            Ok(resp) => Ok(resp),
+            Err(AttemptError::Transient(Transient(msg))) => {
+                Err(ClientError::Exhausted { attempts: 1, last: msg })
+            }
+            Err(AttemptError::Fatal(err)) => Err(err),
+        }
+    }
+
+    fn request_once(&self, req: &Request) -> Result<Response, AttemptError> {
+        let transient = |msg: String| AttemptError::Transient(Transient(msg));
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)
+            .map_err(|e| transient(format!("connect failed: {e}")))?;
+        let _ = stream.set_read_timeout(Some(self.cfg.io_timeout));
+        let _ = stream.set_write_timeout(Some(self.cfg.io_timeout));
+        let _ = stream.set_nodelay(true);
+        write_frame(&mut stream, &req.encode()).map_err(classify_frame_error)?;
+        let payload = read_frame(&mut stream).map_err(classify_frame_error)?;
+        Response::decode(&payload)
+            .map_err(|e| AttemptError::Fatal(ClientError::Protocol(format!("bad response: {e}"))))
+    }
+}
+
+enum AttemptError {
+    Transient(Transient),
+    Fatal(ClientError),
+}
+
+/// Classifies a frame error: transport loss and corruption retry (a
+/// fresh connection resends the idempotent request); version and size
+/// violations are protocol-fatal.
+fn classify_frame_error(e: FrameError) -> AttemptError {
+    match e {
+        FrameError::Closed | FrameError::Truncated | FrameError::Io(_) => {
+            AttemptError::Transient(Transient(e.to_string()))
+        }
+        FrameError::Checksum { .. } => {
+            AttemptError::Transient(Transient(format!("response corrupt: {e}")))
+        }
+        FrameError::BadVersion(_) | FrameError::TooLarge(_) => {
+            AttemptError::Fatal(ClientError::Protocol(e.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs_proto::frame;
+    use dfs_proto::ErrorCode;
+    use std::io::Write as _;
+    use std::net::TcpListener;
+
+    fn test_cfg() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_millis(500),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            jitter_seed: 42,
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_deterministically() {
+        let cfg = ClientConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(40),
+            ..ClientConfig::default()
+        };
+        let d: Vec<Duration> = (0..5).map(|a| backoff_delay(&cfg, a)).collect();
+        // Same inputs, same delays.
+        let again: Vec<Duration> = (0..5).map(|a| backoff_delay(&cfg, a)).collect();
+        assert_eq!(d, again);
+        // Base grows 10 → 20 → 40 → 40 (cap); jitter adds at most 50%.
+        for (attempt, (&delay, base_ms)) in d.iter().zip([10u64, 20, 40, 40, 40]).enumerate() {
+            let base = Duration::from_millis(base_ms);
+            assert!(delay >= base, "attempt {attempt}: {delay:?} < base {base:?}");
+            assert!(delay <= base + base / 2, "attempt {attempt}: jitter above 50%");
+        }
+        // Different seeds decorrelate.
+        let other = ClientConfig { jitter_seed: 7, ..cfg };
+        assert_ne!(backoff_delay(&other, 1), backoff_delay(&cfg, 1));
+    }
+
+    #[test]
+    fn connect_refused_is_retried_then_exhausted() {
+        // Bind then drop: the port is (very likely) refused afterwards.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr")
+        };
+        let client = Client::with_config(addr, test_cfg()).expect("client");
+        match client.ping() {
+            Err(ClientError::Exhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn terminal_error_is_not_retried() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let served = std::thread::spawn(move || {
+            let mut hits = 0usize;
+            // Answer exactly one connection with a terminal error; count
+            // any further connection as a bug.
+            for conn in listener.incoming() {
+                let mut conn = match conn {
+                    Ok(c) => c,
+                    Err(_) => break,
+                };
+                hits += 1;
+                let _ = read_frame(&mut conn);
+                let resp = Response::Error(WireError::new(
+                    5,
+                    ErrorCode::MalformedQuery,
+                    "no such strategy",
+                ));
+                let _ = write_frame(&mut conn, &resp.encode());
+                if hits >= 1 {
+                    break;
+                }
+            }
+            hits
+        });
+        let client = Client::with_config(addr, test_cfg()).expect("client");
+        match client.query(&QuerySpec::example(5)) {
+            Err(ClientError::Server(err)) => {
+                assert_eq!(err.code, ErrorCode::MalformedQuery);
+            }
+            other => panic!("expected terminal server error, got {other:?}"),
+        }
+        assert_eq!(served.join().expect("join"), 1, "terminal errors must not retry");
+    }
+
+    #[test]
+    fn overloaded_retries_until_the_server_recovers() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            // First connection: overloaded. Second: pong.
+            for (i, conn) in listener.incoming().take(2).enumerate() {
+                let mut conn = conn.expect("accept");
+                let _ = read_frame(&mut conn);
+                let resp = if i == 0 {
+                    Response::Error(WireError::new(0, ErrorCode::Overloaded, "queue full"))
+                } else {
+                    Response::Pong
+                };
+                let _ = write_frame(&mut conn, &resp.encode());
+            }
+        });
+        let client = Client::with_config(addr, test_cfg()).expect("client");
+        client.ping().expect("retry must reach the recovered server");
+        server.join().expect("join");
+    }
+
+    #[test]
+    fn corrupt_response_frame_is_transient() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            for (i, conn) in listener.incoming().take(2).enumerate() {
+                let mut conn = conn.expect("accept");
+                let _ = read_frame(&mut conn);
+                let mut buf = frame::encode_frame(&Response::Pong.encode()).expect("encode");
+                if i == 0 {
+                    let last = buf.len() - 1;
+                    buf[last] ^= 0x01; // corrupt after checksum
+                }
+                let _ = conn.write_all(&buf);
+            }
+        });
+        let client = Client::with_config(addr, test_cfg()).expect("client");
+        client.ping().expect("checksum failure must retry onto the clean response");
+        server.join().expect("join");
+    }
+
+    #[test]
+    fn mid_frame_disconnect_is_transient() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            for (i, conn) in listener.incoming().take(2).enumerate() {
+                let mut conn = conn.expect("accept");
+                let _ = read_frame(&mut conn);
+                let buf = frame::encode_frame(&Response::Pong.encode()).expect("encode");
+                if i == 0 {
+                    let _ = conn.write_all(&buf[..buf.len() / 2]); // drop mid-frame
+                } else {
+                    let _ = conn.write_all(&buf);
+                }
+            }
+        });
+        let client = Client::with_config(addr, test_cfg()).expect("client");
+        client.ping().expect("truncated frame must retry onto the full response");
+        server.join().expect("join");
+    }
+}

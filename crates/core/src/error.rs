@@ -78,6 +78,32 @@ pub enum DfsError {
         /// What was wrong.
         reason: String,
     },
+    /// The serving queue was full (or draining) and the request was shed
+    /// by admission control instead of waiting unboundedly. Retryable:
+    /// the same request is valid once load subsides.
+    Overloaded {
+        /// Requests waiting when the shed decision was made.
+        queued: usize,
+        /// The queue's capacity.
+        capacity: usize,
+    },
+    /// A served request missed its propagated deadline. Like
+    /// [`DfsError::CellTimedOut`] the watchdog reports the last heartbeat
+    /// phase, but the deadline here came from the client, not from a
+    /// scenario's Max Search Time.
+    DeadlineExceeded {
+        /// The enforced deadline.
+        deadline: Duration,
+        /// Last heartbeat phase before the watchdog fired.
+        phase: String,
+    },
+    /// Bytes on the wire could not be decoded into a request: bad version,
+    /// oversized length prefix, checksum mismatch, or unparseable JSON.
+    /// Terminal: retrying the same bytes cannot succeed.
+    MalformedFrame {
+        /// Human-readable decode failure.
+        reason: String,
+    },
 }
 
 /// Workspace-wide result alias.
@@ -107,7 +133,25 @@ impl std::fmt::Display for DfsError {
                 )
             }
             DfsError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            DfsError::Overloaded { queued, capacity } => {
+                write!(f, "overloaded: request shed ({queued}/{capacity} queued); retry later")
+            }
+            DfsError::DeadlineExceeded { deadline, phase } => {
+                write!(f, "deadline {deadline:?} exceeded (last phase: {phase})")
+            }
+            DfsError::MalformedFrame { reason } => write!(f, "malformed frame: {reason}"),
         }
+    }
+}
+
+impl DfsError {
+    /// `true` when the operation may be retried verbatim with a chance of
+    /// success — transient resource pressure ([`DfsError::Overloaded`]) or
+    /// filesystem flakiness ([`DfsError::Io`]). Everything else is
+    /// terminal: the same input will fail the same way, so a client must
+    /// not burn its backoff budget on it.
+    pub fn retryable(&self) -> bool {
+        matches!(self, DfsError::Overloaded { .. } | DfsError::Io { .. })
     }
 }
 

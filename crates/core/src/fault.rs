@@ -61,9 +61,91 @@ impl FaultPlan {
     }
 }
 
+/// What an injected server-side fault does to its request.
+///
+/// These extend the cell-level [`FaultKind`] across the network boundary:
+/// each models a distinct production failure (peer vanishes, handler
+/// wedges, bytes rot, query code panics) as a deterministic, testable
+/// event keyed by the client-chosen request id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServerFaultKind {
+    /// The server writes half the response frame, then severs the
+    /// connection — the client must observe a truncated read, not a hang.
+    DropMidFrame,
+    /// The connection handler sleeps for the given duration before
+    /// executing, simulating a wedged handler. Longer than the request
+    /// deadline ⇒ a deadline-exceeded error frame with phase attribution.
+    StallHandler(Duration),
+    /// One payload byte of the response frame is flipped *after* the
+    /// checksum was computed — the client's frame layer must reject it.
+    CorruptFrame,
+    /// The query cell panics mid-execution. `catch_unwind` isolation must
+    /// convert it into an `internal` error frame; the daemon keeps serving.
+    PanicInCell,
+}
+
+/// A deterministic map from request id to an injected server fault.
+///
+/// Keyed by the *client-chosen* `req_id` (not arrival order), so a chaos
+/// schedule reproduces exactly regardless of thread interleaving. Faults
+/// are one-shot: [`ServerFaultPlan::take`] arms each at most once, so a
+/// client retry after a transport fault succeeds — the recovery path the
+/// chaos suite exercises.
+#[derive(Debug, Clone, Default)]
+pub struct ServerFaultPlan {
+    faults: HashMap<u64, ServerFaultKind>,
+}
+
+impl ServerFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` for the request with the given id.
+    pub fn inject(&mut self, req_id: u64, kind: ServerFaultKind) -> &mut Self {
+        self.faults.insert(req_id, kind);
+        self
+    }
+
+    /// The fault scheduled for a request, if any (non-consuming).
+    pub fn get(&self, req_id: u64) -> Option<ServerFaultKind> {
+        self.faults.get(&req_id).copied()
+    }
+
+    /// Removes and returns the fault for a request: one-shot semantics.
+    pub fn take(&mut self, req_id: u64) -> Option<ServerFaultKind> {
+        self.faults.remove(&req_id)
+    }
+
+    /// Number of still-armed faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn server_plan_is_one_shot_per_request() {
+        let mut plan = ServerFaultPlan::new();
+        assert!(plan.is_empty());
+        plan.inject(42, ServerFaultKind::CorruptFrame)
+            .inject(7, ServerFaultKind::StallHandler(Duration::from_millis(80)));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.get(42), Some(ServerFaultKind::CorruptFrame));
+        assert_eq!(plan.take(42), Some(ServerFaultKind::CorruptFrame));
+        assert_eq!(plan.take(42), None, "faults fire at most once");
+        assert_eq!(plan.get(7), Some(ServerFaultKind::StallHandler(Duration::from_millis(80))));
+        assert_eq!(plan.get(99), None);
+    }
 
     #[test]
     fn plan_is_a_sparse_cell_map() {

@@ -77,7 +77,7 @@ pub use dfs_obs as obs;
 pub use artifacts::ArtifactCache;
 pub use error::{DfsError, DfsResult};
 pub use exec::Executor;
-pub use fault::{FaultKind, FaultPlan};
+pub use fault::{FaultKind, FaultPlan, ServerFaultKind, ServerFaultPlan};
 pub use perf::EvalPerf;
 pub use scenario::{MlScenario, ScenarioContext, ScenarioSettings};
 pub use switching::{run_with_switching, SwitchConfig, SwitchOutcome};
@@ -88,7 +88,7 @@ pub mod prelude {
     pub use crate::artifacts::ArtifactCache;
     pub use crate::error::{DfsError, DfsResult};
     pub use crate::exec::{env_threads, Executor};
-    pub use crate::fault::{FaultKind, FaultPlan};
+    pub use crate::fault::{FaultKind, FaultPlan, ServerFaultKind, ServerFaultPlan};
     pub use crate::perf::EvalPerf;
     pub use crate::runner::{
         run_benchmark, run_benchmark_opts, Arm, BenchmarkMatrix, CellResult, CellStatus,

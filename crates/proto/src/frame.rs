@@ -1,0 +1,241 @@
+//! Length-prefixed frames on a byte stream.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! [ version: u8 ][ len: u32 ][ checksum: u32 ][ payload: len bytes ]
+//! ```
+//!
+//! `version` must equal [`PROTO_VERSION`]; `len` is guarded by
+//! [`MAX_FRAME`] *before* any allocation, so a hostile or corrupt length
+//! prefix can never balloon memory; `checksum` is FNV-1a over the payload
+//! and catches the bit flips the chaos suite injects. Reads distinguish a
+//! clean close (EOF before the first header byte → [`FrameError::Closed`])
+//! from a mid-frame disconnect ([`FrameError::Truncated`]).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Current protocol version, first byte of every frame.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Hard upper bound on payload size (1 MiB). Applied before allocating.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Bytes in the fixed header preceding the payload.
+pub const HEADER_LEN: usize = 9;
+
+/// Everything that can go wrong reading or writing a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// First header byte was not [`PROTO_VERSION`].
+    BadVersion(u8),
+    /// Declared payload length exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+    /// Payload bytes do not match the header checksum.
+    Checksum { expected: u32, actual: u32 },
+    /// Clean EOF before any header byte: the peer closed the connection.
+    Closed,
+    /// EOF in the middle of a frame: the peer vanished mid-write.
+    Truncated,
+    /// Underlying socket/file error (including read timeouts).
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadVersion(v) => {
+                write!(f, "unsupported protocol version {v} (expected {PROTO_VERSION})")
+            }
+            FrameError::TooLarge(n) => {
+                write!(f, "frame payload of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            FrameError::Checksum { expected, actual } => {
+                write!(f, "frame checksum mismatch: header says {expected:08x}, payload hashes to {actual:08x}")
+            }
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "connection dropped mid-frame"),
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl FrameError {
+    /// `true` when the error reflects transport loss (retryable with a
+    /// fresh connection) rather than a protocol violation.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, FrameError::Closed | FrameError::Truncated | FrameError::Io(_))
+    }
+}
+
+/// FNV-1a, 32-bit: tiny, dependency-free, catches the single-byte
+/// corruption the chaos plan injects.
+pub fn checksum(payload: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in payload {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Serializes a complete frame (header + payload) into a buffer.
+///
+/// Split out from [`write_frame`] so the server's chaos injector can
+/// corrupt or truncate the encoded bytes before they hit the socket.
+pub fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if payload.len() > MAX_FRAME {
+        return Err(FrameError::TooLarge(payload.len()));
+    }
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.push(PROTO_VERSION);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&checksum(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    Ok(buf)
+}
+
+/// Writes one frame and flushes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    let buf = encode_frame(payload)?;
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame's payload.
+///
+/// EOF before the first byte is [`FrameError::Closed`]; EOF anywhere later
+/// is [`FrameError::Truncated`]. The length guard runs before allocation.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_or(r, &mut header, true)?;
+    if header[0] != PROTO_VERSION {
+        return Err(FrameError::BadVersion(header[0]));
+    }
+    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let expected = u32::from_le_bytes([header[5], header[6], header[7], header[8]]);
+    let mut payload = vec![0u8; len];
+    read_exact_or(r, &mut payload, false)?;
+    let actual = checksum(&payload);
+    if actual != expected {
+        return Err(FrameError::Checksum { expected, actual });
+    }
+    Ok(payload)
+}
+
+/// `read_exact` that reports *where* the stream ended: a zero-byte first
+/// read at a frame boundary is a clean close, anything later is truncation.
+fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8], at_boundary: bool) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if at_boundary && filled == 0 {
+                    Err(FrameError::Closed)
+                } else {
+                    Err(FrameError::Truncated)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip() {
+        for payload in [b"".as_slice(), b"x".as_slice(), b"{\"k\":1}".as_slice()] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, payload).expect("write");
+            let got = read_frame(&mut Cursor::new(&buf)).expect("read");
+            assert_eq!(got, payload);
+        }
+    }
+
+    #[test]
+    fn two_frames_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").expect("write");
+        write_frame(&mut buf, b"second").expect("write");
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(read_frame(&mut cur).expect("1"), b"first");
+        assert_eq!(read_frame(&mut cur).expect("2"), b"second");
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_mid_frame_is_truncated() {
+        assert!(matches!(read_frame(&mut Cursor::new(&[])), Err(FrameError::Closed)));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").expect("write");
+        for cut in [1, HEADER_LEN - 1, HEADER_LEN, HEADER_LEN + 3] {
+            let r = read_frame(&mut Cursor::new(&buf[..cut]));
+            assert!(matches!(r, Err(FrameError::Truncated)), "cut at {cut}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").expect("write");
+        buf[0] = 99;
+        assert!(matches!(read_frame(&mut Cursor::new(&buf)), Err(FrameError::BadVersion(99))));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut buf = vec![PROTO_VERSION];
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let r = read_frame(&mut Cursor::new(&buf));
+        assert!(matches!(r, Err(FrameError::TooLarge(_))), "{r:?}");
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"sensitive payload").expect("write");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let r = read_frame(&mut Cursor::new(&buf));
+        assert!(matches!(r, Err(FrameError::Checksum { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn oversized_payload_refused_at_write() {
+        let huge = vec![0u8; MAX_FRAME + 1];
+        let mut sink = Vec::new();
+        assert!(matches!(write_frame(&mut sink, &huge), Err(FrameError::TooLarge(_))));
+        assert!(sink.is_empty(), "nothing may be written for a refused frame");
+    }
+
+    #[test]
+    fn transport_classification() {
+        assert!(FrameError::Closed.is_transport());
+        assert!(FrameError::Truncated.is_transport());
+        assert!(FrameError::Io(io::Error::other("x")).is_transport());
+        assert!(!FrameError::BadVersion(0).is_transport());
+        assert!(!FrameError::Checksum { expected: 0, actual: 1 }.is_transport());
+        assert!(!FrameError::TooLarge(0).is_transport());
+    }
+}

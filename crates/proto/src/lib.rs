@@ -1,0 +1,29 @@
+//! Wire protocol for the DFS constraint-query server.
+//!
+//! Three layers, each testable in isolation:
+//!
+//! - [`json`] — a minimal, dependency-free JSON value type with a strict
+//!   recursive-descent parser (depth-limited; input size is already bounded
+//!   by the frame layer) and a deterministic writer (object keys keep
+//!   insertion order, so encoding is reproducible byte-for-byte).
+//! - [`frame`] — length-prefixed frames on a byte stream: a version byte,
+//!   a little-endian `u32` payload length guarded by [`frame::MAX_FRAME`],
+//!   a FNV-1a checksum of the payload, then the payload itself. A corrupt,
+//!   oversized, or truncated frame is a typed [`frame::FrameError`], never
+//!   a panic and never an unbounded read.
+//! - [`msg`] — the typed request/response messages the server and client
+//!   exchange, with `to_json`/`from_json` conversions and the
+//!   retryable-vs-terminal classification of [`msg::ErrorCode`] that drives
+//!   the client's backoff policy.
+//!
+//! The crate deliberately has **zero dependencies** (no serde, no tokio):
+//! the container builds offline and the protocol is small enough that a
+//! hand-rolled codec is both auditable and fast.
+
+pub mod frame;
+pub mod json;
+pub mod msg;
+
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME, PROTO_VERSION};
+pub use json::Json;
+pub use msg::{ErrorCode, QueryResult, QuerySpec, Request, Response, ServerStats, WireError};

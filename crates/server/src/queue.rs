@@ -1,0 +1,180 @@
+//! The bounded admission queue: load-shedding, never a hang.
+//!
+//! `try_push` is non-blocking — a full or closed queue returns the item to
+//! the caller immediately, which the connection handler converts into an
+//! explicit `Overloaded` error frame. `pop` blocks (workers park here) and
+//! returns `None` once the queue is closed and empty. `close` hands the
+//! still-queued items back to the drain path so every shed request gets a
+//! response instead of a silently dropped connection.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` (the parking_lot build-stub has
+//! no condvar); lock poisoning is recovered, not propagated — a panicking
+//! worker must not wedge admission for everyone else.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Why `try_push` handed the item back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// Queue at capacity: shed under load.
+    Full {
+        /// The rejected item.
+        item: T,
+        /// Items waiting when the shed decision was made.
+        queued: usize,
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// Queue closed (server draining): shed by policy.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue with explicit shedding.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Enqueues without blocking; a full or closed queue sheds the item.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full { item, queued: s.items.len(), capacity: self.capacity });
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item; `None` once closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Closes the queue and returns everything still waiting, so the
+    /// caller can answer each shed request explicitly.
+    pub fn close(&self) -> Vec<T> {
+        let mut s = self.lock();
+        s.closed = true;
+        let shed: Vec<T> = s.items.drain(..).collect();
+        drop(s);
+        self.ready.notify_all();
+        shed
+    }
+
+    /// Items currently waiting.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// `true` when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).expect("push");
+        q.try_push(2).expect("push");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds_with_occupancy() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).expect("push");
+        q.try_push(2).expect("push");
+        match q.try_push(3) {
+            Err(PushError::Full { item, queued, capacity }) => {
+                assert_eq!((item, queued, capacity), (3, 2, 2));
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_returns_queued_items_and_wakes_poppers() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(10).expect("push");
+        q.try_push(11).expect("push");
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                // Drain the two items, then block until close.
+                let mut got = vec![];
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        // Give the waiter time to drain and park.
+        while !q.is_empty() {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let shed = q.close();
+        assert!(shed.is_empty(), "waiter already drained the queue");
+        assert_eq!(waiter.join().expect("join"), vec![10, 11]);
+        assert_eq!(q.pop(), None, "closed+empty pops None");
+        assert!(matches!(q.try_push(99), Err(PushError::Closed(99))));
+    }
+
+    #[test]
+    fn close_with_backlog_hands_items_back() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).expect("push");
+        q.try_push(2).expect("push");
+        let shed = q.close();
+        assert_eq!(shed, vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        q.try_push(1).expect("capacity clamps to 1");
+        assert!(matches!(q.try_push(2), Err(PushError::Full { .. })));
+    }
+}

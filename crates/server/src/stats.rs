@@ -1,0 +1,56 @@
+//! Lock-free server counters, snapshot into the wire `ServerStats`.
+
+use dfs_proto::ServerStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters bumped from accept, handler, and worker threads.
+#[derive(Debug, Default)]
+pub struct Stats {
+    pub connections: AtomicU64,
+    pub served: AtomicU64,
+    pub succeeded: AtomicU64,
+    pub shed: AtomicU64,
+    pub panicked: AtomicU64,
+    pub deadline_exceeded: AtomicU64,
+    pub malformed: AtomicU64,
+}
+
+impl Stats {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot with the warm-cache counters supplied by the engine.
+    pub fn snapshot(&self, ranking_computes: u64, ranking_hits: u64) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            succeeded: self.succeeded.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            ranking_computes,
+            ranking_hits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = Stats::default();
+        Stats::bump(&s.served);
+        Stats::bump(&s.served);
+        Stats::bump(&s.shed);
+        let snap = s.snapshot(3, 9);
+        assert_eq!(snap.served, 2);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.ranking_computes, 3);
+        assert_eq!(snap.ranking_hits, 9);
+        assert_eq!(snap.panicked, 0);
+    }
+}

@@ -191,3 +191,62 @@ fn killed_run_resumes_from_checkpoint_and_recomputes_only_missing_rows() {
     assert_eq!(recomputed, vec![1, 3]);
     std::fs::remove_file(&ckpt_path).ok();
 }
+
+/// The serving-layer error variants carry enough context to act on: the
+/// Display text names the quota or phase, and `retryable()` matches the
+/// wire protocol's retry matrix (only transient pressure retries).
+#[test]
+fn serving_error_variants_display_and_classify() {
+    let overloaded = DfsError::Overloaded { queued: 32, capacity: 32 };
+    assert_eq!(
+        overloaded.to_string(),
+        "overloaded: request shed (32/32 queued); retry later"
+    );
+    assert!(overloaded.retryable(), "load shedding is transient by contract");
+
+    let deadline = DfsError::DeadlineExceeded {
+        deadline: Duration::from_millis(250),
+        phase: "eval.fit".into(),
+    };
+    assert_eq!(deadline.to_string(), "deadline 250ms exceeded (last phase: eval.fit)");
+    assert!(
+        !deadline.retryable(),
+        "retrying an expired deadline verbatim would just expire again"
+    );
+
+    let malformed = DfsError::MalformedFrame { reason: "bad version 9".into() };
+    assert_eq!(malformed.to_string(), "malformed frame: bad version 9");
+    assert!(!malformed.retryable(), "a malformed request never improves on resend");
+
+    let io = DfsError::Io {
+        path: std::path::PathBuf::from("/tmp/x"),
+        source: std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset"),
+    };
+    assert!(io.retryable(), "transport loss retries");
+    let panic = DfsError::CellPanicked {
+        scenario: "compas".into(),
+        arm: "sfs".into(),
+        payload: "boom".into(),
+    };
+    assert!(!panic.retryable(), "a deterministic panic recurs on retry");
+}
+
+/// The wire-level error taxonomy mirrors `DfsError::retryable`: exactly
+/// one code (`overloaded`) invites a retry, and codes round-trip through
+/// their string form.
+#[test]
+fn wire_error_codes_round_trip_and_classify() {
+    use dfs_repro::proto::ErrorCode;
+    let all = [
+        ErrorCode::Overloaded,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::MalformedQuery,
+        ErrorCode::BudgetExceeded,
+        ErrorCode::Internal,
+    ];
+    for code in all {
+        assert_eq!(ErrorCode::from_str_code(code.as_str()), Ok(code));
+        assert_eq!(code.retryable(), code == ErrorCode::Overloaded, "{code:?}");
+    }
+    assert!(ErrorCode::from_str_code("nope").is_err());
+}

@@ -1,0 +1,351 @@
+//! Deterministic chaos tests for the constraint-query daemon.
+//!
+//! Each injected fault — in-cell panic, handler stall past deadline,
+//! corrupt response frame, mid-frame disconnect, queue overflow — must
+//! yield its documented error response while the daemon keeps serving,
+//! and concurrent queries that are *not* faulted must come back
+//! bit-identical whether the server runs one executor thread or four.
+
+use dfs_repro::client::{Client, ClientConfig, ClientError};
+use dfs_repro::core::prelude::{ServerFaultKind, ServerFaultPlan};
+use dfs_repro::proto::frame::{encode_frame, write_frame, MAX_FRAME, PROTO_VERSION};
+use dfs_repro::proto::{ErrorCode, QuerySpec, Request, Response};
+use dfs_repro::server::{read_sidecar, Server, ServerConfig, ServerHandle};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn test_server(chaos: ServerFaultPlan, threads: usize) -> ServerHandle {
+    test_server_with(chaos, threads, |_| {})
+}
+
+fn test_server_with(
+    chaos: ServerFaultPlan,
+    threads: usize,
+    tweak: impl FnOnce(&mut ServerConfig),
+) -> ServerHandle {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        threads,
+        chaos,
+        ..ServerConfig::default()
+    };
+    tweak(&mut cfg);
+    Server::spawn(cfg).expect("server spawns")
+}
+
+fn test_client(addr: SocketAddr) -> Client {
+    let cfg = ClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        io_timeout: Duration::from_secs(30),
+        max_attempts: 4,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        jitter_seed: 1,
+    };
+    Client::with_config(addr, cfg).expect("client")
+}
+
+/// A small deterministic query: the evaluation cap binds long before the
+/// generous time budget, so results cannot depend on wall-clock.
+fn fast_spec(req_id: u64, strategy: &str, seed: u64) -> QuerySpec {
+    let mut spec = QuerySpec::example(req_id);
+    spec.rows = Some(120);
+    spec.strategy = strategy.into();
+    spec.seed = seed;
+    spec.time_ms = 2000;
+    spec.max_evals = 15;
+    spec
+}
+
+#[test]
+fn faulted_queries_get_documented_errors_and_unaffected_queries_stay_bit_identical() {
+    const UNAFFECTED: &[(u64, &str, u64)] =
+        &[(1, "variance", 13), (2, "fisher", 13), (3, "chi2", 7), (4, "variance", 7)];
+    let fingerprints_at = |threads: usize| -> Vec<String> {
+        let mut chaos = ServerFaultPlan::new();
+        chaos.inject(101, ServerFaultKind::PanicInCell);
+        chaos.inject(102, ServerFaultKind::StallHandler(Duration::from_millis(400)));
+        chaos.inject(103, ServerFaultKind::CorruptFrame);
+        chaos.inject(104, ServerFaultKind::DropMidFrame);
+        let mut handle = test_server(chaos, threads);
+        let addr = handle.addr();
+
+        // Fire the faulted queries concurrently with the clean batch.
+        let chaos_runs: Vec<_> = [101u64, 102, 103, 104]
+            .into_iter()
+            .map(|req| {
+                std::thread::spawn(move || {
+                    let client = test_client(addr);
+                    let mut spec = fast_spec(req, "variance", 13);
+                    if req == 102 {
+                        // The 400 ms stall must blow this 100 ms deadline.
+                        spec.deadline_ms = Some(100);
+                    }
+                    (req, client.query(&spec))
+                })
+            })
+            .collect();
+        let clean_runs: Vec<_> = UNAFFECTED
+            .iter()
+            .map(|&(req, strategy, seed)| {
+                let spec = fast_spec(req, strategy, seed);
+                std::thread::spawn(move || {
+                    test_client(addr).query(&spec).expect("unaffected query succeeds")
+                })
+            })
+            .collect();
+
+        for run in chaos_runs {
+            let (req, outcome) = run.join().expect("chaos client");
+            match req {
+                101 => {
+                    // In-cell panic: terminal `internal`, no retry.
+                    let err = outcome.expect_err("panic must fail");
+                    let wire = err.wire().expect("server-classified error");
+                    assert_eq!(wire.code, ErrorCode::Internal, "{wire:?}");
+                    assert!(wire.message.contains("panicked"), "{wire:?}");
+                }
+                102 => {
+                    // Stall past deadline: `deadline_exceeded` with the
+                    // phase the request died in.
+                    let err = outcome.expect_err("stalled query must miss its deadline");
+                    let wire = err.wire().expect("server-classified error");
+                    assert_eq!(wire.code, ErrorCode::DeadlineExceeded, "{wire:?}");
+                    assert!(wire.phase.is_some(), "deadline errors carry a phase: {wire:?}");
+                }
+                // Corrupt frame and mid-frame drop hit the *response*
+                // path; the fault is one-shot, so the client's retry gets
+                // a clean answer.
+                103 | 104 => {
+                    let result = outcome.expect("retry must recover the response");
+                    assert_eq!(result.req_id, req);
+                }
+                _ => unreachable!(),
+            }
+        }
+        let fingerprints: Vec<String> =
+            clean_runs.into_iter().map(|r| r.join().expect("clean client").fingerprint()).collect();
+
+        // The daemon is still healthy after every fault.
+        let client = test_client(addr);
+        client.ping().expect("daemon still answers after chaos");
+        let stats = client.stats().expect("stats");
+        assert!(stats.panicked >= 1, "panic fault must be counted: {stats:?}");
+        assert!(stats.deadline_exceeded >= 1, "stall fault must be counted: {stats:?}");
+        handle.drain();
+        fingerprints
+    };
+
+    let narrow = fingerprints_at(1);
+    let wide = fingerprints_at(4);
+    assert_eq!(
+        narrow, wide,
+        "unaffected queries must be bit-identical at DFS_THREADS=1 vs 4"
+    );
+}
+
+/// A query that cannot satisfy its constraint and so burns its whole
+/// time budget — used to keep a worker busy on purpose.
+fn slow_spec(req_id: u64, time_ms: u64) -> QuerySpec {
+    let mut spec = QuerySpec::example(req_id);
+    spec.rows = Some(200);
+    // Exhaustive search against an unsatisfiable constraint: never
+    // converges, so the time budget is what stops it.
+    spec.strategy = "es".into();
+    spec.min_f1 = 0.99;
+    spec.time_ms = time_ms;
+    // With the eval quota raised server-side (see the tests), the time
+    // budget is the binding limit, so the query runs ~time_ms.
+    spec.max_evals = 1_000_000;
+    spec.hpo = true;
+    spec
+}
+
+#[test]
+fn queue_overflow_sheds_with_overloaded_and_recovers() {
+    // One worker, depth-1 queue: a slow in-flight query plus one queued
+    // query leaves no room — the third is shed, never parked.
+    let mut handle = test_server_with(ServerFaultPlan::new(), 1, |cfg| {
+        cfg.workers = 1;
+        cfg.queue_depth = 1;
+        cfg.quota_evals = 10_000_000;
+    });
+    let addr = handle.addr();
+
+    let slow = slow_spec(50, 1000);
+    let inflight = std::thread::spawn(move || test_client(addr).query(&slow));
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Fill the queue with one more...
+    let queued_spec = slow_spec(51, 400);
+    let queued = std::thread::spawn(move || test_client(addr).query(&queued_spec));
+    std::thread::sleep(Duration::from_millis(150));
+
+    // ...then observe the shed without retry masking it.
+    let client = test_client(addr);
+    let mut shed_seen = false;
+    for req in 60..70 {
+        match client.request_raw(&Request::Query(fast_spec(req, "variance", 13))) {
+            Err(ClientError::Server(wire)) if wire.code == ErrorCode::Overloaded => {
+                assert!(wire.code.retryable(), "overloaded must be the retryable code");
+                assert!(wire.message.contains("overloaded"), "{wire:?}");
+                shed_seen = true;
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    assert!(shed_seen, "a depth-1 queue under a stalled worker must shed");
+
+    // Both earlier requests complete (the slow query fails its
+    // impossible constraint but returns a real result), and the daemon
+    // recovers fully.
+    let slow_result = inflight.join().expect("join").expect("in-flight query completes");
+    assert!(!slow_result.success, "min_f1=0.99 must be unsatisfiable");
+    let _ = queued.join().expect("join"); // may or may not have been shed by timing
+    let result = client.query(&fast_spec(90, "variance", 13)).expect("recovered");
+    assert!(result.evaluations > 0);
+    let stats = client.stats().expect("stats");
+    assert!(stats.shed >= 1, "shed counter must record the overflow: {stats:?}");
+    handle.drain();
+}
+
+#[test]
+fn protocol_violations_answer_or_close_but_never_kill_the_daemon() {
+    let mut handle = test_server(ServerFaultPlan::new(), 1);
+    let addr = handle.addr();
+
+    // Garbage bytes: not even a valid header.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write");
+        let _ = s.shutdown(std::net::Shutdown::Write);
+    }
+    // Wrong protocol version.
+    {
+        let mut buf = encode_frame(&Request::Ping.encode()).expect("encode");
+        buf[0] = PROTO_VERSION + 1;
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&buf).expect("write");
+    }
+    // Oversized length prefix.
+    {
+        let mut buf = vec![PROTO_VERSION];
+        buf.extend(((MAX_FRAME + 1) as u32).to_le_bytes());
+        buf.extend(0u32.to_le_bytes());
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&buf).expect("write");
+    }
+    // Half a frame, then vanish (client-side mid-frame disconnect).
+    {
+        let buf = encode_frame(&Request::Ping.encode()).expect("encode");
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&buf[..buf.len() / 2]).expect("write");
+        drop(s);
+    }
+    // Valid frame, payload that is not a request.
+    {
+        let buf = encode_frame(b"{\"cmd\":\"launch_missiles\"}").expect("encode");
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&buf).expect("write");
+    }
+
+    // After all of that the daemon still serves real queries.
+    let client = test_client(addr);
+    client.ping().expect("daemon survives protocol abuse");
+    let result = client.query(&fast_spec(7, "variance", 13)).expect("query still works");
+    assert!(result.evaluations > 0);
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.malformed >= 3,
+        "version/length/payload violations must be counted: {stats:?}"
+    );
+    handle.drain();
+}
+
+#[test]
+fn graceful_drain_finishes_inflight_sheds_queue_and_flushes_sidecar() {
+    dfs_repro::obs::set_trace_enabled(true);
+    let dir = std::env::temp_dir().join(format!("dfs-drain-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let sidecar = dir.join("server.ckpt");
+
+    let sidecar_cfg = sidecar.clone();
+    let mut handle = test_server_with(ServerFaultPlan::new(), 1, move |cfg| {
+        cfg.workers = 1;
+        cfg.queue_depth = 4;
+        cfg.quota_evals = 10_000_000;
+        cfg.sidecar = Some(sidecar_cfg);
+    });
+    let addr = handle.addr();
+
+    // Occupy the single worker, then park a second query in the queue.
+    let inflight_spec = slow_spec(200, 700);
+    let inflight = std::thread::spawn(move || test_client(addr).query(&inflight_spec));
+    std::thread::sleep(Duration::from_millis(150));
+    let queued_spec = slow_spec(201, 400);
+    let queued =
+        std::thread::spawn(move || test_client(addr).request_raw(&Request::Query(queued_spec)));
+    std::thread::sleep(Duration::from_millis(100));
+
+    let report = handle.drain();
+
+    // The in-flight query finished with a real result; the queued one
+    // was shed with an explicit `overloaded`, not a hang.
+    let result = inflight.join().expect("join").expect("in-flight survives drain");
+    assert_eq!(result.req_id, 200);
+    match queued.join().expect("join") {
+        Err(ClientError::Server(wire)) => {
+            assert_eq!(wire.code, ErrorCode::Overloaded, "{wire:?}");
+            assert!(wire.message.contains("drain"), "{wire:?}");
+        }
+        other => panic!("queued query must be shed on drain, got {other:?}"),
+    }
+    assert!(report.shed >= 1, "drain report must count the shed job");
+
+    // The sidecar was flushed atomically and parses back.
+    let stats = read_sidecar(&sidecar).expect("sidecar readable");
+    assert_eq!(stats.served, report.stats.served);
+    assert!(stats.served >= 1, "{stats:?}");
+
+    // The journal documents the drain protocol.
+    for needle in ["drain.begin", "sidecar.flush", "drain.complete"] {
+        assert!(
+            report.journal.contains(needle),
+            "journal missing '{needle}':\n{}",
+            report.journal
+        );
+    }
+
+    // New connections are refused (or reset) once drained.
+    let late = test_client(addr);
+    assert!(late.ping().is_err(), "drained server must not accept new work");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_artifact_cache_is_reused_across_requests() {
+    let mut handle = test_server(ServerFaultPlan::new(), 1);
+    let addr = handle.addr();
+    let client = test_client(addr);
+
+    let first = client.query(&fast_spec(11, "fisher", 13)).expect("first query");
+    let repeat = client.query(&fast_spec(12, "fisher", 13)).expect("repeat query");
+    // Identical work, different request ids: the ranking is computed once
+    // and served warm afterwards.
+    assert!(first.ranking_computes >= 1, "{first:?}");
+    assert!(repeat.ranking_hits >= 1, "warm pool must serve the repeat: {repeat:?}");
+    assert_eq!(repeat.ranking_computes, 0, "repeat must not recompute: {repeat:?}");
+
+    // And the results themselves are bit-identical apart from the id.
+    let mut renamed = repeat.clone();
+    renamed.req_id = first.req_id;
+    renamed.elapsed_ms = first.elapsed_ms;
+    renamed.model_fits = first.model_fits;
+    renamed.ranking_computes = first.ranking_computes;
+    renamed.ranking_hits = first.ranking_hits;
+    assert_eq!(renamed.fingerprint(), first.fingerprint());
+    handle.drain();
+}
