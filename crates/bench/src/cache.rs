@@ -4,10 +4,11 @@
 //! that needs it first looks here. The format is a line-oriented TSV keyed
 //! by a config fingerprint, written atomically (temp file + rename).
 //!
-//! Codec v4 carries each cell's [`CellStatus`] (so fault-isolated runs
+//! Codec v5 carries each cell's [`CellStatus`] (so fault-isolated runs
 //! roundtrip losslessly) and its [`EvalPerf`] work counters, including the
 //! attack/ranking timing and HPO grid-point fields added with the
-//! observability layer. A file that
+//! observability layer and the memo/bound-pruning/warm-start counters
+//! added with the cross-arm evaluation memo. A file that
 //! fails validation — wrong version, truncated, or garbled — is never
 //! trusted partially: [`load`] quarantines it (renames it aside with a
 //! `.quarantined` suffix) and the caller recomputes. The per-cell line
@@ -54,7 +55,7 @@ pub fn fingerprint(cfg: &CorpusConfig) -> u64 {
     h
 }
 
-/// Serializes a matrix to the TSV codec (v4).
+/// Serializes a matrix to the TSV codec (v5).
 ///
 /// Errors with [`DfsError::CacheEncode`] on a non-canonical arm set — the
 /// compact codec stores no arm column, so only `Arm::all()` matrices are
@@ -71,7 +72,7 @@ pub fn encode(matrix: &BenchmarkMatrix) -> DfsResult<String> {
             ),
         });
     }
-    let _ = writeln!(out, "#dfs-matrix\tv4\t{}\t{}", matrix.scenarios.len(), matrix.arms.len());
+    let _ = writeln!(out, "#dfs-matrix\tv5\t{}\t{}", matrix.scenarios.len(), matrix.arms.len());
     for (s, row) in matrix.scenarios.iter().zip(&matrix.results) {
         let c = &s.constraints;
         let _ = writeln!(
@@ -96,13 +97,13 @@ pub fn encode(matrix: &BenchmarkMatrix) -> DfsResult<String> {
     Ok(out)
 }
 
-/// Writes one `R` result line (v4: leading one-character status code, then
-/// the metrics, then the ten [`EvalPerf`] work counters).
+/// Writes one `R` result line (v5: leading one-character status code, then
+/// the metrics, then the fourteen [`EvalPerf`] work counters).
 pub(crate) fn encode_cell(out: &mut String, cell: &CellResult) {
     let p = &cell.perf;
     let _ = writeln!(
         out,
-        "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
         cell.status.code(),
         cell.success as u8,
         cell.elapsed.as_secs_f64(),
@@ -121,15 +122,19 @@ pub(crate) fn encode_cell(out: &mut String, cell: &CellResult) {
         p.attack_ns,
         p.ranking_ns,
         p.hpo_grid_points,
+        p.memo_hits,
+        p.memo_misses,
+        p.bound_skips,
+        p.warm_starts,
     );
 }
 
-/// Parses one tab-split `R` line (`fields[0] == "R"`, 19 fields). Every
+/// Parses one tab-split `R` line (`fields[0] == "R"`, 23 fields). Every
 /// field is validated — a truncated or bit-flipped line is an error, never
 /// a silently wrong cell.
 pub(crate) fn decode_cell(fields: &[&str]) -> Result<CellResult, String> {
-    if fields.len() != 19 {
-        return Err(format!("result line has {} fields, expected 19", fields.len()));
+    if fields.len() != 23 {
+        return Err(format!("result line has {} fields, expected 23", fields.len()));
     }
     let parse = |i: usize| -> Result<f64, String> {
         fields[i].parse().map_err(|e| format!("result field {i}: {e}"))
@@ -172,6 +177,10 @@ pub(crate) fn decode_cell(fields: &[&str]) -> Result<CellResult, String> {
             attack_ns: count(16)?,
             ranking_ns: count(17)?,
             hpo_grid_points: count(18)?,
+            memo_hits: count(19)?,
+            memo_misses: count(20)?,
+            bound_skips: count(21)?,
+            warm_starts: count(22)?,
         },
     })
 }
@@ -184,8 +193,8 @@ pub fn decode(s: &str) -> Result<BenchmarkMatrix, String> {
     if head.len() != 4 || head[0] != "#dfs-matrix" {
         return Err(format!("bad header '{header}'"));
     }
-    if head[1] != "v4" {
-        return Err(format!("unsupported cache version '{}' (this build reads v4)", head[1]));
+    if head[1] != "v5" {
+        return Err(format!("unsupported cache version '{}' (this build reads v5)", head[1]));
     }
     let n_scenarios: usize = head[2].parse().map_err(|e| format!("bad count: {e}"))?;
     let n_arms: usize = head[3].parse().map_err(|e| format!("bad arm count: {e}"))?;
@@ -352,6 +361,10 @@ mod tests {
                     attack_ns: 3_000 + i as u64,
                     ranking_ns: 4_000 + i as u64,
                     hpo_grid_points: (i % 7) as u64,
+                    memo_hits: (i % 4) as u64,
+                    memo_misses: 5 + i as u64,
+                    bound_skips: (i % 6) as u64,
+                    warm_starts: (i % 3) as u64,
                 },
             })
             .collect();
@@ -408,16 +421,17 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert!(decode("").is_err());
-        // Older codecs (v1 pre-status, v2 pre-perf, v3 pre-obs-counters)
-        // are a version mismatch, not a panic; so is any future version.
-        for old in ["v1", "v2", "v3"] {
+        // Older codecs (v1 pre-status, v2 pre-perf, v3 pre-obs-counters,
+        // v4 pre-memo-counters) are a version mismatch, not a panic; so is
+        // any future version.
+        for old in ["v1", "v2", "v3", "v4"] {
             assert!(decode(&format!("#dfs-matrix\t{old}\t0\t17\n"))
                 .is_err_and(|e| e.contains("unsupported cache version")));
         }
-        assert!(decode("#dfs-matrix\tv5\t0\t17\n").is_err());
-        assert!(decode("#dfs-matrix\tv4\t1\t17\nX\tfoo\n").is_err());
+        assert!(decode("#dfs-matrix\tv6\t0\t17\n").is_err());
+        assert!(decode("#dfs-matrix\tv5\t1\t17\nX\tfoo\n").is_err());
         // Wrong arm count.
-        assert!(decode("#dfs-matrix\tv4\t0\t3\n").is_err());
+        assert!(decode("#dfs-matrix\tv5\t0\t3\n").is_err());
     }
 
     #[test]
@@ -464,9 +478,9 @@ mod tests {
         let path = dir.join("bad.tsv");
         let qpath = PathBuf::from(format!("{}.quarantined", path.display()));
         std::fs::remove_file(&qpath).ok();
-        // A v3 file from the previous build is quarantined like any other
-        // version mismatch — the recompute writes fresh v4 bytes.
-        std::fs::write(&path, "#dfs-matrix\tv3\t0\t17\n").expect("write");
+        // A v4 file from the previous build is quarantined like any other
+        // version mismatch — the recompute writes fresh v5 bytes.
+        std::fs::write(&path, "#dfs-matrix\tv4\t0\t17\n").expect("write");
         dfs_obs::set_trace_enabled(true);
         let (loaded, collected) = dfs_obs::scoped(|| load(&path));
         assert!(loaded.is_none());

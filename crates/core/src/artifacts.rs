@@ -17,6 +17,7 @@
 //! can never change a strategy's outcome, only how often the ranking is
 //! computed.
 
+use dfs_constraints::Evaluation;
 use dfs_data::split::Split;
 use dfs_linalg::rng::derive_seed;
 use dfs_rankings::{Ranking, RankingKind};
@@ -121,6 +122,121 @@ impl ArtifactCache {
                 Arc::new(ranking)
             });
         }
+    }
+}
+
+/// Memo key for one subset measurement (see [`EvalMemo`]).
+///
+/// The `settings_key` folds in everything *besides* the subset that can
+/// change the measured metric values: model kind, HPO flag, scenario seed,
+/// privacy ε, which metrics are measured, the attack configuration, the
+/// effective train-row cap, and whether inexact warm starts were allowed.
+/// Constraint *thresholds* are deliberately absent — the measurement is
+/// threshold-free (thresholds only enter the Eq. 1 distance computed from
+/// it), so portfolio rows that differ only in thresholds share entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EvalKey {
+    /// Dataset name.
+    pub dataset: String,
+    /// [`split_fingerprint`] of the split measured on.
+    pub split_key: u64,
+    /// Fingerprint of all measurement-relevant scenario settings.
+    pub settings_key: u64,
+    /// `true` for confirm-on-test measurements, `false` for validation.
+    pub eval_on_test: bool,
+    /// The feature subset as a fixed-width bitset.
+    pub subset: Box<[u64]>,
+}
+
+/// Packs a sorted-or-not index subset into the bitset an [`EvalKey`] uses.
+pub fn subset_bits(subset: &[usize], n_features: usize) -> Box<[u64]> {
+    let mut bits = vec![0u64; n_features.div_ceil(64)];
+    for &f in subset {
+        if f < n_features {
+            bits[f / 64] |= 1u64 << (f % 64);
+        }
+    }
+    bits.into_boxed_slice()
+}
+
+/// Cross-arm subset-evaluation memo.
+///
+/// Every strategy arm of a benchmark row — and, via the server's warm
+/// engine, every request on the same dataset — measures many of the same
+/// subsets: SFS and SFFS walk identical prefixes, SBS starts from the full
+/// set the Original arm also measures, NSGA-II re-proposes duplicate
+/// genomes, and every arm's winner is confirmed on the test split. Because
+/// a measurement is a pure function of `(scenario settings, split, subset)`
+/// — all stochastic seeds derive from the key, never from call order — the
+/// resulting [`Evaluation`] can be shared wholesale.
+///
+/// Unlike [`ArtifactCache::ranking`], the map lock is **not** held during
+/// a compute: measurements are orders of magnitude cheaper than ReliefF/
+/// MCFS rankings and often run inside parallel batch regions, where
+/// blocking every worker on one in-flight measurement would serialize the
+/// batch. Two workers may therefore race to measure the same subset; both
+/// produce bit-identical values, so the duplicate work is bounded and
+/// harmless. Only exact measurements are admitted — never lower-bounded
+/// partial ones (see `ScenarioContext`).
+#[derive(Default)]
+pub struct EvalMemo {
+    map: Mutex<HashMap<EvalKey, Evaluation>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl EvalMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a measurement, counting the probe as a hit or miss.
+    pub fn lookup(&self, key: &EvalKey) -> Option<Evaluation> {
+        let found = self.map.lock().get(key).copied();
+        match found {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                dfs_obs::counter("memo.hit", 1);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                dfs_obs::counter("memo.miss", 1);
+            }
+        }
+        found
+    }
+
+    /// Inserts a freshly measured evaluation. Idempotent: a concurrent
+    /// duplicate measurement produced identical bits, so first-write-wins
+    /// changes nothing.
+    pub fn insert(&self, key: EvalKey, eval: Evaluation) {
+        let mut map = self.map.lock();
+        if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(key) {
+            slot.insert(eval);
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            dfs_obs::counter("memo.insert", 1);
+        }
+    }
+
+    /// `(hits, misses, inserts)` so far.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.inserts.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct memoized measurements.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// `true` when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
     }
 }
 
@@ -233,6 +349,62 @@ mod tests {
             assert!(hit);
             assert_eq!(*cached, on_demand);
         }
+    }
+
+    fn sample_eval(f1: f64) -> Evaluation {
+        Evaluation { f1, eo: Some(0.9), safety: None, n_selected: 3, n_total: 8 }
+    }
+
+    fn key(settings_key: u64, eval_on_test: bool, subset: &[usize]) -> EvalKey {
+        EvalKey {
+            dataset: "ds".into(),
+            split_key: 7,
+            settings_key,
+            eval_on_test,
+            subset: subset_bits(subset, 8),
+        }
+    }
+
+    #[test]
+    fn memo_round_trips_and_counts_hits_misses_inserts() {
+        let memo = EvalMemo::new();
+        let k = key(1, false, &[0, 2, 5]);
+        assert!(memo.lookup(&k).is_none());
+        memo.insert(k.clone(), sample_eval(0.7));
+        let hit = memo.lookup(&k).expect("inserted entry");
+        assert_eq!(hit.f1, 0.7);
+        assert_eq!(hit.n_selected, 3);
+        // Duplicate insert (a concurrent racer) keeps the first entry and
+        // does not double-count.
+        memo.insert(k.clone(), sample_eval(0.9));
+        assert_eq!(memo.lookup(&k).map(|e| e.f1), Some(0.7));
+        assert_eq!(memo.counts(), (2, 1, 1));
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn memo_keys_separate_settings_split_leg_and_subset() {
+        let memo = EvalMemo::new();
+        memo.insert(key(1, false, &[0, 1]), sample_eval(0.5));
+        // A different settings fingerprint (e.g. a context rebuilt with a
+        // different train-row cap) can never serve the old entry.
+        assert!(memo.lookup(&key(2, false, &[0, 1])).is_none());
+        // Validation and test legs are distinct measurements.
+        assert!(memo.lookup(&key(1, true, &[0, 1])).is_none());
+        // And of course a different subset misses.
+        assert!(memo.lookup(&key(1, false, &[0, 3])).is_none());
+        assert!(memo.lookup(&key(1, false, &[0, 1])).is_some());
+    }
+
+    #[test]
+    fn subset_bits_is_order_insensitive_and_width_stable() {
+        assert_eq!(subset_bits(&[0, 2, 5], 8), subset_bits(&[5, 0, 2], 8));
+        assert_ne!(subset_bits(&[0, 2], 8), subset_bits(&[0, 3], 8));
+        // 65 features span two words; feature 64 lands in the second.
+        let wide = subset_bits(&[64], 65);
+        assert_eq!(wide.len(), 2);
+        assert_eq!(wide[0], 0);
+        assert_eq!(wide[1], 1);
     }
 
     #[test]

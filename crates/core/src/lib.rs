@@ -74,18 +74,18 @@ pub mod workflow;
 /// the `dfs-obs` crate re-exported under its conventional alias.
 pub use dfs_obs as obs;
 
-pub use artifacts::ArtifactCache;
+pub use artifacts::{ArtifactCache, EvalKey, EvalMemo};
 pub use error::{DfsError, DfsResult};
 pub use exec::Executor;
 pub use fault::{FaultKind, FaultPlan, ServerFaultKind, ServerFaultPlan};
 pub use perf::EvalPerf;
-pub use scenario::{MlScenario, ScenarioContext, ScenarioSettings};
+pub use scenario::{settings_fingerprint, MlScenario, ScenarioContext, ScenarioSettings};
 pub use switching::{run_with_switching, SwitchConfig, SwitchOutcome};
 pub use workflow::{run_dfs, DfsOutcome};
 
 /// Convenient glob-import surface for examples and benches.
 pub mod prelude {
-    pub use crate::artifacts::ArtifactCache;
+    pub use crate::artifacts::{subset_bits, ArtifactCache, EvalKey, EvalMemo};
     pub use crate::error::{DfsError, DfsResult};
     pub use crate::exec::{env_threads, Executor};
     pub use crate::fault::{FaultKind, FaultPlan, ServerFaultKind, ServerFaultPlan};
@@ -95,7 +95,7 @@ pub mod prelude {
         PortfolioObjective, RunnerOptions,
     };
     pub use crate::sampler::{sample_scenario, SamplerConfig};
-    pub use crate::scenario::{MlScenario, ScenarioContext, ScenarioSettings};
+    pub use crate::scenario::{settings_fingerprint, MlScenario, ScenarioContext, ScenarioSettings};
     pub use crate::transfer::check_transfer;
     pub use crate::workflow::{run_dfs, DfsOutcome};
     pub use dfs_constraints::{ConstraintKind, ConstraintSet, Evaluation};

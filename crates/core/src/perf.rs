@@ -43,6 +43,21 @@ pub struct EvalPerf {
     pub ranking_ns: u64,
     /// Hyperparameter grid points evaluated by HPO searches.
     pub hpo_grid_points: u64,
+    /// Subset evaluations served from the shared cross-arm [`EvalMemo`]
+    /// (budget consumed, but no training).
+    ///
+    /// [`EvalMemo`]: crate::artifacts::EvalMemo
+    pub memo_hits: u64,
+    /// Subset evaluations that probed the shared memo and missed (the
+    /// measurement then ran and was inserted).
+    pub memo_misses: u64,
+    /// Candidate measurements cut short by the cheap-first lower-bound
+    /// short-circuit — the evasion attack (and its fit, when the cheaper
+    /// terms alone already exceeded the incumbent) was skipped.
+    pub bound_skips: u64,
+    /// LR/SVM fits seeded from a parent subset's weights (only in the
+    /// opt-in inexact warm-start mode).
+    pub warm_starts: u64,
 }
 
 impl EvalPerf {
@@ -59,6 +74,10 @@ impl EvalPerf {
         self.attack_ns += other.attack_ns;
         self.ranking_ns += other.ranking_ns;
         self.hpo_grid_points += other.hpo_grid_points;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.bound_skips += other.bound_skips;
+        self.warm_starts += other.warm_starts;
     }
 
     /// This counter set with the wall-clock-derived fields zeroed.
@@ -88,6 +107,10 @@ mod tests {
             attack_ns: 8,
             ranking_ns: 9,
             hpo_grid_points: 11,
+            memo_hits: 12,
+            memo_misses: 13,
+            bound_skips: 14,
+            warm_starts: 15,
             ..EvalPerf::default()
         };
         a.merge(&b);
@@ -104,6 +127,10 @@ mod tests {
                 attack_ns: 8,
                 ranking_ns: 9,
                 hpo_grid_points: 11,
+                memo_hits: 12,
+                memo_misses: 13,
+                bound_skips: 14,
+                warm_starts: 15,
             }
         );
     }
@@ -115,19 +142,22 @@ mod tests {
             EvalPerf { ranking_computes: 3, val_gathers: 2, train_ns: 7, ..EvalPerf::default() },
             EvalPerf { model_fits: 5, ranking_hits: 4, attack_ns: 3, ..EvalPerf::default() },
             EvalPerf { ranking_ns: 6, hpo_grid_points: 2, cache_hits: 1, ..EvalPerf::default() },
+            EvalPerf { memo_hits: 8, memo_misses: 3, bound_skips: 2, warm_starts: 1, ..EvalPerf::default() },
         ];
-        let [a, b, c, d] = samples;
+        let [a, b, c, d, e] = samples;
 
-        // ((a + b) + c) + d == a + ((b + c) + d)
+        // (((a + b) + c) + d) + e == a + (((b + c) + d) + e)
         let mut left = a;
         left.merge(&b);
         left.merge(&c);
         left.merge(&d);
-        let mut bcd = b;
-        bcd.merge(&c);
-        bcd.merge(&d);
+        left.merge(&e);
+        let mut bcde = b;
+        bcde.merge(&c);
+        bcde.merge(&d);
+        bcde.merge(&e);
         let mut right = a;
-        right.merge(&bcd);
+        right.merge(&bcde);
         assert_eq!(left, right);
 
         // default() is the identity on both sides.
@@ -154,6 +184,10 @@ mod tests {
             attack_ns: 3_000,
             ranking_ns: 4_000,
             hpo_grid_points: 7,
+            memo_hits: 8,
+            memo_misses: 9,
+            bound_skips: 10,
+            warm_starts: 11,
         };
         let t = p.without_timings();
         assert_eq!(
@@ -161,5 +195,7 @@ mod tests {
             EvalPerf { gather_ns: 0, train_ns: 0, attack_ns: 0, ranking_ns: 0, ..p }
         );
         assert_eq!(t.hpo_grid_points, 7, "grid points are a work count, not a timing");
+        assert_eq!(t.memo_hits, 8, "memo counters are exact work counts, not timings");
+        assert_eq!(t.bound_skips, 10);
     }
 }

@@ -14,7 +14,7 @@
 //!   **per-model** (Table 6) breakdowns, **normalized F1** for the utility
 //!   benchmark, and the **greedy portfolios** of Table 8.
 
-use crate::artifacts::ArtifactCache;
+use crate::artifacts::{ArtifactCache, EvalMemo};
 use crate::error::{panic_payload_to_string, DfsError};
 use crate::exec::{env_threads, Executor};
 use crate::fault::{FaultKind, FaultPlan};
@@ -214,6 +214,13 @@ pub struct RunnerOptions<'a> {
     /// TPE(ranking) arm. Bit-identical results either way (the ranking
     /// seed is dataset-scoped); disable only to measure the difference.
     pub share_artifacts: bool,
+    /// Share a per-run [`EvalMemo`] across cells, so a subset measured by
+    /// one arm is served for free to every other arm (and row) with the
+    /// same measurement-relevant settings and split. Bit-identical results
+    /// either way — every stochastic seed of a measurement derives from
+    /// the memo key, never from call order (DESIGN.md § 4h); disable only
+    /// to measure the difference.
+    pub share_eval_memo: bool,
     /// Emit a throttled live progress line on stderr (cells done/total,
     /// faults, evals/s, ETA). Defaults to the `DFS_PROGRESS` or
     /// `DFS_TRACE` environment flags. The line is written directly to
@@ -239,6 +246,7 @@ impl Default for RunnerOptions<'_> {
             resume: HashMap::new(),
             on_row: None,
             share_artifacts: true,
+            share_eval_memo: true,
             progress: obs::env_flag("DFS_PROGRESS") || obs::env_flag("DFS_TRACE"),
             observer: None,
         }
@@ -386,6 +394,7 @@ pub fn run_benchmark_opts(
         splits.iter().map(|(k, v)| (k.as_str(), Arc::new(v.clone()))).collect();
     let shared_settings = Arc::new(settings.clone());
     let artifacts = opts.share_artifacts.then(|| Arc::new(ArtifactCache::new()));
+    let memo = opts.share_eval_memo.then(|| Arc::new(EvalMemo::new()));
 
     // One permit pool for the whole run: the outer row loop and every inner
     // hot loop draw from it, so the total number of computing threads never
@@ -479,6 +488,7 @@ pub fn run_benchmark_opts(
                                 arm,
                                 fault,
                                 artifacts.as_ref(),
+                                memo.as_ref(),
                                 &exec,
                                 opts,
                             );
@@ -550,6 +560,7 @@ fn run_cell_guarded(
     arm: Arm,
     fault: Option<FaultKind>,
     artifacts: Option<&Arc<ArtifactCache>>,
+    memo: Option<&Arc<EvalMemo>>,
     exec: &Arc<Executor>,
     opts: &RunnerOptions<'_>,
 ) -> (CellResult, Option<obs::Collector>) {
@@ -557,7 +568,7 @@ fn run_cell_guarded(
     let observe = opts.observer.is_some();
     if opts.deadline_factor <= 0.0 {
         return run_cell_isolated(
-            scenario, split, settings, arm, fault, artifacts, exec, &label, None, observe,
+            scenario, split, settings, arm, fault, artifacts, memo, exec, &label, None, observe,
         );
     }
     let deadline =
@@ -569,6 +580,7 @@ fn run_cell_guarded(
         let split = Arc::clone(split);
         let settings = Arc::clone(settings);
         let artifacts = artifacts.map(Arc::clone);
+        let memo = memo.map(Arc::clone);
         let exec = Arc::clone(exec);
         let label = label.clone();
         let heartbeat = Arc::clone(&heartbeat);
@@ -582,6 +594,7 @@ fn run_cell_guarded(
                 arm,
                 fault,
                 artifacts.as_ref(),
+                memo.as_ref(),
                 &exec,
                 &label,
                 Some(&heartbeat),
@@ -593,7 +606,7 @@ fn run_cell_guarded(
         // Thread exhaustion: degrade to inline panic isolation (no
         // deadline) rather than losing the cell.
         return run_cell_isolated(
-            scenario, split, settings, arm, fault, artifacts, exec, &label, None, observe,
+            scenario, split, settings, arm, fault, artifacts, memo, exec, &label, None, observe,
         );
     }
     match rx.recv_timeout(deadline) {
@@ -645,6 +658,7 @@ fn run_cell_isolated(
     arm: Arm,
     fault: Option<FaultKind>,
     artifacts: Option<&Arc<ArtifactCache>>,
+    memo: Option<&Arc<EvalMemo>>,
     exec: &Arc<Executor>,
     label: &str,
     hb: Option<&Arc<obs::Heartbeat>>,
@@ -658,7 +672,7 @@ fn run_cell_isolated(
     let depth = (observe && obs::trace_enabled()).then(obs::push_collector);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let _g = obs::span("cell");
-        run_cell(scenario, split, settings, arm, fault, artifacts, exec)
+        run_cell(scenario, split, settings, arm, fault, artifacts, memo, exec)
     }));
     let cell = match outcome {
         Ok(cell) => sanitize_cell(cell),
@@ -683,6 +697,7 @@ fn run_cell_isolated(
 
 /// The unguarded cell body; the only place faults are injected, so injected
 /// and organic faults take the same recovery path.
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     scenario: &MlScenario,
     split: &Split,
@@ -690,6 +705,7 @@ fn run_cell(
     arm: Arm,
     fault: Option<FaultKind>,
     artifacts: Option<&Arc<ArtifactCache>>,
+    memo: Option<&Arc<EvalMemo>>,
     exec: &Arc<Executor>,
 ) -> CellResult {
     match fault {
@@ -722,6 +738,7 @@ fn run_cell(
             settings,
             artifacts,
             Some(exec),
+            memo,
         )),
         Arm::Strategy(id) => CellResult::from(&run_dfs_with_exec(
             scenario,
@@ -730,6 +747,7 @@ fn run_cell(
             id,
             artifacts,
             Some(exec),
+            memo,
         )),
     }
 }

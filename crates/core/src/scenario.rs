@@ -1,6 +1,8 @@
 //! ML scenarios and the subset evaluator that powers every strategy.
 
-use crate::artifacts::{ranking_seed, split_fingerprint, ArtifactCache};
+use crate::artifacts::{
+    ranking_seed, split_fingerprint, subset_bits, ArtifactCache, EvalKey, EvalMemo,
+};
 use crate::exec::Executor;
 use crate::perf::EvalPerf;
 use dfs_constraints::{ConstraintSet, Evaluation};
@@ -11,6 +13,8 @@ use dfs_linalg::Matrix;
 use dfs_metrics::{empirical_safety_with, equal_opportunity, f1_score, AttackConfig};
 use dfs_models::hpo::fit_maybe_hpo_ws;
 use dfs_models::importance::importance_or_permutation;
+use dfs_models::logistic::LogisticRegression;
+use dfs_models::svm::LinearSvm;
 use dfs_models::tree::TreeWorkspace;
 use dfs_models::{ModelKind, ModelSpec, TrainedModel};
 use dfs_obs as obs;
@@ -49,6 +53,20 @@ pub struct ScenarioSettings {
     /// Cap on training rows per model fit (subsampling keeps the
     /// reproduction laptop-scale; 0 = no cap).
     pub max_train_rows: usize,
+    /// Cheap-first lower-bound short-circuit: when a candidate's cheap
+    /// Eq. 1 terms already exceed the caller's incumbent, skip the evasion
+    /// attack (and answer with the proven lower bound). Sound by the
+    /// additivity of the distance — see DESIGN.md § 4h. Ignored in
+    /// utility mode, where scores can be negative.
+    pub bound_pruning: bool,
+    /// Seed LR/SVM fits from an adjacent already-measured subset's weights.
+    pub warm_start: bool,
+    /// With `warm_start`, keep fits bit-comparable to the cold path by
+    /// *not* actually seeding (the warm machinery runs, the optimizer
+    /// starts cold). Defaults on; turning it off trades bit-identity for
+    /// faster convergence, and inexact measurements are fingerprinted
+    /// apart in the shared memo so they never leak into exact runs.
+    pub warm_exact: bool,
 }
 
 impl ScenarioSettings {
@@ -58,6 +76,9 @@ impl ScenarioSettings {
             max_evals: 400,
             attack: AttackConfig { max_points: 16, ..AttackConfig::default() },
             max_train_rows: 600,
+            bound_pruning: true,
+            warm_start: false,
+            warm_exact: true,
         }
     }
 
@@ -74,8 +95,55 @@ impl ScenarioSettings {
                 seed: 0,
             },
             max_train_rows: 200,
+            bound_pruning: true,
+            warm_start: false,
+            warm_exact: true,
         }
     }
+}
+
+/// Fingerprint of everything besides the subset that determines a
+/// measured [`Evaluation`]: it keys the shared [`EvalMemo`] so a context
+/// rebuilt with different settings (row cap, attack budget, metric set,
+/// seed, …) can never serve another configuration's entry. Constraint
+/// thresholds are deliberately excluded — they shape the distance, not
+/// the measurement — except through `needs_eo`/`needs_safety`, which
+/// decide *which* metrics are measured at all.
+pub fn settings_fingerprint(
+    scenario: &MlScenario,
+    settings: &ScenarioSettings,
+    train_cap: usize,
+) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h = (h ^ v).wrapping_mul(0x100_0000_01b3);
+    };
+    for b in scenario.model.short_name().bytes() {
+        mix(b as u64);
+    }
+    mix(scenario.hpo as u64);
+    mix(scenario.seed);
+    match scenario.constraints.privacy_epsilon {
+        Some(eps) => {
+            mix(1);
+            mix(eps.to_bits());
+        }
+        None => mix(0),
+    }
+    mix(scenario.constraints.needs_eo() as u64);
+    mix(scenario.constraints.needs_safety() as u64);
+    let a = &settings.attack;
+    mix(a.max_points as u64);
+    mix(a.init_trials as u64);
+    mix(a.boundary_steps as u64);
+    mix(a.iterations as u64);
+    mix(a.grad_queries as u64);
+    mix(a.seed);
+    mix(train_cap as u64);
+    // Inexact warm-started fits produce different bits; quarantine them
+    // under their own key so exact runs never observe them.
+    mix((settings.warm_start && !settings.warm_exact) as u64);
+    h
 }
 
 /// Cached result of one wrapper evaluation.
@@ -86,6 +154,11 @@ struct CachedEval {
     /// `true` when the score came from the evaluation-independent pruning
     /// shortcut (no model was trained).
     pruned: bool,
+    /// `true` when `score` is only a proven *lower bound* on the true
+    /// objective (the evasion attack was short-circuited). A bounded entry
+    /// may answer a later query whose incumbent it still exceeds; any other
+    /// use upgrades it to an exact measurement first.
+    bounded: bool,
 }
 
 /// The wrapper evaluator for one scenario: trains the scenario's model on a
@@ -120,7 +193,16 @@ pub struct ScenarioContext<'a> {
     scratch_tree: TreeWorkspace,
     perf: EvalPerf,
     artifacts: Option<Arc<ArtifactCache>>,
+    /// Cross-arm subset-evaluation memo (shared like `artifacts`).
+    memo: Option<Arc<EvalMemo>>,
     split_key: u64,
+    /// [`settings_fingerprint`] of this context's configuration — part of
+    /// every memo key, so a context rebuilt with different settings can
+    /// never serve a stale entry.
+    settings_key: u64,
+    /// Per-subset LR/SVM solutions for warm-started adjacent fits
+    /// (populated only in the inexact warm-start mode).
+    warm_cache: HashMap<Vec<usize>, (Vec<f64>, f64)>,
     exec: Arc<Executor>,
 }
 
@@ -150,12 +232,16 @@ struct MeasureEnv<'a> {
 
 /// Trains the scenario's model on a subset (train split only). `val`
 /// carries the gathered validation data when (and only when) the fit
-/// actually consumes it — i.e. under HPO without DP.
+/// actually consumes it — i.e. under HPO without DP. `warm` carries a
+/// parent subset's linear-model solution (remapped to this subset's
+/// column order); it only reaches the optimizer in the opt-in inexact
+/// warm-start mode, for LR/SVM default-parameter fits.
 fn train_subset(
     env: &MeasureEnv<'_>,
     subset: &[usize],
     x_train: &Matrix,
     val: Option<(&Matrix, &[bool])>,
+    warm: Option<&(Vec<f64>, f64)>,
     tree_ws: &mut TreeWorkspace,
     perf: &mut EvalPerf,
 ) -> TrainedModel {
@@ -191,6 +277,35 @@ fn train_subset(
             // No validation data needed: the non-HPO fit ignores it.
             None => {
                 let spec = ModelSpec::default_for(env.scenario.model);
+                if let Some((w0, b0)) = warm {
+                    match &spec {
+                        ModelSpec::Lr { c } => {
+                            perf.warm_starts += 1;
+                            obs::counter("eval.warm_start", 1);
+                            return TrainedModel::Lr(LogisticRegression::fit_from(
+                                x_train,
+                                env.y_train,
+                                *c,
+                                w0,
+                                *b0,
+                            ));
+                        }
+                        ModelSpec::Svm { c } => {
+                            perf.warm_starts += 1;
+                            obs::counter("eval.warm_start", 1);
+                            return TrainedModel::Svm(LinearSvm::fit_from(
+                                x_train,
+                                env.y_train,
+                                *c,
+                                w0,
+                                *b0,
+                            ));
+                        }
+                        // Non-linear models never receive a warm seed
+                        // (the caller's eligibility check prevents it).
+                        _ => {}
+                    }
+                }
                 let model = spec.fit_ws(x_train, env.y_train, tree_ws);
                 if env.scenario.model == ModelKind::DecisionTree {
                     tree_ws.last_stats().record();
@@ -199,6 +314,20 @@ fn train_subset(
             }
         },
     }
+}
+
+/// Result of one (possibly bound-short-circuited) measurement.
+struct Measured {
+    eval: Evaluation,
+    /// `false` when the lower-bound short-circuit fired: the unmeasured
+    /// metrics carry optimistic placeholders (`1.0`) and the evaluation
+    /// scores a *proven lower bound* on the true objective, not the true
+    /// objective itself.
+    exact: bool,
+    /// Trained linear-model solution `(weights, bias)`, captured for the
+    /// warm-start cache when the caller asked for it and the model is
+    /// linear. `None` when the fit was skipped.
+    weights: Option<(Vec<f64>, f64)>,
 }
 
 /// Full (train + measure on a given evaluation split) pass for a subset.
@@ -215,16 +344,46 @@ fn train_subset(
 /// `(scenario seed, subset hash)` — never from shared mutable RNG state —
 /// so a measurement is a pure function of its inputs and the batch engine
 /// may run it on any thread.
-fn measure_subset(
+///
+/// With `bound = Some(b)`, constraint terms are charged cheapest-first
+/// (subset-only size term → fit-dependent accuracy/fairness → evasion
+/// attack): whenever the Eq. 1 distance of the terms measured so far —
+/// with every unmeasured metric at its optimistic maximum — already
+/// exceeds `b`, the remaining (more expensive) work is skipped and the
+/// partial evaluation is returned as a lower bound. Sound because the
+/// distance is an additive sum of non-negative shortfalls (DESIGN.md
+/// § 4h); never used for the signed utility objective.
+fn measure_subset_bounded(
     env: &MeasureEnv<'_>,
     subset: &[usize],
     eval_on_test: bool,
     scratch: &mut Scratch,
     perf: &mut EvalPerf,
-) -> Evaluation {
+    bound: Option<f64>,
+    warm: Option<&(Vec<f64>, f64)>,
+    want_weights: bool,
+) -> Measured {
     let split = env.split;
-    let needs_val = env.scenario.hpo && env.scenario.constraints.privacy_epsilon.is_none();
+    let constraints = &env.scenario.constraints;
+    let needs_val = env.scenario.hpo && constraints.privacy_epsilon.is_none();
     obs::observe("eval.subset_size", subset.len() as u64);
+
+    // Stage 0 (free): the feature-size term needs no model. When it alone
+    // already exceeds the incumbent, skip the fit *and* the attack.
+    if let Some(b) = bound {
+        let optimistic = Evaluation {
+            f1: 1.0,
+            eo: constraints.needs_eo().then_some(1.0),
+            safety: constraints.needs_safety().then_some(1.0),
+            n_selected: subset.len(),
+            n_total: split.n_features(),
+        };
+        if constraints.distance(&optimistic) > b {
+            perf.bound_skips += 1;
+            obs::counter("eval.bound_skip", 1);
+            return Measured { eval: optimistic, exact: false, weights: None };
+        }
+    }
 
     obs::heartbeat("eval.gather");
     let gather_span = obs::span("gather");
@@ -250,19 +409,45 @@ fn measure_subset(
     obs::heartbeat("eval.fit");
     let fit_span = obs::span("fit");
     let train_start = Instant::now();
-    let model = train_subset(env, subset, &scratch.train, val_data, &mut scratch.tree, perf);
+    let model = train_subset(env, subset, &scratch.train, val_data, warm, &mut scratch.tree, perf);
     perf.train_ns += train_start.elapsed().as_nanos() as u64;
     drop(fit_span);
+
+    let weights = if want_weights {
+        match &model {
+            TrainedModel::Lr(m) => Some((m.weights().to_vec(), m.bias())),
+            TrainedModel::Svm(m) => Some((m.weights().to_vec(), m.bias())),
+            _ => None,
+        }
+    } else {
+        None
+    };
 
     let y_eval = &part.y;
     let preds = model.predict(&scratch.eval);
     let f1 = f1_score(&preds, y_eval);
-    let eo = env
-        .scenario
-        .constraints
-        .needs_eo()
-        .then(|| equal_opportunity(&preds, y_eval, &part.protected));
-    let safety = env.scenario.constraints.needs_safety().then(|| {
+    let eo = constraints.needs_eo().then(|| equal_opportunity(&preds, y_eval, &part.protected));
+
+    // Stage 1 (cheap): accuracy and fairness are measured; the attack is
+    // not. Re-check the bound with safety still at its optimistic maximum.
+    if constraints.needs_safety() {
+        if let Some(b) = bound {
+            let partial = Evaluation {
+                f1,
+                eo,
+                safety: Some(1.0),
+                n_selected: subset.len(),
+                n_total: split.n_features(),
+            };
+            if constraints.distance(&partial) > b {
+                perf.bound_skips += 1;
+                obs::counter("eval.bound_skip", 1);
+                return Measured { eval: partial, exact: false, weights };
+            }
+        }
+    }
+
+    let safety = constraints.needs_safety().then(|| {
         obs::heartbeat("eval.attack");
         let _attack_span = obs::span("attack");
         let attack_start = Instant::now();
@@ -273,7 +458,23 @@ fn measure_subset(
         perf.attack_ns += attack_start.elapsed().as_nanos() as u64;
         safety
     });
-    Evaluation { f1, eo, safety, n_selected: subset.len(), n_total: split.n_features() }
+    let eval =
+        Evaluation { f1, eo, safety, n_selected: subset.len(), n_total: split.n_features() };
+    Measured { eval, exact: true, weights }
+}
+
+/// [`measure_subset_bounded`] without bound or warm seed: always exact.
+/// This is the batch-worker entry point — batch measurements never carry
+/// bounds (NSGA-II needs every objective) or warm seeds (call-order
+/// dependent).
+fn measure_subset(
+    env: &MeasureEnv<'_>,
+    subset: &[usize],
+    eval_on_test: bool,
+    scratch: &mut Scratch,
+    perf: &mut EvalPerf,
+) -> Evaluation {
+    measure_subset_bounded(env, subset, eval_on_test, scratch, perf, None, None, false).eval
 }
 
 impl<'a> ScenarioContext<'a> {
@@ -301,7 +502,10 @@ impl<'a> ScenarioContext<'a> {
             scratch_tree: TreeWorkspace::new(),
             perf: EvalPerf::default(),
             artifacts: None,
+            memo: None,
             split_key: split_fingerprint(split),
+            settings_key: settings_fingerprint(scenario, settings, cap),
+            warm_cache: HashMap::new(),
             exec: Arc::new(Executor::sequential()),
         }
     }
@@ -310,6 +514,16 @@ impl<'a> ScenarioContext<'a> {
     /// benchmark row instead of once per arm).
     pub fn with_artifacts(mut self, artifacts: Arc<ArtifactCache>) -> Self {
         self.artifacts = Some(artifacts);
+        self
+    }
+
+    /// Attaches a shared subset-evaluation memo: measurements become
+    /// visible to (and reusable by) every other arm, row, and server
+    /// request holding the same memo. Sound because a measurement is a
+    /// pure function of `(settings fingerprint, split, subset)` — all
+    /// stochastic seeds derive from that key, never from call order.
+    pub fn with_memo(mut self, memo: Arc<EvalMemo>) -> Self {
+        self.memo = Some(memo);
         self
     }
 
@@ -357,6 +571,19 @@ impl<'a> ScenarioContext<'a> {
     /// Serial measurement via [`measure_subset`], reusing the context's
     /// scratch buffers (no steady-state allocation).
     fn measure(&mut self, subset: &[usize], eval_on_test: bool) -> Evaluation {
+        self.measure_full(subset, eval_on_test, None, None, false).eval
+    }
+
+    /// Serial measurement via [`measure_subset_bounded`], reusing the
+    /// context's scratch buffers (no steady-state allocation).
+    fn measure_full(
+        &mut self,
+        subset: &[usize],
+        eval_on_test: bool,
+        bound: Option<f64>,
+        warm: Option<(Vec<f64>, f64)>,
+        want_weights: bool,
+    ) -> Measured {
         let mut scratch = Scratch {
             train: std::mem::take(&mut self.scratch_train),
             eval: std::mem::take(&mut self.scratch_eval),
@@ -365,14 +592,93 @@ impl<'a> ScenarioContext<'a> {
         };
         let mut perf = self.perf;
         let env = self.env();
-        let eval = measure_subset(&env, subset, eval_on_test, &mut scratch, &mut perf);
+        let measured = measure_subset_bounded(
+            &env,
+            subset,
+            eval_on_test,
+            &mut scratch,
+            &mut perf,
+            bound,
+            warm.as_ref(),
+            want_weights,
+        );
         self.perf = perf;
         // Hand the buffers back for the next evaluation.
         self.scratch_train = scratch.train;
         self.scratch_eval = scratch.eval;
         self.scratch_val = scratch.val;
         self.scratch_tree = scratch.tree;
-        eval
+        measured
+    }
+
+    /// The shared-memo key of a subset measurement in this context.
+    fn memo_key(&self, subset: &[usize], eval_on_test: bool) -> EvalKey {
+        EvalKey {
+            dataset: self.scenario.dataset.clone(),
+            split_key: self.split_key,
+            settings_key: self.settings_key,
+            eval_on_test,
+            subset: subset_bits(subset, self.split.n_features()),
+        }
+    }
+
+    /// Probes the shared memo (when attached) for an exact measurement.
+    fn memo_lookup(&self, subset: &[usize], eval_on_test: bool) -> Option<Evaluation> {
+        let memo = self.memo.as_ref()?;
+        memo.lookup(&self.memo_key(subset, eval_on_test))
+    }
+
+    /// Publishes an exact measurement to the shared memo (when attached).
+    fn memo_insert(&self, subset: &[usize], eval_on_test: bool, eval: Evaluation) {
+        if let Some(memo) = &self.memo {
+            memo.insert(self.memo_key(subset, eval_on_test), eval);
+        }
+    }
+
+    /// Whether fits in this context may be genuinely warm-started: only in
+    /// the opt-in inexact mode, for default-parameter (non-HPO, non-DP)
+    /// fits of the linear models.
+    fn warm_eligible(&self) -> bool {
+        self.settings.warm_start
+            && !self.settings.warm_exact
+            && !self.scenario.hpo
+            && self.scenario.constraints.privacy_epsilon.is_none()
+            && matches!(
+                self.scenario.model,
+                ModelKind::LogisticRegression | ModelKind::LinearSvm
+            )
+    }
+
+    /// Finds an adjacent (one feature removed or added) already-fit subset
+    /// in the warm cache and remaps its solution onto `subset`'s column
+    /// order. Sequential strategies move in single-feature steps, so one of
+    /// these probes almost always hits after the first round.
+    fn warm_parent(&self, subset: &[usize]) -> Option<(Vec<f64>, f64)> {
+        let mut probe: Vec<usize> = Vec::with_capacity(subset.len() + 1);
+        // Drop-one parents (forward steps): subset minus each feature.
+        for skip in 0..subset.len() {
+            probe.clear();
+            probe.extend(subset.iter().take(skip).chain(subset.iter().skip(skip + 1)));
+            if let Some((w, b)) = self.warm_cache.get(&probe) {
+                return Some(remap_weights(subset, &probe, w, *b));
+            }
+        }
+        // Add-one parents (backward steps): subset plus each absent
+        // feature, inserted at its sorted position (strategies propose
+        // sorted subsets; an unsorted proposal just misses).
+        for f in 0..self.split.n_features() {
+            if subset.binary_search(&f).is_ok() {
+                continue;
+            }
+            probe.clear();
+            probe.extend_from_slice(subset);
+            let pos = probe.partition_point(|&g| g < f);
+            probe.insert(pos, f);
+            if let Some((w, b)) = self.warm_cache.get(&probe) {
+                return Some(remap_weights(subset, &probe, w, *b));
+            }
+        }
+        None
     }
 
     /// Scores a subset against the constraint set (Eq. 1 / Eq. 2), without
@@ -386,15 +692,32 @@ impl<'a> ScenarioContext<'a> {
     }
 
     /// The measured metrics of the best evaluation of `subset` if it was
-    /// evaluated during search.
+    /// evaluated during search. Bounded (attack-short-circuited) entries
+    /// are withheld — their unmeasured metrics are placeholders, not
+    /// measurements.
     pub fn cached_evaluation(&self, subset: &[usize]) -> Option<Evaluation> {
-        self.cache.get(subset).map(|c| c.eval)
+        self.cache.get(subset).filter(|c| !c.bounded).map(|c| c.eval)
     }
 
     /// Confirms a subset on the **test** split (the final workflow step).
-    /// Does not consume search budget — the search is already over.
+    /// Does not consume search budget — the search is already over. With a
+    /// shared memo attached, a confirmation already performed by another
+    /// arm or request is served without retraining.
     pub fn confirm_on_test(&mut self, subset: &[usize]) -> (Evaluation, f64) {
-        let eval = self.measure(subset, true);
+        let eval = match self.memo_lookup(subset, true) {
+            Some(eval) => {
+                self.perf.memo_hits += 1;
+                eval
+            }
+            None => {
+                if self.memo.is_some() {
+                    self.perf.memo_misses += 1;
+                }
+                let eval = self.measure(subset, true);
+                self.memo_insert(subset, true, eval);
+                eval
+            }
+        };
         let distance = self.scenario.constraints.distance(&eval);
         (eval, distance)
     }
@@ -433,6 +756,109 @@ impl<'a> ScenarioContext<'a> {
         };
         (c.distance(&eval), eval)
     }
+
+    /// The one serial evaluation flow behind `evaluate`,
+    /// `evaluate_no_prune`, their `_bounded` variants and `evaluate_multi`:
+    /// budget admission → cache → size pruning (`prune` only) → budget
+    /// consumption → shared-memo probe → (possibly bounded, possibly
+    /// warm-started) measurement.
+    ///
+    /// The wall clock gates *everything*, including cache hits and pruned
+    /// evaluations — otherwise a strategy whose proposals are all pruned
+    /// (e.g. TPE(NR) under a tight feature cap) would spin far past the
+    /// declared Max Search Time doing "free" work.
+    ///
+    /// Budget discipline keeps trajectories bit-identical to the naive
+    /// engine: memo hits consume budget exactly like the measurement they
+    /// replace, and upgrading a bounded cache entry to an exact one is free
+    /// exactly like the cache hit the naive engine would have served.
+    fn evaluate_impl(
+        &mut self,
+        subset: &[usize],
+        prune: bool,
+        bound: Option<f64>,
+    ) -> Option<(f64, Evaluation)> {
+        if self.budget.exhausted() {
+            return None;
+        }
+        // `free` = re-measure without consuming budget: a bounded entry is
+        // being upgraded because the caller's incumbent no longer exceeds
+        // its lower bound (or the caller needs exact metrics).
+        let mut free = false;
+        if let Some((score, eval, pruned, bounded)) =
+            self.cache.get(subset).map(|c| (c.score, c.eval, c.pruned, c.bounded))
+        {
+            if bounded {
+                if bound.is_some_and(|b| score > b) {
+                    self.perf.cache_hits += 1;
+                    obs::counter("eval.cache_hit", 1);
+                    return Some((score, eval));
+                }
+                free = true;
+            } else if prune || !pruned {
+                // A full (trained) evaluation may always be reused; a
+                // pruned shortcut only when the caller allows pruning.
+                self.perf.cache_hits += 1;
+                obs::counter("eval.cache_hit", 1);
+                return Some((score, eval));
+            }
+        }
+        if !free {
+            // Evaluation-independent pruning (no budget *count*, no
+            // training).
+            if prune && subset.len() > self.max_features() {
+                let (score, eval) = self.pruned_score(subset);
+                self.cache
+                    .insert(subset.to_vec(), CachedEval { score, eval, pruned: true, bounded: false });
+                obs::counter("eval.pruned", 1);
+                return Some((score, eval));
+            }
+            if !self.budget.try_consume() {
+                obs::counter("eval.budget_denied", 1);
+                return None;
+            }
+            if let Some(eval) = self.memo_lookup(subset, false) {
+                self.perf.memo_hits += 1;
+                let score = self.objective_of(&eval);
+                self.cache
+                    .insert(subset.to_vec(), CachedEval { score, eval, pruned: false, bounded: false });
+                return Some((score, eval));
+            }
+            if self.memo.is_some() {
+                self.perf.memo_misses += 1;
+            }
+        }
+        // The short-circuit is only sound for the non-negative Eq. 1
+        // distance; utility-mode scores can be negative, so the bound is
+        // dropped there. A free upgrade must measure exactly by definition.
+        let bound = if free || self.scenario.utility_f1 || !self.settings.bound_pruning {
+            None
+        } else {
+            bound
+        };
+        let warm_on = self.warm_eligible();
+        let warm = if warm_on { self.warm_parent(subset) } else { None };
+        let measured = self.measure_full(subset, false, bound, warm, warm_on);
+        let score = self.objective_of(&measured.eval);
+        if let Some(solution) = measured.weights {
+            self.warm_cache.insert(subset.to_vec(), solution);
+        }
+        if measured.exact {
+            self.memo_insert(subset, false, measured.eval);
+        }
+        self.cache.insert(
+            subset.to_vec(),
+            CachedEval { score, eval: measured.eval, pruned: false, bounded: !measured.exact },
+        );
+        Some((score, measured.eval))
+    }
+}
+
+/// Remaps a parent subset's linear solution onto a child subset's column
+/// order; features absent from the parent start at weight zero.
+fn remap_weights(child: &[usize], parent: &[usize], w: &[f64], b: f64) -> (Vec<f64>, f64) {
+    let by_feature: HashMap<usize, f64> = parent.iter().copied().zip(w.iter().copied()).collect();
+    (child.iter().map(|f| by_feature.get(f).copied().unwrap_or(0.0)).collect(), b)
 }
 
 fn hash_subset(subset: &[usize]) -> u64 {
@@ -455,84 +881,31 @@ impl SubsetEvaluator for ScenarioContext<'_> {
 
     fn evaluate(&mut self, subset: &[usize]) -> Option<f64> {
         assert!(!subset.is_empty(), "evaluate: empty subset");
-        // The wall clock gates *everything*, including cache hits and
-        // pruned evaluations — otherwise a strategy whose proposals are all
-        // pruned (e.g. TPE(NR) under a tight feature cap) would spin far
-        // past the declared Max Search Time doing "free" work.
-        if self.budget.exhausted() {
-            return None;
-        }
-        if let Some(score) = self.cache.get(subset).map(|c| c.score) {
-            self.perf.cache_hits += 1;
-            obs::counter("eval.cache_hit", 1);
-            return Some(score);
-        }
-        // Evaluation-independent pruning (no budget *count*, no training).
-        if subset.len() > self.max_features() {
-            let (score, eval) = self.pruned_score(subset);
-            self.cache.insert(subset.to_vec(), CachedEval { score, eval, pruned: true });
-            obs::counter("eval.pruned", 1);
-            return Some(score);
-        }
-        if !self.budget.try_consume() {
-            obs::counter("eval.budget_denied", 1);
-            return None;
-        }
-        let eval = self.measure(subset, false);
-        let score = self.objective_of(&eval);
-        self.cache.insert(subset.to_vec(), CachedEval { score, eval, pruned: false });
-        Some(score)
+        self.evaluate_impl(subset, true, None).map(|(score, _)| score)
+    }
+
+    fn evaluate_bounded(&mut self, subset: &[usize], bound: Option<f64>) -> Option<f64> {
+        assert!(!subset.is_empty(), "evaluate_bounded: empty subset");
+        self.evaluate_impl(subset, true, bound).map(|(score, _)| score)
     }
 
     fn evaluate_no_prune(&mut self, subset: &[usize]) -> Option<f64> {
         assert!(!subset.is_empty(), "evaluate_no_prune: empty subset");
-        if self.budget.exhausted() {
-            return None;
-        }
-        // A full (trained) evaluation may be reused; a pruned shortcut may
-        // not — the caller insists on the wrapper approach.
-        if let Some(score) = self.cache.get(subset).filter(|c| !c.pruned).map(|c| c.score) {
-            self.perf.cache_hits += 1;
-            obs::counter("eval.cache_hit", 1);
-            return Some(score);
-        }
-        if !self.budget.try_consume() {
-            obs::counter("eval.budget_denied", 1);
-            return None;
-        }
-        let eval = self.measure(subset, false);
-        let score = self.objective_of(&eval);
-        self.cache.insert(subset.to_vec(), CachedEval { score, eval, pruned: false });
-        Some(score)
+        self.evaluate_impl(subset, false, None).map(|(score, _)| score)
+    }
+
+    fn evaluate_no_prune_bounded(&mut self, subset: &[usize], bound: Option<f64>) -> Option<f64> {
+        assert!(!subset.is_empty(), "evaluate_no_prune_bounded: empty subset");
+        self.evaluate_impl(subset, false, bound).map(|(score, _)| score)
     }
 
     fn evaluate_multi(&mut self, subset: &[usize]) -> Option<Vec<f64>> {
         // One objective per declared constraint, in a fixed order:
         // [accuracy, EO?, safety?, feature-size?]. Each component is the
-        // squared shortfall, zero when satisfied.
-        let score_and_eval = {
-            if self.budget.exhausted() {
-                None
-            } else if let Some(cached) = self.cache.get(subset).map(|c| (c.score, c.eval)) {
-                self.perf.cache_hits += 1;
-                obs::counter("eval.cache_hit", 1);
-                Some(cached)
-            } else if subset.len() > self.max_features() {
-                let (score, eval) = self.pruned_score(subset);
-                self.cache.insert(subset.to_vec(), CachedEval { score, eval, pruned: true });
-                obs::counter("eval.pruned", 1);
-                Some((score, eval))
-            } else if !self.budget.try_consume() {
-                obs::counter("eval.budget_denied", 1);
-                None
-            } else {
-                let eval = self.measure(subset, false);
-                let score = self.objective_of(&eval);
-                self.cache.insert(subset.to_vec(), CachedEval { score, eval, pruned: false });
-                Some((score, eval))
-            }
-        };
-        let (_, eval) = score_and_eval?;
+        // squared shortfall, zero when satisfied. No bound is ever passed:
+        // a multi-objective caller needs every metric measured (a bounded
+        // cache entry found here is upgraded for free inside the impl).
+        let (_, eval) = self.evaluate_impl(subset, true, None)?;
         Some(self.objectives_for(&eval))
     }
 
@@ -575,11 +948,21 @@ impl SubsetEvaluator for ScenarioContext<'_> {
                 plan.push(Slot::Deny);
                 continue;
             }
-            if let Some(cached) = self.cache.get(subset.as_slice()).map(|c| c.eval) {
-                self.perf.cache_hits += 1;
-                obs::counter("eval.cache_hit", 1);
-                plan.push(Slot::Known(cached));
-                continue;
+            // A bounded (attack-short-circuited) entry cannot answer a
+            // multi-objective query — its unmeasured metrics are
+            // placeholders — so it is re-measured exactly, without
+            // consuming budget (the naive engine would serve its exact
+            // entry for free here).
+            let mut upgrade = false;
+            match self.cache.get(subset.as_slice()).map(|c| (c.eval, c.bounded)) {
+                Some((cached, false)) => {
+                    self.perf.cache_hits += 1;
+                    obs::counter("eval.cache_hit", 1);
+                    plan.push(Slot::Known(cached));
+                    continue;
+                }
+                Some((_, true)) => upgrade = true,
+                None => {}
             }
             if let Some(&j) = pending.get(subset.as_slice()) {
                 // Duplicate within this batch: the serial loop would find
@@ -589,18 +972,39 @@ impl SubsetEvaluator for ScenarioContext<'_> {
                 plan.push(Slot::Fresh(j));
                 continue;
             }
-            if subset.len() > self.max_features() {
-                let (score, eval) = self.pruned_score(subset);
-                self.cache.insert(subset.clone(), CachedEval { score, eval, pruned: true });
-                obs::counter("eval.pruned", 1);
-                plan.push(Slot::Known(eval));
-                continue;
-            }
-            if !self.budget.try_consume() {
-                obs::counter("eval.budget_denied", 1);
-                denied = true;
-                plan.push(Slot::Deny);
-                continue;
+            if !upgrade {
+                if subset.len() > self.max_features() {
+                    let (score, eval) = self.pruned_score(subset);
+                    self.cache.insert(
+                        subset.clone(),
+                        CachedEval { score, eval, pruned: true, bounded: false },
+                    );
+                    obs::counter("eval.pruned", 1);
+                    plan.push(Slot::Known(eval));
+                    continue;
+                }
+                if !self.budget.try_consume() {
+                    obs::counter("eval.budget_denied", 1);
+                    denied = true;
+                    plan.push(Slot::Deny);
+                    continue;
+                }
+                // Shared-memo probe, after budget consumption — a memo hit
+                // costs exactly what the measurement it replaces would
+                // have, keeping search trajectories bit-identical.
+                if let Some(eval) = self.memo_lookup(subset, false) {
+                    self.perf.memo_hits += 1;
+                    let score = self.objective_of(&eval);
+                    self.cache.insert(
+                        subset.clone(),
+                        CachedEval { score, eval, pruned: false, bounded: false },
+                    );
+                    plan.push(Slot::Known(eval));
+                    continue;
+                }
+                if self.memo.is_some() {
+                    self.perf.memo_misses += 1;
+                }
             }
             pending.insert(subset.as_slice(), fresh.len());
             plan.push(Slot::Fresh(fresh.len()));
@@ -638,7 +1042,9 @@ impl SubsetEvaluator for ScenarioContext<'_> {
                 obs::absorb(child);
             }
             let score = self.objective_of(&eval);
-            self.cache.insert(subset.clone(), CachedEval { score, eval, pruned: false });
+            self.memo_insert(subset, false, eval);
+            self.cache
+                .insert(subset.clone(), CachedEval { score, eval, pruned: false, bounded: false });
             measured_evals.push(eval);
         }
         drop(commit_span);
@@ -1001,6 +1407,183 @@ mod tests {
         }
         let (computes, hits) = cache.counts();
         assert_eq!((computes, hits), (7, 7));
+    }
+
+    #[test]
+    fn memo_shares_measurements_across_contexts() {
+        let (_, split) = setup();
+        let sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        let settings = ScenarioSettings::fast();
+        let memo = Arc::new(crate::artifacts::EvalMemo::new());
+        let mut a = ScenarioContext::new(&sc, &split, &settings).with_memo(Arc::clone(&memo));
+        let s1 = a.evaluate(&[0, 1, 2]).unwrap();
+        assert_eq!(a.perf().memo_misses, 1);
+        assert_eq!(a.perf().memo_hits, 0);
+
+        // A second context (another arm, row, or server request) reuses
+        // the measurement: no training, but the budget is still consumed,
+        // so search trajectories stay identical to the naive engine.
+        let mut b = ScenarioContext::new(&sc, &split, &settings).with_memo(Arc::clone(&memo));
+        let s2 = b.evaluate(&[0, 1, 2]).unwrap();
+        assert_eq!(s1.to_bits(), s2.to_bits());
+        assert_eq!(b.perf().memo_hits, 1);
+        assert_eq!(b.perf().model_fits, 0, "memo hit must not retrain");
+        assert_eq!(b.evals_used(), 1, "memo hit still consumes budget");
+
+        // And the memoized value is bit-identical to a memo-free run.
+        let mut naive = ScenarioContext::new(&sc, &split, &settings);
+        let s3 = naive.evaluate(&[0, 1, 2]).unwrap();
+        assert_eq!(s1.to_bits(), s3.to_bits());
+    }
+
+    #[test]
+    fn memo_keys_on_the_settings_fingerprint() {
+        let (_, split) = setup();
+        let sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        let settings = ScenarioSettings::fast();
+        let memo = Arc::new(crate::artifacts::EvalMemo::new());
+        let mut a = ScenarioContext::new(&sc, &split, &settings).with_memo(Arc::clone(&memo));
+        a.evaluate(&[0, 1]).unwrap();
+
+        // Same scenario, different measurement configuration: the entry
+        // must not be served.
+        let mut other = ScenarioSettings::fast();
+        other.attack.seed = 99;
+        let mut b = ScenarioContext::new(&sc, &split, &other).with_memo(Arc::clone(&memo));
+        b.evaluate(&[0, 1]).unwrap();
+        assert_eq!(b.perf().memo_hits, 0, "different settings must miss");
+        assert_eq!(b.perf().memo_misses, 1);
+        assert_eq!(b.perf().model_fits, 1);
+    }
+
+    #[test]
+    fn confirm_on_test_is_memoized_across_contexts() {
+        let (_, split) = setup();
+        let sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        let settings = ScenarioSettings::fast();
+        let memo = Arc::new(crate::artifacts::EvalMemo::new());
+        let mut a = ScenarioContext::new(&sc, &split, &settings).with_memo(Arc::clone(&memo));
+        let (eval_a, dist_a) = a.confirm_on_test(&[0, 1, 2]);
+        let mut b = ScenarioContext::new(&sc, &split, &settings).with_memo(Arc::clone(&memo));
+        let (eval_b, dist_b) = b.confirm_on_test(&[0, 1, 2]);
+        assert_eq!(eval_a.f1.to_bits(), eval_b.f1.to_bits());
+        assert_eq!(dist_a.to_bits(), dist_b.to_bits());
+        assert_eq!(b.perf().model_fits, 0, "shared confirmation must not retrain");
+        assert_eq!(b.perf().memo_hits, 1);
+        // Validation- and test-split measurements never cross-serve.
+        let s = b.evaluate(&[0, 1, 2]).unwrap();
+        assert_eq!(b.perf().model_fits, 1, "val-split eval must measure fresh");
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn bound_skip_short_circuits_the_attack_and_upgrades_free() {
+        let (_, split) = setup();
+        let mut c = ConstraintSet::accuracy_only(0.99, Duration::from_secs(10));
+        c.min_safety = Some(0.5);
+        let sc = scenario(c);
+        let settings = ScenarioSettings::fast();
+
+        // Naive reference: full measurement (fit + attack).
+        let mut naive = ScenarioContext::new(&sc, &split, &settings);
+        let exact = naive.evaluate(&[0, 1]).unwrap();
+        assert!(exact > 0.0, "min_f1 = 0.99 must be out of reach");
+
+        let mut ctx = ScenarioContext::new(&sc, &split, &settings);
+        let lb = ctx.evaluate_bounded(&[0, 1], Some(0.0)).unwrap();
+        assert_eq!(ctx.perf().bound_skips, 1, "attack should have been skipped");
+        assert_eq!(ctx.perf().model_fits, 1);
+        assert!(lb > 0.0 && lb <= exact, "lower bound {lb} vs exact {exact}");
+        assert!(ctx.cached_evaluation(&[0, 1]).is_none(), "bounded entries are withheld");
+
+        // A still-sufficient incumbent re-serves the bound for free.
+        let again = ctx.evaluate_bounded(&[0, 1], Some(0.0)).unwrap();
+        assert_eq!(again.to_bits(), lb.to_bits());
+        assert_eq!(ctx.perf().model_fits, 1);
+
+        // An unbounded query upgrades the entry: budget-free (the naive
+        // engine would serve its cache here), retrained, bit-exact.
+        let used = ctx.evals_used();
+        let full = ctx.evaluate(&[0, 1]).unwrap();
+        assert_eq!(full.to_bits(), exact.to_bits());
+        assert_eq!(ctx.evals_used(), used, "upgrade must be budget-free");
+        assert_eq!(ctx.perf().model_fits, 2);
+        assert!(ctx.cached_evaluation(&[0, 1]).is_some());
+    }
+
+    #[test]
+    fn size_shortfall_alone_can_skip_the_fit() {
+        let (ds, split) = setup();
+        let mut c = ConstraintSet::accuracy_only(0.5, Duration::from_secs(10));
+        c.max_feature_frac = Some(1.0 / ds.n_features() as f64 + 1e-9);
+        let sc = scenario(c);
+        let settings = ScenarioSettings::fast();
+        let mut ctx = ScenarioContext::new(&sc, &split, &settings);
+        let all: Vec<usize> = (0..ds.n_features()).collect();
+        // no-prune path: the naive engine would train this over-cap subset
+        // (SBS wraps through the over-cap region the slow way), but the
+        // free size term already exceeds the incumbent.
+        let lb = ctx.evaluate_no_prune_bounded(&all, Some(0.0)).unwrap();
+        assert!(lb > 0.0);
+        assert_eq!(ctx.perf().model_fits, 0, "size term alone exceeds the incumbent");
+        assert_eq!(ctx.perf().bound_skips, 1);
+        assert_eq!(ctx.evals_used(), 1, "the skipped measurement still consumed budget");
+    }
+
+    #[test]
+    fn warm_start_inexact_seeds_adjacent_fits() {
+        let (_, split) = setup();
+        let sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        let mut settings = ScenarioSettings::fast();
+        settings.warm_start = true;
+        settings.warm_exact = false;
+        let mut ctx = ScenarioContext::new(&sc, &split, &settings);
+        ctx.evaluate(&[0, 1]).unwrap();
+        assert_eq!(ctx.perf().warm_starts, 0, "no parent available yet");
+        ctx.evaluate(&[0, 1, 2]).unwrap();
+        assert_eq!(ctx.perf().warm_starts, 1, "drop-one parent [0,1] should seed");
+        ctx.evaluate(&[1, 2]).unwrap();
+        assert_eq!(ctx.perf().warm_starts, 2, "add-one parent [0,1,2] should seed");
+    }
+
+    #[test]
+    fn exact_warm_mode_is_bit_identical_to_cold() {
+        let (_, split) = setup();
+        let sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        let cold_settings = ScenarioSettings::fast();
+        let mut warm_settings = ScenarioSettings::fast();
+        warm_settings.warm_start = true; // warm_exact stays true (default)
+        let mut a = ScenarioContext::new(&sc, &split, &cold_settings);
+        let mut b = ScenarioContext::new(&sc, &split, &warm_settings);
+        for subset in [vec![0, 1], vec![0, 1, 2], vec![1, 2]] {
+            let x = a.evaluate(&subset).unwrap();
+            let y = b.evaluate(&subset).unwrap();
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(b.perf().warm_starts, 0, "exact mode never seeds");
+    }
+
+    #[test]
+    fn settings_fingerprint_tracks_measurement_inputs() {
+        let sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        let s = ScenarioSettings::fast();
+        assert_eq!(settings_fingerprint(&sc, &s, 100), settings_fingerprint(&sc, &s, 100));
+        let mut s2 = ScenarioSettings::fast();
+        s2.attack.seed = 99;
+        assert_ne!(settings_fingerprint(&sc, &s, 100), settings_fingerprint(&sc, &s2, 100));
+        assert_ne!(settings_fingerprint(&sc, &s, 100), settings_fingerprint(&sc, &s, 200));
+        let mut sc2 = sc.clone();
+        sc2.seed = 6;
+        assert_ne!(settings_fingerprint(&sc, &s, 100), settings_fingerprint(&sc2, &s, 100));
+        // The inexact warm-start mode is fingerprinted apart; the exact
+        // mode shares the cold fingerprint (its bits are identical).
+        let mut inexact = ScenarioSettings::fast();
+        inexact.warm_start = true;
+        inexact.warm_exact = false;
+        assert_ne!(settings_fingerprint(&sc, &s, 100), settings_fingerprint(&sc, &inexact, 100));
+        let mut exact = ScenarioSettings::fast();
+        exact.warm_start = true;
+        assert_eq!(settings_fingerprint(&sc, &s, 100), settings_fingerprint(&sc, &exact, 100));
     }
 
     #[test]

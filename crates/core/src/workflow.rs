@@ -8,7 +8,7 @@
 //! 3. On failure, the best subset's distances on validation and test are
 //!    recorded (the paper's Table 4 failure analysis).
 
-use crate::artifacts::ArtifactCache;
+use crate::artifacts::{ArtifactCache, EvalMemo};
 use crate::exec::Executor;
 use crate::perf::EvalPerf;
 use crate::scenario::{MlScenario, ScenarioContext, ScenarioSettings};
@@ -67,14 +67,17 @@ pub fn run_dfs_with(
     strategy: StrategyId,
     artifacts: Option<&Arc<ArtifactCache>>,
 ) -> DfsOutcome {
-    run_dfs_with_exec(scenario, split, settings, strategy, artifacts, None)
+    run_dfs_with_exec(scenario, split, settings, strategy, artifacts, None, None)
 }
 
-/// [`run_dfs_with`] plus an optional shared [`Executor`]: the cell's inner
-/// hot loops (batched NSGA-II evaluation, HPO grids, attack rows) then
-/// draw helper threads from the shared permit pool. `None` runs every
-/// inner loop sequentially inline, which is bit-identical (see
-/// `DESIGN.md` § 4d).
+/// [`run_dfs_with`] plus an optional shared [`Executor`] and an optional
+/// shared [`EvalMemo`]. The executor lets the cell's inner hot loops
+/// (batched NSGA-II evaluation, HPO grids, attack rows) draw helper
+/// threads from the shared permit pool; `None` runs every inner loop
+/// sequentially inline, which is bit-identical (see `DESIGN.md` § 4d).
+/// The memo shares exact subset measurements across the arms of a row
+/// (and across rows/requests on the same split) — also bit-identical,
+/// see `DESIGN.md` § 4h.
 pub fn run_dfs_with_exec(
     scenario: &MlScenario,
     split: &Split,
@@ -82,6 +85,7 @@ pub fn run_dfs_with_exec(
     strategy: StrategyId,
     artifacts: Option<&Arc<ArtifactCache>>,
     exec: Option<&Arc<Executor>>,
+    memo: Option<&Arc<EvalMemo>>,
 ) -> DfsOutcome {
     debug_assert!(scenario.constraints.validate().is_ok(), "invalid constraint set");
     let mut ctx = ScenarioContext::new(scenario, split, settings);
@@ -90,6 +94,9 @@ pub fn run_dfs_with_exec(
     }
     if let Some(exec) = exec {
         ctx = ctx.with_executor(Arc::clone(exec));
+    }
+    if let Some(memo) = memo {
+        ctx = ctx.with_memo(Arc::clone(memo));
     }
     dfs_obs::heartbeat("search");
     let outcome = {
@@ -168,17 +175,18 @@ pub fn run_original_features_with(
     settings: &ScenarioSettings,
     artifacts: Option<&Arc<ArtifactCache>>,
 ) -> DfsOutcome {
-    run_original_features_with_exec(scenario, split, settings, artifacts, None)
+    run_original_features_with_exec(scenario, split, settings, artifacts, None, None)
 }
 
 /// [`run_original_features_with`] plus an optional shared [`Executor`]
-/// (see [`run_dfs_with_exec`]).
+/// and [`EvalMemo`] (see [`run_dfs_with_exec`]).
 pub fn run_original_features_with_exec(
     scenario: &MlScenario,
     split: &Split,
     settings: &ScenarioSettings,
     artifacts: Option<&Arc<ArtifactCache>>,
     exec: Option<&Arc<Executor>>,
+    memo: Option<&Arc<EvalMemo>>,
 ) -> DfsOutcome {
     let mut ctx = ScenarioContext::new(scenario, split, settings);
     if let Some(cache) = artifacts {
@@ -186,6 +194,9 @@ pub fn run_original_features_with_exec(
     }
     if let Some(exec) = exec {
         ctx = ctx.with_executor(Arc::clone(exec));
+    }
+    if let Some(memo) = memo {
+        ctx = ctx.with_memo(Arc::clone(memo));
     }
     let all: Vec<usize> = (0..split.n_features()).collect();
     let val_score = ctx.evaluate(&all);

@@ -80,14 +80,49 @@ fn arms() -> Vec<Arm> {
 }
 
 fn run(threads: usize) -> BenchmarkMatrix {
+    run_configured(threads, true, true, false)
+}
+
+/// One matrix run with the evaluation-sharing machinery dialed as given:
+/// `memo` shares an [`dfs_core::EvalMemo`] across cells, `pruning` enables
+/// the cheap-first lower-bound short-circuit, `warm` enables warm starts
+/// in the bit-exact mode (`warm_exact` stays on — the inexact mode trades
+/// bit-identity away and is fingerprinted apart, so it has no place in
+/// this suite).
+fn run_configured(threads: usize, memo: bool, pruning: bool, warm: bool) -> BenchmarkMatrix {
     let mut settings = ScenarioSettings::fast();
     settings.max_evals = 16; // the eval cap binds, never the wall clock
+    settings.bound_pruning = pruning;
+    settings.warm_start = warm;
+    settings.warm_exact = true;
     let opts = RunnerOptions {
         threads,
         inner_threads: threads,
+        share_eval_memo: memo,
         ..RunnerOptions::default()
     };
     run_benchmark_opts(&splits(), scenarios(), &arms(), &settings, &opts)
+}
+
+/// Asserts every observable of two matrices is bit-identical: statuses,
+/// outcomes, budget trajectories, and metric bit patterns. Work counters
+/// are deliberately *not* compared — the memo and the bound short-circuit
+/// change how often models are fit; that is their whole point.
+fn assert_observably_identical(reference: &BenchmarkMatrix, other: &BenchmarkMatrix, label: &str) {
+    assert_eq!(reference.arms, other.arms, "{label}: arms");
+    assert_eq!(reference.results.len(), other.results.len(), "{label}: rows");
+    for (i, (row_r, row_o)) in reference.results.iter().zip(&other.results).enumerate() {
+        for (a, (r, o)) in row_r.iter().zip(row_o).enumerate() {
+            let at = format!("{label}: scenario {i}, arm {}", reference.arms[a].name());
+            assert_eq!(r.status, o.status, "{at}: status");
+            assert_eq!(r.success, o.success, "{at}: success");
+            assert_eq!(r.evaluations, o.evaluations, "{at}: evaluations");
+            assert_eq!(r.subset_size, o.subset_size, "{at}: subset size");
+            assert_eq!(r.val_distance.to_bits(), o.val_distance.to_bits(), "{at}: val distance");
+            assert_eq!(r.test_distance.to_bits(), o.test_distance.to_bits(), "{at}: test distance");
+            assert_eq!(r.test_f1.to_bits(), o.test_f1.to_bits(), "{at}: test F1");
+        }
+    }
 }
 
 #[test]
@@ -128,4 +163,42 @@ fn four_thread_matrix_is_bit_identical_to_sequential() {
     assert!(seq.results.iter().flatten().any(|c| c.evaluations > 1));
     let perf = seq.total_perf();
     assert!(perf.model_fits > 0, "no model fits recorded");
+}
+
+/// The memoization/pruning soundness contract of DESIGN.md § 4h: turning
+/// on the shared evaluation memo, the cheap-first bound short-circuit, or
+/// bit-exact warm starts — in any combination, at any thread count — must
+/// leave every observable of the matrix bit-identical to the naive run
+/// that measures everything exactly, every time.
+#[test]
+fn memoized_pruned_and_warm_runs_match_the_naive_matrix() {
+    let naive = run_configured(1, false, false, false);
+    assert!(
+        naive.results.iter().flatten().any(|c| c.evaluations > 1),
+        "naive reference did no work"
+    );
+    let configs = [
+        (true, false, false, "memo"),
+        (false, true, false, "pruning"),
+        (true, true, false, "memo+pruning"),
+        (true, true, true, "memo+pruning+warm-exact"),
+    ];
+    for threads in [1, 4] {
+        for (memo, pruning, warm, name) in configs {
+            let m = run_configured(threads, memo, pruning, warm);
+            assert_observably_identical(&naive, &m, &format!("{name} @{threads}t"));
+            let perf = m.total_perf();
+            if memo {
+                assert!(perf.memo_hits > 0, "{name} @{threads}t: memo never hit");
+            } else {
+                assert_eq!(perf.memo_hits, 0, "{name} @{threads}t: phantom memo hits");
+            }
+            if !pruning {
+                assert_eq!(perf.bound_skips, 0, "{name} @{threads}t: phantom bound skips");
+            }
+        }
+    }
+    // The naive run itself reports no sharing, by construction.
+    let np = naive.total_perf();
+    assert_eq!((np.memo_hits, np.bound_skips, np.warm_starts), (0, 0, 0));
 }

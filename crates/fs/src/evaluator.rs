@@ -24,6 +24,22 @@ pub trait SubsetEvaluator {
     /// Returns `None` once the search budget is exhausted.
     fn evaluate(&mut self, subset: &[usize]) -> Option<f64>;
 
+    /// Like [`SubsetEvaluator::evaluate`], carrying the caller's
+    /// *incumbent*: the best exact score among the already-measured
+    /// candidates the subset competes with. The evaluator may then answer
+    /// with any **proven lower bound** strictly above the incumbent instead
+    /// of the exact score (e.g. skipping the expensive tail of the
+    /// measurement once the cheap constraint terms alone exceed it) —
+    /// such a candidate can be neither the round's argmin nor a new global
+    /// best, so the search trajectory is unchanged. Callers must only pass
+    /// incumbents that are themselves exact scores observed this round, and
+    /// only when scores are non-negative (`stop_at` is `Some`).
+    ///
+    /// The default ignores the bound and evaluates exactly.
+    fn evaluate_bounded(&mut self, subset: &[usize], _bound: Option<f64>) -> Option<f64> {
+        self.evaluate(subset)
+    }
+
     /// Like [`SubsetEvaluator::evaluate`], but *without* the
     /// evaluation-independent size pruning: the subset is always trained and
     /// measured (consuming budget). Plain backward selection uses this —
@@ -32,6 +48,12 @@ pub trait SubsetEvaluator {
     /// over-cap region the slow way.
     fn evaluate_no_prune(&mut self, subset: &[usize]) -> Option<f64> {
         self.evaluate(subset)
+    }
+
+    /// [`SubsetEvaluator::evaluate_no_prune`] with the caller's incumbent —
+    /// the bound contract of [`SubsetEvaluator::evaluate_bounded`] applies.
+    fn evaluate_no_prune_bounded(&mut self, subset: &[usize], _bound: Option<f64>) -> Option<f64> {
+        self.evaluate_no_prune(subset)
     }
 
     /// Per-constraint shortfall vector for multi-objective search

@@ -38,13 +38,16 @@ pub fn recursive_feature_elimination(ev: &mut dyn SubsetEvaluator) -> SearchOutc
         };
         debug_assert_eq!(importances.len(), current.len(), "importances align with subset");
         // Drop the least important feature (ties: lowest index for
-        // determinism).
-        let weakest = importances
+        // determinism; importances are finite, so the Equal fallback is
+        // unreachable).
+        let Some(weakest) = importances
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite importances"))
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(pos, _)| pos)
-            .expect("non-empty subset");
+        else {
+            return outcome; // current.len() > 1, so importances is non-empty
+        };
         current.remove(weakest);
 
         if current.len() > cap {

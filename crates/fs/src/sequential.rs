@@ -26,7 +26,11 @@ pub fn forward_selection(ev: &mut dyn SubsetEvaluator, floating: bool) -> Search
     let mut current_score = f64::INFINITY;
 
     while current.len() < cap {
-        // Try adding each remaining feature; keep the best.
+        // Try adding each remaining feature; keep the best. The round's
+        // incumbent rides along as a lower-bound hint: a candidate whose
+        // cheap constraint terms already exceed it cannot win the round,
+        // so the evaluator may skip the expensive tail of its measurement.
+        // (Only sound for non-negative scores, hence the stop_at gate.)
         let mut best_add: Option<(usize, f64)> = None;
         for f in 0..d {
             if current.contains(&f) {
@@ -35,7 +39,8 @@ pub fn forward_selection(ev: &mut dyn SubsetEvaluator, floating: bool) -> Search
             let mut candidate = current.clone();
             candidate.push(f);
             candidate.sort_unstable();
-            let Some(score) = ev.evaluate(&candidate) else {
+            let bound = if stop_at.is_some() { best_add.map(|(_, s)| s) } else { None };
+            let Some(score) = ev.evaluate_bounded(&candidate, bound) else {
                 return outcome;
             };
             outcome.observe(&candidate, score);
@@ -68,7 +73,13 @@ pub fn forward_selection(ev: &mut dyn SubsetEvaluator, floating: bool) -> Search
                     if dropped == f {
                         continue;
                     }
-                    let Some(score) = ev.evaluate(&candidate) else {
+                    // Drops are only accepted below `current_score`, so
+                    // the bound tightens to the smaller of the round's
+                    // incumbent and the score to beat.
+                    let bound = stop_at
+                        .is_some()
+                        .then(|| best_drop.map_or(current_score, |(_, s)| s.min(current_score)));
+                    let Some(score) = ev.evaluate_bounded(&candidate, bound) else {
                         return outcome;
                     };
                     outcome.observe(&candidate, score);
@@ -125,7 +136,10 @@ pub fn backward_selection(ev: &mut dyn SubsetEvaluator, floating: bool) -> Searc
         for pos in 0..current.len() {
             let mut candidate = current.clone();
             candidate.remove(pos);
-            let Some(score) = ev.evaluate_no_prune(&candidate) else {
+            // Same lower-bound hint as forward selection: the round's
+            // incumbent rides along (sound only for non-negative scores).
+            let bound = if stop_at.is_some() { best_drop.map(|(_, s)| s) } else { None };
+            let Some(score) = ev.evaluate_no_prune_bounded(&candidate, bound) else {
                 return outcome;
             };
             outcome.observe(&candidate, score);
@@ -154,7 +168,11 @@ pub fn backward_selection(ev: &mut dyn SubsetEvaluator, floating: bool) -> Searc
                     let mut candidate = current.clone();
                     candidate.push(f);
                     candidate.sort_unstable();
-                    let Some(score) = ev.evaluate(&candidate) else {
+                    // Re-adds are only accepted below `current_score`.
+                    let bound = stop_at
+                        .is_some()
+                        .then(|| best_add.map_or(current_score, |(_, s)| s.min(current_score)));
+                    let Some(score) = ev.evaluate_bounded(&candidate, bound) else {
                         return outcome;
                     };
                     outcome.observe(&candidate, score);
@@ -284,6 +302,86 @@ mod tests {
         let mut ev = MockEvaluator::new(6, vec![1, 3], 10_000);
         let out = backward_selection(&mut ev, true);
         assert_eq!(out.satisfied.as_deref(), Some(&[1usize, 3][..]));
+    }
+
+    #[test]
+    fn lower_bounded_answers_leave_the_search_trajectory_unchanged() {
+        // Exercises the `evaluate_bounded` contract end to end: when the
+        // exact score provably exceeds the caller's incumbent, the
+        // evaluator answers with a weaker value strictly between the
+        // incumbent and the exact score. The search must pick identical
+        // subsets, scores and evaluation counts either way.
+        struct Bounding {
+            inner: MockEvaluator,
+            skips: usize,
+        }
+        impl SubsetEvaluator for Bounding {
+            fn n_features(&self) -> usize {
+                self.inner.n_features()
+            }
+            fn max_features(&self) -> usize {
+                self.inner.max_features()
+            }
+            fn evaluate(&mut self, s: &[usize]) -> Option<f64> {
+                self.inner.evaluate(s)
+            }
+            fn evaluate_bounded(&mut self, s: &[usize], bound: Option<f64>) -> Option<f64> {
+                let score = self.inner.evaluate(s)?;
+                match bound {
+                    Some(b) if score > b => {
+                        self.skips += 1;
+                        Some((b + score) / 2.0) // a valid lower bound in (b, score]
+                    }
+                    _ => Some(score),
+                }
+            }
+            fn evaluate_no_prune_bounded(
+                &mut self,
+                s: &[usize],
+                bound: Option<f64>,
+            ) -> Option<f64> {
+                self.evaluate_bounded(s, bound)
+            }
+            fn evaluate_multi(&mut self, s: &[usize]) -> Option<Vec<f64>> {
+                self.inner.evaluate_multi(s)
+            }
+            fn stop_at(&self) -> Option<f64> {
+                self.inner.stop_at()
+            }
+            fn ranking_data(&self) -> (&dfs_linalg::Matrix, &[bool]) {
+                self.inner.ranking_data()
+            }
+            fn importances(&mut self, s: &[usize]) -> Option<Vec<f64>> {
+                self.inner.importances(s)
+            }
+            fn seed(&self) -> u64 {
+                self.inner.seed()
+            }
+        }
+
+        for floating in [false, true] {
+            let mut exact = MockEvaluator::new(8, vec![2, 5], 10_000);
+            let reference = forward_selection(&mut exact, floating);
+            let mut bounded =
+                Bounding { inner: MockEvaluator::new(8, vec![2, 5], 10_000), skips: 0 };
+            let out = forward_selection(&mut bounded, floating);
+            assert_eq!(out.satisfied, reference.satisfied, "floating={floating}");
+            assert_eq!(out.best_subset, reference.best_subset);
+            assert_eq!(out.best_score, reference.best_score);
+            assert_eq!(out.evaluations, reference.evaluations);
+            assert!(bounded.skips > 0, "the bound hint should have fired");
+
+            let mut exact = MockEvaluator::new(6, vec![1, 4], 10_000);
+            let reference = backward_selection(&mut exact, floating);
+            let mut bounded =
+                Bounding { inner: MockEvaluator::new(6, vec![1, 4], 10_000), skips: 0 };
+            let out = backward_selection(&mut bounded, floating);
+            assert_eq!(out.satisfied, reference.satisfied, "floating={floating}");
+            assert_eq!(out.best_subset, reference.best_subset);
+            assert_eq!(out.best_score, reference.best_score);
+            assert_eq!(out.evaluations, reference.evaluations);
+            assert!(bounded.skips > 0, "the bound hint should have fired");
+        }
     }
 
     #[test]

@@ -118,7 +118,9 @@ pub fn grid_search_ws(
             best = Some((f1, spec.clone(), model));
         }
     }
-    let (val_f1, spec, model) = best.expect("grids are non-empty");
+    let Some((val_f1, spec, model)) = best else {
+        unreachable!("grid(kind) always returns at least one spec");
+    };
     HpoResult { spec, model, val_f1, evaluations }
 }
 

@@ -109,7 +109,20 @@ impl Budget {
     /// budget rather than a panic.
     pub fn until(deadline: Instant, max_evals: usize) -> Self {
         let now = Instant::now();
-        Self::new(deadline.saturating_duration_since(now), max_evals)
+        Self::until_with_clock(deadline, now, max_evals, Clock::Real(now))
+    }
+
+    /// Deadline budget reading time from an explicit [`Clock`], with the
+    /// deadline resolved against an explicit `now`. `until` delegates here
+    /// anchored at a single wall-clock read; tests inject a [`ManualClock`]
+    /// so deadline expiry is exercised without touching `Instant::now()`.
+    pub fn until_with_clock(
+        deadline: Instant,
+        now: Instant,
+        max_evals: usize,
+        clock: Clock,
+    ) -> Self {
+        Self::with_clock(deadline.saturating_duration_since(now), max_evals, clock)
     }
 
     /// `true` once either limit is hit.
@@ -166,6 +179,7 @@ impl SearchResult {
 
     pub(crate) fn observe(&mut self, bits: &[bool], score: f64) {
         self.evaluations += 1;
+        let score = sanitize_score(score);
         if score < self.best_score {
             self.best_score = score;
             self.best_bits = bits.to_vec();
@@ -173,9 +187,25 @@ impl SearchResult {
     }
 }
 
-/// Returns `true` when `score` has met the early-stop target.
+/// Maps a NaN score to `+∞` so it orders as worst-possible instead of
+/// silently losing every comparison (a degenerate fold metric must look
+/// like a terrible candidate, not vanish). Observable: bumps the
+/// `search.nan_score` counter and leaves a journal line.
+pub(crate) fn sanitize_score(score: f64) -> f64 {
+    if score.is_nan() {
+        dfs_obs::counter("search.nan_score", 1);
+        dfs_obs::warn!("dfs-search", "NaN score observed; treating as +inf");
+        f64::INFINITY
+    } else {
+        score
+    }
+}
+
+/// Returns `true` when `score` has met the early-stop target. NaN never
+/// hits a target — it ranks as `+∞` (see [`sanitize_score`]), and `+∞`
+/// fails any threshold.
 pub(crate) fn hit_target(score: f64, stop_at: Option<f64>) -> bool {
-    stop_at.is_some_and(|t| score <= t)
+    !score.is_nan() && stop_at.is_some_and(|t| score <= t)
 }
 
 #[cfg(test)]
@@ -233,8 +263,12 @@ mod tests {
 
     #[test]
     fn elapsed_deadline_is_exhausted_before_the_first_evaluation() {
-        let past = Instant::now().checked_sub(Duration::from_secs(5)).unwrap_or_else(Instant::now);
-        let b = Budget::until(past, usize::MAX);
+        // `now` is an arbitrary anchor: only the deadline-vs-now difference
+        // matters, and the injected clock controls everything after that.
+        let now = Instant::now();
+        let past = now.checked_sub(Duration::from_secs(5)).unwrap_or(now);
+        let clock = ManualClock::new();
+        let b = Budget::until_with_clock(past, now, usize::MAX, clock.clock());
         assert!(b.exhausted());
         assert!(!b.try_consume());
         assert_eq!(b.evals_used(), 0);
@@ -242,11 +276,25 @@ mod tests {
 
     #[test]
     fn future_deadline_budget_admits_evaluations() {
-        let b = Budget::until(Instant::now() + Duration::from_secs(60), 2);
+        let now = Instant::now();
+        let clock = ManualClock::new();
+        let b = Budget::until_with_clock(now + Duration::from_secs(60), now, 2, clock.clock());
         assert!(!b.exhausted());
         assert!(b.try_consume());
         assert!(b.try_consume());
         assert!(!b.try_consume(), "eval cap still applies to deadline budgets");
+    }
+
+    #[test]
+    fn deadline_budget_expires_on_the_injected_clock() {
+        let now = Instant::now();
+        let clock = ManualClock::new();
+        let b = Budget::until_with_clock(now + Duration::from_millis(10), now, usize::MAX, clock.clock());
+        assert!(b.try_consume(), "inside the deadline window");
+        clock.advance(Duration::from_millis(11));
+        assert!(b.exhausted(), "manual clock must drive deadline expiry");
+        assert!(!b.try_consume());
+        assert_eq!(b.evals_used(), 1);
     }
 
     #[test]
@@ -266,5 +314,41 @@ mod tests {
         assert!(hit_target(-1.0, Some(0.0)));
         assert!(!hit_target(0.1, Some(0.0)));
         assert!(!hit_target(0.0, None));
+        assert!(!hit_target(f64::NAN, Some(0.0)), "NaN must never satisfy a target");
+        assert!(!hit_target(f64::NAN, Some(f64::INFINITY)));
+    }
+
+    #[test]
+    fn nan_first_score_counts_but_never_becomes_best() {
+        dfs_obs::set_trace_enabled(true);
+        let (r, collected) = dfs_obs::scoped(|| {
+            let mut r = SearchResult::empty();
+            r.observe(&[true, false], f64::NAN);
+            assert_eq!(r.evaluations, 1, "a NaN evaluation still consumed budget");
+            assert!(r.best_bits.is_empty(), "NaN must not be promoted to best");
+            assert_eq!(r.best_score, f64::INFINITY);
+            r.observe(&[false, true], 5.0);
+            r
+        });
+        assert_eq!(r.best_bits, vec![false, true]);
+        assert_eq!(r.best_score, 5.0);
+        assert_eq!(r.evaluations, 2);
+        let collected = collected.expect("collector");
+        assert_eq!(collected.counters().get("search.nan_score").copied(), Some(1));
+        assert!(
+            collected.events().iter().any(|e| format!("{e:?}").contains("NaN score")),
+            "NaN observation must leave a journal line"
+        );
+    }
+
+    #[test]
+    fn nan_mid_sequence_leaves_the_incumbent_untouched() {
+        let mut r = SearchResult::empty();
+        r.observe(&[true, false], 2.0);
+        r.observe(&[false, true], f64::NAN);
+        r.observe(&[true, true], 3.0);
+        assert_eq!(r.best_bits, vec![true, false]);
+        assert_eq!(r.best_score, 2.0);
+        assert_eq!(r.evaluations, 3);
     }
 }

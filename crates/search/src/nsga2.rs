@@ -312,8 +312,13 @@ fn rank_and_crowd(pop: &[Individual]) -> (Vec<usize>, Vec<f64>) {
         let members: Vec<usize> = (0..n).filter(|&i| ranks[i] == r).collect();
         for m in 0..n_obj {
             let mut sorted = members.clone();
+            // NaN scores never reach the population (they are mapped to
+            // +inf at measurement), so Equal is an unreachable fallback,
+            // not a behavior change.
             sorted.sort_by(|&a, &b| {
-                pop[a].objectives[m].partial_cmp(&pop[b].objectives[m]).expect("finite objectives")
+                pop[a].objectives[m]
+                    .partial_cmp(&pop[b].objectives[m])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             if sorted.len() < 3 {
                 for &i in &sorted {
@@ -321,10 +326,14 @@ fn rank_and_crowd(pop: &[Individual]) -> (Vec<usize>, Vec<f64>) {
                 }
                 continue;
             }
-            let lo = pop[sorted[0]].objectives[m];
-            let hi = pop[*sorted.last().expect("non-empty")].objectives[m];
-            crowding[sorted[0]] = f64::INFINITY;
-            crowding[*sorted.last().expect("non-empty")] = f64::INFINITY;
+            let (&first, &last) = match (sorted.first(), sorted.last()) {
+                (Some(first), Some(last)) => (first, last),
+                _ => continue, // len >= 3 above; unreachable
+            };
+            let lo = pop[first].objectives[m];
+            let hi = pop[last].objectives[m];
+            crowding[first] = f64::INFINITY;
+            crowding[last] = f64::INFINITY;
             let range = (hi - lo).max(dfs_linalg::EPS);
             for w in sorted.windows(3) {
                 crowding[w[1]] += (pop[w[2]].objectives[m] - pop[w[0]].objectives[m]) / range;
@@ -350,7 +359,8 @@ fn select_survivors(pop: Vec<Individual>, target: usize) -> Vec<Individual> {
     let mut order: Vec<usize> = (0..pop.len()).collect();
     order.sort_by(|&a, &b| {
         ranks[a].cmp(&ranks[b]).then(
-            crowding[b].partial_cmp(&crowding[a]).expect("crowding comparable"),
+            // Crowding is a sum of finite ratios or +inf — never NaN.
+            crowding[b].partial_cmp(&crowding[a]).unwrap_or(std::cmp::Ordering::Equal),
         )
     });
     order.truncate(target);

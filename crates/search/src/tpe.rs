@@ -107,7 +107,11 @@ fn propose_binary(
     rng: &mut StdRng,
 ) -> Vec<bool> {
     let mut order: Vec<usize> = (0..history.len()).collect();
-    order.sort_by(|&a, &b| history[a].1.partial_cmp(&history[b].1).expect("finite scores"));
+    // NaN scores are mapped to +inf at measurement, so Equal is an
+    // unreachable fallback, not a behavior change.
+    order.sort_by(|&a, &b| {
+        history[a].1.partial_cmp(&history[b].1).unwrap_or(std::cmp::Ordering::Equal)
+    });
     let n_good = ((cfg.gamma * history.len() as f64).ceil() as usize).clamp(1, history.len() - 1);
 
     // Per-dimension Bernoulli parameters with a Beta(1,1) prior.
@@ -224,7 +228,11 @@ fn propose_integer(
     rng: &mut StdRng,
 ) -> usize {
     let mut order: Vec<usize> = (0..history.len()).collect();
-    order.sort_by(|&a, &b| history[a].1.partial_cmp(&history[b].1).expect("finite scores"));
+    // NaN scores are mapped to +inf at measurement, so Equal is an
+    // unreachable fallback, not a behavior change.
+    order.sort_by(|&a, &b| {
+        history[a].1.partial_cmp(&history[b].1).unwrap_or(std::cmp::Ordering::Equal)
+    });
     let n_good = ((cfg.gamma * history.len() as f64).ceil() as usize).clamp(1, history.len() - 1);
     let good: Vec<f64> = order[..n_good].iter().map(|&i| history[i].0 as f64).collect();
     let bad: Vec<f64> = order[n_good..].iter().map(|&i| history[i].0 as f64).collect();

@@ -10,6 +10,11 @@
 //!   `(dataset, split fingerprint, kind)` with arm-independent seeds
 //!   (PR 2's determinism contract), so requests from different
 //!   connections warm each other without changing any result bit.
+//! - **The shared [`EvalMemo`]** — whole subset measurements keyed by
+//!   `(dataset, split fingerprint, settings fingerprint, eval leg,
+//!   subset)`; a repeated or overlapping query skips the model fits the
+//!   first one already paid, again without changing any result bit
+//!   (DESIGN.md § 4h).
 //!
 //! Every query cell runs on the server's pinned [`Executor`] permit pool:
 //! results are bit-identical for any pool width, so the chaos suite can
@@ -83,6 +88,7 @@ type SplitKey = (String, u64, u64);
 pub struct Engine {
     exec: Arc<Executor>,
     artifacts: Arc<ArtifactCache>,
+    memo: Arc<EvalMemo>,
     splits: Mutex<HashMap<SplitKey, Arc<Prepared>>>,
     base_settings: ScenarioSettings,
 }
@@ -94,6 +100,7 @@ impl Engine {
         Self {
             exec: Arc::new(Executor::new(threads)),
             artifacts: Arc::new(ArtifactCache::new()),
+            memo: Arc::new(EvalMemo::new()),
             splits: Mutex::new(HashMap::new()),
             base_settings: ScenarioSettings::default_bench(),
         }
@@ -102,6 +109,12 @@ impl Engine {
     /// (rankings computed, rankings served warm) across all requests.
     pub fn ranking_counts(&self) -> (u64, u64) {
         self.artifacts.counts()
+    }
+
+    /// (memo hits, misses, inserts) across all requests — the
+    /// subset-measurement analogue of [`Engine::ranking_counts`].
+    pub fn memo_counts(&self) -> (u64, u64, u64) {
+        self.memo.counts()
     }
 
     fn splits_lock(&self) -> MutexGuard<'_, HashMap<SplitKey, Arc<Prepared>>> {
@@ -197,6 +210,7 @@ impl Engine {
                     id,
                     Some(&self.artifacts),
                     Some(&self.exec),
+                    Some(&self.memo),
                 );
                 QueryResult {
                     req_id: spec.req_id,

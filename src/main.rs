@@ -334,11 +334,11 @@ fn main() -> ExitCode {
     );
 
     let run_started = Instant::now();
-    let (success, subset, evaluations, label) = match args.strategy {
+    let (success, subset, evaluations, label, perf) = match args.strategy {
         StrategySpec::Fixed(strategy) => {
             eprintln!("strategy: {}", strategy.name());
             let out = run_dfs(&scenario, &split, &settings, strategy);
-            (out.success, out.subset, out.evaluations, strategy.name())
+            (out.success, out.subset, out.evaluations, strategy.name(), out.perf)
         }
         StrategySpec::Auto => {
             let cfg = SwitchConfig::default();
@@ -351,7 +351,9 @@ fn main() -> ExitCode {
                 .winner
                 .map(|w| format!("auto/{}", w.name()))
                 .unwrap_or_else(|| "auto".into());
-            (out.success, out.subset, out.evaluations, label)
+            // The switching workflow does not surface per-attempt perf
+            // counters; the summary reports zeros for the sharing fields.
+            (out.success, out.subset, out.evaluations, label, EvalPerf::default())
         }
     };
 
@@ -379,12 +381,13 @@ fn main() -> ExitCode {
     if args.summary_json {
         // WIND-style run summary: the final stdout line, one JSON object,
         // so process-based harnesses can `tail -1 | parse`.
-        println!("{}", run_summary(1, 0, success, &label, evaluations, subset_len, wall));
+        println!("{}", run_summary(1, 0, success, &label, evaluations, subset_len, wall, &perf));
     }
     code
 }
 
 /// Single-line JSON run summary (the `--summary-json` contract).
+#[allow(clippy::too_many_arguments)]
 fn run_summary(
     cells: usize,
     faults: usize,
@@ -393,8 +396,11 @@ fn run_summary(
     evaluations: usize,
     subset_len: usize,
     wall: Duration,
+    perf: &EvalPerf,
 ) -> Json {
     let secs = wall.as_secs_f64().max(1e-9);
+    let probes = perf.memo_hits + perf.memo_misses;
+    let hit_rate = if probes == 0 { 0.0 } else { perf.memo_hits as f64 / probes as f64 };
     Json::Obj(vec![
         ("cells".into(), Json::Num(cells as f64)),
         ("faults".into(), Json::Num(faults as f64)),
@@ -404,6 +410,10 @@ fn run_summary(
         ("evals_per_s".into(), Json::Num((evaluations as f64 / secs * 10.0).round() / 10.0)),
         ("wall_ms".into(), Json::Num(wall.as_millis() as f64)),
         ("subset_len".into(), Json::Num(subset_len as f64)),
+        ("memo_hits".into(), Json::Num(perf.memo_hits as f64)),
+        ("memo_misses".into(), Json::Num(perf.memo_misses as f64)),
+        ("memo_hit_rate".into(), Json::Num((hit_rate * 1000.0).round() / 1000.0)),
+        ("bound_skips".into(), Json::Num(perf.bound_skips as f64)),
     ])
 }
 
@@ -743,14 +753,23 @@ mod tests {
     fn summary_json_flag_and_line_shape() {
         let args = parse_args(&argv("--dataset compas --summary-json")).unwrap();
         assert!(args.summary_json);
+        let perf = EvalPerf { memo_hits: 30, memo_misses: 90, bound_skips: 7, ..EvalPerf::default() };
         let line =
-            run_summary(1, 0, true, "sffs", 120, 4, Duration::from_millis(500)).to_string();
+            run_summary(1, 0, true, "sffs", 120, 4, Duration::from_millis(500), &perf).to_string();
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(!line.contains('\n'), "summary must be a single line");
         assert!(line.contains("\"cells\":1"));
         assert!(line.contains("\"faults\":0"));
         assert!(line.contains("\"evals_per_s\":240"));
         assert!(line.contains("\"wall_ms\":500"));
+        assert!(line.contains("\"memo_hits\":30"));
+        assert!(line.contains("\"memo_hit_rate\":0.25"));
+        assert!(line.contains("\"bound_skips\":7"));
+
+        // No memo probes at all must not divide by zero.
+        let cold = run_summary(1, 0, false, "sfs", 1, 0, Duration::from_millis(1), &EvalPerf::default())
+            .to_string();
+        assert!(cold.contains("\"memo_hit_rate\":0"));
     }
 
     #[test]

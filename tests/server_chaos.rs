@@ -349,3 +349,39 @@ fn warm_artifact_cache_is_reused_across_requests() {
     assert_eq!(renamed.fingerprint(), first.fingerprint());
     handle.drain();
 }
+
+#[test]
+fn warm_eval_memo_is_reused_across_requests() {
+    let mut handle = test_server(ServerFaultPlan::new(), 1);
+    let addr = handle.addr();
+    let client = test_client(addr);
+
+    let first = client.query(&fast_spec(21, "sfs", 13)).expect("first query");
+    let repeat = client.query(&fast_spec(22, "sfs", 13)).expect("repeat query");
+    // Identical work, different request ids: every subset the repeat
+    // proposes was already measured, so the shared evaluation memo
+    // (DESIGN.md § 4h) serves it without fitting a single model.
+    assert!(first.model_fits >= 1, "{first:?}");
+    assert_eq!(repeat.model_fits, 0, "memo must serve the repeat warm: {repeat:?}");
+
+    // And warm answers are bit-identical apart from the id.
+    let mut renamed = repeat.clone();
+    renamed.req_id = first.req_id;
+    renamed.elapsed_ms = first.elapsed_ms;
+    renamed.model_fits = first.model_fits;
+    renamed.ranking_computes = first.ranking_computes;
+    renamed.ranking_hits = first.ranking_hits;
+    assert_eq!(renamed.fingerprint(), first.fingerprint());
+
+    // A *different* strategy still profits: SFFS walks the same forward
+    // prefix SFS already measured, so its cross-strategy overlap comes
+    // out of the memo too.
+    let overlap = client.query(&fast_spec(23, "sffs", 13)).expect("overlap query");
+    assert!(
+        overlap.model_fits < first.model_fits,
+        "cross-strategy overlap must hit the memo: sffs {} vs sfs {}",
+        overlap.model_fits,
+        first.model_fits
+    );
+    handle.drain();
+}
