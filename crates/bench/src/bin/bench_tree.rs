@@ -1,25 +1,36 @@
-//! Before/after benchmark for the presorted CART tree kernel.
+//! Before/after benchmark for the CART tree kernels.
 //!
 //! Three measurements on a realistic corpus (the synthetic german_credit
 //! dataset, train subsampled to the evaluation engine's row cap):
 //!
-//! 1. **Tree fit** at the deepest grid depth — the historical per-node
-//!    gather-and-sort builder (carried here verbatim as the "before"
-//!    implementation) vs the presorted kernel, with bit-identity between
-//!    the two asserted on every node count, importance bit pattern, and
-//!    per-row probability bit pattern.
+//! 1. **Tree fit** at the deepest grid depth — a three-way comparison of
+//!    the historical per-node gather-and-sort builder (carried here
+//!    verbatim as the "naive" baseline), the presorted kernel
+//!    (`SplitExactness::Presorted`), and the histogram-binned kernel
+//!    (`SplitExactness::Binned256`, the default). The presorted tree is
+//!    asserted bit-identical to the naive one on every node count,
+//!    importance bit pattern, and per-row probability bit pattern; the
+//!    binned tree — exact only up to 256 distinct values per column — is
+//!    held to validation-F1 parity with the presorted tree within
+//!    [`F1_TOLERANCE`]. In full (non-`--smoke`) runs with both kernels
+//!    selected, the binned fit must beat the presorted fit by at least
+//!    [`MIN_BINNED_SPEEDUP`]x or the process exits nonzero.
 //! 2. **DT-HPO grid** — seven independent fits (the pre-truncation
 //!    `grid_search` loop) vs one deep fit + six O(nodes) truncations, with
 //!    the winning spec, its `val_f1` bits, and its predictions asserted
-//!    equal. The issue's acceptance bar is ≥ 3x here.
+//!    equal. Both sides run the workspace-default (binned) kernel, so this
+//!    isolates the truncation speedup from the kernel choice.
 //! 3. **Forest fit / predict** — the class-balanced 50-tree forest through
-//!    the pooled-workspace fused-gather path, plus the per-row cost of the
-//!    scratch-reusing batch predictor.
+//!    the pooled-workspace fused-gather path in each selected exactness
+//!    mode, plus the per-row cost of the scratch-reusing batch predictor.
 //!
-//! Results are printed as JSON and, when a path argument is given, also
-//! written there (committed snapshot: `BENCH_tree.json` in the repo root).
-//! `--smoke` shrinks repetition counts for CI; the bit-identity assertions
-//! run in every mode and exit nonzero on violation.
+//! `--exactness binned|presorted|both` (default `both`) selects which
+//! kernels are *timed*; the agreement assertions above run in every mode.
+//! Results are printed as JSON (unmeasured kernels appear as `null`) and,
+//! when a path argument is given, also written there (committed snapshot:
+//! `BENCH_tree.json` in the repo root). `--smoke` shrinks repetition
+//! counts and relaxes the wall-clock speedup gate for CI; the agreement
+//! assertions run in every mode and exit nonzero on violation.
 //!
 //! Run offline with `scripts/offline-check.sh run --release -p dfs-bench
 //! --bin bench_tree -- BENCH_tree.json`.
@@ -30,7 +41,7 @@ use dfs_data::split::stratified_three_way;
 use dfs_data::synthetic::{generate, spec_by_name};
 use dfs_linalg::Matrix;
 use dfs_models::forest::{ForestConfig, RandomForest};
-use dfs_models::tree::{DecisionTree, Node, TreeWorkspace};
+use dfs_models::tree::{BinSet, DecisionTree, Node, SplitExactness, TreeWorkspace};
 use dfs_models::{hpo, ModelKind, ModelSpec, TrainedModel};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -40,6 +51,18 @@ use std::time::Instant;
 const TRAIN_ROWS: usize = 600;
 /// Deepest depth of the paper's DT grid (`td ∈ [1:7]`).
 const GRID_DEPTH: usize = 7;
+/// Maximum allowed |val-F1(binned) − val-F1(presorted)| at `GRID_DEPTH`.
+///
+/// german_credit's scaled numeric columns exceed 256 distinct values at
+/// 600 train rows, so the binned kernel quantizes them and its deeper
+/// splits land on slightly different thresholds; the measured val-F1 delta
+/// is 0.0228 (binned is the *higher* of the two here — quantization acts
+/// as mild regularization, not degradation). The tolerance bounds the gap
+/// at 0.03 so a real quality regression in either kernel still fails the
+/// gate.
+const F1_TOLERANCE: f64 = 0.03;
+/// Full-run wall-clock gate: binned fit must beat presorted by this factor.
+const MIN_BINNED_SPEEDUP: f64 = 2.0;
 
 /// Median wall-clock over `reps` runs of `f`, in nanoseconds.
 fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
@@ -269,16 +292,59 @@ fn assert_trees_identical(a: &DecisionTree, b: &DecisionTree, probes: &[&Matrix]
     })
 }
 
+fn tree_val_f1(t: &DecisionTree, x_val: &Matrix, y_val: &[bool]) -> f64 {
+    let preds: Vec<bool> = x_val.rows_iter().map(|row| t.predict_one(row)).collect();
+    dfs_metrics::f1_score(&preds, y_val)
+}
+
+/// `null`-aware JSON formatting for kernels that were not timed.
+fn ns_json(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
+fn ratio_json(num: Option<u64>, den: Option<u64>) -> String {
+    match (num, den) {
+        (Some(a), Some(b)) => format!("{:.2}", a as f64 / b.max(1) as f64),
+        _ => "null".to_string(),
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_path: Option<String> = None;
-    for arg in std::env::args().skip(1) {
+    let mut exactness_arg = String::from("both");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--smoke" {
             smoke = true;
+        } else if arg == "--exactness" {
+            match args.next() {
+                Some(v) => exactness_arg = v,
+                None => {
+                    eprintln!("[dfs-bench] fatal: --exactness requires a value");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--exactness=") {
+            exactness_arg = v.to_string();
         } else {
             out_path = Some(arg);
         }
     }
+    let (run_binned, run_presorted) = match exactness_arg.as_str() {
+        "both" => (true, true),
+        other => match SplitExactness::parse(other) {
+            Some(SplitExactness::Binned256) => (true, false),
+            Some(SplitExactness::Presorted) => (false, true),
+            None => {
+                eprintln!(
+                    "[dfs-bench] fatal: unknown --exactness `{other}` \
+                     (expected binned, presorted, or both)"
+                );
+                std::process::exit(2);
+            }
+        },
+    };
     let reps = if smoke { 3 } else { 9 };
     let forest_reps = if smoke { 1 } else { 5 };
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -286,30 +352,88 @@ fn main() {
     let (x_train, y_train, x_val, y_val) = corpus();
     let (n, d) = x_train.shape();
     let probes: [&Matrix; 2] = [&x_train, &x_val];
-    let mut bit_identical = true;
+    let mut gate_ok = true;
 
-    // 1. Single deep tree fit: naive per-node sort vs presorted kernel.
+    // 1. Single deep tree fit: naive per-node sort vs presorted vs binned.
+    //    The agreement checks fit each kernel once regardless of which
+    //    modes are being timed.
     let naive_tree = naive_fit(&x_train, &y_train, GRID_DEPTH);
-    let mut ws = TreeWorkspace::new();
-    let kernel_tree = DecisionTree::fit_in(&x_train, &y_train, GRID_DEPTH, None, &mut ws);
-    bit_identical &= assert_trees_identical(&naive_tree, &kernel_tree, &probes);
+    let mut ws_presorted = TreeWorkspace::with_exactness(SplitExactness::Presorted);
+    let presorted_tree =
+        DecisionTree::fit_in(&x_train, &y_train, GRID_DEPTH, None, &mut ws_presorted);
+    let presorted_exact = assert_trees_identical(&naive_tree, &presorted_tree, &probes);
+    if !presorted_exact {
+        eprintln!("[dfs-bench] fatal: presorted kernel diverged from the naive builder");
+    }
+    // The binned workspace runs with pre-derived bins bound, mirroring the
+    // evaluation engine: `BinSet::derive` happens once per (dataset, split)
+    // on the `ArtifactCache` and every fit reuses it, so per-fit binned
+    // cost excludes the one-off column sorts.
+    let bins = std::sync::Arc::new(BinSet::derive(&x_train));
+    let all_cols: Vec<usize> = (0..d).collect();
+    let all_rows: Vec<usize> = (0..n).collect();
+    let mut ws_binned = TreeWorkspace::with_exactness(SplitExactness::Binned256);
+    ws_binned.bind_bins(&bins, &all_cols, &all_rows);
+    let binned_tree = DecisionTree::fit_in(&x_train, &y_train, GRID_DEPTH, None, &mut ws_binned);
+    let f1_presorted = tree_val_f1(&presorted_tree, &x_val, &y_val);
+    let f1_binned = tree_val_f1(&binned_tree, &x_val, &y_val);
+    let f1_delta = (f1_binned - f1_presorted).abs();
+    let f1_ok = f1_delta <= F1_TOLERANCE;
+    if !f1_ok {
+        eprintln!(
+            "[dfs-bench] fatal: binned/presorted val-F1 delta {f1_delta:.4} \
+             exceeds tolerance {F1_TOLERANCE}"
+        );
+    }
+    gate_ok &= presorted_exact && f1_ok;
+
     let fit_naive_ns = median_ns(reps, || {
         let t = naive_fit(&x_train, &y_train, GRID_DEPTH);
         assert!(t.n_nodes() > 0);
     });
-    let fit_kernel_ns = median_ns(reps, || {
-        let t = DecisionTree::fit_in(&x_train, &y_train, GRID_DEPTH, None, &mut ws);
-        assert!(t.n_nodes() > 0);
+    let fit_presorted_ns = run_presorted.then(|| {
+        median_ns(reps, || {
+            let t =
+                DecisionTree::fit_in(&x_train, &y_train, GRID_DEPTH, None, &mut ws_presorted);
+            assert!(t.n_nodes() > 0);
+        })
     });
+    let fit_binned_ns = run_binned.then(|| {
+        median_ns(reps, || {
+            let t = DecisionTree::fit_in(&x_train, &y_train, GRID_DEPTH, None, &mut ws_binned);
+            assert!(t.n_nodes() > 0);
+        })
+    });
+    let binned_vs_presorted = match (fit_presorted_ns, fit_binned_ns) {
+        (Some(p), Some(b)) => Some(p as f64 / b.max(1) as f64),
+        _ => None,
+    };
+    if !smoke {
+        if let Some(speedup) = binned_vs_presorted {
+            if speedup < MIN_BINNED_SPEEDUP {
+                eprintln!(
+                    "[dfs-bench] fatal: binned kernel speedup {speedup:.2}x over presorted \
+                     is below the {MIN_BINNED_SPEEDUP}x gate"
+                );
+                gate_ok = false;
+            }
+        }
+    }
 
     // 2. DT-HPO grid: 7 independent fits vs 1 deep fit + 6 truncations.
+    //    Both sides use the workspace-default kernel, so this isolates the
+    //    truncation speedup from the kernel choice.
     let (naive_spec, naive_f1, naive_model) = naive_dt_grid(&x_train, &y_train, &x_val, &y_val);
     let fast = hpo::grid_search(ModelKind::DecisionTree, &x_train, &y_train, &x_val, &y_val);
-    bit_identical &= fast.spec == naive_spec
+    let grid_identical = fast.spec == naive_spec
         && fast.val_f1.to_bits() == naive_f1.to_bits()
         && fast.evaluations == hpo::grid(ModelKind::DecisionTree).len()
         && fast.model.predict(&x_val) == naive_model.predict(&x_val)
         && fast.model.predict(&x_train) == naive_model.predict(&x_train);
+    if !grid_identical {
+        eprintln!("[dfs-bench] fatal: truncated DT grid diverged from independent fits");
+    }
+    gate_ok &= grid_identical;
     let grid_naive_ns = median_ns(reps, || {
         let (_, f1, _) = naive_dt_grid(&x_train, &y_train, &x_val, &y_val);
         assert!(f1.is_finite());
@@ -319,21 +443,25 @@ fn main() {
         assert!(r.val_f1.is_finite());
     });
 
-    // 3. Forest fit + batch predict through the pooled-workspace path.
+    // 3. Forest fit + batch predict through the pooled-workspace path, once
+    //    per selected exactness mode.
+    let forest_time = |exactness: SplitExactness| {
+        let cfg = ForestConfig { exactness, ..ForestConfig::default() };
+        median_ns(forest_reps, || {
+            let f = RandomForest::fit(&x_train, &y_train, &cfg);
+            assert_eq!(f.n_trees(), cfg.n_trees);
+        })
+    };
+    let forest_binned_ns = run_binned.then(|| forest_time(SplitExactness::Binned256));
+    let forest_presorted_ns = run_presorted.then(|| forest_time(SplitExactness::Presorted));
     let cfg = ForestConfig::default();
     let forest = RandomForest::fit(&x_train, &y_train, &cfg);
-    let forest_fit_ns = median_ns(forest_reps, || {
-        let f = RandomForest::fit(&x_train, &y_train, &cfg);
-        assert_eq!(f.n_trees(), cfg.n_trees);
-    });
     let predict_rows = x_val.nrows().max(1);
     let forest_predict_ns = median_ns(reps, || {
         let preds = forest.predict(&x_val);
         assert_eq!(preds.len(), predict_rows);
     });
 
-    let fit_speedup = fit_naive_ns as f64 / fit_kernel_ns.max(1) as f64;
-    let grid_speedup = grid_naive_ns as f64 / grid_fast_ns.max(1) as f64;
     let mut json = String::new();
     let _ = write!(
         json,
@@ -341,12 +469,23 @@ fn main() {
   "bench": "tree_kernel",
   "host_cpus": {host_cpus},
   "smoke": {smoke},
+  "exactness": "{exactness_arg}",
   "corpus": {{ "dataset": "german_credit", "train_rows": {n}, "features": {d} }},
   "tree_fit": {{
     "max_depth": {GRID_DEPTH},
     "naive_ns": {fit_naive_ns},
-    "presorted_ns": {fit_kernel_ns},
-    "speedup": {fit_speedup:.2}
+    "presorted_ns": {presorted_ns},
+    "binned_ns": {binned_ns},
+    "presorted_speedup_vs_naive": {presorted_vs_naive},
+    "binned_speedup_vs_naive": {binned_vs_naive},
+    "binned_speedup_vs_presorted": {binned_vs_presorted_json}
+  }},
+  "kernel_agreement": {{
+    "presorted_bit_identical_to_naive": {presorted_exact},
+    "val_f1_presorted": {f1_presorted:.4},
+    "val_f1_binned": {f1_binned:.4},
+    "binned_vs_presorted_val_f1_delta": {f1_delta:.4},
+    "f1_tolerance": {F1_TOLERANCE}
   }},
   "dt_hpo_grid": {{
     "grid_points": 7,
@@ -358,25 +497,33 @@ fn main() {
   "forest_fit": {{
     "n_trees": {n_trees},
     "max_depth": {forest_depth},
-    "median_ns": {forest_fit_ns}
+    "binned_ns": {forest_binned},
+    "presorted_ns": {forest_presorted}
   }},
   "forest_predict": {{
     "rows": {predict_rows},
     "batch_ns": {forest_predict_ns},
     "ns_per_row": {per_row}
   }},
-  "bit_identical_to_naive_builder": {bit_identical}
+  "gates_passed": {gate_ok}
 }}
 "#,
+        presorted_ns = ns_json(fit_presorted_ns),
+        binned_ns = ns_json(fit_binned_ns),
+        presorted_vs_naive = ratio_json(Some(fit_naive_ns), fit_presorted_ns),
+        binned_vs_naive = ratio_json(Some(fit_naive_ns), fit_binned_ns),
+        binned_vs_presorted_json = ratio_json(fit_presorted_ns, fit_binned_ns),
         evals = fast.evaluations,
+        grid_speedup = grid_naive_ns as f64 / grid_fast_ns.max(1) as f64,
         n_trees = cfg.n_trees,
         forest_depth = cfg.max_depth,
+        forest_binned = ns_json(forest_binned_ns),
+        forest_presorted = ns_json(forest_presorted_ns),
         per_row = forest_predict_ns / predict_rows as u64,
     );
 
     print!("{json}");
-    if !bit_identical {
-        eprintln!("[dfs-bench] fatal: presorted kernel diverged from the naive builder");
+    if !gate_ok {
         std::process::exit(1);
     }
     if let Some(path) = out_path {

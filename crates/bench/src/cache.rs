@@ -52,6 +52,9 @@ pub fn fingerprint(cfg: &CorpusConfig) -> u64 {
     mix(cfg.time_range.0.as_millis() as u64);
     mix(cfg.time_range.1.as_millis() as u64);
     mix(cfg.seed);
+    // DT measurements can differ across split kernels, so each exactness
+    // mode gets its own cache file (and checkpoint sidecar).
+    mix(cfg.exactness.fingerprint());
     h
 }
 
@@ -457,6 +460,19 @@ mod tests {
         // Garble a numeric field.
         let garbled = encoded.replacen("0.01", "0.0x1", 1);
         assert!(decode(&garbled).is_err());
+    }
+
+    #[test]
+    fn exactness_modes_get_separate_cache_files() {
+        use dfs_models::SplitExactness;
+        let binned = CorpusConfig::default();
+        assert_eq!(binned.exactness, SplitExactness::Binned256);
+        let presorted = CorpusConfig { exactness: SplitExactness::Presorted, ..binned.clone() };
+        assert_ne!(fingerprint(&binned), fingerprint(&presorted));
+        assert_ne!(
+            cache_path(&binned, BenchVersion::Hpo),
+            cache_path(&presorted, BenchVersion::Hpo)
+        );
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub struct CorpusConfig {
     pub seed: u64,
     /// Worker threads for matrix computation.
     pub threads: usize,
+    /// Decision-tree split kernel for every scenario of the matrix. Part
+    /// of the cache fingerprint: matrices computed under different kernels
+    /// live in different TSV files and never mix.
+    pub exactness: SplitExactness,
 }
 
 impl Default for CorpusConfig {
@@ -80,6 +84,7 @@ impl Default for CorpusConfig {
             time_range: (Duration::from_millis(80), Duration::from_millis(2000)),
             seed: 2021,
             threads: std::thread::available_parallelism().map(|p| p.get().min(8)).unwrap_or(4),
+            exactness: SplitExactness::default(),
         }
     }
 }
@@ -179,7 +184,8 @@ pub fn compute_or_load_matrix(
         arms.len(),
         cfg.threads
     );
-    let settings = bench_settings();
+    let mut settings = bench_settings();
+    settings.exactness = cfg.exactness;
     let ckpt = Checkpoint::start(ckpt_path, fingerprint, scenarios.len(), arms.len(), &resume);
     let sink = |i: usize, row: &[CellResult]| ckpt.append_row(i, row);
     let observer = dfs_obs::RunObserver::new(format!("matrix-{}", version.tag()));
@@ -249,6 +255,7 @@ mod tests {
             time_range: (Duration::from_millis(20), Duration::from_millis(50)),
             seed: 7,
             threads: 1,
+            exactness: SplitExactness::default(),
         }
     }
 

@@ -20,6 +20,7 @@
 use dfs_constraints::Evaluation;
 use dfs_data::split::Split;
 use dfs_linalg::rng::derive_seed;
+use dfs_models::BinSet;
 use dfs_rankings::{Ranking, RankingKind};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -33,6 +34,13 @@ pub struct ArtifactCache {
     rankings: Mutex<HashMap<(String, u64, RankingKind), Arc<Ranking>>>,
     computes: AtomicU64,
     hits: AtomicU64,
+    /// Histogram bin sets for the binned tree kernel, keyed like rankings
+    /// minus the kind: bins depend only on the training matrix, so every
+    /// arm, wrapper step, and server request on the same split shares one
+    /// quantization.
+    bins: Mutex<HashMap<(String, u64), Arc<BinSet>>>,
+    bin_computes: AtomicU64,
+    bin_hits: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -70,6 +78,39 @@ impl ArtifactCache {
     /// `(computes, hits)` so far.
     pub fn counts(&self) -> (u64, u64) {
         (self.computes.load(Ordering::Relaxed), self.hits.load(Ordering::Relaxed))
+    }
+
+    /// Returns the histogram [`BinSet`] for `(dataset, split_key)`,
+    /// computing it via `compute` on the first request. The second element
+    /// is `true` on a cache hit.
+    ///
+    /// Like [`ArtifactCache::ranking`], the lock is held during the
+    /// compute: quantization sorts every training column once, and
+    /// concurrent arms should block on that one derivation rather than
+    /// duplicate it. Bins are pure functions of the training matrix —
+    /// neither the scenario seed nor the model settings enter — which is
+    /// what makes cross-arm sharing sound.
+    pub fn bins(
+        &self,
+        dataset: &str,
+        split_key: u64,
+        compute: impl FnOnce() -> BinSet,
+    ) -> (Arc<BinSet>, bool) {
+        let key = (dataset.to_string(), split_key);
+        let mut map = self.bins.lock();
+        if let Some(b) = map.get(&key) {
+            self.bin_hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(b), true);
+        }
+        let b = Arc::new(compute());
+        map.insert(key, Arc::clone(&b));
+        self.bin_computes.fetch_add(1, Ordering::Relaxed);
+        (b, false)
+    }
+
+    /// `(bin computes, bin hits)` so far.
+    pub fn bin_counts(&self) -> (u64, u64) {
+        (self.bin_computes.load(Ordering::Relaxed), self.bin_hits.load(Ordering::Relaxed))
     }
 
     /// Precomputes the rankings of `kinds` for `(dataset, split)` through
@@ -316,6 +357,25 @@ mod tests {
         assert!(!cache.ranking("ds", 2, RankingKind::Chi2, mk).1);
         assert!(!cache.ranking("other", 1, RankingKind::Chi2, mk).1);
         assert_eq!(cache.counts(), (4, 0));
+    }
+
+    #[test]
+    fn bins_are_computed_once_per_split_and_shared() {
+        let ds = generate(&tiny_spec(), 5);
+        let split = stratified_three_way(&ds, 1);
+        let split_key = split_fingerprint(&split);
+        let cache = ArtifactCache::new();
+        let (a, hit_a) = cache.bins(&ds.name, split_key, || BinSet::derive(&split.train.x));
+        let (b, hit_b) = cache.bins(&ds.name, split_key, || panic!("cached bins must not recompute"));
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.n_features(), split.n_features());
+        assert_eq!(a.n_rows(), split.train.n_rows());
+        assert_eq!(cache.bin_counts(), (1, 1));
+        // A different split key misses; ranking counters stay untouched.
+        assert!(!cache.bins(&ds.name, split_key ^ 1, || BinSet::derive(&split.train.x)).1);
+        assert_eq!(cache.bin_counts(), (2, 1));
+        assert_eq!(cache.counts(), (0, 0));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use dfs_models::importance::importance_or_permutation;
 use dfs_models::logistic::LogisticRegression;
 use dfs_models::svm::LinearSvm;
 use dfs_models::tree::TreeWorkspace;
-use dfs_models::{ModelKind, ModelSpec, TrainedModel};
+use dfs_models::{BinSet, ModelKind, ModelSpec, SplitExactness, TrainedModel};
 use dfs_obs as obs;
 use dfs_rankings::{Ranking, RankingKind};
 use dfs_search::Budget;
@@ -67,6 +67,12 @@ pub struct ScenarioSettings {
     /// faster convergence, and inexact measurements are fingerprinted
     /// apart in the shared memo so they never leak into exact runs.
     pub warm_exact: bool,
+    /// Decision-tree split kernel. [`SplitExactness::Binned256`] (the
+    /// default) quantizes each dataset once and shares the bin set across
+    /// arms via the artifact cache; [`SplitExactness::Presorted`] keeps the
+    /// bit-exact reference kernel. The two modes are fingerprinted apart
+    /// (for DT scenarios) so memo/TSV entries never mix.
+    pub exactness: SplitExactness,
 }
 
 impl ScenarioSettings {
@@ -79,6 +85,7 @@ impl ScenarioSettings {
             bound_pruning: true,
             warm_start: false,
             warm_exact: true,
+            exactness: SplitExactness::default(),
         }
     }
 
@@ -98,6 +105,7 @@ impl ScenarioSettings {
             bound_pruning: true,
             warm_start: false,
             warm_exact: true,
+            exactness: SplitExactness::default(),
         }
     }
 }
@@ -143,6 +151,16 @@ pub fn settings_fingerprint(
     // Inexact warm-started fits produce different bits; quarantine them
     // under their own key so exact runs never observe them.
     mix((settings.warm_start && !settings.warm_exact) as u64);
+    // The tree-split kernel can change DT measurements (on high-cardinality
+    // columns), so the two exactness modes must never share memo entries.
+    // Only DT scenarios fit through the kernel — and the DP tree variant
+    // bypasses it entirely — so other configurations share entries across
+    // modes, which is exactly right.
+    if scenario.model == ModelKind::DecisionTree
+        && scenario.constraints.privacy_epsilon.is_none()
+    {
+        mix(settings.exactness.fingerprint());
+    }
     h
 }
 
@@ -204,6 +222,10 @@ pub struct ScenarioContext<'a> {
     /// (populated only in the inexact warm-start mode).
     warm_cache: HashMap<Vec<usize>, (Vec<f64>, f64)>,
     exec: Arc<Executor>,
+    /// Dataset-level histogram bins for the binned tree kernel, resolved
+    /// lazily on the first DT fit (from the artifact cache when attached,
+    /// derived locally otherwise) and shared by every fit of this context.
+    bins: std::sync::OnceLock<Arc<BinSet>>,
 }
 
 /// Per-measurement gather buffers. The context keeps one set for the
@@ -228,6 +250,10 @@ struct MeasureEnv<'a> {
     train_rows: &'a [usize],
     y_train: &'a [bool],
     exec: &'a Executor,
+    /// Dataset-level bin set for binned DT fits (`None` for other models,
+    /// presorted mode, or DP scenarios, whose tree variant bypasses the
+    /// kernel).
+    bins: Option<&'a Arc<BinSet>>,
 }
 
 /// Trains the scenario's model on a subset (train split only). `val`
@@ -246,6 +272,17 @@ fn train_subset(
     perf: &mut EvalPerf,
 ) -> TrainedModel {
     perf.model_fits += 1;
+    if env.scenario.model == ModelKind::DecisionTree {
+        // Arm the workspace for this subset's gathered matrix: `x_train`'s
+        // column `f` is source column `subset[f]`, its rows are the train
+        // subsample. Binding must be refreshed per fit — the subset changes
+        // every call and the binding is sticky.
+        tree_ws.set_exactness(env.settings.exactness);
+        match env.bins {
+            Some(b) => tree_ws.bind_bins(b, subset, env.train_rows),
+            None => tree_ws.clear_bins(),
+        }
+    }
     match env.scenario.constraints.privacy_epsilon {
         Some(eps) => {
             // DP variant; HPO would multiply the privacy spend, so DP
@@ -507,6 +544,7 @@ impl<'a> ScenarioContext<'a> {
             settings_key: settings_fingerprint(scenario, settings, cap),
             warm_cache: HashMap::new(),
             exec: Arc::new(Executor::sequential()),
+            bins: std::sync::OnceLock::new(),
         }
     }
 
@@ -555,6 +593,34 @@ impl<'a> ScenarioContext<'a> {
         self.perf
     }
 
+    /// The dataset-level bin set, when this context's fits use the binned
+    /// kernel at all (DT model, no DP, binned exactness). Resolved once per
+    /// context: through the shared artifact cache when attached — every
+    /// arm, row, and server request on the same split then reuses one
+    /// quantization — or derived locally otherwise.
+    fn dataset_bins(&self) -> Option<&Arc<BinSet>> {
+        if self.scenario.model != ModelKind::DecisionTree
+            || self.scenario.constraints.privacy_epsilon.is_some()
+            || self.settings.exactness != SplitExactness::Binned256
+        {
+            return None;
+        }
+        Some(self.bins.get_or_init(|| match &self.artifacts {
+            Some(cache) => {
+                let (bins, hit) = cache.bins(&self.scenario.dataset, self.split_key, || {
+                    let _g = obs::span("bins.derive");
+                    BinSet::derive(&self.split.train.x)
+                });
+                obs::counter(if hit { "bins.hit" } else { "bins.derive" }, 1);
+                bins
+            }
+            None => {
+                obs::counter("bins.derive", 1);
+                Arc::new(BinSet::derive(&self.split.train.x))
+            }
+        }))
+    }
+
     /// The measurement environment borrowed out of this context (shared
     /// between the serial path and batch workers).
     fn env(&self) -> MeasureEnv<'_> {
@@ -565,6 +631,7 @@ impl<'a> ScenarioContext<'a> {
             train_rows: &self.train_rows,
             y_train: &self.y_train,
             exec: &self.exec,
+            bins: self.dataset_bins(),
         }
     }
 
@@ -1134,6 +1201,16 @@ impl SubsetEvaluator for ScenarioContext<'_> {
         let spec = ModelSpec::default_for(self.scenario.model);
         let train_start = Instant::now();
         let mut tree_ws = std::mem::take(&mut self.scratch_tree);
+        if self.scenario.model == ModelKind::DecisionTree {
+            tree_ws.set_exactness(self.settings.exactness);
+            match self.dataset_bins() {
+                Some(b) => {
+                    let b = Arc::clone(b);
+                    tree_ws.bind_bins(&b, subset, &self.train_rows);
+                }
+                None => tree_ws.clear_bins(),
+            }
+        }
         let model = spec.fit_ws(&x_train, &self.y_train, &mut tree_ws);
         if self.scenario.model == ModelKind::DecisionTree {
             tree_ws.last_stats().record();
@@ -1584,6 +1661,71 @@ mod tests {
         let mut exact = ScenarioSettings::fast();
         exact.warm_start = true;
         assert_eq!(settings_fingerprint(&sc, &s, 100), settings_fingerprint(&sc, &exact, 100));
+    }
+
+    #[test]
+    fn exactness_is_fingerprinted_apart_exactly_when_the_kernel_runs() {
+        let mut binned = ScenarioSettings::fast();
+        binned.exactness = SplitExactness::Binned256;
+        let mut presorted = ScenarioSettings::fast();
+        presorted.exactness = SplitExactness::Presorted;
+
+        // DT without DP fits through the kernel: modes must never share
+        // memo entries.
+        let mut dt = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        dt.model = ModelKind::DecisionTree;
+        assert_ne!(
+            settings_fingerprint(&dt, &binned, 100),
+            settings_fingerprint(&dt, &presorted, 100)
+        );
+        // The DP tree variant bypasses the kernel; LR never touches it.
+        // Those configurations measure identical bits in both modes and
+        // should share entries.
+        let mut dt_dp = dt.clone();
+        dt_dp.constraints.privacy_epsilon = Some(1.0);
+        assert_eq!(
+            settings_fingerprint(&dt_dp, &binned, 100),
+            settings_fingerprint(&dt_dp, &presorted, 100)
+        );
+        let lr = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        assert_eq!(
+            settings_fingerprint(&lr, &binned, 100),
+            settings_fingerprint(&lr, &presorted, 100)
+        );
+    }
+
+    #[test]
+    fn dt_measurements_agree_across_kernels_on_low_cardinality_data() {
+        // The synthetic tiny dataset has < 256 distinct values per column
+        // at the fast() train cap, so the binned and presorted kernels
+        // must measure identical bits — the modes differ only in their
+        // memo keys (previous test), not their measurements here. Also
+        // exercises the cached-bins path end to end.
+        let (ds, split) = setup();
+        let mut sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        sc.model = ModelKind::DecisionTree;
+        let mut binned = ScenarioSettings::fast();
+        binned.exactness = SplitExactness::Binned256;
+        let mut presorted = ScenarioSettings::fast();
+        presorted.exactness = SplitExactness::Presorted;
+
+        let artifacts = Arc::new(ArtifactCache::new());
+        let mut a =
+            ScenarioContext::new(&sc, &split, &binned).with_artifacts(Arc::clone(&artifacts));
+        let mut b = ScenarioContext::new(&sc, &split, &presorted);
+        for subset in [vec![0, 1], vec![0, 2, 4], (0..ds.n_features()).collect::<Vec<_>>()] {
+            let x = a.evaluate(&subset).unwrap();
+            let y = b.evaluate(&subset).unwrap();
+            assert_eq!(x.to_bits(), y.to_bits(), "subset {subset:?}");
+        }
+        // One derivation, served from the shared cache thereafter.
+        let (computes, _) = artifacts.bin_counts();
+        assert_eq!(computes, 1);
+        // A second binned context on the same split hits the cached bins.
+        let mut c =
+            ScenarioContext::new(&sc, &split, &binned).with_artifacts(Arc::clone(&artifacts));
+        let _ = c.evaluate(&[0, 1]).unwrap();
+        assert_eq!(artifacts.bin_counts(), (1, 1));
     }
 
     #[test]

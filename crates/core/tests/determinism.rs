@@ -21,8 +21,9 @@ use dfs_core::{MlScenario, ScenarioSettings};
 use dfs_data::split::stratified_three_way;
 use dfs_data::synthetic::{generate, tiny_spec};
 use dfs_data::Split;
+use dfs_core::settings_fingerprint;
 use dfs_fs::StrategyId;
-use dfs_models::ModelKind;
+use dfs_models::{ModelKind, SplitExactness};
 use dfs_rankings::RankingKind;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -201,4 +202,74 @@ fn memoized_pruned_and_warm_runs_match_the_naive_matrix() {
     // The naive run itself reports no sharing, by construction.
     let np = naive.total_perf();
     assert_eq!((np.memo_hits, np.bound_skips, np.warm_starts), (0, 0, 0));
+}
+
+/// One matrix run with the tree kernel pinned to the given exactness mode
+/// (memo and pruning on — the production configuration).
+fn run_with_exactness(threads: usize, exactness: SplitExactness) -> BenchmarkMatrix {
+    let mut settings = ScenarioSettings::fast();
+    settings.max_evals = 16;
+    settings.exactness = exactness;
+    let opts = RunnerOptions {
+        threads,
+        inner_threads: threads,
+        share_eval_memo: true,
+        ..RunnerOptions::default()
+    };
+    run_benchmark_opts(&splits(), scenarios(), &arms(), &settings, &opts)
+}
+
+/// Thread-count invariance of the presorted (bit-exact reference) kernel.
+/// The histogram-binned default is covered by the main 1-vs-4-thread test
+/// above; this pins the opt-in mode to the same contract.
+#[test]
+fn presorted_mode_is_thread_count_invariant() {
+    let seq = run_with_exactness(1, SplitExactness::Presorted);
+    let par = run_with_exactness(4, SplitExactness::Presorted);
+    assert_observably_identical(&seq, &par, "presorted 1t vs 4t");
+    assert!(
+        seq.results.iter().flatten().any(|c| c.evaluations > 1),
+        "presorted matrix did no work"
+    );
+}
+
+/// Cross-kernel agreement on a low-cardinality corpus, plus cache-key
+/// separation. Every `tiny` column has far fewer than 256 distinct values
+/// and scenario fits are unweighted, so the binned kernel is bit-exact
+/// there: the whole matrix must agree with the presorted run even though
+/// the two modes carry different settings fingerprints and therefore never
+/// share evaluation-memo or result-cache entries.
+#[test]
+fn exactness_modes_agree_on_tiny_but_never_share_cache_keys() {
+    let binned = run_with_exactness(1, SplitExactness::Binned256);
+    let presorted = run_with_exactness(1, SplitExactness::Presorted);
+    assert_observably_identical(&binned, &presorted, "binned vs presorted on tiny");
+    assert!(
+        binned.results.iter().flatten().any(|c| c.evaluations > 1),
+        "binned matrix did no work"
+    );
+
+    // The DT scenario runs the kernel, so its settings fingerprint must
+    // split the modes apart; the LR scenario never touches the tree
+    // kernel, so its fingerprint must not.
+    let mut s_binned = ScenarioSettings::fast();
+    s_binned.max_evals = 16;
+    let mut s_presorted = s_binned.clone();
+    s_binned.exactness = SplitExactness::Binned256;
+    s_presorted.exactness = SplitExactness::Presorted;
+    let scenarios = scenarios();
+    let dt = &scenarios[0];
+    let lr = &scenarios[1];
+    let cap = s_binned.max_train_rows;
+    assert_eq!(dt.model, ModelKind::DecisionTree);
+    assert_ne!(
+        settings_fingerprint(dt, &s_binned, cap),
+        settings_fingerprint(dt, &s_presorted, cap),
+        "DT cache keys must separate exactness modes"
+    );
+    assert_eq!(
+        settings_fingerprint(lr, &s_binned, cap),
+        settings_fingerprint(lr, &s_presorted, cap),
+        "non-tree models share cache entries across modes"
+    );
 }

@@ -43,12 +43,36 @@ pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
 
 /// Dot product of two equal-length slices.
 ///
+/// Accumulated in four independent stride-1 lanes over fixed-width chunks
+/// (slice patterns, so the inner loop carries no per-element bounds checks)
+/// with the lanes combined pairwise at the end: `(l0 + l1) + (l2 + l3) +
+/// tail`. The lane structure is shared with [`sq_dist`] and [`l1_dist`] so
+/// the three primitives stay bit-consistent with each other.
+///
 /// # Panics
 /// Panics in debug builds when the slices differ in length.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    let mut l0 = 0.0;
+    let mut l1 = 0.0;
+    let mut l2 = 0.0;
+    let mut l3 = 0.0;
+    for (xa, xb) in ca.zip(cb) {
+        let ([a0, a1, a2, a3], [b0, b1, b2, b3]) = (xa, xb) else { unreachable!() };
+        l0 += a0 * b0;
+        l1 += a1 * b1;
+        l2 += a2 * b2;
+        l3 += a3 * b3;
+    }
+    let mut tail = 0.0;
+    for (x, y) in ra.iter().zip(rb) {
+        tail += x * y;
+    }
+    (l0 + l1) + (l2 + l3) + tail
 }
 
 /// Euclidean (L2) norm of a slice.
@@ -58,17 +82,84 @@ pub fn norm2(a: &[f64]) -> f64 {
 }
 
 /// Squared Euclidean distance between two equal-length slices.
+///
+/// Same four-lane blocked accumulation as [`dot`].
 #[inline]
 pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "sq_dist: length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    let mut l0 = 0.0;
+    let mut l1 = 0.0;
+    let mut l2 = 0.0;
+    let mut l3 = 0.0;
+    for (xa, xb) in ca.zip(cb) {
+        let ([a0, a1, a2, a3], [b0, b1, b2, b3]) = (xa, xb) else { unreachable!() };
+        l0 += (a0 - b0) * (a0 - b0);
+        l1 += (a1 - b1) * (a1 - b1);
+        l2 += (a2 - b2) * (a2 - b2);
+        l3 += (a3 - b3) * (a3 - b3);
+    }
+    let mut tail = 0.0;
+    for (x, y) in ra.iter().zip(rb) {
+        tail += (x - y) * (x - y);
+    }
+    (l0 + l1) + (l2 + l3) + tail
 }
 
 /// Manhattan (L1) distance between two equal-length slices.
+///
+/// Same four-lane blocked accumulation as [`dot`].
 #[inline]
 pub fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "l1_dist: length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    let mut l0 = 0.0;
+    let mut l1 = 0.0;
+    let mut l2 = 0.0;
+    let mut l3 = 0.0;
+    for (xa, xb) in ca.zip(cb) {
+        let ([a0, a1, a2, a3], [b0, b1, b2, b3]) = (xa, xb) else { unreachable!() };
+        l0 += (a0 - b0).abs();
+        l1 += (a1 - b1).abs();
+        l2 += (a2 - b2).abs();
+        l3 += (a3 - b3).abs();
+    }
+    let mut tail = 0.0;
+    for (x, y) in ra.iter().zip(rb) {
+        tail += (x - y).abs();
+    }
+    (l0 + l1) + (l2 + l3) + tail
+}
+
+/// `out[j] += alpha * x[j]` over equal-length slices, in fixed-width chunks
+/// with no per-element bounds checks. Each element is independent, so the
+/// chunking changes no bits — this is the shared inner loop of
+/// [`Matrix::t_matvec`], `matmul`, and the logistic/SVM gradient updates.
+///
+/// # Panics
+/// Panics in debug builds when the slices differ in length.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), out.len(), "axpy: length mismatch");
+    let co = out.chunks_exact_mut(4);
+    let cx = x.chunks_exact(4);
+    let rx = cx.remainder();
+    let mut tail_start = 0;
+    for (o, xs) in co.zip(cx) {
+        let ([o0, o1, o2, o3], [x0, x1, x2, x3]) = (o, xs) else { unreachable!() };
+        *o0 += alpha * x0;
+        *o1 += alpha * x1;
+        *o2 += alpha * x2;
+        *o3 += alpha * x3;
+        tail_start += 4;
+    }
+    for (o, x) in out[tail_start..].iter_mut().zip(rx) {
+        *o += alpha * x;
+    }
 }
 
 /// Numerically stable logistic sigmoid.

@@ -90,9 +90,28 @@ impl Matrix {
     }
 
     /// Copies column `j` into a fresh vector.
+    ///
+    /// Hot callers should prefer [`Matrix::col_into`] (reused scratch) or
+    /// [`Matrix::col_iter`] (no materialization at all).
     pub fn col(&self, j: usize) -> Vec<f64> {
+        self.col_iter(j).collect()
+    }
+
+    /// Iterator over column `j`, top to bottom, without materializing it.
+    ///
+    /// # Panics
+    /// Panics when `j` is out of bounds.
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
         assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        self.data.get(j..).unwrap_or(&[]).iter().step_by(self.cols).copied()
+    }
+
+    /// Copies column `j` into `out`, reusing its allocation — the
+    /// steady-state-allocation-free form of [`Matrix::col`] for callers
+    /// that walk many columns (rankings, permutation importance).
+    pub fn col_into(&self, j: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.col_iter(j));
     }
 
     /// Iterator over rows as slices.
@@ -162,10 +181,9 @@ impl Matrix {
         out.rows = rows.len();
         out.cols = cols.len();
         out.data.clear();
-        out.data.reserve(rows.len() * cols.len());
-        for &i in rows {
-            let row = self.row(i);
-            out.data.extend(cols.iter().map(|&j| row[j]));
+        out.data.resize(rows.len() * cols.len(), 0.0);
+        for (&i, dst) in rows.iter().zip(out.data.chunks_exact_mut(cols.len().max(1))) {
+            gather_row(self.row(i), cols, dst);
         }
     }
 
@@ -180,10 +198,9 @@ impl Matrix {
         out.rows = self.rows;
         out.cols = cols.len();
         out.data.clear();
-        out.data.reserve(self.rows * cols.len());
-        for i in 0..self.rows {
-            let row = self.row(i);
-            out.data.extend(cols.iter().map(|&j| row[j]));
+        out.data.resize(self.rows * cols.len(), 0.0);
+        for (row, dst) in self.rows_iter().zip(out.data.chunks_exact_mut(cols.len().max(1))) {
+            gather_row(row, cols, dst);
         }
     }
 
@@ -212,11 +229,7 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
+                crate::axpy(a, other.row(k), out.row_mut(i));
             }
         }
         out
@@ -229,6 +242,10 @@ impl Matrix {
     }
 
     /// `self^T * v` without materializing the transpose.
+    ///
+    /// The inner update is the blocked [`crate::axpy`]; zero scalars are
+    /// still skipped (lasso residuals are frequently sparse), and because
+    /// each output element is independent the chunking changes no bits.
     pub fn t_matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.rows, v.len(), "t_matvec: dimension mismatch");
         let mut out = vec![0.0; self.cols];
@@ -237,9 +254,7 @@ impl Matrix {
             if s == 0.0 {
                 continue;
             }
-            for (o, &x) in out.iter_mut().zip(row) {
-                *o += s * x;
-            }
+            crate::axpy(s, row, &mut out);
         }
         out
     }
@@ -260,6 +275,30 @@ impl Matrix {
     /// Elementwise map into a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
         Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+}
+
+/// Gathers `src[cols[k]]` into `dst[k]` in fixed-width chunks: the slice
+/// patterns keep the destination writes bounds-check-free and let the
+/// source loads pipeline four at a time. Pure data movement — bit-identical
+/// to the element-at-a-time gather by construction.
+#[inline]
+fn gather_row(src: &[f64], cols: &[usize], dst: &mut [f64]) {
+    debug_assert_eq!(cols.len(), dst.len(), "gather_row: width mismatch");
+    let cd = dst.chunks_exact_mut(4);
+    let cc = cols.chunks_exact(4);
+    let rc = cc.remainder();
+    let mut tail_start = 0;
+    for (d, c) in cd.zip(cc) {
+        let ([d0, d1, d2, d3], [c0, c1, c2, c3]) = (d, c) else { unreachable!() };
+        *d0 = src[*c0];
+        *d1 = src[*c1];
+        *d2 = src[*c2];
+        *d3 = src[*c3];
+        tail_start += 4;
+    }
+    for (d, &c) in dst[tail_start..].iter_mut().zip(rc) {
+        *d = src[c];
     }
 }
 

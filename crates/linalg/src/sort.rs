@@ -20,8 +20,9 @@
 /// Panics when a key is NaN (features are required to be finite) or when an
 /// index is out of bounds for `key`.
 pub fn stable_sort_indices_by_key(idx: &mut [u32], key: &[f64]) {
-    idx.sort_by(|&a, &b| {
-        key[a as usize].partial_cmp(&key[b as usize]).expect("stable_sort_indices_by_key: finite keys")
+    idx.sort_by(|&a, &b| match key[a as usize].partial_cmp(&key[b as usize]) {
+        Some(ord) => ord,
+        None => panic!("stable_sort_indices_by_key: finite keys"),
     });
 }
 

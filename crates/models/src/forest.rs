@@ -7,13 +7,13 @@
 //! with-replacement samples from each class) with per-tree random feature
 //! subspaces (√d features, the usual default).
 
-use crate::tree::{DecisionTree, FitStats, TreeWorkspace};
+use crate::tree::{BinSet, DecisionTree, FitStats, SplitExactness, TreeWorkspace};
 use dfs_exec::Executor;
 use dfs_linalg::rng::{derive_seed, rng_from_seed, sample_without_replacement};
 use dfs_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Random-forest hyperparameters.
 #[derive(Debug, Clone)]
@@ -26,11 +26,21 @@ pub struct ForestConfig {
     pub balanced: bool,
     /// RNG seed.
     pub seed: u64,
+    /// Split kernel of the member trees. Under [`SplitExactness::Binned256`]
+    /// the forest quantizes the dataset **once** and every tree fits from
+    /// bound bin codes, skipping per-tree threshold re-derivation.
+    pub exactness: SplitExactness,
 }
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        Self { n_trees: 50, max_depth: 8, balanced: true, seed: 0 }
+        Self {
+            n_trees: 50,
+            max_depth: 8,
+            balanced: true,
+            seed: 0,
+            exactness: SplitExactness::default(),
+        }
     }
 }
 
@@ -76,6 +86,14 @@ impl RandomForest {
         let pos_idx: Vec<usize> = (0..n).filter(|&i| y[i]).collect();
         let neg_idx: Vec<usize> = (0..n).filter(|&i| !y[i]).collect();
 
+        // One quantization for the whole forest: every tree's bootstrap is a
+        // row/column selection of the same matrix, so trees gather codes
+        // from the shared BinSet instead of re-deriving thresholds.
+        let bins = match cfg.exactness {
+            SplitExactness::Binned256 => Some(Arc::new(BinSet::derive(x))),
+            SplitExactness::Presorted => None,
+        };
+
         let tree_ids: Vec<usize> = (0..cfg.n_trees).collect();
         // Scratch pool shared across tree slots: a worker pops a buffer set
         // (or starts a fresh one), fits through it, and returns it. Pool
@@ -100,6 +118,11 @@ impl RandomForest {
             x.select_rows_cols_into(&sample, &features, &mut scratch.xs);
             scratch.ys.clear();
             scratch.ys.extend(sample.iter().map(|&i| y[i]));
+            scratch.ws.set_exactness(cfg.exactness);
+            match &bins {
+                Some(b) => scratch.ws.bind_bins(b, &features, &sample),
+                None => scratch.ws.clear_bins(),
+            }
             let tree =
                 DecisionTree::fit_in(&scratch.xs, &scratch.ys, cfg.max_depth, None, &mut scratch.ws);
             let stats = scratch.ws.last_stats();
@@ -266,6 +289,27 @@ mod tests {
         for (i, row) in x.rows_iter().enumerate() {
             assert_eq!(batch[i].to_bits(), f.proba_one(row).to_bits());
             assert_eq!(preds[i], f.predict_one(row));
+        }
+    }
+
+    #[test]
+    fn binned_forest_matches_presorted_on_low_cardinality_data() {
+        // ring_problem columns have 200 distinct values (< 256) and trees
+        // fit with unit weights, so the shared-BinSet path must reproduce
+        // the presorted forest bit for bit.
+        let (x, y) = ring_problem();
+        let binned = ForestConfig {
+            n_trees: 10,
+            seed: 7,
+            exactness: SplitExactness::Binned256,
+            ..Default::default()
+        };
+        let presorted =
+            ForestConfig { exactness: SplitExactness::Presorted, ..binned.clone() };
+        let fb = RandomForest::fit(&x, &y, &binned);
+        let fp = RandomForest::fit(&x, &y, &presorted);
+        for row in x.rows_iter() {
+            assert_eq!(fb.proba_one(row).to_bits(), fp.proba_one(row).to_bits());
         }
     }
 

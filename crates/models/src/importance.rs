@@ -30,9 +30,12 @@ pub fn permutation_importance(
     let mut rng = rng_from_seed(seed);
     let mut importances = vec![0.0; d];
     let mut work = x.clone();
+    // One saved-column buffer reused across features (`Matrix::col` would
+    // clone each column afresh).
+    let mut original = Vec::with_capacity(n);
 
     for j in 0..d {
-        let original = x.col(j);
+        x.col_into(j, &mut original);
         let mut total_drop = 0.0;
         for _ in 0..repeats {
             let perm = shuffled_indices(n, &mut rng);

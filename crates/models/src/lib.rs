@@ -42,6 +42,8 @@ pub mod tree;
 
 use dfs_linalg::Matrix;
 
+pub use tree::{BinSet, SplitExactness};
+
 /// The model families of the study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelKind {

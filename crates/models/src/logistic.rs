@@ -5,7 +5,7 @@
 //! Training uses gradient descent with a bold-driver step-size adaptation,
 //! which converges reliably on the workspace's min–max-scaled features.
 
-use dfs_linalg::{dot, log1p_exp, sigmoid, Matrix};
+use dfs_linalg::{axpy, dot, log1p_exp, sigmoid, Matrix};
 
 /// A trained logistic-regression model.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,9 +55,9 @@ impl LogisticRegression {
                 loss += log1p_exp(-t * z);
                 // d/dz log1p_exp(-t z) = -t * sigmoid(-t z)
                 let g = -t * sigmoid(-t * z);
-                for (gwj, &xj) in gw.iter_mut().zip(row) {
-                    *gwj += g * xj;
-                }
+                // Elementwise `gw[j] += g * row[j]`, so the blocked axpy
+                // changes no bits relative to the scalar loop.
+                axpy(g, row, &mut gw);
                 gb += g;
             }
             let nf = n as f64;

@@ -5,7 +5,7 @@
 //! with LR are re-validated under an SVM. Objective (scikit-learn
 //! `LinearSVC` semantics): `Σ_i max(0, 1 − ỹ_i (w·x_i + b)) + ||w||² / (2C)`.
 
-use dfs_linalg::{dot, sigmoid, Matrix};
+use dfs_linalg::{axpy, dot, sigmoid, Matrix};
 
 /// A trained linear SVM.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,10 +53,9 @@ impl LinearSvm {
                     *wj *= decay;
                 }
                 if margin < 1.0 {
-                    let step = eta * target;
-                    for (wj, &xj) in w.iter_mut().zip(row) {
-                        *wj += step * xj;
-                    }
+                    // Elementwise `w[j] += step * row[j]` — the blocked axpy
+                    // changes no bits relative to the scalar loop.
+                    axpy(eta * target, row, &mut w);
                     b += eta * target * 0.1; // damped bias update
                 }
                 t += 1;

@@ -1,12 +1,38 @@
-//! CART decision tree with Gini impurity, built by a presorted-column kernel.
+//! CART decision tree with Gini impurity, built by a histogram-binned
+//! kernel (default) or the bit-exact presorted-column kernel.
 //!
 //! Depth-limited binary tree over continuous features. Candidate thresholds
-//! are the midpoints between consecutive distinct values, evaluated in O(1)
-//! each via running prefix sums. Feature importances accumulate the
-//! instance-weighted impurity decrease per feature, normalized to sum to 1 —
-//! the same notion scikit-learn exposes.
+//! are the midpoints between consecutive distinct values (presorted) or
+//! consecutive occupied bins (binned), evaluated in O(1) each via running
+//! prefix sums. Feature importances accumulate the instance-weighted
+//! impurity decrease per feature, normalized to sum to 1 — the same notion
+//! scikit-learn exposes.
 //!
-//! # The presorted kernel
+//! # The histogram-binned kernel (`SplitExactness::Binned256`, default)
+//!
+//! Each feature is quantized into at most [`MAX_BINS`] bins *once* — per
+//! dataset when a cached [`BinSet`] is bound to the workspace (see
+//! [`TreeWorkspace::bind_bins`]), or once per fit otherwise — and the fit
+//! keeps the quantized columns as a column-major `u8` arena. A node's split
+//! scan is then O(occupied bins) over per-node weight/count histograms
+//! built in a single pass over the node's rows; after a split only the
+//! *smaller* child's histogram is built fresh, the larger child's being
+//! derived by parent-minus-sibling subtraction in place. Partitioning
+//! touches a single row array instead of `d` per-feature order lists, which
+//! together with the O(bins) scans is where the speedup over the presorted
+//! kernel comes from. See DESIGN.md § 4i for the soundness argument and the
+//! exactness conditions.
+//!
+//! **When binned ≡ presorted.** With ≤ [`MAX_BINS`] distinct values per
+//! column, every distinct value gets its own bin, so the candidate
+//! thresholds are literally the presorted ones; if additionally the weight
+//! prefix sums incur no rounding (always true for unweighted fits, and for
+//! dyadic weights), the two kernels produce bit-identical trees. Beyond
+//! 256 distinct values the binned kernel is a deliberate, deterministic
+//! approximation — callers that need the exact tree opt into
+//! `SplitExactness::Presorted`.
+//!
+//! # The presorted kernel (`SplitExactness::Presorted`)
 //!
 //! The classic CART bottleneck is re-sorting every feature column at every
 //! node: O(nodes × d × n log n) with fresh allocations throughout. This
@@ -18,13 +44,13 @@
 //! the row-ascending node sets) lives in a reusable [`TreeWorkspace`], so a
 //! fit performs no per-node allocation.
 //!
-//! **Bit-identity contract.** The kernel is bit-identical to the naive
-//! per-node splitter (kept as a `#[cfg(test)]` reference below): a stable
-//! sort of a row-ascending index list orders ties by row, and a stable
-//! partition preserves exactly that order on both sides, so every node
-//! scans values, accumulates prefix sums, compares candidate gains, and
-//! computes leaf probabilities in the *identical floating-point order* the
-//! naive builder would.
+//! **Bit-identity contract.** The presorted kernel is bit-identical to the
+//! naive per-node splitter (kept as a `#[cfg(test)]` reference below): a
+//! stable sort of a row-ascending index list orders ties by row, and a
+//! stable partition preserves exactly that order on both sides, so every
+//! node scans values, accumulates prefix sums, compares candidate gains,
+//! and computes leaf probabilities in the *identical floating-point order*
+//! the naive builder would.
 //!
 //! # Depth truncation
 //!
@@ -40,9 +66,183 @@
 
 use dfs_linalg::sort::{stable_partition_in_place, stable_sort_indices_by_key};
 use dfs_linalg::Matrix;
+use std::sync::Arc;
 
 /// Nodes stop splitting below this many instances.
 const MIN_SAMPLES_SPLIT: usize = 4;
+
+/// Maximum bins per feature for the histogram kernel (`u8` codes).
+pub const MAX_BINS: usize = 256;
+
+/// Which split kernel a [`TreeWorkspace`] runs.
+///
+/// `Binned256` (the default) trades exactness beyond 256 distinct values
+/// per column for O(bins) split scans; `Presorted` keeps the bit-exact
+/// reference behaviour. The two are fingerprinted apart (see
+/// [`SplitExactness::fingerprint`]) so evaluation caches never mix modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SplitExactness {
+    /// Histogram kernel over ≤256 bins per feature (default).
+    #[default]
+    Binned256,
+    /// Exact presorted kernel, bit-identical to the naive splitter.
+    Presorted,
+}
+
+impl SplitExactness {
+    /// Stable tag mixed into settings/cache fingerprints so memoized
+    /// evaluations from different kernels can never collide.
+    pub fn fingerprint(self) -> u64 {
+        match self {
+            SplitExactness::Binned256 => 0xB1A2_5601,
+            SplitExactness::Presorted => 0x9E50_47ED,
+        }
+    }
+
+    /// Human-readable mode name (also the CLI spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            SplitExactness::Binned256 => "binned256",
+            SplitExactness::Presorted => "presorted",
+        }
+    }
+
+    /// Parses the CLI spelling; accepts `binned` as shorthand.
+    pub fn parse(s: &str) -> Option<SplitExactness> {
+        match s {
+            "binned256" | "binned" => Some(SplitExactness::Binned256),
+            "presorted" => Some(SplitExactness::Presorted),
+            _ => None,
+        }
+    }
+}
+
+/// Bin layout of one feature: per-bin lowest and highest source value.
+///
+/// Bins are derived so that a column with ≤ [`MAX_BINS`] distinct values
+/// gets exactly one bin per distinct value (`lo == hi`); wider columns get
+/// near-equal-count bins cut between distinct values. Candidate thresholds
+/// are `0.5 * (hi[left_bin] + lo[right_bin])` at boundaries between
+/// *occupied* bins, which in the one-value-per-bin case reproduces the
+/// presorted kernel's `0.5 * (prev + v)` midpoints bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureBins {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl FeatureBins {
+    /// Derives bins from an ascending-sorted column of finite values.
+    fn from_sorted(values: &[f64]) -> FeatureBins {
+        let n = values.len();
+        if n == 0 {
+            return FeatureBins { lo: vec![0.0], hi: vec![0.0] };
+        }
+        let mut distinct = 0usize;
+        for k in 0..n {
+            if k == 0 || values[k] > values[k - 1] {
+                distinct += 1;
+            }
+        }
+        let mut lo = Vec::with_capacity(distinct.min(MAX_BINS));
+        let mut hi = Vec::with_capacity(distinct.min(MAX_BINS));
+        if distinct <= MAX_BINS {
+            for k in 0..n {
+                if k == 0 || values[k] > values[k - 1] {
+                    lo.push(values[k]);
+                    hi.push(values[k]);
+                }
+            }
+        } else {
+            // Near-equal-count bins: each bin takes a ceil share of the
+            // remaining values, extended to swallow duplicates of its last
+            // value so a distinct value never straddles two bins.
+            let mut start = 0usize;
+            let mut emitted = 0usize;
+            while start < n {
+                let remaining_bins = MAX_BINS - emitted;
+                let take = (n - start + remaining_bins - 1) / remaining_bins;
+                let mut end = start + take;
+                let vend = values[end - 1];
+                while end < n && values[end] == vend {
+                    end += 1;
+                }
+                lo.push(values[start]);
+                hi.push(values[end - 1]);
+                start = end;
+                emitted += 1;
+            }
+        }
+        FeatureBins { lo, hi }
+    }
+
+    /// Number of bins (1..=[`MAX_BINS`]).
+    pub fn n_bins(&self) -> usize {
+        self.hi.len()
+    }
+
+    /// Bin code of a value: the first bin whose highest member reaches it,
+    /// clamped into range for values outside the derivation set.
+    #[inline]
+    fn code_of(&self, v: f64) -> u8 {
+        let b = self.hi.partition_point(|&h| h < v);
+        b.min(self.hi.len() - 1) as u8
+    }
+}
+
+/// Per-dataset bin edges and quantized codes for every feature, derived
+/// once and shared across fits (arms, row caps, server requests) via
+/// [`TreeWorkspace::bind_bins`] — the tree-kernel analogue of cached
+/// rankings. Quantization is a pure function of the source matrix, so a
+/// `BinSet` is freely shareable across threads behind an `Arc`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinSet {
+    feats: Vec<FeatureBins>,
+    /// Column-major `d × n_rows` quantized codes of the source matrix.
+    codes: Vec<u8>,
+    n_rows: usize,
+}
+
+impl BinSet {
+    /// Derives bins and codes from every column of `x`.
+    ///
+    /// # Panics
+    /// Panics when a value is NaN (features are required to be finite).
+    pub fn derive(x: &Matrix) -> BinSet {
+        let (n, d) = x.shape();
+        let mut feats = Vec::with_capacity(d);
+        let mut codes = vec![0u8; d * n];
+        let mut col = Vec::with_capacity(n);
+        for f in 0..d {
+            x.col_into(f, &mut col);
+            col.sort_unstable_by(|a, b| match a.partial_cmp(b) {
+                Some(ord) => ord,
+                None => panic!("BinSet::derive: finite features required"),
+            });
+            let fb = FeatureBins::from_sorted(&col);
+            for (c, v) in codes[f * n..(f + 1) * n].iter_mut().zip(x.col_iter(f)) {
+                *c = fb.code_of(v);
+            }
+            feats.push(fb);
+        }
+        BinSet { feats, codes, n_rows: n }
+    }
+
+    /// Number of features covered.
+    pub fn n_features(&self) -> usize {
+        self.feats.len()
+    }
+
+    /// Number of rows of the source matrix.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The bin layout of feature `j`.
+    pub fn feature(&self, j: usize) -> &FeatureBins {
+        &self.feats[j]
+    }
+}
 
 /// A tree node (arena storage; `usize` child links).
 #[derive(Debug, Clone, PartialEq)]
@@ -93,36 +293,129 @@ impl FitStats {
     }
 }
 
-/// Reusable scratch for the presorted kernel: per-feature sorted row
-/// orders, the row-ascending node sets, partition buffers, and the unit
-/// weight vector. After the first fit of a given shape, subsequent fits
-/// through the same workspace allocate nothing.
+/// Reusable scratch for both tree kernels: per-feature sorted row orders
+/// (presorted), the quantized `u8` code arena and histogram pool (binned),
+/// the row-ascending node sets, partition buffers, and the unit weight
+/// vector. After the first fit of a given shape, subsequent fits through
+/// the same workspace allocate nothing beyond the output arena.
 #[derive(Debug, Default)]
 pub struct TreeWorkspace {
-    /// Flattened `d × n` per-feature sorted row orders.
+    /// Which kernel fits through this workspace run.
+    exactness: SplitExactness,
+    /// Flattened `d × n` per-feature sorted row orders (presorted kernel).
     order: Vec<u32>,
     /// Node row sets in row-ascending order, partitioned in place.
     rows: Vec<u32>,
     /// Stable-partition holding buffer.
     scratch: Vec<u32>,
-    /// Column gather buffer for the presort keys.
+    /// Column gather buffer for the presort keys / bin derivation.
     col: Vec<f64>,
     /// All-ones weights when the caller passes none.
     unit_w: Vec<f64>,
+    /// Cached dataset-level bins for the binned kernel, if bound.
+    bound_bins: Option<Arc<BinSet>>,
+    /// Source-feature index of each training-matrix column, when bound.
+    bound_cols: Vec<usize>,
+    /// Source-row index of each training-matrix row, when bound.
+    bound_rows: Vec<u32>,
+    /// Per-fit column-major `d × n` quantized codes (binned kernel).
+    codes: Vec<u8>,
+    /// Flattened per-feature bin `lo` values for the current fit.
+    bin_lo: Vec<f64>,
+    /// Flattened per-feature bin `hi` values for the current fit.
+    bin_hi: Vec<f64>,
+    /// Prefix offsets into `bin_lo`/`bin_hi` (`d + 1` entries).
+    bin_off: Vec<u32>,
+    /// Per-node compact weight gather (binned kernel).
+    w_buf: Vec<f64>,
+    /// Per-node compact positive-weight gather (binned kernel).
+    pos_buf: Vec<f64>,
+    /// Histogram buffer pool; all buffers are zeroed between uses.
+    hist_pool: Vec<HistBuf>,
+    /// Total bins the pool buffers are sized for.
+    hist_stride: usize,
+    /// Feature count the pool buffers are sized for.
+    hist_d: usize,
     /// Counters of the most recent fit through this workspace.
     last_stats: FitStats,
 }
 
 impl TreeWorkspace {
-    /// An empty workspace (buffers grow on first use).
+    /// An empty workspace (buffers grow on first use) running the default
+    /// [`SplitExactness::Binned256`] kernel.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty workspace running the given kernel.
+    pub fn with_exactness(exactness: SplitExactness) -> Self {
+        Self { exactness, ..Self::default() }
+    }
+
+    /// Switches which kernel subsequent fits run.
+    pub fn set_exactness(&mut self, exactness: SplitExactness) {
+        self.exactness = exactness;
+    }
+
+    /// The kernel subsequent fits run.
+    pub fn exactness(&self) -> SplitExactness {
+        self.exactness
+    }
+
+    /// Binds cached dataset-level bins for subsequent binned fits: column
+    /// `j` of the training matrix corresponds to feature `cols[j]` of the
+    /// bin set's source matrix, and row `i` to source row `rows[i]`.
+    /// Quantization then becomes a pure `u8` gather instead of per-fit bin
+    /// derivation — the "quantize once per dataset" fast path.
+    ///
+    /// The binding stays armed until rebound or cleared; callers must
+    /// rebind (or [`TreeWorkspace::clear_bins`]) whenever the training
+    /// matrix changes, since a stale same-shape binding cannot be detected.
+    ///
+    /// # Panics
+    /// Panics when an index is out of range for the bin set.
+    pub fn bind_bins(&mut self, bins: &Arc<BinSet>, cols: &[usize], rows: &[usize]) {
+        for &c in cols {
+            assert!(c < bins.n_features(), "bind_bins: column {c} out of range");
+        }
+        for &r in rows {
+            assert!(r < bins.n_rows(), "bind_bins: row {r} out of range");
+        }
+        self.bound_cols.clear();
+        self.bound_cols.extend_from_slice(cols);
+        self.bound_rows.clear();
+        self.bound_rows.extend(rows.iter().map(|&r| r as u32));
+        self.bound_bins = Some(Arc::clone(bins));
+    }
+
+    /// Drops any bound bin set; subsequent binned fits derive bins from
+    /// their own training matrix.
+    pub fn clear_bins(&mut self) {
+        self.bound_bins = None;
     }
 
     /// Work counters of the most recent fit through this workspace.
     pub fn last_stats(&self) -> FitStats {
         self.last_stats
     }
+}
+
+/// One pooled histogram buffer of the binned kernel: per-bin instance
+/// count, weight sum, and positive-weight sum, plus per-feature occupied
+/// and touched code ranges (inclusive; `(1, 0)` means empty).
+///
+/// Invariant: outside an `alloc`/`release` window every buffer is fully
+/// zero — `release` zeroes the *touched* (`dirty`) span, which covers the
+/// occupied one, so fresh builds never pay a full `MAX_BINS` reset.
+#[derive(Debug, Default)]
+struct HistBuf {
+    cnt: Vec<u32>,
+    wtot: Vec<f64>,
+    wpos: Vec<f64>,
+    /// Occupied code range per feature (tightened after subtraction).
+    range: Vec<(u16, u16)>,
+    /// Widest code range ever written this allocation (zeroing span).
+    dirty: Vec<(u16, u16)>,
 }
 
 /// A trained decision tree.
@@ -332,10 +625,24 @@ impl DeepTree {
     }
 }
 
-/// Runs the presorted kernel at `max_depth` (already clamped ≥ 1) and
-/// returns the annotated full arena. Scratch comes from — and returns to —
-/// `ws`; `ws.last_stats` is refreshed.
+/// Runs the workspace's configured kernel at `max_depth` (already clamped
+/// ≥ 1) and returns the annotated full arena. Scratch comes from — and
+/// returns to — `ws`; `ws.last_stats` is refreshed.
 fn run_kernel(
+    x: &Matrix,
+    y: &[bool],
+    max_depth: usize,
+    weights: Option<&[f64]>,
+    ws: &mut TreeWorkspace,
+) -> DeepTree {
+    match ws.exactness {
+        SplitExactness::Binned256 => run_binned_kernel(x, y, max_depth, weights, ws),
+        SplitExactness::Presorted => run_presorted_kernel(x, y, max_depth, weights, ws),
+    }
+}
+
+/// The presorted-kernel driver behind [`run_kernel`].
+fn run_presorted_kernel(
     x: &Matrix,
     y: &[bool],
     max_depth: usize,
@@ -597,6 +904,538 @@ struct SplitChoice {
     feature: usize,
     threshold: f64,
     gain: f64,
+}
+
+/// Sentinel slot id for nodes that never need a histogram (guaranteed
+/// leaves).
+const NO_SLOT: usize = usize::MAX;
+
+/// Quantizes the fit matrix into `ws.codes` and fills the flattened bin
+/// tables (`ws.bin_lo` / `ws.bin_hi` / `ws.bin_off`): a pure `u8` gather
+/// from the bound [`BinSet`] when one is armed, a per-fit derivation
+/// otherwise.
+fn prepare_binned_inputs(x: &Matrix, ws: &mut TreeWorkspace) {
+    let (n, d) = x.shape();
+    ws.bin_lo.clear();
+    ws.bin_hi.clear();
+    ws.bin_off.clear();
+    ws.bin_off.push(0);
+    ws.codes.clear();
+    ws.codes.resize(d * n, 0);
+    match &ws.bound_bins {
+        Some(bins) => {
+            assert_eq!(
+                ws.bound_cols.len(),
+                d,
+                "TreeWorkspace: bound bins do not match the training matrix width"
+            );
+            assert_eq!(
+                ws.bound_rows.len(),
+                n,
+                "TreeWorkspace: bound bins do not match the training matrix height"
+            );
+            let src_rows = bins.n_rows;
+            for f in 0..d {
+                let src = ws.bound_cols[f];
+                let fb = &bins.feats[src];
+                ws.bin_lo.extend_from_slice(&fb.lo);
+                ws.bin_hi.extend_from_slice(&fb.hi);
+                ws.bin_off.push(ws.bin_lo.len() as u32);
+                let src_col = &bins.codes[src * src_rows..(src + 1) * src_rows];
+                for (c, &r) in ws.codes[f * n..(f + 1) * n].iter_mut().zip(&ws.bound_rows) {
+                    *c = src_col[r as usize];
+                }
+            }
+        }
+        None => {
+            let mut col = std::mem::take(&mut ws.col);
+            for f in 0..d {
+                x.col_into(f, &mut col);
+                col.sort_unstable_by(|a, b| match a.partial_cmp(b) {
+                    Some(ord) => ord,
+                    None => panic!("DecisionTree: finite features required"),
+                });
+                let fb = FeatureBins::from_sorted(&col);
+                ws.bin_lo.extend_from_slice(&fb.lo);
+                ws.bin_hi.extend_from_slice(&fb.hi);
+                ws.bin_off.push(ws.bin_lo.len() as u32);
+                for (c, v) in ws.codes[f * n..(f + 1) * n].iter_mut().zip(x.col_iter(f)) {
+                    *c = fb.code_of(v);
+                }
+            }
+            ws.col = col;
+        }
+    }
+}
+
+/// The histogram-kernel driver behind [`run_kernel`].
+fn run_binned_kernel(
+    x: &Matrix,
+    y: &[bool],
+    max_depth: usize,
+    weights: Option<&[f64]>,
+    ws: &mut TreeWorkspace,
+) -> DeepTree {
+    let (n, d) = x.shape();
+    assert_eq!(n, y.len(), "DecisionTree: row/label mismatch");
+    assert!(n > 0, "DecisionTree: empty training set");
+    assert!(n <= u32::MAX as usize, "DecisionTree: too many rows for the u32 kernel");
+
+    let mut unit_w = std::mem::take(&mut ws.unit_w);
+    let w: &[f64] = match weights {
+        Some(w) => {
+            assert_eq!(w.len(), n, "DecisionTree: weight length mismatch");
+            w
+        }
+        None => {
+            unit_w.clear();
+            unit_w.resize(n, 1.0);
+            &unit_w
+        }
+    };
+
+    prepare_binned_inputs(x, ws);
+    let stride = ws.bin_off[d] as usize;
+    if stride != ws.hist_stride || d != ws.hist_d {
+        // Pool buffers are sized (and zeroed) for one (stride, d) shape;
+        // reshaping drops them so `alloc_slot` rebuilds clean ones.
+        ws.hist_pool.clear();
+        ws.hist_stride = stride;
+        ws.hist_d = d;
+    }
+
+    let mut rows = std::mem::take(&mut ws.rows);
+    rows.clear();
+    rows.extend(0..n as u32);
+
+    let mut kernel = BinnedKernel {
+        x,
+        y,
+        w,
+        n,
+        d,
+        max_depth,
+        codes: std::mem::take(&mut ws.codes),
+        bin_lo: std::mem::take(&mut ws.bin_lo),
+        bin_hi: std::mem::take(&mut ws.bin_hi),
+        off: std::mem::take(&mut ws.bin_off),
+        rows,
+        scratch: std::mem::take(&mut ws.scratch),
+        w_buf: std::mem::take(&mut ws.w_buf),
+        pos_buf: std::mem::take(&mut ws.pos_buf),
+        pool: std::mem::take(&mut ws.hist_pool),
+        free: Vec::new(),
+        stride,
+        nodes: Vec::new(),
+        depth: Vec::new(),
+        proba: Vec::new(),
+        gain_w: Vec::new(),
+        stats: FitStats::default(),
+    };
+    // Every pooled buffer is zero between fits (the release invariant), so
+    // all of them start free.
+    kernel.free.extend(0..kernel.pool.len());
+
+    // Root class counts, accumulated in row-ascending order (identical to
+    // the presorted kernel).
+    let mut w_pos = 0.0;
+    let mut w_total = 0.0;
+    for i in 0..n {
+        w_total += w[i];
+        if y[i] {
+            w_pos += w[i];
+        }
+    }
+    let root_slot = if kernel.needs_split_scan(n, 0, gini(w_pos, w_total)) {
+        let s = kernel.alloc_slot();
+        kernel.build_hist(0, n, s);
+        s
+    } else {
+        NO_SLOT
+    };
+    kernel.build(0, n, 0, w_pos, w_total, root_slot);
+
+    let BinnedKernel {
+        codes,
+        bin_lo,
+        bin_hi,
+        off,
+        rows,
+        scratch,
+        w_buf,
+        pos_buf,
+        pool,
+        nodes,
+        depth,
+        proba,
+        gain_w,
+        stats,
+        ..
+    } = kernel;
+    ws.codes = codes;
+    ws.bin_lo = bin_lo;
+    ws.bin_hi = bin_hi;
+    ws.bin_off = off;
+    ws.rows = rows;
+    ws.scratch = scratch;
+    ws.w_buf = w_buf;
+    ws.pos_buf = pos_buf;
+    ws.hist_pool = pool;
+    ws.unit_w = unit_w;
+    ws.last_stats = stats;
+
+    DeepTree { nodes, depth, proba, gain_w, n_features: d, max_depth, stats }
+}
+
+/// The histogram builder: every node owns the segment `[lo, hi)` of the
+/// shared `rows` array (row-ascending) plus, when it can split, one pooled
+/// histogram buffer; children reuse the parent's buffer via in-place
+/// parent-minus-sibling subtraction.
+struct BinnedKernel<'a> {
+    x: &'a Matrix,
+    y: &'a [bool],
+    w: &'a [f64],
+    n: usize,
+    d: usize,
+    max_depth: usize,
+    /// Column-major `d × n` quantized feature codes.
+    codes: Vec<u8>,
+    /// Flattened per-feature bin `lo` values.
+    bin_lo: Vec<f64>,
+    /// Flattened per-feature bin `hi` values.
+    bin_hi: Vec<f64>,
+    /// Prefix offsets into `bin_lo`/`bin_hi` (`d + 1` entries).
+    off: Vec<u32>,
+    rows: Vec<u32>,
+    scratch: Vec<u32>,
+    w_buf: Vec<f64>,
+    pos_buf: Vec<f64>,
+    pool: Vec<HistBuf>,
+    free: Vec<usize>,
+    stride: usize,
+    nodes: Vec<Node>,
+    depth: Vec<u32>,
+    proba: Vec<f64>,
+    gain_w: Vec<f64>,
+    stats: FitStats,
+}
+
+impl BinnedKernel<'_> {
+    /// Whether a node with these parameters will attempt a split — the
+    /// negation of the leaf test, factored out so a parent can decide
+    /// before recursing whether a child needs a histogram at all.
+    fn needs_split_scan(&self, len: usize, depth: usize, node_gini: f64) -> bool {
+        depth < self.max_depth && len >= MIN_SAMPLES_SPLIT && node_gini > dfs_linalg::EPS
+    }
+
+    /// Takes a zeroed histogram buffer from the pool, growing it on demand.
+    fn alloc_slot(&mut self) -> usize {
+        if let Some(s) = self.free.pop() {
+            return s;
+        }
+        self.pool.push(HistBuf {
+            cnt: vec![0; self.stride],
+            wtot: vec![0.0; self.stride],
+            wpos: vec![0.0; self.stride],
+            range: vec![(1, 0); self.d],
+            dirty: vec![(1, 0); self.d],
+        });
+        self.pool.len() - 1
+    }
+
+    /// Returns a buffer to the pool, restoring the all-zero invariant by
+    /// clearing exactly the spans this allocation touched.
+    fn release(&mut self, slot: usize) {
+        if slot == NO_SLOT {
+            return;
+        }
+        let buf = &mut self.pool[slot];
+        for f in 0..self.d {
+            let (mn, mx) = buf.dirty[f];
+            if mn > mx {
+                continue;
+            }
+            let base = self.off[f] as usize;
+            let lo = base + mn as usize;
+            let hi = base + mx as usize + 1;
+            buf.cnt[lo..hi].fill(0);
+            buf.wtot[lo..hi].fill(0.0);
+            buf.wpos[lo..hi].fill(0.0);
+            buf.range[f] = (1, 0);
+            buf.dirty[f] = (1, 0);
+        }
+        self.free.push(slot);
+    }
+
+    /// Builds the node's histogram in one pass over its rows: weights and
+    /// positive-weights are gathered into compact buffers once, then each
+    /// feature's loop reads them sequentially while scattering into the
+    /// per-bin accumulators (branchless — negatives contribute `+0.0` to
+    /// the positive sum, which is bit-neutral for the non-negative partial
+    /// sums involved).
+    fn build_hist(&mut self, lo: usize, hi: usize, slot: usize) {
+        self.w_buf.clear();
+        self.pos_buf.clear();
+        for &r in &self.rows[lo..hi] {
+            let ri = r as usize;
+            let wr = self.w[ri];
+            self.w_buf.push(wr);
+            self.pos_buf.push(if self.y[ri] { wr } else { 0.0 });
+        }
+        let rows = &self.rows[lo..hi];
+        let buf = &mut self.pool[slot];
+        for f in 0..self.d {
+            let base = self.off[f] as usize;
+            let col = &self.codes[f * self.n..(f + 1) * self.n];
+            let mut minc = u16::MAX;
+            let mut maxc = 0u16;
+            for ((&r, &wr), &pr) in rows.iter().zip(&self.w_buf).zip(&self.pos_buf) {
+                let b = col[r as usize];
+                let i = base + b as usize;
+                buf.cnt[i] += 1;
+                buf.wtot[i] += wr;
+                buf.wpos[i] += pr;
+                minc = minc.min(b as u16);
+                maxc = maxc.max(b as u16);
+            }
+            buf.range[f] = (minc, maxc);
+            buf.dirty[f] = (minc, maxc);
+        }
+    }
+
+    /// Converts the parent's histogram into the larger child's in place:
+    /// `parent -= smaller_child`, a blocked stride-1 subtraction over the
+    /// parent's occupied span, then tightens the occupied range from the
+    /// exact integer counts. Counts subtract exactly; weight sums of bins
+    /// fully owned by the smaller child cancel to exactly `0.0` (both sides
+    /// accumulated the identical row-order sequence), so emptied bins stay
+    /// clean.
+    fn derive_sibling(&mut self, parent: usize, small: usize) {
+        debug_assert_ne!(parent, small);
+        let (pbuf, sbuf) = if parent < small {
+            let (a, b) = self.pool.split_at_mut(small);
+            (&mut a[parent], &b[0])
+        } else {
+            let (a, b) = self.pool.split_at_mut(parent);
+            (&mut b[0], &a[small])
+        };
+        for f in 0..self.d {
+            let (pmin, pmax) = pbuf.range[f];
+            if pmin > pmax {
+                continue;
+            }
+            let base = self.off[f] as usize;
+            let lo = base + pmin as usize;
+            let hi = base + pmax as usize + 1;
+            for (a, b) in pbuf.cnt[lo..hi].iter_mut().zip(&sbuf.cnt[lo..hi]) {
+                *a -= *b;
+            }
+            for (a, b) in pbuf.wtot[lo..hi].iter_mut().zip(&sbuf.wtot[lo..hi]) {
+                *a -= *b;
+            }
+            for (a, b) in pbuf.wpos[lo..hi].iter_mut().zip(&sbuf.wpos[lo..hi]) {
+                *a -= *b;
+            }
+            let mut minc = u16::MAX;
+            let mut maxc = 0u16;
+            for (k, c) in pbuf.cnt[lo..hi].iter().enumerate() {
+                if *c > 0 {
+                    let b = (pmin as usize + k) as u16;
+                    if minc == u16::MAX {
+                        minc = b;
+                    }
+                    maxc = b;
+                }
+            }
+            pbuf.range[f] = (minc, maxc);
+            // `dirty` keeps the parent's wider span — subtraction can leave
+            // exact zeros outside the tightened range that release() must
+            // still (cheaply) clear.
+        }
+    }
+
+    /// Builds the subtree over segment `[lo, hi)` whose histogram (if any)
+    /// sits in `slot`, returning its arena index. `w_pos` / `w_total` are
+    /// this node's class counts, accumulated by the parent's partition in
+    /// row-ascending order, exactly like the presorted kernel.
+    fn build(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        w_pos: f64,
+        w_total: f64,
+        slot: usize,
+    ) -> usize {
+        let proba = if w_total > 0.0 { w_pos / w_total } else { 0.5 };
+        let node_gini = gini(w_pos, w_total);
+
+        if !self.needs_split_scan(hi - lo, depth, node_gini) {
+            self.release(slot);
+            return self.push(Node::Leaf { proba }, depth, proba, 0.0);
+        }
+
+        match self.best_split(slot, node_gini, w_pos, w_total) {
+            None => {
+                self.release(slot);
+                self.push(Node::Leaf { proba }, depth, proba, 0.0)
+            }
+            Some(split) => {
+                let gain_w = split.gain * w_total;
+                let (nl, left_counts, right_counts) =
+                    self.partition(lo, hi, split.feature, split.threshold);
+                let nr = (hi - lo) - nl;
+                let left_needs =
+                    self.needs_split_scan(nl, depth + 1, gini(left_counts.0, left_counts.1));
+                let right_needs =
+                    self.needs_split_scan(nr, depth + 1, gini(right_counts.0, right_counts.1));
+                let (left_slot, right_slot) = match (left_needs, right_needs) {
+                    (false, false) => {
+                        self.release(slot);
+                        (NO_SLOT, NO_SLOT)
+                    }
+                    (true, false) => {
+                        let s = self.alloc_slot();
+                        self.build_hist(lo, lo + nl, s);
+                        self.release(slot);
+                        (s, NO_SLOT)
+                    }
+                    (false, true) => {
+                        let s = self.alloc_slot();
+                        self.build_hist(lo + nl, hi, s);
+                        self.release(slot);
+                        (NO_SLOT, s)
+                    }
+                    (true, true) => {
+                        // Build the smaller child fresh; the larger child
+                        // inherits the parent's buffer by subtraction.
+                        let s = self.alloc_slot();
+                        if nl <= nr {
+                            self.build_hist(lo, lo + nl, s);
+                            self.derive_sibling(slot, s);
+                            (s, slot)
+                        } else {
+                            self.build_hist(lo + nl, hi, s);
+                            self.derive_sibling(slot, s);
+                            (slot, s)
+                        }
+                    }
+                };
+                // Reserve this node's slot before recursing.
+                let me = self.push(Node::Leaf { proba }, depth, proba, gain_w);
+                let left = self.build(lo, lo + nl, depth + 1, left_counts.0, left_counts.1, left_slot);
+                let right =
+                    self.build(lo + nl, hi, depth + 1, right_counts.0, right_counts.1, right_slot);
+                self.nodes[me] =
+                    Node::Split { feature: split.feature, threshold: split.threshold, left, right };
+                me
+            }
+        }
+    }
+
+    fn push(&mut self, node: Node, depth: usize, proba: f64, gain_w: f64) -> usize {
+        self.nodes.push(node);
+        self.depth.push(depth as u32);
+        self.proba.push(proba);
+        self.gain_w.push(gain_w);
+        self.stats.nodes += 1;
+        self.nodes.len() - 1
+    }
+
+    /// Scans the node's histogram for the best threshold: per feature, an
+    /// O(occupied bins) walk emitting a candidate at every boundary between
+    /// occupied bins, with the identical gain expression, comparison order,
+    /// and tie-breaking as the presorted kernel. Thresholds come from the
+    /// dataset-level bin representatives: `0.5 * (hi[prev] + lo[next])`.
+    fn best_split(
+        &mut self,
+        slot: usize,
+        node_gini: f64,
+        w_pos: f64,
+        w_total: f64,
+    ) -> Option<SplitChoice> {
+        let buf = &self.pool[slot];
+        let mut best: Option<SplitChoice> = None;
+        for feature in 0..self.d {
+            self.stats.split_scans += 1;
+            let (minc, maxc) = buf.range[feature];
+            if minc >= maxc {
+                continue; // constant on this node (single occupied bin)
+            }
+            let base = self.off[feature] as usize;
+            let mut left_total = 0.0;
+            let mut left_pos = 0.0;
+            let mut prev: Option<usize> = None;
+            for b in (minc as usize)..=(maxc as usize) {
+                let i = base + b;
+                if buf.cnt[i] == 0 {
+                    continue;
+                }
+                if let Some(p) = prev {
+                    // Candidate between occupied bins p and b; the left
+                    // sums cover bins <= p.
+                    let threshold = 0.5 * (self.bin_hi[base + p] + self.bin_lo[i]);
+                    let right_total = w_total - left_total;
+                    if left_total > 0.0 && right_total > 0.0 {
+                        let right_pos = w_pos - left_pos;
+                        let child = (left_total * gini(left_pos, left_total)
+                            + right_total * gini(right_pos, right_total))
+                            / w_total;
+                        let gain = (node_gini - child).max(0.0);
+                        if best.as_ref().map(|bst| gain > bst.gain).unwrap_or(true) {
+                            best = Some(SplitChoice { feature, threshold, gain });
+                        }
+                    }
+                }
+                left_total += buf.wtot[i];
+                left_pos += buf.wpos[i];
+                prev = Some(b);
+            }
+        }
+        best
+    }
+
+    /// Stably partitions the node's row segment by raw value against the
+    /// chosen threshold (the same test prediction routing uses), in exactly
+    /// the presorted kernel's manner — minus its d per-feature order-array
+    /// partitions, which the histogram kernel does not need.
+    fn partition(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        feature: usize,
+        threshold: f64,
+    ) -> (usize, (f64, f64), (f64, f64)) {
+        let x = self.x;
+        let mut left_pos = 0.0;
+        let mut left_total = 0.0;
+        let mut right_pos = 0.0;
+        let mut right_total = 0.0;
+        self.scratch.clear();
+        let seg = &mut self.rows[lo..hi];
+        let mut write = 0usize;
+        for read in 0..seg.len() {
+            let r = seg[read];
+            let ri = r as usize;
+            let wr = self.w[ri];
+            if x[(ri, feature)] <= threshold {
+                seg[write] = r;
+                write += 1;
+                left_total += wr;
+                if self.y[ri] {
+                    left_pos += wr;
+                }
+            } else {
+                self.scratch.push(r);
+                right_total += wr;
+                if self.y[ri] {
+                    right_pos += wr;
+                }
+            }
+        }
+        seg[write..].copy_from_slice(&self.scratch);
+        (write, (left_pos, left_total), (right_pos, right_total))
+    }
 }
 
 /// Gini impurity of a (weighted) binary node.
@@ -908,26 +1747,34 @@ mod tests {
     }
 
     #[test]
-    fn presorted_kernel_matches_naive_reference_on_clean_data() {
+    fn both_kernels_match_naive_reference_on_clean_data() {
         let (x, y) = and_problem();
-        for depth in 1..=5 {
-            let kernel = DecisionTree::fit(&x, &y, depth);
-            let naive = reference::fit(&x, &y, depth, None);
-            assert_bit_identical(&kernel, &naive);
+        for mode in [SplitExactness::Binned256, SplitExactness::Presorted] {
+            let mut ws = TreeWorkspace::with_exactness(mode);
+            for depth in 1..=5 {
+                let kernel = DecisionTree::fit_in(&x, &y, depth, None, &mut ws);
+                let naive = reference::fit(&x, &y, depth, None);
+                assert_bit_identical(&kernel, &naive);
+            }
         }
     }
 
     #[test]
-    fn presorted_kernel_matches_naive_reference_on_awkward_data() {
+    fn both_kernels_match_naive_reference_on_awkward_data() {
         // Duplicate values, constant features, weighted rows, many seeds.
-        let mut ws = TreeWorkspace::new();
-        for seed in 0..12u64 {
-            let (x, y, w) = awkward_problem(seed, 90 + (seed as usize % 3) * 17, 5);
-            for (depth, weights) in [(1, None), (3, Some(&w)), (6, None), (7, Some(&w))] {
-                let weights = weights.map(|w| w.as_slice());
-                let kernel = DecisionTree::fit_in(&x, &y, depth, weights, &mut ws);
-                let naive = reference::fit(&x, &y, depth, weights);
-                assert_bit_identical(&kernel, &naive);
+        // Every column has <= 7 distinct values and the weights are dyadic,
+        // so the binned kernel must be *bit-identical* to the reference, not
+        // merely close.
+        for mode in [SplitExactness::Binned256, SplitExactness::Presorted] {
+            let mut ws = TreeWorkspace::with_exactness(mode);
+            for seed in 0..12u64 {
+                let (x, y, w) = awkward_problem(seed, 90 + (seed as usize % 3) * 17, 5);
+                for (depth, weights) in [(1, None), (3, Some(&w)), (6, None), (7, Some(&w))] {
+                    let weights = weights.map(|w| w.as_slice());
+                    let kernel = DecisionTree::fit_in(&x, &y, depth, weights, &mut ws);
+                    let naive = reference::fit(&x, &y, depth, weights);
+                    assert_bit_identical(&kernel, &naive);
+                }
             }
         }
     }
@@ -982,5 +1829,196 @@ mod tests {
         let from_depths: f64 = by_depth.iter().sum();
         let from_nodes: f64 = deep.gain_w.iter().sum();
         assert!((from_depths - from_nodes).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binned_matches_presorted_bit_for_bit_on_low_cardinality_data() {
+        // The exactness argument, tested directly: <= 256 distinct values
+        // per column + dyadic weights => identical trees.
+        let mut binned = TreeWorkspace::with_exactness(SplitExactness::Binned256);
+        let mut presorted = TreeWorkspace::with_exactness(SplitExactness::Presorted);
+        for seed in 0..20u64 {
+            let (x, y, w) = awkward_problem(seed, 70 + (seed as usize % 5) * 23, 6);
+            for weights in [None, Some(w.as_slice())] {
+                for depth in [1, 2, 4, 7] {
+                    let b = DecisionTree::fit_in(&x, &y, depth, weights, &mut binned);
+                    let p = DecisionTree::fit_in(&x, &y, depth, weights, &mut presorted);
+                    assert_bit_identical(&b, &p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_bins_match_local_derivation() {
+        // Binding the workspace to a dataset-level BinSet with identity
+        // row/col maps must reproduce the per-fit derivation exactly.
+        let (x, y, w) = awkward_problem(4, 100, 5);
+        let (n, d) = x.shape();
+        let bins = Arc::new(BinSet::derive(&x));
+        let cols: Vec<usize> = (0..d).collect();
+        let rows: Vec<usize> = (0..n).collect();
+
+        let mut local = TreeWorkspace::new();
+        let mut bound = TreeWorkspace::new();
+        bound.bind_bins(&bins, &cols, &rows);
+        for depth in [2, 5, 7] {
+            let a = DecisionTree::fit_in(&x, &y, depth, Some(&w), &mut local);
+            let b = DecisionTree::fit_in(&x, &y, depth, Some(&w), &mut bound);
+            assert_bit_identical(&a, &b);
+        }
+    }
+
+    #[test]
+    fn bound_bins_on_row_col_subsets_match_presorted() {
+        // The cache-sharing path: bins derived once on the full matrix, the
+        // fit running on a (rows, cols) selection — exactly what scenario
+        // subsets and forest bootstraps do. On low-cardinality columns the
+        // occupied bins of any subset are its distinct values, so the result
+        // must still equal the presorted kernel on the gathered submatrix.
+        let (x, y, w) = awkward_problem(11, 120, 6);
+        let bins = Arc::new(BinSet::derive(&x));
+        let cols = vec![0usize, 2, 4, 5];
+        let rows: Vec<usize> = (0..x.nrows()).filter(|r| r % 3 != 1).collect();
+        let sub = x.select_rows_cols(&rows, &cols);
+        let suby: Vec<bool> = rows.iter().map(|&r| y[r]).collect();
+        let subw: Vec<f64> = rows.iter().map(|&r| w[r]).collect();
+
+        let mut bound = TreeWorkspace::new();
+        bound.bind_bins(&bins, &cols, &rows);
+        let mut exact = TreeWorkspace::with_exactness(SplitExactness::Presorted);
+        for depth in [1, 3, 6] {
+            let b = DecisionTree::fit_in(&sub, &suby, depth, Some(&subw), &mut bound);
+            let p = DecisionTree::fit_in(&sub, &suby, depth, Some(&subw), &mut exact);
+            assert_bit_identical(&b, &p);
+        }
+    }
+
+    #[test]
+    fn binding_is_sticky_until_cleared() {
+        let (x, y, _) = awkward_problem(2, 80, 4);
+        let bins = Arc::new(BinSet::derive(&x));
+        let cols: Vec<usize> = (0..x.ncols()).collect();
+        let rows: Vec<usize> = (0..x.nrows()).collect();
+        let mut ws = TreeWorkspace::new();
+        ws.bind_bins(&bins, &cols, &rows);
+        let first = DecisionTree::fit_in(&x, &y, 4, None, &mut ws);
+        // Second fit without rebinding still uses the bound set.
+        let second = DecisionTree::fit_in(&x, &y, 4, None, &mut ws);
+        assert_bit_identical(&first, &second);
+        ws.clear_bins();
+        let third = DecisionTree::fit_in(&x, &y, 4, None, &mut ws);
+        assert_bit_identical(&first, &third);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound bins do not match")]
+    fn stale_binding_shape_mismatch_panics() {
+        let (x, y, _) = awkward_problem(7, 60, 4);
+        let bins = Arc::new(BinSet::derive(&x));
+        let mut ws = TreeWorkspace::new();
+        ws.bind_bins(&bins, &[0, 1], &[0, 1, 2, 3]);
+        // Fit matrix is 60 x 4, binding says 4 x 2 -> must panic loudly
+        // rather than silently mis-quantize.
+        let _ = DecisionTree::fit_in(&x, &y, 3, None, &mut ws);
+    }
+
+    #[test]
+    fn truncation_matches_direct_fits_on_binned_trees() {
+        // The depth-grid sharing path (DT HPO) over the histogram kernel.
+        let mut ws = TreeWorkspace::with_exactness(SplitExactness::Binned256);
+        for seed in [1u64, 13, 29] {
+            let (x, y, w) = awkward_problem(seed, 100, 5);
+            let deep = DecisionTree::fit_deep_in(&x, &y, 7, Some(&w), &mut ws);
+            for depth in 1..=7 {
+                let truncated = deep.truncate(depth);
+                let direct = DecisionTree::fit_in(&x, &y, depth, Some(&w), &mut ws);
+                assert_bit_identical(&truncated, &direct);
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_survives_mode_switches() {
+        let (x, y, w) = awkward_problem(6, 90, 5);
+        let mut ws = TreeWorkspace::new();
+        let first = DecisionTree::fit_in(&x, &y, 5, Some(&w), &mut ws);
+        ws.set_exactness(SplitExactness::Presorted);
+        let pre = DecisionTree::fit_in(&x, &y, 5, Some(&w), &mut ws);
+        ws.set_exactness(SplitExactness::Binned256);
+        let again = DecisionTree::fit_in(&x, &y, 5, Some(&w), &mut ws);
+        assert_bit_identical(&first, &pre);
+        assert_bit_identical(&first, &again);
+    }
+
+    #[test]
+    fn high_cardinality_columns_are_deterministic_and_accurate() {
+        // > 256 distinct values: binning is genuinely lossy here, so we
+        // check determinism and that the fit is still a good classifier,
+        // not bit-identity.
+        let n = 600;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                vec![t, ((i as f64) * 0.618_033_988) % 1.0]
+            })
+            .collect();
+        let y: Vec<bool> = (0..n).map(|i| (i as f64 / n as f64) > 0.42).collect();
+        let x = Matrix::from_rows(&rows);
+
+        let mut ws = TreeWorkspace::with_exactness(SplitExactness::Binned256);
+        let a = DecisionTree::fit_in(&x, &y, 4, None, &mut ws);
+        let b = DecisionTree::fit_in(&x, &y, 4, None, &mut ws);
+        assert_bit_identical(&a, &b);
+        let errors = x
+            .rows_iter()
+            .zip(&y)
+            .filter(|(row, &label)| a.predict_one(row) != label)
+            .count();
+        // 600 rows in 256 near-equal-count bins: the decision boundary is
+        // off by at most ~one bin (~3 rows).
+        assert!(errors <= 4, "binned tree misclassified {errors} of {n} rows");
+    }
+
+    #[test]
+    fn feature_bins_one_bin_per_distinct_value_when_small() {
+        let sorted = [0.1, 0.1, 0.4, 0.4, 0.4, 0.9];
+        let fb = FeatureBins::from_sorted(&sorted);
+        assert_eq!(fb.n_bins(), 3);
+        assert_eq!(fb.lo, vec![0.1, 0.4, 0.9]);
+        assert_eq!(fb.hi, vec![0.1, 0.4, 0.9]);
+        assert_eq!(fb.code_of(0.1), 0);
+        assert_eq!(fb.code_of(0.4), 1);
+        assert_eq!(fb.code_of(0.9), 2);
+    }
+
+    #[test]
+    fn feature_bins_cap_at_max_bins_and_cover_all_values() {
+        let sorted: Vec<f64> = (0..1000).map(|i| i as f64 * 0.01).collect();
+        let fb = FeatureBins::from_sorted(&sorted);
+        assert!(fb.n_bins() <= MAX_BINS);
+        assert!(fb.n_bins() >= MAX_BINS / 2, "bins under-used: {}", fb.n_bins());
+        for &v in &sorted {
+            let c = fb.code_of(v) as usize;
+            assert!(fb.lo[c] <= v && v <= fb.hi[c], "value {v} outside bin {c}");
+        }
+        // Codes must be monotone in the value.
+        for pair in sorted.windows(2) {
+            assert!(fb.code_of(pair[0]) <= fb.code_of(pair[1]));
+        }
+    }
+
+    #[test]
+    fn exactness_fingerprints_are_distinct_and_parseable() {
+        assert_ne!(
+            SplitExactness::Binned256.fingerprint(),
+            SplitExactness::Presorted.fingerprint()
+        );
+        for mode in [SplitExactness::Binned256, SplitExactness::Presorted] {
+            assert_eq!(SplitExactness::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(SplitExactness::parse("binned"), Some(SplitExactness::Binned256));
+        assert_eq!(SplitExactness::parse("nonsense"), None);
+        assert_eq!(SplitExactness::default(), SplitExactness::Binned256);
     }
 }

@@ -42,7 +42,13 @@ pub struct OptimizerConfig {
 impl Default for OptimizerConfig {
     fn default() -> Self {
         Self {
-            forest: ForestConfig { n_trees: 40, max_depth: 6, balanced: true, seed: 17 },
+            forest: ForestConfig {
+                n_trees: 40,
+                max_depth: 6,
+                balanced: true,
+                seed: 17,
+                ..ForestConfig::default()
+            },
             featurizer: FeaturizerConfig::default(),
         }
     }

@@ -13,12 +13,17 @@ pub fn mim_scores(x: &Matrix, y: &[bool]) -> Vec<f64> {
     let (n, d) = x.shape();
     assert_eq!(n, y.len(), "mim_scores: row/label mismatch");
     let labels: Vec<usize> = y.iter().map(|&b| b as usize).collect();
-    (0..d)
-        .map(|j| {
-            let bins = equal_width_bins(&x.col(j), BINS);
-            mutual_information(&bins, &labels)
-        })
-        .collect()
+    // One column buffer reused across features: `Matrix::col` would clone
+    // every column; `col_into` keeps the walk allocation-free after the
+    // first feature.
+    let mut colbuf = Vec::with_capacity(n);
+    let mut scores = Vec::with_capacity(d);
+    for j in 0..d {
+        x.col_into(j, &mut colbuf);
+        let bins = equal_width_bins(&colbuf, BINS);
+        scores.push(mutual_information(&bins, &labels));
+    }
+    scores
 }
 
 /// Fast correlation-based filter (Yu & Liu, 2003).
@@ -37,13 +42,22 @@ pub fn fcbf_order(x: &Matrix, y: &[bool]) -> Vec<usize> {
     let (n, d) = x.shape();
     assert_eq!(n, y.len(), "fcbf_order: row/label mismatch");
     let labels: Vec<usize> = y.iter().map(|&b| b as usize).collect();
-    let binned: Vec<Vec<usize>> = (0..d).map(|j| equal_width_bins(&x.col(j), BINS)).collect();
+    // The discretized columns must all be kept (the elimination pass
+    // compares feature pairs), but the raw f64 column no longer needs a
+    // fresh clone per feature — one scratch buffer serves all d gathers.
+    let mut colbuf = Vec::with_capacity(n);
+    let mut binned: Vec<Vec<usize>> = Vec::with_capacity(d);
+    for j in 0..d {
+        x.col_into(j, &mut colbuf);
+        binned.push(equal_width_bins(&colbuf, BINS));
+    }
     let relevance: Vec<f64> =
         binned.iter().map(|b| symmetrical_uncertainty(b, &labels)).collect();
 
     let mut by_su: Vec<usize> = (0..d).collect();
-    by_su.sort_by(|&a, &b| {
-        relevance[b].partial_cmp(&relevance[a]).expect("finite SU").then(a.cmp(&b))
+    by_su.sort_by(|&a, &b| match relevance[b].partial_cmp(&relevance[a]) {
+        Some(ord) => ord.then(a.cmp(&b)),
+        None => panic!("fcbf_order: non-finite SU"),
     });
 
     let mut eliminated = vec![false; d];

@@ -103,8 +103,9 @@ impl Ranking {
     /// ranking is deterministic).
     pub fn from_scores(scores: Vec<f64>) -> Self {
         let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| {
-            scores[b].partial_cmp(&scores[a]).expect("finite ranking scores").then(a.cmp(&b))
+        order.sort_by(|&a, &b| match scores[b].partial_cmp(&scores[a]) {
+            Some(ord) => ord.then(a.cmp(&b)),
+            None => panic!("Ranking::from_scores: non-finite ranking scores"),
         });
         Self { scores, order }
     }

@@ -58,7 +58,10 @@ pub fn mcfs_scores(x: &Matrix, _y: &[bool], seed: u64) -> Vec<f64> {
                 dists.push((sq_dist(xs.row(i), xs.row(j)), j));
             }
         }
-        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        dists.sort_by(|a, b| match a.0.partial_cmp(&b.0) {
+            Some(ord) => ord,
+            None => panic!("mcfs: non-finite distances"),
+        });
         let nn: Vec<(usize, f64)> = dists[..k].iter().map(|&(d2, j)| (j, d2)).collect();
         sigma_acc += nn.iter().map(|&(_, d2)| d2).sum::<f64>() / k as f64;
         neighbour_lists.push(nn);

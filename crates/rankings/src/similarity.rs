@@ -79,7 +79,10 @@ pub fn relieff_scores(x: &Matrix, y: &[bool], k: usize, seed: u64) -> Vec<f64> {
                 dists.push((sq_dist(anchor, x.row(j)), j));
             }
         }
-        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        dists.sort_by(|a, b| match a.0.partial_cmp(&b.0) {
+            Some(ord) => ord,
+            None => panic!("relief: non-finite distances"),
+        });
 
         let mut hits = 0usize;
         let mut misses = 0usize;
