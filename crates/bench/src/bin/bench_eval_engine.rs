@@ -157,6 +157,7 @@ fn bench_ranking_cache() -> CacheBench {
 }
 
 fn main() {
+    let stamp = dfs_bench::stamp::stamp_json_fields();
     let gather = bench_gather();
     let cache = bench_ranking_cache();
 
@@ -166,6 +167,7 @@ fn main() {
         json,
         r#"{{
   "bench": "eval_engine",
+  {stamp},
   "gather": {{
     "matrix": [{rows}, {cols}],
     "picked": [{prows}, {pcols}],

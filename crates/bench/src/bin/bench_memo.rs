@@ -152,6 +152,7 @@ fn matrices_identical(a: &BenchmarkMatrix, b: &BenchmarkMatrix) -> bool {
 }
 
 fn main() {
+    let stamp = dfs_bench::stamp::stamp_json_fields();
     let mut smoke = false;
     let mut out_path: Option<String> = None;
     for arg in std::env::args().skip(1) {
@@ -162,7 +163,6 @@ fn main() {
         }
     }
     let max_evals = if smoke { 16 } else { 24 };
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let (naive, naive_ms) = run(max_evals, false);
     let (optimized, optimized_ms) = run(max_evals, true);
@@ -180,7 +180,7 @@ fn main() {
         json,
         r#"{{
   "bench": "eval_memo",
-  "host_cpus": {host_cpus},
+  {stamp},
   "smoke": {smoke},
   "corpus": {{ "dataset": "tiny", "scenarios": {n_scenarios}, "arms": {n_arms}, "cells": {cells}, "max_evals": {max_evals} }},
   "naive": {{ "model_fits": {naive_fits}, "evaluations": {naive_evals}, "wall_ms": {naive_ms} }},

@@ -143,6 +143,7 @@ fn site_events(journal: &str) -> u64 {
 }
 
 fn main() {
+    let stamp = dfs_bench::stamp::stamp_json_fields();
     let (splits, scenarios, arms) = matrix_corpus();
 
     // 1. Disabled per-site costs. Tracing is explicitly latched off so a
@@ -191,6 +192,7 @@ fn main() {
         json,
         r#"{{
   "bench": "obs_overhead",
+  {stamp},
   "contract_max_overhead_pct": {MAX_OVERHEAD_PCT},
   "disabled_span_ns": {span_ns:.3},
   "disabled_counter_ns": {counter_ns:.3},

@@ -183,7 +183,7 @@ fn json_map(samples: &[(usize, u64)]) -> (String, String) {
 }
 
 fn main() {
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let stamp = dfs_bench::stamp::stamp_json_fields();
     let map = bench_executor_map();
     let (matrix, bit_identical) = bench_matrix();
 
@@ -194,7 +194,7 @@ fn main() {
         json,
         r#"{{
   "bench": "parallel_executor",
-  "host_cpus": {host_cpus},
+  {stamp},
   "note": "speedups are bounded by host_cpus; regenerate on multi-core hardware for the scaling curve",
   "executor_map": {{
     "items": 64,

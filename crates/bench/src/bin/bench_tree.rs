@@ -310,6 +310,7 @@ fn ratio_json(num: Option<u64>, den: Option<u64>) -> String {
 }
 
 fn main() {
+    let stamp = dfs_bench::stamp::stamp_json_fields();
     let mut smoke = false;
     let mut out_path: Option<String> = None;
     let mut exactness_arg = String::from("both");
@@ -347,7 +348,6 @@ fn main() {
     };
     let reps = if smoke { 3 } else { 9 };
     let forest_reps = if smoke { 1 } else { 5 };
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let (x_train, y_train, x_val, y_val) = corpus();
     let (n, d) = x_train.shape();
@@ -467,7 +467,7 @@ fn main() {
         json,
         r#"{{
   "bench": "tree_kernel",
-  "host_cpus": {host_cpus},
+  {stamp},
   "smoke": {smoke},
   "exactness": "{exactness_arg}",
   "corpus": {{ "dataset": "german_credit", "train_rows": {n}, "features": {d} }},

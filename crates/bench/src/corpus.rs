@@ -218,24 +218,15 @@ pub fn compute_or_load_matrix(
 /// `<tmp>/dfs-trace`). Export is best-effort: IO failures warn and the
 /// matrix result stands.
 pub fn export_traces(observer: &dfs_obs::RunObserver) {
-    let dir = std::env::var("DFS_TRACE_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|_| std::env::temp_dir().join("dfs-trace"));
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        dfs_obs::warn!("dfs-bench", "could not create trace dir {}: {e}", dir.display());
-        return;
-    }
-    let label = observer.label();
-    let exports = [
-        (format!("{label}.trace.json"), observer.chrome_trace()),
-        (format!("{label}.metrics.txt"), observer.metrics_text(false)),
-        (format!("{label}.journal.jsonl"), observer.journal(false)),
-    ];
-    for (name, contents) in exports {
-        let path = dir.join(name);
-        match std::fs::write(&path, contents) {
-            Ok(()) => dfs_obs::info!("dfs-bench", "wrote {}", path.display()),
-            Err(e) => dfs_obs::warn!("dfs-bench", "could not write {}: {e}", path.display()),
+    let dir = dfs_obs::trace_dir();
+    match observer.export_to_dir(&dir) {
+        Ok(paths) => {
+            for path in paths {
+                dfs_obs::info!("dfs-bench", "wrote {}", path.display());
+            }
+        }
+        Err(e) => {
+            dfs_obs::warn!("dfs-bench", "trace export to {} failed: {e}", dir.display());
         }
     }
 }

@@ -20,6 +20,7 @@
 pub mod cache;
 pub mod checkpoint;
 pub mod corpus;
+pub mod stamp;
 pub mod table;
 
 pub use checkpoint::Checkpoint;

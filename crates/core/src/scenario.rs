@@ -226,6 +226,11 @@ pub struct ScenarioContext<'a> {
     /// lazily on the first DT fit (from the artifact cache when attached,
     /// derived locally otherwise) and shared by every fit of this context.
     bins: std::sync::OnceLock<Arc<BinSet>>,
+    /// Wall-clock of every *fresh* subset measurement (ns), log-bucketed.
+    /// Lives outside the obs collector discipline on purpose: the values
+    /// are clock-derived, so they must never feed the deterministic
+    /// exports — only the count is thread-count-invariant.
+    eval_lat: obs::Histogram,
 }
 
 /// Per-measurement gather buffers. The context keeps one set for the
@@ -545,6 +550,7 @@ impl<'a> ScenarioContext<'a> {
             warm_cache: HashMap::new(),
             exec: Arc::new(Executor::sequential()),
             bins: std::sync::OnceLock::new(),
+            eval_lat: obs::Histogram::default(),
         }
     }
 
@@ -591,6 +597,13 @@ impl<'a> ScenarioContext<'a> {
     /// Work counters accumulated so far.
     pub fn perf(&self) -> EvalPerf {
         self.perf
+    }
+
+    /// Wall-clock histogram (ns) of every fresh subset measurement this
+    /// context performed. The *count* is deterministic (cache/memo hits
+    /// and prunes never record); the bucket values are clock-derived.
+    pub fn eval_latency(&self) -> &obs::Histogram {
+        &self.eval_lat
     }
 
     /// The dataset-level bin set, when this context's fits use the binned
@@ -905,7 +918,9 @@ impl<'a> ScenarioContext<'a> {
         };
         let warm_on = self.warm_eligible();
         let warm = if warm_on { self.warm_parent(subset) } else { None };
+        let t0 = Instant::now();
         let measured = self.measure_full(subset, false, bound, warm, warm_on);
+        self.eval_lat.record(t0.elapsed().as_nanos() as u64);
         let score = self.objective_of(&measured.eval);
         if let Some(solution) = measured.weights {
             self.warm_cache.insert(subset.to_vec(), solution);
@@ -1085,16 +1100,17 @@ impl SubsetEvaluator for ScenarioContext<'_> {
         obs::heartbeat("eval.measure");
         let measure_span = obs::span("eval.measure");
         obs::observe("eval.batch_fresh", fresh.len() as u64);
-        let measured: Vec<(Evaluation, EvalPerf, Option<obs::Collector>)> = {
+        let measured: Vec<(Evaluation, EvalPerf, Option<obs::Collector>, u64)> = {
             let env = self.env();
             env.exec.par_map_indexed(&fresh, |_, subset| {
+                let t0 = Instant::now();
                 let ((eval, perf), trace) = obs::scoped(|| {
                     let mut scratch = Scratch::default();
                     let mut perf = EvalPerf::default();
                     let eval = measure_subset(&env, subset, false, &mut scratch, &mut perf);
                     (eval, perf)
                 });
-                (eval, perf, trace)
+                (eval, perf, trace, t0.elapsed().as_nanos() as u64)
             })
         };
         drop(measure_span);
@@ -1103,8 +1119,9 @@ impl SubsetEvaluator for ScenarioContext<'_> {
         // merges, and trace absorption all land in the serial order.
         let commit_span = obs::span("eval.commit");
         let mut measured_evals: Vec<Evaluation> = Vec::with_capacity(measured.len());
-        for (subset, (eval, perf, trace)) in fresh.iter().zip(measured) {
+        for (subset, (eval, perf, trace, dur_ns)) in fresh.iter().zip(measured) {
             self.perf.merge(&perf);
+            self.eval_lat.record(dur_ns);
             if let Some(child) = trace {
                 obs::absorb(child);
             }

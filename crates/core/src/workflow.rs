@@ -46,6 +46,10 @@ pub struct DfsOutcome {
     pub elapsed: Duration,
     /// Work counters of the evaluation engine (fits, cache hits, timings).
     pub perf: EvalPerf,
+    /// Wall-clock histogram (ns) over every fresh subset measurement; the
+    /// count is deterministic, the bucket placement is clock-derived (see
+    /// `ScenarioContext::eval_latency`).
+    pub eval_latency: dfs_obs::Histogram,
 }
 
 /// Runs the full DFS workflow for one strategy.
@@ -125,6 +129,7 @@ pub fn run_dfs_with_exec(
             evaluations,
             elapsed,
             perf: ctx.perf(),
+            eval_latency: ctx.eval_latency().clone(),
         };
     };
 
@@ -155,6 +160,7 @@ pub fn run_dfs_with_exec(
         evaluations,
         elapsed,
         perf: ctx.perf(),
+        eval_latency: ctx.eval_latency().clone(),
     }
 }
 
@@ -225,6 +231,7 @@ pub fn run_original_features_with_exec(
         evaluations,
         elapsed,
         perf: ctx.perf(),
+        eval_latency: ctx.eval_latency().clone(),
     }
 }
 

@@ -1,0 +1,10 @@
+//! Standalone entry point for the bench harness. Identical to the
+//! `dfs bench-harness` subcommand; exists so the harness can orchestrate
+//! a `dfs` binary other than itself (see `--dfs` / `$DFS_BIN`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    dfs_harness::cli_main(&args)
+}

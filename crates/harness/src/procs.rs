@@ -1,0 +1,450 @@
+//! Child-process plumbing: spawn with piped output, drain pipes on
+//! background threads (so a chatty child can never deadlock on a full
+//! pipe), enforce deadlines with kill, and parse `--summary-json` lines
+//! and `DFS_TRACE_DIR` journal exports into structured data.
+
+use crate::resources::{ResourceReport, Sampler};
+use crate::HarnessError;
+use dfs_obs::Histogram;
+use dfs_proto::Json;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{channel, Receiver, TryRecvError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often `finish` polls `try_wait` while the deadline runs.
+const WAIT_POLL: Duration = Duration::from_millis(10);
+
+/// How much stderr to keep for [`HarnessError::ChildFailed`] context.
+const STDERR_TAIL_BYTES: usize = 2048;
+
+/// A spawned child with its pipes drained on background threads and a
+/// `/proc` sampler attached.
+pub struct Spawned {
+    child: Child,
+    what: String,
+    started: Instant,
+    stdout_rx: Receiver<String>,
+    stdout_lines: Vec<String>,
+    stderr_handle: Option<JoinHandle<String>>,
+    sampler: Option<Sampler>,
+}
+
+/// Everything the harness keeps from one finished child.
+#[derive(Debug)]
+pub struct ChildReport {
+    /// Raw exit status code (or -1 when killed by signal).
+    pub status: i32,
+    /// All stdout lines, in order.
+    pub stdout_lines: Vec<String>,
+    /// Complete stderr.
+    pub stderr: String,
+    /// Spawn-to-exit wall clock.
+    pub wall: Duration,
+    /// `/proc` telemetry for the child's lifetime.
+    pub resources: ResourceReport,
+}
+
+impl Spawned {
+    /// Spawns `cmd` with piped stdout/stderr and starts the pipe-drain
+    /// threads plus the `/proc` sampler.
+    pub fn spawn(mut cmd: Command, what: &str) -> Result<Spawned, HarnessError> {
+        cmd.stdout(Stdio::piped()).stderr(Stdio::piped()).stdin(Stdio::null());
+        // Each child leads its own process group so a deadline kill can
+        // take out grandchildren too — an orphan holding the pipe
+        // write-end would otherwise block the drain threads until it
+        // exited on its own.
+        #[cfg(unix)]
+        {
+            use std::os::unix::process::CommandExt as _;
+            cmd.process_group(0);
+        }
+        let mut child = cmd.spawn().map_err(|e| HarnessError::SpawnFailed {
+            what: what.into(),
+            reason: e.to_string(),
+        })?;
+        let started = Instant::now();
+        let (tx, stdout_rx) = channel();
+        if let Some(stdout) = child.stdout.take() {
+            std::thread::spawn(move || {
+                for line in BufReader::new(stdout).lines() {
+                    match line {
+                        Ok(l) => {
+                            if tx.send(l).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+        }
+        let stderr_handle = child.stderr.take().map(|stderr| {
+            std::thread::spawn(move || {
+                let mut buf = String::new();
+                let _ = BufReader::new(stderr).read_to_string(&mut buf);
+                buf
+            })
+        });
+        let sampler = Some(Sampler::start(child.id()));
+        Ok(Spawned {
+            child,
+            what: what.into(),
+            started,
+            stdout_rx,
+            stdout_lines: Vec::new(),
+            stderr_handle,
+            sampler,
+        })
+    }
+
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Pulls any stdout lines the reader thread has queued.
+    fn drain_stdout(&mut self) {
+        loop {
+            match self.stdout_rx.try_recv() {
+                Ok(line) => self.stdout_lines.push(line),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+    }
+
+    /// Waits (bounded by `timeout`) for a stdout line containing
+    /// `needle` — used for server readiness (`listening on <addr>`).
+    /// Returns the matching line. The child keeps running.
+    pub fn wait_for_line(
+        &mut self,
+        needle: &str,
+        timeout: Duration,
+    ) -> Result<String, HarnessError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.drain_stdout();
+            if let Some(line) = self.stdout_lines.iter().find(|l| l.contains(needle)) {
+                return Ok(line.clone());
+            }
+            if Instant::now() >= deadline {
+                return Err(HarnessError::Timeout {
+                    what: format!("{} (waiting for '{needle}')", self.what),
+                    after: timeout,
+                });
+            }
+            // If the child already died we will never see the line.
+            if let Ok(Some(status)) = self.child.try_wait() {
+                self.drain_stdout();
+                if self.stdout_lines.iter().any(|l| l.contains(needle)) {
+                    continue;
+                }
+                return Err(HarnessError::ChildFailed {
+                    what: format!("{} (died before '{needle}')", self.what),
+                    status: status.code().unwrap_or(-1),
+                    stderr_tail: String::new(),
+                });
+            }
+            std::thread::sleep(WAIT_POLL);
+        }
+    }
+
+    /// Waits for exit with a hard deadline (kill + reap on expiry),
+    /// stops the sampler, joins the pipe threads, and checks the exit
+    /// status against `ok_statuses`.
+    pub fn finish(
+        mut self,
+        deadline: Duration,
+        ok_statuses: &[i32],
+    ) -> Result<ChildReport, HarnessError> {
+        let until = self.started + deadline;
+        let status = loop {
+            self.drain_stdout();
+            match self.child.try_wait() {
+                Ok(Some(status)) => break status,
+                Ok(None) => {
+                    if Instant::now() >= until {
+                        kill_group(self.child.id());
+                        let _ = self.child.kill();
+                        let _ = self.child.wait();
+                        self.cleanup();
+                        return Err(HarnessError::Timeout { what: self.what, after: deadline });
+                    }
+                    std::thread::sleep(WAIT_POLL);
+                }
+                Err(e) => {
+                    let _ = self.child.kill();
+                    self.cleanup();
+                    return Err(HarnessError::Io {
+                        what: format!("waiting for {}", self.what),
+                        reason: e.to_string(),
+                    });
+                }
+            }
+        };
+        let wall = self.started.elapsed();
+        let resources = self.sampler.take().map(Sampler::stop).unwrap_or_default();
+        // The reader thread exits once the pipe closes; give queued lines
+        // a moment to land, then drain the channel dry.
+        let stderr = self
+            .stderr_handle
+            .take()
+            .and_then(|h| h.join().ok())
+            .unwrap_or_default();
+        for line in self.stdout_rx.iter() {
+            self.stdout_lines.push(line);
+        }
+        let code = status.code().unwrap_or(-1);
+        if !ok_statuses.contains(&code) {
+            let tail_start = stderr.len().saturating_sub(STDERR_TAIL_BYTES);
+            return Err(HarnessError::ChildFailed {
+                what: self.what,
+                status: code,
+                stderr_tail: stderr[tail_start..].to_string(),
+            });
+        }
+        Ok(ChildReport { status: code, stdout_lines: self.stdout_lines, stderr, wall, resources })
+    }
+
+    fn cleanup(&mut self) {
+        kill_group(self.child.id());
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.stop();
+        }
+        if let Some(handle) = self.stderr_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// SIGKILLs the child's whole process group (best effort, no-op off
+/// unix or once the group is gone). Matching `process_group(0)` at
+/// spawn, this reaps grandchildren that would otherwise keep the stdio
+/// pipes open past the deadline.
+fn kill_group(pid: u32) {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+        }
+        const SIGKILL: i32 = 9;
+        // SAFETY: plain-int syscall wrapper; a stale or negative-invalid
+        // pgid just returns ESRCH.
+        unsafe {
+            kill(-(pid as i32), SIGKILL);
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = pid;
+}
+
+/// Extracts the `--summary-json` contract out of a child's stdout: the
+/// final non-empty line must parse as a JSON object.
+pub fn parse_summary(stdout_lines: &[String], what: &str) -> Result<Json, HarnessError> {
+    let last = stdout_lines
+        .iter()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| HarnessError::NoSummaryLine { what: what.into() })?;
+    let json = Json::parse(last.trim()).map_err(|reason| HarnessError::MalformedSummary {
+        what: what.into(),
+        reason,
+    })?;
+    if json.get("schema").is_none() && !matches!(json, Json::Obj(_)) {
+        return Err(HarnessError::MalformedSummary {
+            what: what.into(),
+            reason: "summary line is not a JSON object".into(),
+        });
+    }
+    Ok(json)
+}
+
+/// Reads `<trace_dir>/<label>.journal.jsonl` and reconstructs every
+/// histogram record (`{"h":name,"buckets":[[i,c],...],...}`) into a
+/// merged per-name [`Histogram`] map.
+///
+/// A missing trace dir or journal file is a structured
+/// [`HarnessError::MissingTraceDir`]; a malformed record is an `Io`
+/// error carrying the offending line — never a panic or a hang.
+pub fn read_journal_hists(
+    trace_dir: &Path,
+    label: &str,
+) -> Result<BTreeMap<String, Histogram>, HarnessError> {
+    let journal = trace_dir.join(format!("{label}.journal.jsonl"));
+    if !journal.is_file() {
+        return Err(HarnessError::MissingTraceDir { path: trace_dir.to_path_buf() });
+    }
+    let body = std::fs::read_to_string(&journal).map_err(|e| HarnessError::Io {
+        what: format!("reading {}", journal.display()),
+        reason: e.to_string(),
+    })?;
+    let mut hists: BTreeMap<String, Histogram> = BTreeMap::new();
+    for line in body.lines() {
+        if !line.starts_with("{\"h\":") {
+            continue;
+        }
+        let parsed = journal_hist_record(line).map_err(|reason| HarnessError::Io {
+            what: format!("parsing journal record in {}", journal.display()),
+            reason: format!("{reason}: {line}"),
+        })?;
+        let (name, hist) = parsed;
+        hists.entry(name).or_default().merge(&hist);
+    }
+    Ok(hists)
+}
+
+/// Parses one `{"h":...}` journal record into `(name, Histogram)`,
+/// round-tripping through the sparse codec so the bucket-sum/count
+/// invariant is validated for free.
+fn journal_hist_record(line: &str) -> Result<(String, Histogram), String> {
+    let json = Json::parse(line)?;
+    let name = json
+        .get("h")
+        .and_then(Json::as_str)
+        .ok_or("missing 'h' name field")?
+        .to_string();
+    let count = json.get("count").and_then(Json::as_u64).ok_or("missing 'count'")?;
+    let sum = json.get("sum").and_then(Json::as_u64).ok_or("missing 'sum'")?;
+    let buckets = json.get("buckets").and_then(Json::as_arr).ok_or("missing 'buckets'")?;
+    let mut pairs = Vec::with_capacity(buckets.len());
+    for pair in buckets {
+        let cells = pair.as_arr().ok_or("bucket entry is not a pair")?;
+        let (i, c) = match cells {
+            [i, c] => (
+                i.as_u64().ok_or("bucket index is not a u64")?,
+                c.as_u64().ok_or("bucket count is not a u64")?,
+            ),
+            _ => return Err("bucket entry is not a 2-element pair".into()),
+        };
+        pairs.push(format!("{i}:{c}"));
+    }
+    let sparse = format!("{count};{sum};{}", pairs.join(","));
+    let hist = Histogram::decode_sparse(&sparse)?;
+    Ok((name, hist))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sh(script: &str) -> Command {
+        let mut cmd = Command::new("/bin/sh");
+        cmd.args(["-c", script]);
+        cmd
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dfs-harness-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn finish_collects_stdout_and_status() {
+        let spawned =
+            Spawned::spawn(sh("echo first; echo '{\"ok\":true}'"), "unit-echo").expect("spawn");
+        let report = spawned.finish(Duration::from_secs(10), &[0]).expect("finish");
+        assert_eq!(report.status, 0);
+        assert_eq!(report.stdout_lines, vec!["first", "{\"ok\":true}"]);
+        let summary = parse_summary(&report.stdout_lines, "unit-echo").expect("summary");
+        assert_eq!(summary.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn early_exit_child_surfaces_status_and_stderr() {
+        let spawned = Spawned::spawn(sh("echo doomed >&2; exit 7"), "unit-fail").expect("spawn");
+        let err = spawned.finish(Duration::from_secs(10), &[0]).expect_err("must fail");
+        match err {
+            HarnessError::ChildFailed { status, stderr_tail, .. } => {
+                assert_eq!(status, 7);
+                assert!(stderr_tail.contains("doomed"), "tail: {stderr_tail}");
+            }
+            other => panic!("expected ChildFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn deadline_kills_hung_child_instead_of_hanging() {
+        let spawned = Spawned::spawn(sh("sleep 30"), "unit-hang").expect("spawn");
+        let start = Instant::now();
+        let err = spawned.finish(Duration::from_millis(200), &[0]).expect_err("must time out");
+        assert!(matches!(err, HarnessError::Timeout { .. }), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(5), "kill was not prompt");
+    }
+
+    #[test]
+    fn wait_for_line_sees_readiness_then_child_finishes() {
+        let mut spawned =
+            Spawned::spawn(sh("echo 'listening on 1.2.3.4:5'; sleep 0.1; echo '{}'"), "unit-ready")
+                .expect("spawn");
+        let line = spawned.wait_for_line("listening on ", Duration::from_secs(5)).expect("ready");
+        assert!(line.contains("1.2.3.4:5"));
+        let report = spawned.finish(Duration::from_secs(10), &[0]).expect("finish");
+        assert_eq!(report.stdout_lines.last().map(String::as_str), Some("{}"));
+    }
+
+    #[test]
+    fn wait_for_line_times_out_on_silent_child() {
+        let mut spawned = Spawned::spawn(sh("sleep 30"), "unit-silent").expect("spawn");
+        let err = spawned
+            .wait_for_line("never-printed", Duration::from_millis(150))
+            .expect_err("must time out");
+        assert!(matches!(err, HarnessError::Timeout { .. }), "{err}");
+        // Child is still alive — the deadline-capped finish reaps it.
+        let _ = spawned.finish(Duration::from_millis(100), &[0]);
+    }
+
+    #[test]
+    fn malformed_summary_is_a_structured_error() {
+        let lines = vec!["not json at all {".to_string()];
+        let err = parse_summary(&lines, "unit").expect_err("malformed");
+        assert!(matches!(err, HarnessError::MalformedSummary { .. }), "{err}");
+        let err = parse_summary(&[], "unit").expect_err("empty");
+        assert!(matches!(err, HarnessError::NoSummaryLine { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_trace_dir_is_a_structured_error() {
+        let dir = std::env::temp_dir().join("dfs-harness-definitely-absent-xyz");
+        let err = read_journal_hists(&dir, "dfs-cli").expect_err("missing");
+        assert!(matches!(err, HarnessError::MissingTraceDir { .. }), "{err}");
+    }
+
+    #[test]
+    fn journal_hists_roundtrip_and_merge() {
+        let dir = tmp("journal");
+        let journal = dir.join("dfs-cli.journal.jsonl");
+        std::fs::write(
+            &journal,
+            concat!(
+                "{\"ev\":\"run_start\"}\n",
+                "{\"h\":\"eval.subset_size\",\"buckets\":[[3,2]],\"count\":2,\"sum\":10}\n",
+                "{\"h\":\"eval.subset_size\",\"buckets\":[[4,1]],\"count\":1,\"sum\":9}\n",
+                "{\"h\":\"search.depth\",\"buckets\":[[1,5]],\"count\":5,\"sum\":5}\n",
+            ),
+        )
+        .expect("write journal");
+        let hists = read_journal_hists(&dir, "dfs-cli").expect("parse");
+        assert_eq!(hists.len(), 2);
+        let subset = &hists["eval.subset_size"];
+        assert_eq!(subset.count, 3);
+        assert_eq!(subset.sum, 19);
+        assert_eq!(hists["search.depth"].count, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_journal_record_is_an_error_not_a_panic() {
+        let dir = tmp("journal-bad");
+        std::fs::write(
+            dir.join("dfs-cli.journal.jsonl"),
+            "{\"h\":\"x\",\"buckets\":[[99,1]],\"count\":1,\"sum\":1}\n",
+        )
+        .expect("write");
+        let err = read_journal_hists(&dir, "dfs-cli").expect_err("bucket 99 out of range");
+        assert!(matches!(err, HarnessError::Io { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

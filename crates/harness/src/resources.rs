@@ -1,0 +1,197 @@
+//! `/proc/<pid>` resource sampling for harness children.
+//!
+//! A background thread polls `/proc/<pid>/statm` (resident pages) and
+//! `/proc/<pid>/stat` (utime/stime ticks) at a fixed cadence while the
+//! child runs, yielding a peak-RSS figure and a CPU-tick total that the
+//! harness turns into a utilization estimate. On non-Linux hosts the
+//! sampler degrades to zeros rather than failing — telemetry is best
+//! effort, correctness checks never depend on it.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Sampling cadence. Fast enough to catch short-lived children's peaks,
+/// slow enough to stay invisible in the measurements.
+const SAMPLE_EVERY: Duration = Duration::from_millis(15);
+
+/// Linux page size assumed for `statm` resident-page conversion. All
+/// supported targets use 4 KiB pages; if that ever changes the figure is
+/// still monotone and comparable within one summary.
+const PAGE_BYTES: u64 = 4096;
+
+/// What the sampler saw over one child's lifetime.
+#[derive(Debug, Default, Clone)]
+pub struct ResourceReport {
+    /// Maximum resident set size observed, in bytes.
+    pub peak_rss_bytes: u64,
+    /// Total utime+stime clock ticks at the last successful sample.
+    pub cpu_ticks: u64,
+    /// Number of successful samples taken.
+    pub samples: u64,
+}
+
+impl ResourceReport {
+    /// CPU utilization over the child's wall-clock: `1.0` means one core
+    /// fully busy, `2.0` two cores, etc. Zero when no samples landed.
+    pub fn cpu_util(&self, wall: Duration) -> f64 {
+        let secs = wall.as_secs_f64();
+        if secs <= 0.0 || self.samples == 0 {
+            return 0.0;
+        }
+        self.cpu_ticks as f64 / clk_tck() as f64 / secs
+    }
+}
+
+/// Background sampler handle. Dropping without [`Sampler::stop`] leaks
+/// the thread until the process exits, so the harness always stops it.
+#[derive(Debug)]
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<ResourceReport>,
+}
+
+impl Sampler {
+    /// Starts sampling `/proc/<pid>`. Never fails: if the proc files are
+    /// unreadable (non-Linux, child already gone) the report stays zero.
+    pub fn start(pid: u32) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let statm = PathBuf::from(format!("/proc/{pid}/statm"));
+            let stat = PathBuf::from(format!("/proc/{pid}/stat"));
+            let mut report = ResourceReport::default();
+            while !flag.load(Ordering::Relaxed) {
+                let mut sampled = false;
+                if let Some(rss) = read_statm_rss(&statm) {
+                    report.peak_rss_bytes = report.peak_rss_bytes.max(rss);
+                    sampled = true;
+                }
+                if let Some(ticks) = read_stat_ticks(&stat) {
+                    report.cpu_ticks = report.cpu_ticks.max(ticks);
+                    sampled = true;
+                }
+                if sampled {
+                    report.samples += 1;
+                }
+                std::thread::sleep(SAMPLE_EVERY);
+            }
+            // Final sample after the stop signal: the child may have just
+            // exited, in which case the reads fail and the last good
+            // values stand.
+            if let Some(rss) = read_statm_rss(&statm) {
+                report.peak_rss_bytes = report.peak_rss_bytes.max(rss);
+            }
+            if let Some(ticks) = read_stat_ticks(&stat) {
+                report.cpu_ticks = report.cpu_ticks.max(ticks);
+            }
+            report
+        });
+        Self { stop, handle }
+    }
+
+    /// Signals the thread and joins it, returning the final report.
+    pub fn stop(self) -> ResourceReport {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join().unwrap_or_default()
+    }
+}
+
+/// Parses resident pages (second field) out of `/proc/<pid>/statm`.
+fn read_statm_rss(path: &PathBuf) -> Option<u64> {
+    let body = std::fs::read_to_string(path).ok()?;
+    let resident: u64 = body.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident * PAGE_BYTES)
+}
+
+/// Parses utime+stime (fields 14 and 15) out of `/proc/<pid>/stat`.
+///
+/// The comm field (2) may contain spaces and parentheses, so fields are
+/// counted from after the **last** `)` in the line, where field 3
+/// (state) begins.
+fn read_stat_ticks(path: &PathBuf) -> Option<u64> {
+    let body = std::fs::read_to_string(path).ok()?;
+    let after_comm = &body[body.rfind(')')? + 1..];
+    let mut fields = after_comm.split_whitespace();
+    // after_comm starts at field 3 (state); utime is field 14, stime 15.
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    Some(utime + stime)
+}
+
+/// Clock ticks per second, via `sysconf(_SC_CLK_TCK)`. Falls back to the
+/// near-universal 100 if the call fails or off Linux.
+pub fn clk_tck() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        const _SC_CLK_TCK: i32 = 2;
+        extern "C" {
+            fn sysconf(name: i32) -> i64;
+        }
+        // SAFETY: sysconf is async-signal-safe, takes a plain int, and
+        // returns -1 on error; no pointers cross the boundary.
+        let ticks = unsafe { sysconf(_SC_CLK_TCK) };
+        if ticks > 0 {
+            return ticks as u64;
+        }
+    }
+    100
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clk_tck_is_positive() {
+        assert!(clk_tck() > 0);
+    }
+
+    #[test]
+    fn stat_ticks_survive_spaces_in_comm() {
+        let dir = std::env::temp_dir().join(format!("dfs-harness-stat-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("stat");
+        // comm "(tmux: server)" contains both a space and parens.
+        std::fs::write(
+            &path,
+            "1234 (tmux: server) S 1 1234 1234 0 -1 4194304 500 0 0 0 7 3 0 0 20 0 1 0 100 1000 50\n",
+        )
+        .expect("write");
+        assert_eq!(read_stat_ticks(&path), Some(10));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn statm_rss_parses_second_field() {
+        let dir = std::env::temp_dir().join(format!("dfs-harness-statm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("statm");
+        std::fs::write(&path, "2000 300 120 50 0 800 0\n").expect("write");
+        assert_eq!(read_statm_rss(&path), Some(300 * PAGE_BYTES));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampler_observes_own_process() {
+        let sampler = Sampler::start(std::process::id());
+        std::thread::sleep(Duration::from_millis(60));
+        let report = sampler.stop();
+        if cfg!(target_os = "linux") {
+            assert!(report.samples > 0);
+            assert!(report.peak_rss_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn sampler_tolerates_dead_pid() {
+        // PID near the max is almost surely unused; either way the
+        // sampler must stop cleanly with a (possibly zero) report.
+        let sampler = Sampler::start(u32::MAX - 7);
+        std::thread::sleep(Duration::from_millis(40));
+        let report = sampler.stop();
+        assert_eq!(report.peak_rss_bytes, 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Server query storms: one `dfs server` daemon per thread-sweep point,
+//! hammered by `dfs-client` threads at several widths. Each width gets
+//! client-side latency percentiles plus the server's own request-latency
+//! and queue-wait histograms, isolated per width by before/after stats
+//! deltas. Result fingerprints (sorted by request id) must match across
+//! widths and sweep points — concurrency may change *when* answers
+//! arrive, never *what* they are.
+
+use crate::procs::{parse_summary, Spawned};
+use crate::summary::{hist_delta, percentile_block_ms};
+use crate::{HarnessConfig, HarnessError};
+use dfs_client::{Client, ClientConfig};
+use dfs_obs::Histogram;
+use dfs_proto::{Json, QuerySpec};
+use std::process::Command;
+use std::time::Duration;
+
+/// How long to wait for the daemon's `listening on <addr>` line.
+const READY_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// The fixed storm query: small, deterministic, seeded. Every width and
+/// sweep point issues the identical request set, so the fingerprint set
+/// is comparable everywhere.
+fn storm_spec(req_id: u64) -> QuerySpec {
+    let mut spec = QuerySpec::example(req_id);
+    spec.rows = Some(120);
+    spec.time_ms = 150;
+    spec.max_evals = 20;
+    spec.seed = 13;
+    spec
+}
+
+/// One width's worth of storm results.
+#[derive(Debug)]
+pub struct WidthRun {
+    pub width: usize,
+    /// Request count actually answered.
+    pub answered: usize,
+    /// Sorted-by-req-id fingerprints, newline-joined: the bit-identity
+    /// comparison key.
+    pub fingerprints: String,
+    /// Client-observed end-to-end latency (ns).
+    pub client_lat: Histogram,
+    /// Server-side request latency for this width only (stats delta).
+    pub server_lat: Histogram,
+    /// Server-side queue wait for this width only (stats delta).
+    pub queue_wait: Histogram,
+}
+
+/// One sweep point: a server lifetime covering every width.
+#[derive(Debug)]
+pub struct StormPoint {
+    pub threads: usize,
+    pub widths: Vec<WidthRun>,
+    /// Daemon peak RSS over its whole lifetime.
+    pub server_peak_rss: u64,
+    /// Daemon CPU utilization over its whole lifetime.
+    pub server_cpu_util: f64,
+    /// Queries served per the daemon's drain receipt.
+    pub drain_served: u64,
+}
+
+impl StormPoint {
+    /// One summary row per width, carrying the sweep-point server
+    /// telemetry on each (summaries are flat scenario-cell lists).
+    pub fn to_json(&self) -> Vec<Json> {
+        self.widths
+            .iter()
+            .map(|w| {
+                Json::Obj(vec![
+                    ("scenario".into(), Json::Str(format!("storm/width{}", w.width))),
+                    ("threads".into(), Json::Num(self.threads as f64)),
+                    ("requests".into(), Json::Num(w.answered as f64)),
+                    ("client_latency_ms".into(), percentile_block_ms(&w.client_lat)),
+                    ("server_latency_ms".into(), percentile_block_ms(&w.server_lat)),
+                    ("queue_wait_ms".into(), percentile_block_ms(&w.queue_wait)),
+                    ("server_peak_rss_bytes".into(), Json::Num(self.server_peak_rss as f64)),
+                    (
+                        "server_cpu_util".into(),
+                        Json::Num((self.server_cpu_util * 1000.0).round() / 1000.0),
+                    ),
+                    ("drain_served".into(), Json::Num(self.drain_served as f64)),
+                ])
+            })
+            .collect()
+    }
+}
+
+/// Runs one sweep point: spawn the daemon with `DFS_THREADS=threads`,
+/// storm it at every configured width, snapshot stats around each width,
+/// then shut it down and read the drain receipt.
+pub fn run_storm(cfg: &HarnessConfig, threads: usize) -> Result<StormPoint, HarnessError> {
+    let what = format!("dfs server (threads={threads})");
+    let mut cmd = Command::new(&cfg.dfs_bin);
+    cmd.args(["server", "--addr", "127.0.0.1:0", "--workers", "2", "--queue-depth", "64"])
+        .env("DFS_THREADS", threads.to_string());
+    let mut server = Spawned::spawn(cmd, &what)?;
+    let ready = server.wait_for_line("listening on ", READY_TIMEOUT)?;
+    let addr = ready
+        .rsplit(' ')
+        .next()
+        .map(str::trim)
+        .filter(|a| a.contains(':'))
+        .ok_or_else(|| HarnessError::Client {
+            what: what.clone(),
+            reason: format!("unparseable readiness line: {ready}"),
+        })?
+        .to_string();
+
+    // Run the widths against the live daemon; on any failure still tear
+    // the daemon down (deadline-capped) before surfacing the error.
+    let widths = storm_widths(cfg, &addr, &what);
+    let shutdown_err = shutdown_server(&addr, &what).err();
+    let report = server.finish(cfg.child_deadline, &[0])?;
+    let widths = widths?;
+    if let Some(e) = shutdown_err {
+        return Err(e);
+    }
+    let receipt = parse_summary(&report.stdout_lines, &what)?;
+    let drain_served = receipt
+        .get("stats")
+        .and_then(|s| s.get("served"))
+        .and_then(Json::as_u64)
+        .or_else(|| receipt.get("served").and_then(Json::as_u64))
+        .unwrap_or(0);
+    Ok(StormPoint {
+        threads,
+        widths,
+        server_peak_rss: report.resources.peak_rss_bytes,
+        server_cpu_util: report.resources.cpu_util(report.wall),
+        drain_served,
+    })
+}
+
+fn client(addr: &str, what: &str) -> Result<Client, HarnessError> {
+    Client::with_config(addr, ClientConfig::default()).map_err(|e| HarnessError::Client {
+        what: what.into(),
+        reason: e.to_string(),
+    })
+}
+
+fn shutdown_server(addr: &str, what: &str) -> Result<(), HarnessError> {
+    client(addr, what)?.shutdown().map_err(|e| HarnessError::Client {
+        what: format!("{what} shutdown"),
+        reason: e.to_string(),
+    })
+}
+
+/// Storms every configured width in sequence against one daemon.
+fn storm_widths(
+    cfg: &HarnessConfig,
+    addr: &str,
+    what: &str,
+) -> Result<Vec<WidthRun>, HarnessError> {
+    let mut runs = Vec::with_capacity(cfg.storm_widths.len());
+    for &width in &cfg.storm_widths {
+        let stats_before = client(addr, what)?.stats().map_err(|e| HarnessError::Client {
+            what: format!("{what} stats before width {width}"),
+            reason: e.to_string(),
+        })?;
+        let (mut results, client_lat) = storm_once(cfg, addr, what, width)?;
+        let stats_after = client(addr, what)?.stats().map_err(|e| HarnessError::Client {
+            what: format!("{what} stats after width {width}"),
+            reason: e.to_string(),
+        })?;
+        let decode = |s: &str, which: &str| -> Result<Histogram, HarnessError> {
+            Histogram::decode_sparse(s).map_err(|reason| HarnessError::Client {
+                what: format!("{what} {which} histogram"),
+                reason,
+            })
+        };
+        let server_lat = hist_delta(
+            &decode(&stats_after.latency_hist, "latency")?,
+            &decode(&stats_before.latency_hist, "latency")?,
+        );
+        let queue_wait = hist_delta(
+            &decode(&stats_after.queue_hist, "queue-wait")?,
+            &decode(&stats_before.queue_hist, "queue-wait")?,
+        );
+        results.sort_by_key(|(req_id, _)| *req_id);
+        let answered = results.len();
+        let fingerprints =
+            results.into_iter().map(|(_, fp)| fp).collect::<Vec<_>>().join("\n");
+        runs.push(WidthRun { width, answered, fingerprints, client_lat, server_lat, queue_wait });
+    }
+    Ok(runs)
+}
+
+/// Issues `cfg.storm_requests` queries at `width` concurrent clients,
+/// returning `(req_id, fingerprint)` pairs and the client-side latency
+/// histogram. Request ids are partitioned round-robin so every width
+/// issues the identical id set.
+fn storm_once(
+    cfg: &HarnessConfig,
+    addr: &str,
+    what: &str,
+    width: usize,
+) -> Result<(Vec<(u64, String)>, Histogram), HarnessError> {
+    let total = cfg.storm_requests;
+    let mut outcomes: Vec<Result<(Vec<(u64, String)>, Histogram), HarnessError>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(width);
+        for worker in 0..width {
+            let what = format!("{what} storm width={width} worker={worker}");
+            handles.push(scope.spawn(move || -> Result<_, HarnessError> {
+                let client = client(addr, &what)?;
+                let mut pairs = Vec::new();
+                let mut lat = Histogram::default();
+                for req_id in (worker..total).step_by(width.max(1)) {
+                    let spec = storm_spec(req_id as u64);
+                    let t0 = std::time::Instant::now();
+                    let result = client.query(&spec).map_err(|e| HarnessError::Client {
+                        what: what.clone(),
+                        reason: format!("req {req_id}: {e}"),
+                    })?;
+                    lat.record(t0.elapsed().as_nanos() as u64);
+                    pairs.push((req_id as u64, result.fingerprint()));
+                }
+                Ok((pairs, lat))
+            }));
+        }
+        for handle in handles {
+            outcomes.push(handle.join().unwrap_or_else(|_| {
+                Err(HarnessError::Client {
+                    what: what.into(),
+                    reason: "storm worker thread panicked".into(),
+                })
+            }));
+        }
+    });
+    let mut pairs = Vec::with_capacity(total);
+    let mut lat = Histogram::default();
+    for outcome in outcomes {
+        let (p, l) = outcome?;
+        pairs.extend(p);
+        lat.merge(&l);
+    }
+    Ok((pairs, lat))
+}

@@ -1,0 +1,129 @@
+//! Histogram reduction helpers for `summary.json`: tail-percentile
+//! blocks, cross-process sparse merges, and before/after deltas for the
+//! server's cumulative stats.
+
+use dfs_obs::Histogram;
+use dfs_proto::Json;
+
+/// Rounds to 3 decimal places — the summary is ms-granular; sub-µs noise
+/// is below the log-bucket error bound anyway.
+fn ms3(ns: f64) -> f64 {
+    (ns / 1e6 * 1000.0).round() / 1000.0
+}
+
+/// Builds the standard percentile block, in milliseconds, from a
+/// nanosecond-valued histogram:
+/// `{"count":N,"p50":..,"p95":..,"p99":..,"p999":..,"mean":..}`.
+///
+/// Quantiles inherit [`Histogram::quantile`]'s factor-of-2 worst-case
+/// error bound (log2 buckets); they are comparable across runs because
+/// every producer buckets identically.
+pub fn percentile_block_ms(h: &Histogram) -> Json {
+    let mean = if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 };
+    Json::Obj(vec![
+        ("count".into(), Json::Num(h.count as f64)),
+        ("p50".into(), Json::Num(ms3(h.quantile(0.50)))),
+        ("p95".into(), Json::Num(ms3(h.quantile(0.95)))),
+        ("p99".into(), Json::Num(ms3(h.quantile(0.99)))),
+        ("p999".into(), Json::Num(ms3(h.quantile(0.999)))),
+        ("mean".into(), Json::Num(ms3(mean))),
+    ])
+}
+
+/// Merges a batch of sparse-encoded histograms (one per child process)
+/// into a single [`Histogram`]. Empty strings are tolerated (children
+/// that recorded nothing); malformed strings are errors.
+pub fn merge_sparse(encoded: &[String]) -> Result<Histogram, String> {
+    let mut merged = Histogram::default();
+    for s in encoded {
+        merged.merge(&Histogram::decode_sparse(s)?);
+    }
+    Ok(merged)
+}
+
+/// Bucket-wise `after - before` for cumulative histograms snapshotted
+/// around a storm width: isolates that width's requests from the
+/// server's lifetime totals. Saturates rather than wrapping if the
+/// snapshots are inconsistent (e.g. a restarted server).
+pub fn hist_delta(after: &Histogram, before: &Histogram) -> Histogram {
+    let mut delta = Histogram {
+        count: after.count.saturating_sub(before.count),
+        sum: after.sum.saturating_sub(before.sum),
+        ..Histogram::default()
+    };
+    for (i, slot) in delta.buckets.iter_mut().enumerate() {
+        *slot = after.buckets[i].saturating_sub(before.buckets[i]);
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(values: &[u64]) -> Histogram {
+        let mut h = Histogram::default();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn percentile_block_shape_and_units() {
+        let h = hist(&[1_000_000, 2_000_000, 4_000_000, 64_000_000]);
+        let block = percentile_block_ms(&h);
+        assert_eq!(block.get("count").and_then(Json::as_u64), Some(4));
+        let p50 = block.get("p50").and_then(Json::as_f64).unwrap_or(-1.0);
+        let p999 = block.get("p999").and_then(Json::as_f64).unwrap_or(-1.0);
+        // p50 of {1,2,4,64} ms lands in the 1-4 ms buckets; p999 near 64 ms
+        // (within the factor-2 bucket bound above it).
+        assert!(p50 > 0.4 && p50 < 8.0, "p50 = {p50}");
+        assert!(p999 >= 32.0 && p999 <= 160.0, "p999 = {p999}");
+        assert!(p50 <= p999);
+    }
+
+    #[test]
+    fn percentile_block_empty_is_all_zero() {
+        let block = percentile_block_ms(&Histogram::default());
+        for key in ["count", "p50", "p95", "p99", "p999", "mean"] {
+            assert_eq!(block.get(key).and_then(Json::as_f64), Some(0.0), "{key}");
+        }
+    }
+
+    #[test]
+    fn merge_sparse_accumulates_and_rejects_garbage() {
+        let a = hist(&[10, 20]).encode_sparse();
+        let b = hist(&[1 << 30]).encode_sparse();
+        let merged = merge_sparse(&[a, String::new(), b]).expect("merges");
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 30 + (1 << 30));
+        assert!(merge_sparse(&["definitely;not;valid".into()]).is_err());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let parts =
+            [hist(&[5, 9]).encode_sparse(), hist(&[1024]).encode_sparse(), hist(&[77]).encode_sparse()];
+        let forward = merge_sparse(&parts).expect("fwd");
+        let mut reversed_parts = parts.to_vec();
+        reversed_parts.reverse();
+        let reversed = merge_sparse(&reversed_parts).expect("rev");
+        assert_eq!(forward.encode_sparse(), reversed.encode_sparse());
+    }
+
+    #[test]
+    fn hist_delta_isolates_the_window() {
+        let before = hist(&[100, 200]);
+        let mut after = before.clone();
+        after.record(1 << 20);
+        after.record(1 << 21);
+        let delta = hist_delta(&after, &before);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, (1 << 20) + (1 << 21));
+        assert_eq!(delta.encode_sparse(), hist(&[1 << 20, 1 << 21]).encode_sparse());
+        // Inconsistent snapshots saturate to empty instead of wrapping.
+        let empty = hist_delta(&before, &after);
+        assert_eq!(empty.count, 0);
+    }
+}

@@ -213,6 +213,11 @@ impl RunObserver {
         if !hists.is_empty() {
             out.push_str("# TYPE dfs_hist histogram\n");
             for (k, h) in &hists {
+                if strip_timings && crate::is_timing_hist(k) {
+                    // Duration histograms are clock-derived; the stripped
+                    // dump omits them wholesale, like span durations.
+                    continue;
+                }
                 let mut cumulative = 0u64;
                 for (i, b) in h.buckets.iter().enumerate() {
                     if *b == 0 {
@@ -229,6 +234,14 @@ impl RunObserver {
                 let _ = writeln!(out, "dfs_hist_bucket{{name=\"{}\",le=\"+Inf\"}} {}", esc(k), h.count);
                 let _ = writeln!(out, "dfs_hist_sum{{name=\"{}\"}} {}", esc(k), h.sum);
                 let _ = writeln!(out, "dfs_hist_count{{name=\"{}\"}} {}", esc(k), h.count);
+                for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                    let _ = writeln!(
+                        out,
+                        "dfs_hist_quantile{{name=\"{}\",q=\"{label}\"}} {:.1}",
+                        esc(k),
+                        h.quantile(q)
+                    );
+                }
             }
         }
         if !logs.is_empty() {
@@ -253,11 +266,12 @@ impl RunObserver {
         let _ = writeln!(out, "{{\"journal\":\"dfs-obs\",\"run\":\"{}\"}}", esc(&self.label));
         {
             let run = locked(&self.run);
-            if !run.events().is_empty() {
+            if !run.events().is_empty() || !run.histograms().is_empty() {
                 out.push_str("{\"scope\":\"run\"}\n");
                 for ev in run.events() {
                     push_journal_event(&mut out, ev, strip_timestamps);
                 }
+                push_journal_hists(&mut out, &run, strip_timestamps);
             }
         }
         let rows = locked(&self.rows);
@@ -276,6 +290,7 @@ impl RunObserver {
                 for ev in c.events() {
                     push_journal_event(&mut out, ev, strip_timestamps);
                 }
+                push_journal_hists(&mut out, c, strip_timestamps);
             }
             for ((r, arm), rec) in cells.range((row, 0)..(row + 1, 0)) {
                 let _ = writeln!(
@@ -286,10 +301,42 @@ impl RunObserver {
                 for ev in rec.collector.events() {
                     push_journal_event(&mut out, ev, strip_timestamps);
                 }
+                push_journal_hists(&mut out, &rec.collector, strip_timestamps);
             }
         }
         out
     }
+
+    // -- File export --------------------------------------------------------
+
+    /// Writes the three export formats (`<label>.trace.json`,
+    /// `<label>.metrics.txt`, `<label>.journal.jsonl`) into `dir`,
+    /// creating it if needed. Returns the paths written; stops at the
+    /// first IO error.
+    pub fn export_to_dir(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let label = &self.label;
+        let exports = [
+            (format!("{label}.trace.json"), self.chrome_trace()),
+            (format!("{label}.metrics.txt"), self.metrics_text(false)),
+            (format!("{label}.journal.jsonl"), self.journal(false)),
+        ];
+        let mut written = Vec::with_capacity(exports.len());
+        for (name, contents) in exports {
+            let path = dir.join(name);
+            std::fs::write(&path, contents)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+/// The trace export directory: `DFS_TRACE_DIR`, defaulting to
+/// `<tmp>/dfs-trace`.
+pub fn trace_dir() -> std::path::PathBuf {
+    std::env::var("DFS_TRACE_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir().join("dfs-trace"))
 }
 
 /// Escapes a string for embedding in a JSON string or Prometheus label.
@@ -338,6 +385,33 @@ fn push_journal_event(out: &mut String, ev: &Event, strip: bool) {
         }
     }
     out.push_str("}\n");
+}
+
+/// Emits one self-describing record per histogram in the collector, in
+/// name order: `{"h":"<name>","buckets":[[i,c],...],"count":N,"sum":S}`.
+/// Buckets are `[index, count]` pairs of the sparse non-zero set, so a
+/// reader can reconstruct and merge the exact log-bucketed histogram
+/// across processes. With `strip`, clock-derived `*_ns` histograms are
+/// omitted (same rule as span durations).
+fn push_journal_hists(out: &mut String, c: &Collector, strip: bool) {
+    for (name, h) in c.histograms() {
+        if strip && crate::is_timing_hist(name) {
+            continue;
+        }
+        let _ = write!(out, "{{\"h\":\"{}\",\"buckets\":[", esc(name));
+        let mut first = true;
+        for (i, b) in h.buckets.iter().enumerate() {
+            if *b == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[{i},{b}]");
+        }
+        let _ = writeln!(out, "],\"count\":{},\"sum\":{}}}", h.count, h.sum);
+    }
 }
 
 fn sep(out: &mut String, first: &mut bool) {
@@ -552,6 +626,48 @@ mod tests {
             .rposition(|l| l.contains("\"e\":\"exit\",\"n\":\"cell\""))
             .expect("exit");
         assert!(enter_at < exit_at);
+    }
+
+    #[test]
+    fn metrics_surface_quantile_lines_per_histogram() {
+        let text = sample_observer().metrics_text(true);
+        for needle in [
+            "dfs_hist_quantile{name=\"eval.subset_size\",q=\"0.5\"}",
+            "dfs_hist_quantile{name=\"eval.subset_size\",q=\"0.95\"}",
+            "dfs_hist_quantile{name=\"eval.subset_size\",q=\"0.99\"}",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn journal_emits_sparse_histogram_records() {
+        let obs = sample_observer();
+        let journal = obs.journal(true);
+        // The single observe(5) lands in bucket 3 (values 4..=7).
+        assert!(
+            journal.contains("{\"h\":\"eval.subset_size\",\"buckets\":[[3,1]],\"count\":1,\"sum\":5}"),
+            "missing hist record in:\n{journal}"
+        );
+        // Timing histograms are stripped like span durations.
+        let mut cell = Collector::new();
+        cell.observe("fit.wall_ns".into(), 1234);
+        obs.record_cell(1, 0, "timed", cell);
+        let stripped = obs.journal(true);
+        assert!(!stripped.contains("\"h\":\"fit.wall_ns\""));
+        assert!(obs.journal(false).contains("\"h\":\"fit.wall_ns\""));
+    }
+
+    #[test]
+    fn export_to_dir_writes_all_three_formats() {
+        let dir = std::env::temp_dir().join(format!("dfs-obs-export-{}", std::process::id()));
+        let written = sample_observer().export_to_dir(&dir).expect("export");
+        assert_eq!(written.len(), 3);
+        for path in &written {
+            let meta = std::fs::metadata(path).expect("file exists");
+            assert!(meta.len() > 0, "empty export {path:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

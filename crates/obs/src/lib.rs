@@ -42,7 +42,7 @@
 
 mod export;
 
-pub use export::RunObserver;
+pub use export::{trace_dir, RunObserver};
 
 use std::borrow::Cow;
 use std::cell::RefCell;
@@ -270,6 +270,165 @@ impl Histogram {
     /// Inclusive upper bound of bucket `i` (`2^i - 1`).
     pub fn bucket_bound(i: usize) -> u128 {
         (1u128 << i) - 1
+    }
+
+    /// Inclusive lower bound of bucket `i` (`2^(i-1)`; bucket 0 holds only
+    /// zero).
+    pub fn bucket_floor(i: usize) -> u128 {
+        if i == 0 {
+            0
+        } else {
+            1u128 << (i - 1)
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`) by cumulative
+    /// bucket walk plus linear interpolation inside the landing bucket.
+    ///
+    /// **Error bound:** the true quantile lies somewhere in the landing
+    /// bucket `[2^(i-1), 2^i - 1]`, so the estimate is off by at most one
+    /// log2 bucket — a factor of 2 in the worst case, much less when the
+    /// bucket's values are spread evenly (the interpolation assumption).
+    /// Exact for buckets 0 and 1, whose ranges are single values.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            let before = cumulative as f64;
+            cumulative += b;
+            if (cumulative as f64) >= target {
+                let lo = Self::bucket_floor(i) as f64;
+                let hi = Self::bucket_bound(i) as f64;
+                let frac = ((target - before) / b as f64).clamp(0.0, 1.0);
+                return lo + frac * (hi - lo);
+            }
+        }
+        Histogram::bucket_bound(HIST_BUCKETS - 1) as f64
+    }
+
+    /// Compact single-line encoding: `count;sum;i:c,i:c,...` with only the
+    /// non-empty buckets. Safe to embed in JSON strings and tab-separated
+    /// sidecars (no quotes, whitespace, or tabs). Empty histograms encode
+    /// as `0;0;`.
+    pub fn encode_sparse(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("{};{};", self.count, self.sum);
+        let mut first = true;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{i}:{b}");
+        }
+        out
+    }
+
+    /// Parses an [`Histogram::encode_sparse`] string. The empty string
+    /// decodes to the empty histogram (a tolerant default for wire fields
+    /// sent by older peers); anything else malformed is an error.
+    pub fn decode_sparse(s: &str) -> Result<Histogram, String> {
+        if s.is_empty() {
+            return Ok(Histogram::default());
+        }
+        let mut parts = s.splitn(3, ';');
+        let bad = |what: &str| format!("bad sparse histogram '{s}': {what}");
+        let count: u64 = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("missing count"))?;
+        let sum: u64 =
+            parts.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("missing sum"))?;
+        let mut h = Histogram { count, sum, ..Histogram::default() };
+        let buckets = parts.next().ok_or_else(|| bad("missing buckets"))?;
+        let mut total = 0u64;
+        for pair in buckets.split(',').filter(|p| !p.is_empty()) {
+            let (i, c) = pair.split_once(':').ok_or_else(|| bad("bucket not i:c"))?;
+            let i: usize = i.parse().map_err(|_| bad("non-numeric bucket index"))?;
+            let c: u64 = c.parse().map_err(|_| bad("non-numeric bucket count"))?;
+            if i >= HIST_BUCKETS {
+                return Err(bad("bucket index out of range"));
+            }
+            h.buckets[i] += c;
+            total += c;
+        }
+        if total != count {
+            return Err(bad("bucket counts disagree with the total"));
+        }
+        Ok(h)
+    }
+}
+
+/// Histogram names with this suffix hold clock-derived durations; the
+/// stripped exports omit them (same rule as span durations), keeping every
+/// stripped byte thread-count-invariant.
+pub const TIMING_HIST_SUFFIX: &str = "_ns";
+
+/// `true` when `name` names a timing histogram (stripped from
+/// determinism-checked exports).
+pub fn is_timing_hist(name: &str) -> bool {
+    name.ends_with(TIMING_HIST_SUFFIX)
+}
+
+/// A [`Histogram`] recordable from many threads without locks: one relaxed
+/// atomic add per observation. Used where the collector discipline does
+/// not apply (server-wide request latency, queue wait) — the recorded
+/// values are durations, so this type never feeds the deterministic
+/// exports directly.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [std::sync::atomic::AtomicU64; HIST_BUCKETS],
+    count: std::sync::atomic::AtomicU64,
+    sum: std::sync::atomic::AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> AtomicHistogram {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> AtomicHistogram {
+        use std::sync::atomic::AtomicU64;
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (relaxed ordering; counts are monotonic and a
+    /// snapshot torn across concurrent records is still a valid history).
+    pub fn record(&self, value: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.buckets[Histogram::bucket_of(value)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+    }
+
+    /// A point-in-time copy as a plain [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut h = Histogram {
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            ..Histogram::default()
+        };
+        for (dst, src) in h.buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Relaxed);
+        }
+        h
     }
 }
 
@@ -850,6 +1009,143 @@ mod tests {
         h.merge(&other);
         assert_eq!(h.buckets[2], 3);
         assert_eq!(h.count, 7);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::default();
+        // 100 values spread across bucket 7 (64..=127).
+        for v in 0..100u64 {
+            h.record(64 + (v * 63) / 99);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((64.0..=127.0).contains(&p50), "p50 {p50} escaped its bucket");
+        assert!((p50 - 95.5).abs() < 5.0, "p50 {p50} far from the true median ~95");
+        // Degenerate buckets are exact.
+        let mut ones = Histogram::default();
+        for _ in 0..10 {
+            ones.record(1);
+        }
+        assert_eq!(ones.quantile(0.5), 1.0);
+        assert_eq!(ones.quantile(0.99), 1.0);
+        // Empty histogram: 0 by convention.
+        assert_eq!(Histogram::default().quantile(0.5), 0.0);
+        // Monotone in q.
+        let mut mixed = Histogram::default();
+        for v in [1u64, 10, 100, 1000, 10000] {
+            mixed.record(v);
+        }
+        assert!(mixed.quantile(0.1) <= mixed.quantile(0.5));
+        assert!(mixed.quantile(0.5) <= mixed.quantile(0.99));
+    }
+
+    #[test]
+    fn quantile_error_is_within_one_log2_bucket() {
+        let mut h = Histogram::default();
+        let values: Vec<u64> = (0..1000).map(|i| 1 + i * 37 % 100_000).collect();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            let est = h.quantile(q);
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1] as f64;
+            assert!(
+                est <= truth * 2.0 && est * 2.0 >= truth,
+                "q={q}: estimate {est} vs truth {truth} exceeds the factor-2 bound"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_order_invariant() {
+        let mk = |values: &[u64]| {
+            let mut h = Histogram::default();
+            for &v in values {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (mk(&[0, 1, 7]), mk(&[8, 9, 1024]), mk(&[3, 3, u64::MAX]));
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "merge must be associative");
+        // c + b + a
+        let mut rev = c.clone();
+        rev.merge(&b);
+        rev.merge(&a);
+        assert_eq!(left, rev, "merge must commute");
+        // Default is the identity.
+        let mut with_id = left.clone();
+        with_id.merge(&Histogram::default());
+        assert_eq!(with_id, left);
+    }
+
+    #[test]
+    fn sparse_roundtrip_and_tolerant_decode() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let enc = h.encode_sparse();
+        assert!(!enc.contains(' ') && !enc.contains('\t') && !enc.contains('"'));
+        assert_eq!(Histogram::decode_sparse(&enc).expect("roundtrip"), h);
+        // The cross-process merge path: decode two encodings and merge.
+        let mut doubled = h.clone();
+        doubled.merge(&h);
+        let mut merged = Histogram::decode_sparse(&enc).expect("decode");
+        merged.merge(&Histogram::decode_sparse(&enc).expect("decode"));
+        assert_eq!(merged, doubled);
+        // Tolerant default for absent wire fields.
+        assert_eq!(Histogram::decode_sparse("").expect("empty"), Histogram::default());
+        assert_eq!(Histogram::decode_sparse("0;0;").expect("zero"), Histogram::default());
+        // Malformed inputs are structured errors, not panics.
+        for bad in ["x;0;", "1;0;", "2;3;0:1,99:1", "1;1;65:1", "1;1;0-1"] {
+            assert!(Histogram::decode_sparse(bad).is_err(), "'{bad}' should not decode");
+        }
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_serial_recording() {
+        let ah = AtomicHistogram::new();
+        let mut serial = Histogram::default();
+        for v in [0u64, 1, 5, 5, 300, 1 << 40] {
+            ah.record(v);
+            serial.record(v);
+        }
+        assert_eq!(ah.snapshot(), serial);
+        // Concurrent records never lose counts.
+        let ah = std::sync::Arc::new(AtomicHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let ah = std::sync::Arc::clone(&ah);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        ah.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("recorder thread");
+        }
+        assert_eq!(ah.snapshot().count, 4000);
+    }
+
+    #[test]
+    fn timing_hist_names_are_detected_by_suffix() {
+        assert!(is_timing_hist("server.latency_ns"));
+        assert!(!is_timing_hist("eval.subset_size"));
+        assert!(!is_timing_hist("ns_counts"));
     }
 
     #[test]

@@ -390,6 +390,12 @@ pub struct ServerStats {
     pub ranking_computes: u64,
     /// Rankings served from the warm artifact cache.
     pub ranking_hits: u64,
+    /// Per-request latency histogram, `Histogram::encode_sparse` wire
+    /// form (`"count;sum;i:c,..."`, nanoseconds). Empty from peers that
+    /// predate tail reporting.
+    pub latency_hist: String,
+    /// Queue-wait histogram (admission to execution start), same encoding.
+    pub queue_hist: String,
 }
 
 impl ServerStats {
@@ -404,10 +410,16 @@ impl ServerStats {
             ("malformed", Json::Num(self.malformed as f64)),
             ("ranking_computes", Json::Num(self.ranking_computes as f64)),
             ("ranking_hits", Json::Num(self.ranking_hits as f64)),
+            ("latency_hist", Json::Str(self.latency_hist.clone())),
+            ("queue_hist", Json::Str(self.queue_hist.clone())),
         ])
     }
 
     pub fn from_json(j: &Json) -> Result<Self, String> {
+        // Hist fields default to empty so stats from older peers decode.
+        let opt_hist = |key: &str| -> String {
+            j.get(key).and_then(|v| v.as_str()).unwrap_or("").to_string()
+        };
         Ok(Self {
             connections: need_u64(j, "connections")?,
             served: need_u64(j, "served")?,
@@ -418,6 +430,8 @@ impl ServerStats {
             malformed: need_u64(j, "malformed")?,
             ranking_computes: need_u64(j, "ranking_computes")?,
             ranking_hits: need_u64(j, "ranking_hits")?,
+            latency_hist: opt_hist("latency_hist"),
+            queue_hist: opt_hist("queue_hist"),
         })
     }
 }

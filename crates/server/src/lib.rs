@@ -362,9 +362,10 @@ impl Drop for ServerHandle {
 }
 
 /// The stats sidecar: same atomic write discipline as the benchmark
-/// checkpoint (tmp + rename), same tab-separated idiom.
+/// checkpoint (tmp + rename), same tab-separated idiom. v2 appends the
+/// sparse-encoded latency histograms; [`read_sidecar`] still accepts v1.
 fn write_sidecar(path: &std::path::Path, stats: &ServerStats) -> io::Result<()> {
-    let mut body = String::from("#dfs-server-stats\tv1\n");
+    let mut body = String::from("#dfs-server-stats\tv2\n");
     for (key, value) in [
         ("connections", stats.connections),
         ("served", stats.served),
@@ -378,18 +379,21 @@ fn write_sidecar(path: &std::path::Path, stats: &ServerStats) -> io::Result<()> 
     ] {
         body.push_str(&format!("{key}\t{value}\n"));
     }
+    body.push_str(&format!("latency_hist\t{}\n", stats.latency_hist));
+    body.push_str(&format!("queue_hist\t{}\n", stats.queue_hist));
     let tmp = path.with_extension("ckpt.tmp");
     std::fs::write(&tmp, body)?;
     std::fs::rename(&tmp, path)
 }
 
 /// Parses a sidecar written by [`write_sidecar`] back into counters.
+/// Accepts v1 (counters only) and v2 (counters + histograms).
 pub fn read_sidecar(path: &std::path::Path) -> Result<ServerStats, DfsError> {
     let text = std::fs::read_to_string(path)
         .map_err(|source| DfsError::Io { path: path.to_path_buf(), source })?;
     let mut lines = text.lines();
     let header = lines.next().unwrap_or_default();
-    if header != "#dfs-server-stats\tv1" {
+    if header != "#dfs-server-stats\tv1" && header != "#dfs-server-stats\tv2" {
         return Err(DfsError::CacheCorrupt {
             path: path.to_path_buf(),
             reason: format!("bad sidecar header '{header}'"),
@@ -401,6 +405,24 @@ pub fn read_sidecar(path: &std::path::Path) -> Result<ServerStats, DfsError> {
             Some(kv) => kv,
             None => continue,
         };
+        // Histogram lines carry the sparse wire string, not a counter.
+        match key {
+            "latency_hist" | "queue_hist" => {
+                dfs_obs::Histogram::decode_sparse(value).map_err(|reason| {
+                    DfsError::CacheCorrupt {
+                        path: path.to_path_buf(),
+                        reason: format!("bad {key}: {reason}"),
+                    }
+                })?;
+                if key == "latency_hist" {
+                    stats.latency_hist = value.to_string();
+                } else {
+                    stats.queue_hist = value.to_string();
+                }
+                continue;
+            }
+            _ => {}
+        }
         let value: u64 = value.parse().map_err(|_| DfsError::CacheCorrupt {
             path: path.to_path_buf(),
             reason: format!("non-numeric counter '{line}'"),
@@ -557,6 +579,7 @@ fn serve_query(
     spec: dfs_proto::QuerySpec,
     fault: Option<ServerFaultKind>,
 ) -> Response {
+    let received = Instant::now();
     if let Err(wire) = shared.engine.validate(&spec) {
         Stats::bump(&shared.stats.malformed);
         obs::counter("server.query.malformed", 1);
@@ -609,13 +632,17 @@ fn serve_query(
             // timed out); the cap is pure insurance so a lost reply can
             // never wedge the handler.
             let wait_cap = deadline + shared.cfg.deadline_grace + Duration::from_secs(5);
-            reply_rx.recv_timeout(wait_cap).unwrap_or_else(|_| {
+            let resp = reply_rx.recv_timeout(wait_cap).unwrap_or_else(|_| {
                 Response::Error(WireError::new(
                     spec.req_id,
                     ErrorCode::Internal,
                     "worker reply lost",
                 ))
-            })
+            });
+            // Request latency for every admitted query: handler entry to
+            // reply resolution — validation, queue wait, and execution.
+            shared.stats.latency.record(received.elapsed().as_nanos() as u64);
+            resp
         }
     }
 }
@@ -722,6 +749,10 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// heartbeat phase.
 fn execute_job(shared: &Arc<Shared>, job: &Job) -> Response {
     let req_id = job.spec.req_id;
+    // The budget started at admission, so its elapsed time at pickup IS
+    // the queue wait — recorded for every job, including ones the wait
+    // already killed.
+    shared.stats.queue_wait.record(job.budget.elapsed().as_nanos() as u64);
     // Queue wait already spent the whole deadline?
     if job.budget.exhausted() {
         Stats::bump(&shared.stats.deadline_exceeded);
@@ -862,11 +893,37 @@ mod tests {
             malformed: 7,
             ranking_computes: 11,
             ranking_hits: 13,
+            latency_hist: "2;3000000;21:1,22:1".into(),
+            queue_hist: "1;500;9:1".into(),
         };
         write_sidecar(&path, &stats).expect("write");
         assert!(!path.with_extension("ckpt.tmp").exists(), "tmp file renamed away");
         let back = read_sidecar(&path).expect("read");
         assert_eq!(back, stats);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sidecar_accepts_v1_without_histograms() {
+        let dir = std::env::temp_dir().join("dfs-server-sidecar-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("v1.ckpt");
+        std::fs::write(&path, "#dfs-server-stats\tv1\nserved\t6\nshed\t2\n").expect("write");
+        let back = read_sidecar(&path).expect("v1 reads");
+        assert_eq!(back.served, 6);
+        assert_eq!(back.shed, 2);
+        assert_eq!(back.latency_hist, "");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sidecar_rejects_corrupt_histogram_line() {
+        let dir = std::env::temp_dir().join("dfs-server-sidecar-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("badhist.ckpt");
+        std::fs::write(&path, "#dfs-server-stats\tv2\nserved\t1\nlatency_hist\t1;1;99:1\n")
+            .expect("write");
+        assert!(matches!(read_sidecar(&path), Err(DfsError::CacheCorrupt { .. })));
         std::fs::remove_file(&path).ok();
     }
 

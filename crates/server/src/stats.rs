@@ -1,9 +1,12 @@
 //! Lock-free server counters, snapshot into the wire `ServerStats`.
 
+use dfs_obs::AtomicHistogram;
 use dfs_proto::ServerStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotonic counters bumped from accept, handler, and worker threads.
+/// Monotonic counters bumped from accept, handler, and worker threads,
+/// plus log-bucketed latency histograms so `dfs stats` and the bench
+/// harness see tails, not just totals.
 #[derive(Debug, Default)]
 pub struct Stats {
     pub connections: AtomicU64,
@@ -13,6 +16,12 @@ pub struct Stats {
     pub panicked: AtomicU64,
     pub deadline_exceeded: AtomicU64,
     pub malformed: AtomicU64,
+    /// End-to-end request latency (ns), recorded by the connection
+    /// handler for every admitted query when its reply resolves.
+    pub latency: AtomicHistogram,
+    /// Queue wait (ns): admission to execution start, recorded by the
+    /// worker as it picks the job up.
+    pub queue_wait: AtomicHistogram,
 }
 
 impl Stats {
@@ -32,6 +41,8 @@ impl Stats {
             malformed: self.malformed.load(Ordering::Relaxed),
             ranking_computes,
             ranking_hits,
+            latency_hist: self.latency.snapshot().encode_sparse(),
+            queue_hist: self.queue_wait.snapshot().encode_sparse(),
         }
     }
 }
@@ -39,6 +50,7 @@ impl Stats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dfs_obs::Histogram;
 
     #[test]
     fn snapshot_reflects_bumps() {
@@ -52,5 +64,19 @@ mod tests {
         assert_eq!(snap.ranking_computes, 3);
         assert_eq!(snap.ranking_hits, 9);
         assert_eq!(snap.panicked, 0);
+    }
+
+    #[test]
+    fn snapshot_carries_decodable_histograms() {
+        let s = Stats::default();
+        s.latency.record(1_500_000);
+        s.latency.record(2_500_000);
+        s.queue_wait.record(10_000);
+        let snap = s.snapshot(0, 0);
+        let lat = Histogram::decode_sparse(&snap.latency_hist).expect("latency decodes");
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.sum, 4_000_000);
+        let queue = Histogram::decode_sparse(&snap.queue_hist).expect("queue decodes");
+        assert_eq!(queue.count, 1);
     }
 }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Bench-harness smoke: build the release binary, run the process-based
+# harness in smoke mode (one DFS_THREADS point, one repeat per batch
+# cell, a short server storm), and sanity-check the summary it writes.
+#
+# Usage:
+#   scripts/harness-smoke.sh             # networked build (plain cargo)
+#   scripts/harness-smoke.sh --offline   # build via the .buildstubs patches
+#
+# Asserts:
+#   - the harness exits 0 (nonzero means a child failed, a summary line
+#     was malformed, a trace export went missing, or — exit 3 — batch or
+#     storm results were not bit-identical across runs)
+#   - summary.json exists, is valid JSON, declares schema dfs-harness/1,
+#     and both bit_identical verdicts are true
+#
+# The summary path can be overridden with $HARNESS_OUT (CI uploads it as
+# an artifact).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--offline" ]]; then
+  scripts/offline-check.sh build --offline --release -p dfs-repro --bin dfs-repro
+else
+  cargo build --release -p dfs-repro --bin dfs-repro
+fi
+BIN=target/release/dfs-repro
+
+OUT="${HARNESS_OUT:-harness-summary.json}"
+"$BIN" bench-harness --smoke --out "$OUT"
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    summary = json.load(f)
+assert summary["schema"] == "dfs-harness/1", summary["schema"]
+assert summary["bit_identical"]["batch"] is True, summary["divergences"]
+assert summary["bit_identical"]["storm"] is True, summary["divergences"]
+assert summary["batch"], "no batch cells"
+assert summary["server"], "no storm cells"
+for cell in summary["batch"] + summary["server"]:
+    for block in cell.values():
+        if isinstance(block, dict) and "p999" in block:
+            assert block["p50"] <= block["p999"], (cell["scenario"], block)
+print(f"harness smoke OK: {len(summary['batch'])} batch cells, "
+      f"{len(summary['server'])} storm cells, bit-identical")
+EOF
+echo "PASS: bench-harness smoke ($OUT)"

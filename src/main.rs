@@ -41,6 +41,8 @@ struct CliArgs {
     max_feature_frac: Option<f64>,
     privacy_eps: Option<f64>,
     time_ms: u64,
+    max_evals: Option<usize>,
+    rows: Option<usize>,
     hpo: bool,
     seed: u64,
     summary_json: bool,
@@ -66,6 +68,8 @@ impl Default for CliArgs {
             max_feature_frac: None,
             privacy_eps: None,
             time_ms: 2000,
+            max_evals: None,
+            rows: None,
             hpo: true,
             seed: 42,
             summary_json: false,
@@ -80,6 +84,7 @@ USAGE:
     dfs [--data <csv> | --dataset <name>] [OPTIONS]
     dfs server [SERVER OPTIONS]     run the constraint-query daemon
     dfs query  [QUERY OPTIONS]      send a query to a running daemon
+    dfs bench-harness [OPTIONS]     process-based benchmark orchestrator
 
 (`dfs server --help` and `dfs query --help` document the subcommands.)
 
@@ -100,6 +105,9 @@ OPTIONS:
     --max-feature-frac <0..1> maximum fraction of features
     --privacy-eps <x>        train the ε-differentially-private model
     --time-ms <n>            search budget in milliseconds [default: 2000]
+    --max-evals <n>          cap wrapper evaluations (deterministic runs for
+                             thread sweeps; default: settings default)
+    --rows <n>               cap synthetic dataset rows (faster runs)
     --no-hpo                 skip per-evaluation hyperparameter search
     --seed <n>               RNG seed                   [default: 42]
     --summary-json           print a final single-line JSON run summary
@@ -230,6 +238,18 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     .parse()
                     .map_err(|e| format!("--time-ms: {e}"))?
             }
+            "--max-evals" => {
+                out.max_evals = Some(
+                    value(&mut it, "--max-evals")?
+                        .parse()
+                        .map_err(|e| format!("--max-evals: {e}"))?,
+                )
+            }
+            "--rows" => {
+                out.rows = Some(
+                    value(&mut it, "--rows")?.parse().map_err(|e| format!("--rows: {e}"))?,
+                )
+            }
             "--seed" => {
                 out.seed =
                     value(&mut it, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
@@ -265,6 +285,10 @@ fn load_dataset(args: &CliArgs) -> Result<Dataset, String> {
                 .join(", ")
         )
     })?;
+    let mut spec = spec;
+    if let Some(rows) = args.rows {
+        spec.rows = spec.rows.min(rows.max(10));
+    }
     Ok(generate(&spec, args.seed))
 }
 
@@ -273,6 +297,7 @@ fn main() -> ExitCode {
     match raw.first().map(String::as_str) {
         Some("server") => return server_main(&raw[1..]),
         Some("query") => return query_main(&raw[1..]),
+        Some("bench-harness") => return dfs_repro::harness::cli_main(&raw[1..]),
         _ => {}
     }
     if raw.iter().any(|a| a == "--help" || a == "-h") {
@@ -322,7 +347,13 @@ fn main() -> ExitCode {
         utility_f1: false,
         seed: args.seed,
     };
-    let settings = ScenarioSettings::default_bench();
+    let mut settings = ScenarioSettings::default_bench();
+    if let Some(cap) = args.max_evals {
+        // A binding eval cap (with a generous --time-ms) makes the run's
+        // trajectory budget-independent, so process-based harnesses can
+        // assert bit-identity across thread sweeps.
+        settings.max_evals = cap;
+    }
 
     eprintln!(
         "dataset '{}': {} rows, {} features; model {}; budget {} ms",
@@ -333,12 +364,19 @@ fn main() -> ExitCode {
         args.time_ms
     );
 
+    // DFS_TRACE=1 exports the run's obs collectors to DFS_TRACE_DIR,
+    // exactly like the benchmark runner — the bench harness reads them
+    // back to merge histograms across processes.
+    let tracing = dfs_repro::obs::env_flag("DFS_TRACE");
+    dfs_repro::obs::set_trace_enabled(tracing);
+    let trace_depth = tracing.then(dfs_repro::obs::push_collector);
+
     let run_started = Instant::now();
-    let (success, subset, evaluations, label, perf) = match args.strategy {
+    let (success, subset, evaluations, label, perf, eval_lat) = match args.strategy {
         StrategySpec::Fixed(strategy) => {
             eprintln!("strategy: {}", strategy.name());
             let out = run_dfs(&scenario, &split, &settings, strategy);
-            (out.success, out.subset, out.evaluations, strategy.name(), out.perf)
+            (out.success, out.subset, out.evaluations, strategy.name(), out.perf, out.eval_latency)
         }
         StrategySpec::Auto => {
             let cfg = SwitchConfig::default();
@@ -353,11 +391,23 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|| "auto".into());
             // The switching workflow does not surface per-attempt perf
             // counters; the summary reports zeros for the sharing fields.
-            (out.success, out.subset, out.evaluations, label, EvalPerf::default())
+            let out_lat = dfs_repro::obs::Histogram::default();
+            (out.success, out.subset, out.evaluations, label, EvalPerf::default(), out_lat)
         }
     };
 
     let wall = run_started.elapsed();
+    if let Some(depth) = trace_depth {
+        if let Some(collector) = dfs_repro::obs::take_collector(depth) {
+            let observer = dfs_repro::obs::RunObserver::new("dfs-cli");
+            observer.absorb_run(collector);
+            let dir = dfs_repro::obs::trace_dir();
+            match observer.export_to_dir(&dir) {
+                Ok(_) => eprintln!("traces exported to {}", dir.display()),
+                Err(e) => eprintln!("trace export to {} failed: {e}", dir.display()),
+            }
+        }
+    }
     let (code, subset_len) = match (success, &subset) {
         (true, Some(subset)) => {
             eprintln!(
@@ -381,7 +431,10 @@ fn main() -> ExitCode {
     if args.summary_json {
         // WIND-style run summary: the final stdout line, one JSON object,
         // so process-based harnesses can `tail -1 | parse`.
-        println!("{}", run_summary(1, 0, success, &label, evaluations, subset_len, wall, &perf));
+        println!(
+            "{}",
+            run_summary(1, 0, success, &label, evaluations, subset_len, wall, &perf, &eval_lat)
+        );
     }
     code
 }
@@ -397,10 +450,12 @@ fn run_summary(
     subset_len: usize,
     wall: Duration,
     perf: &EvalPerf,
+    eval_lat: &dfs_repro::obs::Histogram,
 ) -> Json {
     let secs = wall.as_secs_f64().max(1e-9);
     let probes = perf.memo_hits + perf.memo_misses;
     let hit_rate = if probes == 0 { 0.0 } else { perf.memo_hits as f64 / probes as f64 };
+    let lat_ms = |q: f64| (eval_lat.quantile(q) / 1e6 * 1000.0).round() / 1000.0;
     Json::Obj(vec![
         ("cells".into(), Json::Num(cells as f64)),
         ("faults".into(), Json::Num(faults as f64)),
@@ -414,6 +469,11 @@ fn run_summary(
         ("memo_misses".into(), Json::Num(perf.memo_misses as f64)),
         ("memo_hit_rate".into(), Json::Num((hit_rate * 1000.0).round() / 1000.0)),
         ("bound_skips".into(), Json::Num(perf.bound_skips as f64)),
+        ("eval_lat_count".into(), Json::Num(eval_lat.count as f64)),
+        ("eval_lat_p50_ms".into(), Json::Num(lat_ms(0.5))),
+        ("eval_lat_p95_ms".into(), Json::Num(lat_ms(0.95))),
+        ("eval_lat_p99_ms".into(), Json::Num(lat_ms(0.99))),
+        ("eval_lat_hist".into(), Json::Str(eval_lat.encode_sparse())),
     ])
 }
 
@@ -718,6 +778,19 @@ mod tests {
     }
 
     #[test]
+    fn parses_harness_facing_flags() {
+        let args = parse_args(&argv("--dataset compas --max-evals 40 --rows 200"))
+            .expect("valid args");
+        assert_eq!(args.max_evals, Some(40));
+        assert_eq!(args.rows, Some(200));
+        let defaults = parse_args(&argv("--dataset compas")).expect("valid args");
+        assert_eq!(defaults.max_evals, None);
+        assert_eq!(defaults.rows, None);
+        assert!(parse_args(&argv("--dataset compas --max-evals lots")).is_err());
+        assert!(parse_args(&argv("--dataset compas --rows")).is_err());
+    }
+
+    #[test]
     fn requires_exactly_one_data_source() {
         assert!(parse_args(&argv("--min-f1 0.6")).is_err());
         assert!(parse_args(&argv("--data a.csv --dataset compas")).is_err());
@@ -754,8 +827,13 @@ mod tests {
         let args = parse_args(&argv("--dataset compas --summary-json")).unwrap();
         assert!(args.summary_json);
         let perf = EvalPerf { memo_hits: 30, memo_misses: 90, bound_skips: 7, ..EvalPerf::default() };
+        let mut lat = dfs_repro::obs::Histogram::default();
+        for v in [1_000_000u64, 2_000_000, 4_000_000] {
+            lat.record(v);
+        }
         let line =
-            run_summary(1, 0, true, "sffs", 120, 4, Duration::from_millis(500), &perf).to_string();
+            run_summary(1, 0, true, "sffs", 120, 4, Duration::from_millis(500), &perf, &lat)
+                .to_string();
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(!line.contains('\n'), "summary must be a single line");
         assert!(line.contains("\"cells\":1"));
@@ -766,10 +844,17 @@ mod tests {
         assert!(line.contains("\"memo_hit_rate\":0.25"));
         assert!(line.contains("\"bound_skips\":7"));
 
+        assert!(line.contains("\"eval_lat_count\":3"));
+        assert!(line.contains("\"eval_lat_hist\":\""));
+
         // No memo probes at all must not divide by zero.
-        let cold = run_summary(1, 0, false, "sfs", 1, 0, Duration::from_millis(1), &EvalPerf::default())
-            .to_string();
+        let empty = dfs_repro::obs::Histogram::default();
+        let cold = run_summary(
+            1, 0, false, "sfs", 1, 0, Duration::from_millis(1), &EvalPerf::default(), &empty,
+        )
+        .to_string();
         assert!(cold.contains("\"memo_hit_rate\":0"));
+        assert!(cold.contains("\"eval_lat_p50_ms\":0"));
     }
 
     #[test]

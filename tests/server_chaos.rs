@@ -8,8 +8,8 @@
 
 use dfs_repro::client::{Client, ClientConfig, ClientError};
 use dfs_repro::core::prelude::{ServerFaultKind, ServerFaultPlan};
-use dfs_repro::proto::frame::{encode_frame, write_frame, MAX_FRAME, PROTO_VERSION};
-use dfs_repro::proto::{ErrorCode, QuerySpec, Request, Response};
+use dfs_repro::proto::frame::{encode_frame, MAX_FRAME, PROTO_VERSION};
+use dfs_repro::proto::{ErrorCode, QuerySpec, Request};
 use dfs_repro::server::{read_sidecar, Server, ServerConfig, ServerHandle};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
