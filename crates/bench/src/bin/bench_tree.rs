@@ -24,10 +24,21 @@
 //!    the pooled-workspace fused-gather path in each selected exactness
 //!    mode, plus the per-row cost of the scratch-reusing batch predictor.
 //!
-//! `--exactness binned|presorted|both` (default `both`) selects which
-//! kernels are *timed*; the agreement assertions above run in every mode.
-//! Results are printed as JSON (unmeasured kernels appear as `null`) and,
-//! when a path argument is given, also written there (committed snapshot:
+//! 4. **Scale cell** — the streamed synthetic generator
+//!    (`million_row_spec` shape, `--rows` rows, default 10^5 full / 10^4
+//!    smoke) feeds a block-size-invariance gate plus a four-way depth-7
+//!    race: presorted vs `Binned256` vs `Binned4096` vs `Binned4096` with
+//!    GOSS per-node subsampling, all held to holdout-F1 parity within
+//!    [`F1_TOLERANCE`] of presorted. Full runs gate the u16 kernel at
+//!    [`MIN_WIDE_SPEEDUP`]x over presorted.
+//! 5. **Million-row cell** (full runs only) — one timed `Binned4096`+GOSS
+//!    fit at 10^6 streamed rows.
+//!
+//! `--exactness binned|binned4096|presorted|both` (default `both`) selects
+//! which kernels are *timed*; the agreement assertions above run in every
+//! mode. `--rows N` overrides the scale-cell row count. Results are
+//! printed as JSON (unmeasured kernels appear as `null`) and, when a path
+//! argument is given, also written there (committed snapshot:
 //! `BENCH_tree.json` in the repo root). `--smoke` shrinks repetition
 //! counts and relaxes the wall-clock speedup gate for CI; the agreement
 //! assertions run in every mode and exit nonzero on violation.
@@ -38,11 +49,11 @@
 use dfs_bench::ok_or_exit;
 use dfs_core::DfsError;
 use dfs_data::split::stratified_three_way;
-use dfs_data::synthetic::{generate, spec_by_name};
+use dfs_data::synthetic::{generate, generate_streamed_collect, million_row_spec, spec_by_name};
 use dfs_linalg::Matrix;
 use dfs_models::forest::{ForestConfig, RandomForest};
-use dfs_models::tree::{BinSet, DecisionTree, Node, SplitExactness, TreeWorkspace};
-use dfs_models::{hpo, ModelKind, ModelSpec, TrainedModel};
+use dfs_models::tree::{BinSet, DecisionTree, GossConfig, Node, SplitExactness, TreeWorkspace};
+use dfs_models::{hpo, CodeWidth, ModelKind, ModelSpec, TrainedModel};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -63,6 +74,17 @@ const GRID_DEPTH: usize = 7;
 const F1_TOLERANCE: f64 = 0.03;
 /// Full-run wall-clock gate: binned fit must beat presorted by this factor.
 const MIN_BINNED_SPEEDUP: f64 = 2.0;
+/// Full-run gate on the scale cell: the u16 wide-bin kernel (with GOSS)
+/// must beat the presorted kernel by this factor at [`SCALE_ROWS_FULL`]
+/// rows.
+const MIN_WIDE_SPEEDUP: f64 = 2.0;
+/// Scale-cell rows (full runs); `--rows` overrides, `--smoke` defaults to
+/// [`SCALE_ROWS_SMOKE`].
+const SCALE_ROWS_FULL: usize = 100_000;
+const SCALE_ROWS_SMOKE: usize = 10_000;
+/// The scale cell's GOSS shares: keep the top 10% of each node's rows by
+/// gradient proxy and sample 10% of the remainder.
+const GOSS_SHARES: (f64, f64) = (0.1, 0.1);
 
 /// Median wall-clock over `reps` runs of `f`, in nanoseconds.
 fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
@@ -314,7 +336,17 @@ fn main() {
     let mut smoke = false;
     let mut out_path: Option<String> = None;
     let mut exactness_arg = String::from("both");
+    let mut rows_arg: Option<usize> = None;
     let mut args = std::env::args().skip(1);
+    let parse_rows = |v: &str| -> usize {
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("[dfs-bench] fatal: --rows expects a positive integer, got `{v}`");
+                std::process::exit(2);
+            }
+        }
+    };
     while let Some(arg) = args.next() {
         if arg == "--smoke" {
             smoke = true;
@@ -328,6 +360,16 @@ fn main() {
             }
         } else if let Some(v) = arg.strip_prefix("--exactness=") {
             exactness_arg = v.to_string();
+        } else if arg == "--rows" {
+            match args.next() {
+                Some(v) => rows_arg = Some(parse_rows(&v)),
+                None => {
+                    eprintln!("[dfs-bench] fatal: --rows requires a value");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--rows=") {
+            rows_arg = Some(parse_rows(v));
         } else {
             out_path = Some(arg);
         }
@@ -335,17 +377,19 @@ fn main() {
     let (run_binned, run_presorted) = match exactness_arg.as_str() {
         "both" => (true, true),
         other => match SplitExactness::parse(other) {
-            Some(SplitExactness::Binned256) => (true, false),
+            Some(SplitExactness::Binned256) | Some(SplitExactness::Binned4096) => (true, false),
             Some(SplitExactness::Presorted) => (false, true),
             None => {
                 eprintln!(
                     "[dfs-bench] fatal: unknown --exactness `{other}` \
-                     (expected binned, presorted, or both)"
+                     (expected binned, binned4096, presorted, or both)"
                 );
                 std::process::exit(2);
             }
         },
     };
+    let scale_rows =
+        rows_arg.unwrap_or(if smoke { SCALE_ROWS_SMOKE } else { SCALE_ROWS_FULL });
     let reps = if smoke { 3 } else { 9 };
     let forest_reps = if smoke { 1 } else { 5 };
 
@@ -462,6 +506,109 @@ fn main() {
         assert_eq!(preds.len(), predict_rows);
     });
 
+    // 4. Scale cell: the streamed generator feeds a wide synthetic corpus
+    //    (million_row_spec shape at `--rows`), and the u16 wide-bin kernel
+    //    — with and without GOSS per-node subsampling — is raced against
+    //    the u8 and presorted kernels. 80% of the rows train, the last 20%
+    //    are the F1 holdout (scored row-by-row, never gathered).
+    let mut scale_spec = million_row_spec();
+    scale_spec.rows = scale_rows;
+    let scale_seed = 77;
+    let scale = generate_streamed_collect(&scale_spec, scale_seed, 8192);
+    // Block-size invariance gate: regenerating with a misaligned block
+    // size must reproduce the corpus bit-for-bit.
+    let streamed_identical = {
+        let alt = generate_streamed_collect(&scale_spec, scale_seed, 999);
+        alt.x == scale.x && alt.y == scale.y
+    };
+    if !streamed_identical {
+        eprintln!("[dfs-bench] fatal: streamed generation is not block-size invariant");
+    }
+    gate_ok &= streamed_identical;
+    let scale_d = scale.x.ncols();
+    let scale_train = (scale.x.nrows() * 4) / 5;
+    let scale_cols: Vec<usize> = (0..scale_d).collect();
+    let scale_train_rows: Vec<usize> = (0..scale_train).collect();
+    let mut x_scale = Matrix::zeros(0, 0);
+    scale.x.select_row_range_cols_into(0..scale_train, &scale_cols, &mut x_scale);
+    let y_scale = &scale.y[..scale_train];
+    let holdout_f1 = |t: &DecisionTree| {
+        let preds: Vec<bool> = scale
+            .x
+            .rows_iter()
+            .skip(scale_train)
+            .map(|row| t.predict_one(row))
+            .collect();
+        dfs_metrics::f1_score(&preds, &scale.y[scale_train..])
+    };
+    let scale_reps = if smoke { 1 } else { 3 };
+    let goss_cfg = GossConfig::new(GOSS_SHARES.0, GOSS_SHARES.1, 42);
+    let scale_fit = |exactness: SplitExactness, goss: Option<GossConfig>| {
+        let mut ws = TreeWorkspace::with_exactness(exactness);
+        if let Some(width) = exactness.code_width() {
+            let bins = std::sync::Arc::new(BinSet::derive_with(&x_scale, width));
+            ws.bind_bins(&bins, &scale_cols, &scale_train_rows);
+        }
+        ws.set_goss(goss);
+        let tree = DecisionTree::fit_in(&x_scale, y_scale, GRID_DEPTH, None, &mut ws);
+        let ns = median_ns(scale_reps, || {
+            let t = DecisionTree::fit_in(&x_scale, y_scale, GRID_DEPTH, None, &mut ws);
+            assert!(t.n_nodes() > 0);
+        });
+        (ns, holdout_f1(&tree))
+    };
+    let (scale_presorted_ns, scale_presorted_f1) = scale_fit(SplitExactness::Presorted, None);
+    let (scale_u8_ns, scale_u8_f1) = scale_fit(SplitExactness::Binned256, None);
+    let (scale_u16_ns, scale_u16_f1) = scale_fit(SplitExactness::Binned4096, None);
+    let (scale_goss_ns, scale_goss_f1) = scale_fit(SplitExactness::Binned4096, Some(goss_cfg));
+    // Quality gate: the exact binned kernels must hold F1 parity with the
+    // presorted reference on the holdout at any row count. The GOSS cell
+    // is stochastic — at smoke-sized corpora a 20% subsample is noise-
+    // dominated — so its parity is only gated at full scale.
+    let mut parity = vec![scale_u8_f1, scale_u16_f1];
+    if !smoke {
+        parity.push(scale_goss_f1);
+    }
+    let scale_f1_ok =
+        parity.iter().all(|f1| (f1 - scale_presorted_f1).abs() <= F1_TOLERANCE);
+    if !scale_f1_ok {
+        eprintln!(
+            "[dfs-bench] fatal: scale-cell F1 parity broken (presorted {scale_presorted_f1:.4}, \
+             u8 {scale_u8_f1:.4}, u16 {scale_u16_f1:.4}, u16+GOSS {scale_goss_f1:.4})"
+        );
+    }
+    gate_ok &= scale_f1_ok;
+    let wide_vs_presorted = scale_presorted_ns as f64 / scale_u16_ns.max(1) as f64;
+    let goss_vs_u8 = scale_u8_ns as f64 / scale_goss_ns.max(1) as f64;
+    let goss_vs_u16 = scale_u16_ns as f64 / scale_goss_ns.max(1) as f64;
+    if !smoke && wide_vs_presorted < MIN_WIDE_SPEEDUP {
+        eprintln!(
+            "[dfs-bench] fatal: wide-bin kernel speedup {wide_vs_presorted:.2}x over presorted \
+             at {scale_rows} rows is below the {MIN_WIDE_SPEEDUP}x gate"
+        );
+        gate_ok = false;
+    }
+
+    // 5. Million-row watchdog cell (full runs only): one u16+GOSS fit at
+    //    10^6 streamed rows, timed once — proof the kernel holds at the
+    //    paper-motivating scale, not a median.
+    let million_ns: Option<u64> = (!smoke).then(|| {
+        let spec = million_row_spec();
+        let m = generate_streamed_collect(&spec, scale_seed, 8192);
+        let d = m.x.ncols();
+        let cols: Vec<usize> = (0..d).collect();
+        let rows_all: Vec<usize> = (0..m.x.nrows()).collect();
+        let mut ws = TreeWorkspace::with_exactness(SplitExactness::Binned4096);
+        let bins = std::sync::Arc::new(BinSet::derive_with(&m.x, CodeWidth::U16));
+        ws.bind_bins(&bins, &cols, &rows_all);
+        ws.set_goss(Some(goss_cfg));
+        let t = Instant::now();
+        let tree = DecisionTree::fit_in(&m.x, &m.y, GRID_DEPTH, None, &mut ws);
+        let ns = t.elapsed().as_nanos() as u64;
+        assert!(tree.n_nodes() > 0);
+        ns
+    });
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -505,6 +652,27 @@ fn main() {
     "batch_ns": {forest_predict_ns},
     "ns_per_row": {per_row}
   }},
+  "scale_cell": {{
+    "rows": {scale_rows},
+    "train_rows": {scale_train},
+    "features": {scale_d},
+    "streamed_block_invariant": {streamed_identical},
+    "goss": {{ "top_frac": {goss_top}, "rest_frac": {goss_rest}, "kept_frac": {goss_kept} }},
+    "presorted_ns": {scale_presorted_ns},
+    "binned256_ns": {scale_u8_ns},
+    "binned4096_ns": {scale_u16_ns},
+    "binned4096_goss_ns": {scale_goss_ns},
+    "wide_speedup_vs_presorted": {wide_vs_presorted:.2},
+    "goss_speedup_vs_binned256": {goss_vs_u8:.2},
+    "goss_speedup_vs_binned4096": {goss_vs_u16:.2},
+    "holdout_f1": {{
+      "presorted": {scale_presorted_f1:.4},
+      "binned256": {scale_u8_f1:.4},
+      "binned4096": {scale_u16_f1:.4},
+      "binned4096_goss": {scale_goss_f1:.4}
+    }}
+  }},
+  "million_row": {{ "rows": 1000000, "binned4096_goss_ns": {million_ns_json} }},
   "gates_passed": {gate_ok}
 }}
 "#,
@@ -520,6 +688,10 @@ fn main() {
         forest_binned = ns_json(forest_binned_ns),
         forest_presorted = ns_json(forest_presorted_ns),
         per_row = forest_predict_ns / predict_rows as u64,
+        goss_top = GOSS_SHARES.0,
+        goss_rest = GOSS_SHARES.1,
+        goss_kept = goss_cfg.kept_frac(),
+        million_ns_json = ns_json(million_ns),
     );
 
     print!("{json}");

@@ -4,11 +4,12 @@
 //! that needs it first looks here. The format is a line-oriented TSV keyed
 //! by a config fingerprint, written atomically (temp file + rename).
 //!
-//! Codec v5 carries each cell's [`CellStatus`] (so fault-isolated runs
+//! Codec v6 carries each cell's [`CellStatus`] (so fault-isolated runs
 //! roundtrip losslessly) and its [`EvalPerf`] work counters, including the
 //! attack/ranking timing and HPO grid-point fields added with the
-//! observability layer and the memo/bound-pruning/warm-start counters
-//! added with the cross-arm evaluation memo. A file that
+//! observability layer, the memo/bound-pruning/warm-start counters
+//! added with the cross-arm evaluation memo, and the chunked-evaluator
+//! block counter added with the streaming evaluator. A file that
 //! fails validation — wrong version, truncated, or garbled — is never
 //! trusted partially: [`load`] quarantines it (renames it aside with a
 //! `.quarantined` suffix) and the caller recomputes. The per-cell line
@@ -53,8 +54,19 @@ pub fn fingerprint(cfg: &CorpusConfig) -> u64 {
     mix(cfg.time_range.1.as_millis() as u64);
     mix(cfg.seed);
     // DT measurements can differ across split kernels, so each exactness
-    // mode gets its own cache file (and checkpoint sidecar).
+    // mode gets its own cache file (and checkpoint sidecar). Active GOSS
+    // subsampling likewise changes binned DT measurements; inactive pairs
+    // run the unsampled kernel bit-for-bit and share its file.
     mix(cfg.exactness.fingerprint());
+    if cfg.exactness.code_width().is_some() {
+        if let Some((top, rest)) = cfg.goss {
+            if top + rest < 1.0 {
+                mix(0x6055);
+                mix(top.to_bits());
+                mix(rest.to_bits());
+            }
+        }
+    }
     h
 }
 
@@ -75,7 +87,7 @@ pub fn encode(matrix: &BenchmarkMatrix) -> DfsResult<String> {
             ),
         });
     }
-    let _ = writeln!(out, "#dfs-matrix\tv5\t{}\t{}", matrix.scenarios.len(), matrix.arms.len());
+    let _ = writeln!(out, "#dfs-matrix\tv6\t{}\t{}", matrix.scenarios.len(), matrix.arms.len());
     for (s, row) in matrix.scenarios.iter().zip(&matrix.results) {
         let c = &s.constraints;
         let _ = writeln!(
@@ -100,13 +112,13 @@ pub fn encode(matrix: &BenchmarkMatrix) -> DfsResult<String> {
     Ok(out)
 }
 
-/// Writes one `R` result line (v5: leading one-character status code, then
-/// the metrics, then the fourteen [`EvalPerf`] work counters).
+/// Writes one `R` result line (v6: leading one-character status code, then
+/// the metrics, then the fifteen [`EvalPerf`] work counters).
 pub(crate) fn encode_cell(out: &mut String, cell: &CellResult) {
     let p = &cell.perf;
     let _ = writeln!(
         out,
-        "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
         cell.status.code(),
         cell.success as u8,
         cell.elapsed.as_secs_f64(),
@@ -129,15 +141,16 @@ pub(crate) fn encode_cell(out: &mut String, cell: &CellResult) {
         p.memo_misses,
         p.bound_skips,
         p.warm_starts,
+        p.eval_blocks,
     );
 }
 
-/// Parses one tab-split `R` line (`fields[0] == "R"`, 23 fields). Every
+/// Parses one tab-split `R` line (`fields[0] == "R"`, 24 fields). Every
 /// field is validated — a truncated or bit-flipped line is an error, never
 /// a silently wrong cell.
 pub(crate) fn decode_cell(fields: &[&str]) -> Result<CellResult, String> {
-    if fields.len() != 23 {
-        return Err(format!("result line has {} fields, expected 23", fields.len()));
+    if fields.len() != 24 {
+        return Err(format!("result line has {} fields, expected 24", fields.len()));
     }
     let parse = |i: usize| -> Result<f64, String> {
         fields[i].parse().map_err(|e| format!("result field {i}: {e}"))
@@ -184,6 +197,7 @@ pub(crate) fn decode_cell(fields: &[&str]) -> Result<CellResult, String> {
             memo_misses: count(20)?,
             bound_skips: count(21)?,
             warm_starts: count(22)?,
+            eval_blocks: count(23)?,
         },
     })
 }
@@ -196,8 +210,8 @@ pub fn decode(s: &str) -> Result<BenchmarkMatrix, String> {
     if head.len() != 4 || head[0] != "#dfs-matrix" {
         return Err(format!("bad header '{header}'"));
     }
-    if head[1] != "v5" {
-        return Err(format!("unsupported cache version '{}' (this build reads v5)", head[1]));
+    if head[1] != "v6" {
+        return Err(format!("unsupported cache version '{}' (this build reads v6)", head[1]));
     }
     let n_scenarios: usize = head[2].parse().map_err(|e| format!("bad count: {e}"))?;
     let n_arms: usize = head[3].parse().map_err(|e| format!("bad arm count: {e}"))?;
@@ -368,6 +382,7 @@ mod tests {
                     memo_misses: 5 + i as u64,
                     bound_skips: (i % 6) as u64,
                     warm_starts: (i % 3) as u64,
+                    eval_blocks: (i % 5) as u64,
                 },
             })
             .collect();
@@ -425,16 +440,16 @@ mod tests {
     fn decode_rejects_garbage() {
         assert!(decode("").is_err());
         // Older codecs (v1 pre-status, v2 pre-perf, v3 pre-obs-counters,
-        // v4 pre-memo-counters) are a version mismatch, not a panic; so is
-        // any future version.
-        for old in ["v1", "v2", "v3", "v4"] {
+        // v4 pre-memo-counters, v5 pre-eval-blocks) are a version
+        // mismatch, not a panic; so is any future version.
+        for old in ["v1", "v2", "v3", "v4", "v5"] {
             assert!(decode(&format!("#dfs-matrix\t{old}\t0\t17\n"))
                 .is_err_and(|e| e.contains("unsupported cache version")));
         }
-        assert!(decode("#dfs-matrix\tv6\t0\t17\n").is_err());
-        assert!(decode("#dfs-matrix\tv5\t1\t17\nX\tfoo\n").is_err());
+        assert!(decode("#dfs-matrix\tv7\t0\t17\n").is_err());
+        assert!(decode("#dfs-matrix\tv6\t1\t17\nX\tfoo\n").is_err());
         // Wrong arm count.
-        assert!(decode("#dfs-matrix\tv5\t0\t3\n").is_err());
+        assert!(decode("#dfs-matrix\tv6\t0\t3\n").is_err());
     }
 
     #[test]
@@ -473,6 +488,18 @@ mod tests {
             cache_path(&binned, BenchVersion::Hpo),
             cache_path(&presorted, BenchVersion::Hpo)
         );
+        // The wide-bin kernel is its own mode, too.
+        let wide = CorpusConfig { exactness: SplitExactness::Binned4096, ..binned.clone() };
+        assert_ne!(fingerprint(&binned), fingerprint(&wide));
+        // Active GOSS changes binned measurements: separate file. Inactive
+        // pairs and presorted fits run the unsampled kernel bit-for-bit
+        // and share the plain file.
+        let goss = CorpusConfig { goss: Some((0.1, 0.1)), ..binned.clone() };
+        assert_ne!(fingerprint(&binned), fingerprint(&goss));
+        let inert = CorpusConfig { goss: Some((0.8, 0.4)), ..binned.clone() };
+        assert_eq!(fingerprint(&binned), fingerprint(&inert));
+        let presorted_goss = CorpusConfig { goss: Some((0.1, 0.1)), ..presorted.clone() };
+        assert_eq!(fingerprint(&presorted), fingerprint(&presorted_goss));
     }
 
     #[test]
@@ -494,9 +521,9 @@ mod tests {
         let path = dir.join("bad.tsv");
         let qpath = PathBuf::from(format!("{}.quarantined", path.display()));
         std::fs::remove_file(&qpath).ok();
-        // A v4 file from the previous build is quarantined like any other
-        // version mismatch — the recompute writes fresh v5 bytes.
-        std::fs::write(&path, "#dfs-matrix\tv4\t0\t17\n").expect("write");
+        // A v5 file from the previous build is quarantined like any other
+        // version mismatch — the recompute writes fresh v6 bytes.
+        std::fs::write(&path, "#dfs-matrix\tv5\t0\t17\n").expect("write");
         dfs_obs::set_trace_enabled(true);
         let (loaded, collected) = dfs_obs::scoped(|| load(&path));
         assert!(loaded.is_none());

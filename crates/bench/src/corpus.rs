@@ -50,6 +50,11 @@ pub struct CorpusConfig {
     /// of the cache fingerprint: matrices computed under different kernels
     /// live in different TSV files and never mix.
     pub exactness: SplitExactness,
+    /// GOSS-style per-node row subsampling `(top_frac, rest_frac)` for
+    /// binned DT fits of every scenario. Active pairs enter the cache
+    /// fingerprint (they change DT measurements); `None` and inactive
+    /// pairs run the exact kernel bit-for-bit.
+    pub goss: Option<(f64, f64)>,
 }
 
 impl Default for CorpusConfig {
@@ -85,6 +90,7 @@ impl Default for CorpusConfig {
             seed: 2021,
             threads: std::thread::available_parallelism().map(|p| p.get().min(8)).unwrap_or(4),
             exactness: SplitExactness::default(),
+            goss: None,
         }
     }
 }
@@ -186,6 +192,7 @@ pub fn compute_or_load_matrix(
     );
     let mut settings = bench_settings();
     settings.exactness = cfg.exactness;
+    settings.goss = cfg.goss;
     let ckpt = Checkpoint::start(ckpt_path, fingerprint, scenarios.len(), arms.len(), &resume);
     let sink = |i: usize, row: &[CellResult]| ckpt.append_row(i, row);
     let observer = dfs_obs::RunObserver::new(format!("matrix-{}", version.tag()));
@@ -247,6 +254,7 @@ mod tests {
             seed: 7,
             threads: 1,
             exactness: SplitExactness::default(),
+            goss: None,
         }
     }
 

@@ -20,7 +20,7 @@
 use dfs_constraints::Evaluation;
 use dfs_data::split::Split;
 use dfs_linalg::rng::derive_seed;
-use dfs_models::BinSet;
+use dfs_models::{BinSet, CodeWidth};
 use dfs_rankings::{Ranking, RankingKind};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -38,7 +38,7 @@ pub struct ArtifactCache {
     /// minus the kind: bins depend only on the training matrix, so every
     /// arm, wrapper step, and server request on the same split shares one
     /// quantization.
-    bins: Mutex<HashMap<(String, u64), Arc<BinSet>>>,
+    bins: Mutex<HashMap<(String, u64, CodeWidth), Arc<BinSet>>>,
     bin_computes: AtomicU64,
     bin_hits: AtomicU64,
 }
@@ -80,9 +80,11 @@ impl ArtifactCache {
         (self.computes.load(Ordering::Relaxed), self.hits.load(Ordering::Relaxed))
     }
 
-    /// Returns the histogram [`BinSet`] for `(dataset, split_key)`,
+    /// Returns the histogram [`BinSet`] for `(dataset, split_key, width)`,
     /// computing it via `compute` on the first request. The second element
-    /// is `true` on a cache hit.
+    /// is `true` on a cache hit. The code width is part of the key: a
+    /// `Binned256` and a `Binned4096` scenario on the same split quantize
+    /// at different bin budgets and must never share an arena.
     ///
     /// Like [`ArtifactCache::ranking`], the lock is held during the
     /// compute: quantization sorts every training column once, and
@@ -94,9 +96,10 @@ impl ArtifactCache {
         &self,
         dataset: &str,
         split_key: u64,
+        width: CodeWidth,
         compute: impl FnOnce() -> BinSet,
     ) -> (Arc<BinSet>, bool) {
-        let key = (dataset.to_string(), split_key);
+        let key = (dataset.to_string(), split_key, width);
         let mut map = self.bins.lock();
         if let Some(b) = map.get(&key) {
             self.bin_hits.fetch_add(1, Ordering::Relaxed);
@@ -365,16 +368,28 @@ mod tests {
         let split = stratified_three_way(&ds, 1);
         let split_key = split_fingerprint(&split);
         let cache = ArtifactCache::new();
-        let (a, hit_a) = cache.bins(&ds.name, split_key, || BinSet::derive(&split.train.x));
-        let (b, hit_b) = cache.bins(&ds.name, split_key, || panic!("cached bins must not recompute"));
+        let (a, hit_a) =
+            cache.bins(&ds.name, split_key, CodeWidth::U8, || BinSet::derive(&split.train.x));
+        let (b, hit_b) = cache
+            .bins(&ds.name, split_key, CodeWidth::U8, || panic!("cached bins must not recompute"));
         assert!(!hit_a && hit_b);
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.n_features(), split.n_features());
         assert_eq!(a.n_rows(), split.train.n_rows());
         assert_eq!(cache.bin_counts(), (1, 1));
         // A different split key misses; ranking counters stay untouched.
-        assert!(!cache.bins(&ds.name, split_key ^ 1, || BinSet::derive(&split.train.x)).1);
+        assert!(!cache
+            .bins(&ds.name, split_key ^ 1, CodeWidth::U8, || BinSet::derive(&split.train.x))
+            .1);
         assert_eq!(cache.bin_counts(), (2, 1));
+        // So does the same split at a different code width: a u16 arena is
+        // a different quantization, never a u8 arena served wider.
+        let (w, hit_w) = cache.bins(&ds.name, split_key, CodeWidth::U16, || {
+            BinSet::derive_with(&split.train.x, CodeWidth::U16)
+        });
+        assert!(!hit_w);
+        assert_eq!(w.width(), CodeWidth::U16);
+        assert_eq!(cache.bin_counts(), (3, 1));
         assert_eq!(cache.counts(), (0, 0));
     }
 

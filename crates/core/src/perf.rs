@@ -58,6 +58,10 @@ pub struct EvalPerf {
     /// LR/SVM fits seeded from a parent subset's weights (only in the
     /// opt-in inexact warm-start mode).
     pub warm_starts: u64,
+    /// Block gathers performed by the chunked streaming evaluator (zero
+    /// when every evaluation matrix fit within one block or chunking was
+    /// disabled).
+    pub eval_blocks: u64,
 }
 
 impl EvalPerf {
@@ -78,6 +82,7 @@ impl EvalPerf {
         self.memo_misses += other.memo_misses;
         self.bound_skips += other.bound_skips;
         self.warm_starts += other.warm_starts;
+        self.eval_blocks += other.eval_blocks;
     }
 
     /// This counter set with the wall-clock-derived fields zeroed.
@@ -111,6 +116,7 @@ mod tests {
             memo_misses: 13,
             bound_skips: 14,
             warm_starts: 15,
+            eval_blocks: 16,
             ..EvalPerf::default()
         };
         a.merge(&b);
@@ -131,6 +137,7 @@ mod tests {
                 memo_misses: 13,
                 bound_skips: 14,
                 warm_starts: 15,
+                eval_blocks: 16,
             }
         );
     }
@@ -188,6 +195,7 @@ mod tests {
             memo_misses: 9,
             bound_skips: 10,
             warm_starts: 11,
+            eval_blocks: 12,
         };
         let t = p.without_timings();
         assert_eq!(

@@ -16,7 +16,7 @@ use dfs_models::importance::importance_or_permutation;
 use dfs_models::logistic::LogisticRegression;
 use dfs_models::svm::LinearSvm;
 use dfs_models::tree::TreeWorkspace;
-use dfs_models::{BinSet, ModelKind, ModelSpec, SplitExactness, TrainedModel};
+use dfs_models::{BinSet, BinView, GossConfig, ModelKind, ModelSpec, SplitExactness, TrainedModel};
 use dfs_obs as obs;
 use dfs_rankings::{Ranking, RankingKind};
 use dfs_search::Budget;
@@ -73,6 +73,25 @@ pub struct ScenarioSettings {
     /// bit-exact reference kernel. The two modes are fingerprinted apart
     /// (for DT scenarios) so memo/TSV entries never mix.
     pub exactness: SplitExactness,
+    /// GOSS-style per-node row subsampling `(top_frac, rest_frac)` for
+    /// binned decision-tree fits: each node keeps its `top_frac` share of
+    /// rows by gradient proxy, samples `rest_frac` of the remainder, and
+    /// reweights. `None` — and any inactive pair with `top + rest >= 1.0`
+    /// — runs the unsampled kernel bit-for-bit. An active pair changes DT
+    /// measurements, so it is fingerprinted apart exactly when the binned
+    /// kernel runs (DT, no DP, binned exactness); presorted and DP fits
+    /// ignore it.
+    pub goss: Option<(f64, f64)>,
+    /// Row count of one chunked-evaluation block. Evaluation splits taller
+    /// than this are streamed through one block-sized gather buffer
+    /// instead of being materialized whole, so a million-row test split
+    /// never allocates more than one block of gathered scratch.
+    /// Predictions are per-row, so the streamed pass is bit-identical at
+    /// every block size — which is why this knob is *not* part of the
+    /// settings fingerprint. `0` disables chunking; the monolithic path
+    /// is also kept whenever the fit itself needs the full evaluation
+    /// matrix (HPO scoring on validation during search).
+    pub eval_block_rows: usize,
 }
 
 impl ScenarioSettings {
@@ -86,6 +105,8 @@ impl ScenarioSettings {
             warm_start: false,
             warm_exact: true,
             exactness: SplitExactness::default(),
+            goss: None,
+            eval_block_rows: 8192,
         }
     }
 
@@ -106,6 +127,8 @@ impl ScenarioSettings {
             warm_start: false,
             warm_exact: true,
             exactness: SplitExactness::default(),
+            goss: None,
+            eval_block_rows: 8192,
         }
     }
 }
@@ -160,7 +183,21 @@ pub fn settings_fingerprint(
         && scenario.constraints.privacy_epsilon.is_none()
     {
         mix(settings.exactness.fingerprint());
+        // Active GOSS subsampling changes the fitted tree, but only the
+        // binned kernels sample: inactive pairs and presorted fits run
+        // the exact path bit-for-bit and share the unsampled entries.
+        if settings.exactness.code_width().is_some() {
+            if let Some((top, rest)) = settings.goss {
+                if top + rest < 1.0 {
+                    mix(0x6055);
+                    mix(top.to_bits());
+                    mix(rest.to_bits());
+                }
+            }
+        }
     }
+    // `eval_block_rows` is deliberately absent: the chunked evaluator is
+    // bit-identical to the monolithic one at every block size.
     h
 }
 
@@ -255,9 +292,9 @@ struct MeasureEnv<'a> {
     train_rows: &'a [usize],
     y_train: &'a [bool],
     exec: &'a Executor,
-    /// Dataset-level bin set for binned DT fits (`None` for other models,
-    /// presorted mode, or DP scenarios, whose tree variant bypasses the
-    /// kernel).
+    /// Dataset-level bin set for binned DT fits (`None` for other models
+    /// and presorted mode). DP scenarios reuse the same codes through the
+    /// bit-identical [`BinView`] partition path of the DP random tree.
     bins: Option<&'a Arc<BinSet>>,
 }
 
@@ -287,6 +324,18 @@ fn train_subset(
             Some(b) => tree_ws.bind_bins(b, subset, env.train_rows),
             None => tree_ws.clear_bins(),
         }
+        // GOSS samples per-node inside the binned kernel only; the seed
+        // derives from `(scenario seed, subset hash)` so a measurement
+        // stays a pure function of its inputs at any thread count.
+        let goss = match (env.settings.goss, env.scenario.constraints.privacy_epsilon) {
+            (Some((top, rest)), None) => Some(GossConfig::new(
+                top,
+                rest,
+                derive_seed(env.scenario.seed, 0x6055_5EED ^ hash_subset(subset)),
+            )),
+            _ => None,
+        };
+        tree_ws.set_goss(goss);
     }
     match env.scenario.constraints.privacy_epsilon {
         Some(eps) => {
@@ -296,7 +345,12 @@ fn train_subset(
             // alternative of the chosen model).
             let spec = ModelSpec::default_for(env.scenario.model);
             let dp_seed = derive_seed(env.scenario.seed, hash_subset(subset));
-            spec.fit_dp(x_train, env.y_train, eps, dp_seed)
+            // The DP random tree partitions from the scenario's bin codes
+            // when they exist — bit-identical to the raw compare, so the
+            // choice follows the split kernel without touching any
+            // fingerprint.
+            let view = env.bins.map(|b| BinView::new(b, subset, env.train_rows));
+            spec.fit_dp_with(x_train, env.y_train, eps, dp_seed, view)
         }
         None => match val {
             Some((x_val, y_val)) => {
@@ -432,7 +486,16 @@ fn measure_subset_bounded(
     let gather_start = Instant::now();
     split.train.x.select_rows_cols_into(env.train_rows, subset, &mut scratch.train);
     let part = if eval_on_test { &split.test } else { &split.val };
-    part.x.select_cols_into(subset, &mut scratch.eval);
+    // Oversized evaluation splits are streamed block-wise through the
+    // eval scratch buffer after the fit instead of being materialized
+    // here — unless the fit itself consumes the full matrix (HPO scores
+    // on validation during search, where the eval gather doubles as the
+    // validation gather).
+    let chunk = env.settings.eval_block_rows;
+    let chunked = chunk > 0 && part.x.nrows() > chunk && !(needs_val && !eval_on_test);
+    if !chunked {
+        part.x.select_cols_into(subset, &mut scratch.eval);
+    }
     // HPO always scores on validation, never on test. When the evaluation
     // target *is* validation, the eval gather above already produced the
     // validation matrix — reuse it instead of gathering twice.
@@ -466,7 +529,25 @@ fn measure_subset_bounded(
     };
 
     let y_eval = &part.y;
-    let preds = model.predict(&scratch.eval);
+    let preds = if chunked {
+        // Predictions are strictly per-row, so concatenating block-wise
+        // predictions is bit-identical to one monolithic pass; only one
+        // block of gathered scratch is ever live.
+        obs::heartbeat("eval.blocks");
+        let n = part.x.nrows();
+        let mut preds = Vec::with_capacity(n);
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            part.x.select_row_range_cols_into(lo..hi, subset, &mut scratch.eval);
+            preds.extend(model.predict(&scratch.eval));
+            perf.eval_blocks += 1;
+            lo = hi;
+        }
+        preds
+    } else {
+        model.predict(&scratch.eval)
+    };
     let f1 = f1_score(&preds, y_eval);
     let eo = constraints.needs_eo().then(|| equal_opportunity(&preds, y_eval, &part.protected));
 
@@ -495,6 +576,14 @@ fn measure_subset_bounded(
         let attack_start = Instant::now();
         let mut cfg = env.settings.attack.clone();
         cfg.seed = derive_seed(env.scenario.seed, 0xA77AC4 ^ hash_subset(subset));
+        // The attack consumes only the first `max_points` evaluation rows
+        // (and truncates `y` to match); after the block-wise prediction
+        // loop the scratch buffer holds the *last* block, so re-gather
+        // exactly that prefix.
+        if chunked {
+            let k = cfg.max_points.min(part.x.nrows());
+            part.x.select_row_range_cols_into(0..k, subset, &mut scratch.eval);
+        }
         let predict = |row: &[f64]| model.predict_one(row);
         let safety = empirical_safety_with(&predict, &scratch.eval, y_eval, &cfg, env.exec);
         perf.attack_ns += attack_start.elapsed().as_nanos() as u64;
@@ -606,30 +695,31 @@ impl<'a> ScenarioContext<'a> {
         &self.eval_lat
     }
 
-    /// The dataset-level bin set, when this context's fits use the binned
-    /// kernel at all (DT model, no DP, binned exactness). Resolved once per
-    /// context: through the shared artifact cache when attached — every
-    /// arm, row, and server request on the same split then reuses one
-    /// quantization — or derived locally otherwise.
+    /// The dataset-level bin set, when this context's fits consult bin
+    /// codes at all (DT model with a binned exactness): the histogram
+    /// kernel for plain fits, and the bit-identical code-driven partition
+    /// for DP random trees. Resolved once per context at the exactness
+    /// mode's code width: through the shared artifact cache when attached
+    /// — every arm, row, and server request on the same split then reuses
+    /// one quantization per width — or derived locally otherwise.
     fn dataset_bins(&self) -> Option<&Arc<BinSet>> {
-        if self.scenario.model != ModelKind::DecisionTree
-            || self.scenario.constraints.privacy_epsilon.is_some()
-            || self.settings.exactness != SplitExactness::Binned256
-        {
+        if self.scenario.model != ModelKind::DecisionTree {
             return None;
         }
+        let width = self.settings.exactness.code_width()?;
         Some(self.bins.get_or_init(|| match &self.artifacts {
             Some(cache) => {
-                let (bins, hit) = cache.bins(&self.scenario.dataset, self.split_key, || {
-                    let _g = obs::span("bins.derive");
-                    BinSet::derive(&self.split.train.x)
-                });
+                let (bins, hit) =
+                    cache.bins(&self.scenario.dataset, self.split_key, width, || {
+                        let _g = obs::span("bins.derive");
+                        BinSet::derive_with(&self.split.train.x, width)
+                    });
                 obs::counter(if hit { "bins.hit" } else { "bins.derive" }, 1);
                 bins
             }
             None => {
                 obs::counter("bins.derive", 1);
-                Arc::new(BinSet::derive(&self.split.train.x))
+                Arc::new(BinSet::derive_with(&self.split.train.x, width))
             }
         }))
     }
@@ -1227,6 +1317,18 @@ impl SubsetEvaluator for ScenarioContext<'_> {
                 }
                 None => tree_ws.clear_bins(),
             }
+            // Same arming rule (and seed derivation) as `train_subset`, so
+            // an importance fit is a pure function of its subset and never
+            // inherits the previous fit's sticky GOSS state.
+            let goss = match (self.settings.goss, self.scenario.constraints.privacy_epsilon) {
+                (Some((top, rest)), None) => Some(GossConfig::new(
+                    top,
+                    rest,
+                    derive_seed(self.scenario.seed, 0x6055_5EED ^ hash_subset(subset)),
+                )),
+                _ => None,
+            };
+            tree_ws.set_goss(goss);
         }
         let model = spec.fit_ws(&x_train, &self.y_train, &mut tree_ws);
         if self.scenario.model == ModelKind::DecisionTree {
@@ -1721,28 +1823,172 @@ mod tests {
         let (ds, split) = setup();
         let mut sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
         sc.model = ModelKind::DecisionTree;
-        let mut binned = ScenarioSettings::fast();
-        binned.exactness = SplitExactness::Binned256;
         let mut presorted = ScenarioSettings::fast();
         presorted.exactness = SplitExactness::Presorted;
 
-        let artifacts = Arc::new(ArtifactCache::new());
-        let mut a =
-            ScenarioContext::new(&sc, &split, &binned).with_artifacts(Arc::clone(&artifacts));
-        let mut b = ScenarioContext::new(&sc, &split, &presorted);
-        for subset in [vec![0, 1], vec![0, 2, 4], (0..ds.n_features()).collect::<Vec<_>>()] {
-            let x = a.evaluate(&subset).unwrap();
-            let y = b.evaluate(&subset).unwrap();
-            assert_eq!(x.to_bits(), y.to_bits(), "subset {subset:?}");
+        for exactness in [SplitExactness::Binned256, SplitExactness::Binned4096] {
+            let mut binned = ScenarioSettings::fast();
+            binned.exactness = exactness;
+            let artifacts = Arc::new(ArtifactCache::new());
+            let mut a =
+                ScenarioContext::new(&sc, &split, &binned).with_artifacts(Arc::clone(&artifacts));
+            let mut b = ScenarioContext::new(&sc, &split, &presorted);
+            for subset in [vec![0, 1], vec![0, 2, 4], (0..ds.n_features()).collect::<Vec<_>>()] {
+                let x = a.evaluate(&subset).unwrap();
+                let y = b.evaluate(&subset).unwrap();
+                assert_eq!(x.to_bits(), y.to_bits(), "{exactness:?} subset {subset:?}");
+            }
+            // One derivation, served from the shared cache thereafter.
+            let (computes, _) = artifacts.bin_counts();
+            assert_eq!(computes, 1);
+            // A second binned context on the same split hits the cached bins.
+            let mut c =
+                ScenarioContext::new(&sc, &split, &binned).with_artifacts(Arc::clone(&artifacts));
+            let _ = c.evaluate(&[0, 1]).unwrap();
+            assert_eq!(artifacts.bin_counts(), (1, 1));
         }
-        // One derivation, served from the shared cache thereafter.
-        let (computes, _) = artifacts.bin_counts();
-        assert_eq!(computes, 1);
-        // A second binned context on the same split hits the cached bins.
-        let mut c =
-            ScenarioContext::new(&sc, &split, &binned).with_artifacts(Arc::clone(&artifacts));
-        let _ = c.evaluate(&[0, 1]).unwrap();
-        assert_eq!(artifacts.bin_counts(), (1, 1));
+    }
+
+    #[test]
+    fn dp_tree_measurements_agree_across_kernels() {
+        // The DP random tree partitions from bin codes when the scenario
+        // runs a binned mode — that path must be bit-identical to the raw
+        // compare at both widths, which is what keeps DP scenarios out of
+        // the exactness fingerprint.
+        let (_, split) = setup();
+        let mut c = ConstraintSet::accuracy_only(0.5, Duration::from_secs(10));
+        c.privacy_epsilon = Some(5.0);
+        let mut sc = scenario(c);
+        sc.model = ModelKind::DecisionTree;
+        let mut presorted = ScenarioSettings::fast();
+        presorted.exactness = SplitExactness::Presorted;
+        for exactness in [SplitExactness::Binned256, SplitExactness::Binned4096] {
+            let mut binned = ScenarioSettings::fast();
+            binned.exactness = exactness;
+            let mut a = ScenarioContext::new(&sc, &split, &binned);
+            let mut b = ScenarioContext::new(&sc, &split, &presorted);
+            for subset in [vec![0, 1, 2], vec![1, 3, 5, 7]] {
+                let x = a.evaluate(&subset).unwrap();
+                let y = b.evaluate(&subset).unwrap();
+                assert_eq!(x.to_bits(), y.to_bits(), "{exactness:?} subset {subset:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn goss_is_fingerprinted_apart_exactly_when_it_can_sample() {
+        let mut dt = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        dt.model = ModelKind::DecisionTree;
+        let base = ScenarioSettings::fast();
+        // An active pair changes binned DT measurements: separate entries.
+        let mut active = ScenarioSettings::fast();
+        active.goss = Some((0.2, 0.1));
+        assert_ne!(
+            settings_fingerprint(&dt, &base, 100),
+            settings_fingerprint(&dt, &active, 100)
+        );
+        // An inactive pair keeps every row of every node: same bits, same
+        // entries.
+        let mut inert = ScenarioSettings::fast();
+        inert.goss = Some((0.7, 0.5));
+        assert_eq!(
+            settings_fingerprint(&dt, &base, 100),
+            settings_fingerprint(&dt, &inert, 100)
+        );
+        // The presorted kernel never samples, LR never runs the kernel,
+        // and DP trees bypass it: all share entries across goss settings.
+        let mut presorted = ScenarioSettings::fast();
+        presorted.exactness = SplitExactness::Presorted;
+        let mut presorted_goss = presorted.clone();
+        presorted_goss.goss = Some((0.2, 0.1));
+        assert_eq!(
+            settings_fingerprint(&dt, &presorted, 100),
+            settings_fingerprint(&dt, &presorted_goss, 100)
+        );
+        let lr = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        assert_eq!(
+            settings_fingerprint(&lr, &base, 100),
+            settings_fingerprint(&lr, &active, 100)
+        );
+        let mut dt_dp = dt.clone();
+        dt_dp.constraints.privacy_epsilon = Some(1.0);
+        assert_eq!(
+            settings_fingerprint(&dt_dp, &base, 100),
+            settings_fingerprint(&dt_dp, &active, 100)
+        );
+        // Block size is a pure execution knob — never fingerprinted.
+        let mut blocks = ScenarioSettings::fast();
+        blocks.eval_block_rows = 7;
+        assert_eq!(
+            settings_fingerprint(&dt, &base, 100),
+            settings_fingerprint(&dt, &blocks, 100)
+        );
+    }
+
+    #[test]
+    fn goss_scenarios_measure_deterministically() {
+        let (_, split) = setup();
+        let mut sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        sc.model = ModelKind::DecisionTree;
+        let mut s = ScenarioSettings::fast();
+        s.goss = Some((0.3, 0.2));
+        let subset = vec![0, 1, 2, 3];
+        let mut a = ScenarioContext::new(&sc, &split, &s);
+        let mut b = ScenarioContext::new(&sc, &split, &s);
+        let x = a.evaluate(&subset).unwrap();
+        let y = b.evaluate(&subset).unwrap();
+        assert_eq!(x.to_bits(), y.to_bits(), "GOSS measurement must be reproducible");
+        assert!(x.is_finite());
+    }
+
+    #[test]
+    fn chunked_evaluation_is_bit_identical_to_monolithic() {
+        let (_, split) = setup();
+        let mut c = ConstraintSet::accuracy_only(0.5, Duration::from_secs(10));
+        c.min_eo = Some(0.8);
+        c.min_safety = Some(0.8);
+        for model in [ModelKind::LogisticRegression, ModelKind::DecisionTree] {
+            let mut sc = scenario(c.clone());
+            sc.model = model;
+            let mono_settings = ScenarioSettings::fast();
+            let mut block_settings = ScenarioSettings::fast();
+            block_settings.eval_block_rows = 7;
+            let mut mono = ScenarioContext::new(&sc, &split, &mono_settings);
+            let mut blocks = ScenarioContext::new(&sc, &split, &block_settings);
+            for subset in [vec![0, 1], vec![0, 2, 4]] {
+                let x = mono.evaluate(&subset).unwrap();
+                let y = blocks.evaluate(&subset).unwrap();
+                assert_eq!(x.to_bits(), y.to_bits(), "{model:?} subset {subset:?}");
+            }
+            let (eval_m, dist_m) = mono.confirm_on_test(&[0, 1]);
+            let (eval_b, dist_b) = blocks.confirm_on_test(&[0, 1]);
+            assert_eq!(eval_m.f1.to_bits(), eval_b.f1.to_bits());
+            assert_eq!(dist_m.to_bits(), dist_b.to_bits());
+            assert!(blocks.perf().eval_blocks > 0, "{model:?}: chunking must engage");
+            assert_eq!(mono.perf().eval_blocks, 0);
+        }
+    }
+
+    #[test]
+    fn hpo_search_evals_stay_monolithic_but_still_match() {
+        // Under HPO without DP the search-time eval matrix doubles as the
+        // fit's validation matrix, so those measurements must not chunk —
+        // and a tiny block size must therefore change nothing at all.
+        let (_, split) = setup();
+        let mut sc = scenario(ConstraintSet::accuracy_only(0.5, Duration::from_secs(10)));
+        sc.hpo = true;
+        let mono_settings = ScenarioSettings::fast();
+        let mut block_settings = ScenarioSettings::fast();
+        block_settings.eval_block_rows = 7;
+        let mut mono = ScenarioContext::new(&sc, &split, &mono_settings);
+        let mut blocks = ScenarioContext::new(&sc, &split, &block_settings);
+        let x = mono.evaluate(&[0, 1, 2]).unwrap();
+        let y = blocks.evaluate(&[0, 1, 2]).unwrap();
+        assert_eq!(x.to_bits(), y.to_bits());
+        assert_eq!(blocks.perf().eval_blocks, 0, "search-time HPO eval must not chunk");
+        // Test confirmation gathers validation separately, so it chunks.
+        blocks.confirm_on_test(&[0, 1, 2]);
+        assert!(blocks.perf().eval_blocks > 0);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use crate::logistic::LogisticRegression;
 use crate::naive_bayes::{ClassStats, GaussianNb};
 use crate::svm::LinearSvm;
-use crate::tree::{DecisionTree, Node};
+use crate::tree::{BinSet, DecisionTree, Node};
 use dfs_linalg::rng::{laplace, rng_from_seed, standard_normal};
 use dfs_linalg::{norm2, Matrix};
 use rand::rngs::StdRng;
@@ -167,6 +167,56 @@ pub fn dp_decision_tree(
     epsilon: f64,
     seed: u64,
 ) -> DecisionTree {
+    dp_tree_impl(x, y, max_depth, epsilon, seed, None)
+}
+
+/// View into a dataset-wide bound [`BinSet`] for the binned DP tree variant:
+/// fit-matrix column `f` maps to source column `cols[f]`, fit-matrix row `i`
+/// to source row `rows[i]`. The fit matrix `x` must hold exactly the gathered
+/// values `source[(rows[i], cols[f])]` — the codes are only trusted to
+/// classify those values.
+#[derive(Debug, Clone, Copy)]
+pub struct BinView<'a> {
+    bins: &'a BinSet,
+    cols: &'a [usize],
+    rows: &'a [usize],
+}
+
+impl<'a> BinView<'a> {
+    /// Builds a view; `cols`/`rows` are the gather maps used to build the
+    /// fit matrix from the source matrix the bins were derived on.
+    pub fn new(bins: &'a BinSet, cols: &'a [usize], rows: &'a [usize]) -> Self {
+        Self { bins, cols, rows }
+    }
+}
+
+/// [`dp_decision_tree`] driven by pre-derived bin codes: per drawn threshold,
+/// bins wholly below/above the threshold are classified from their u8/u16
+/// code alone and only the (at most one) straddling bin consults the raw
+/// feature value. The partition — and therefore the tree — is bit-identical
+/// to the raw path, so DP scenarios stay out of the exactness fingerprint.
+pub fn dp_decision_tree_binned(
+    x: &Matrix,
+    y: &[bool],
+    max_depth: usize,
+    epsilon: f64,
+    seed: u64,
+    view: BinView<'_>,
+) -> DecisionTree {
+    let (n, d) = x.shape();
+    assert_eq!(d, view.cols.len(), "dp_decision_tree_binned: column-map width mismatch");
+    assert_eq!(n, view.rows.len(), "dp_decision_tree_binned: row-map length mismatch");
+    dp_tree_impl(x, y, max_depth, epsilon, seed, Some(view))
+}
+
+fn dp_tree_impl(
+    x: &Matrix,
+    y: &[bool],
+    max_depth: usize,
+    epsilon: f64,
+    seed: u64,
+    view: Option<BinView<'_>>,
+) -> DecisionTree {
     let (n, d) = x.shape();
     assert_eq!(n, y.len(), "dp_decision_tree: row/label mismatch");
     let max_depth = max_depth.max(1);
@@ -189,6 +239,7 @@ pub fn dp_decision_tree(
         epsilon,
         d,
         &mut rng,
+        view,
     );
     // Random splits carry no data-driven importance signal; expose a uniform
     // vector so downstream ranking consumers stay well-defined.
@@ -201,6 +252,13 @@ pub fn dp_decision_tree(
 /// `Iterator::partition` it replaces, and the RNG draw order (feature,
 /// threshold, then leaf noise in preorder) is unchanged — so the tree is
 /// identical to the allocating builder's, just without the per-node Vecs.
+///
+/// With a [`BinView`], the partition predicate resolves a row from its bin
+/// code whenever the code is decisive: bins with `hi ≤ t` sit wholly at or
+/// below the threshold (code `< bl`), bins with `lo > t` wholly above (code
+/// `≥ br`); only codes in `[bl, br)` — the bins don't overlap, so at most
+/// one — fall back to the raw `x[(i, f)] <= t` compare. Every row lands on
+/// the same side as the raw predicate, bit for bit.
 #[allow(clippy::too_many_arguments)]
 fn build_random(
     nodes: &mut Vec<Node>,
@@ -215,25 +273,38 @@ fn build_random(
     epsilon: f64,
     d: usize,
     rng: &mut StdRng,
+    view: Option<BinView<'_>>,
 ) -> usize {
     if depth >= max_depth || hi - lo < 2 {
         return push_noisy_leaf(nodes, y, &rows[lo..hi], epsilon, rng);
     }
     let feature = rng.random_range(0..d);
     let threshold = rng.random::<f64>(); // features are min–max scaled
-    let nl = dfs_linalg::sort::stable_partition_in_place(&mut rows[lo..hi], scratch, |&i| {
-        x[(i, feature)] <= threshold
-    });
+    let nl = match view {
+        None => dfs_linalg::sort::stable_partition_in_place(&mut rows[lo..hi], scratch, |&i| {
+            x[(i, feature)] <= threshold
+        }),
+        Some(v) => {
+            let src_col = v.cols[feature];
+            let fb = v.bins.feature(src_col);
+            let bl = fb.hi().partition_point(|&h| h <= threshold) as u16;
+            let br = fb.lo().partition_point(|&l| l <= threshold) as u16;
+            dfs_linalg::sort::stable_partition_in_place(&mut rows[lo..hi], scratch, |&i| {
+                let c = v.bins.code_at(src_col, v.rows[i]);
+                c < bl || (c < br && x[(i, feature)] <= threshold)
+            })
+        }
+    };
     if nl == 0 || nl == hi - lo {
         return push_noisy_leaf(nodes, y, &rows[lo..hi], epsilon, rng);
     }
     let me = nodes.len();
     nodes.push(Node::Leaf { proba: 0.5 }); // placeholder
     let left = build_random(
-        nodes, x, y, rows, scratch, lo, lo + nl, depth + 1, max_depth, epsilon, d, rng,
+        nodes, x, y, rows, scratch, lo, lo + nl, depth + 1, max_depth, epsilon, d, rng, view,
     );
     let right = build_random(
-        nodes, x, y, rows, scratch, lo + nl, hi, depth + 1, max_depth, epsilon, d, rng,
+        nodes, x, y, rows, scratch, lo + nl, hi, depth + 1, max_depth, epsilon, d, rng, view,
     );
     nodes[me] = Node::Split { feature, threshold, left, right };
     me
@@ -365,6 +436,34 @@ mod tests {
         // Importances are uniform by construction.
         let imp = dp.importances();
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binned_dp_tree_is_bit_identical_to_the_raw_path() {
+        use crate::tree::CodeWidth;
+        // Source matrix wider and taller than the fit view, with ~997
+        // distinct values per column so u8 codes must quantize (straddling
+        // bins exercise the raw-value fallback of the binned predicate).
+        let n = 320;
+        let d = 5;
+        let raw_rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..d).map(|j| ((i * 37 + j * 101) % 997) as f64 / 996.0).collect())
+            .collect();
+        let src = Matrix::from_rows(&raw_rows);
+        let y_src: Vec<bool> = (0..n).map(|i| (i * 7) % 3 == 0).collect();
+        let fit_rows: Vec<usize> = (0..n).filter(|i| i % 3 != 1).collect();
+        let cols = vec![4usize, 0, 2];
+        let x = src.select_rows(&fit_rows).select_cols(&cols);
+        let y: Vec<bool> = fit_rows.iter().map(|&i| y_src[i]).collect();
+        for width in [CodeWidth::U8, CodeWidth::U16] {
+            let bins = BinSet::derive_with(&src, width);
+            let view = BinView::new(&bins, &cols, &fit_rows);
+            for seed in [0u64, 3, 11, 42] {
+                let raw = dp_decision_tree(&x, &y, 6, 50.0, seed);
+                let binned = dp_decision_tree_binned(&x, &y, 6, 50.0, seed, view);
+                assert_eq!(raw, binned, "width {width:?} seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -26,9 +26,10 @@ pub struct ForestConfig {
     pub balanced: bool,
     /// RNG seed.
     pub seed: u64,
-    /// Split kernel of the member trees. Under [`SplitExactness::Binned256`]
-    /// the forest quantizes the dataset **once** and every tree fits from
-    /// bound bin codes, skipping per-tree threshold re-derivation.
+    /// Split kernel of the member trees. Under the binned kernels
+    /// (`Binned256`/`Binned4096`) the forest quantizes the dataset **once**
+    /// at the kernel's code width and every tree fits from bound bin codes,
+    /// skipping per-tree threshold re-derivation.
     pub exactness: SplitExactness,
 }
 
@@ -89,10 +90,10 @@ impl RandomForest {
         // One quantization for the whole forest: every tree's bootstrap is a
         // row/column selection of the same matrix, so trees gather codes
         // from the shared BinSet instead of re-deriving thresholds.
-        let bins = match cfg.exactness {
-            SplitExactness::Binned256 => Some(Arc::new(BinSet::derive(x))),
-            SplitExactness::Presorted => None,
-        };
+        let bins = cfg
+            .exactness
+            .code_width()
+            .map(|width| Arc::new(BinSet::derive_with(x, width)));
 
         let tree_ids: Vec<usize> = (0..cfg.n_trees).collect();
         // Scratch pool shared across tree slots: a worker pops a buffer set
@@ -296,20 +297,25 @@ mod tests {
     fn binned_forest_matches_presorted_on_low_cardinality_data() {
         // ring_problem columns have 200 distinct values (< 256) and trees
         // fit with unit weights, so the shared-BinSet path must reproduce
-        // the presorted forest bit for bit.
+        // the presorted forest bit for bit — at either code width.
         let (x, y) = ring_problem();
-        let binned = ForestConfig {
+        let presorted = ForestConfig {
             n_trees: 10,
             seed: 7,
-            exactness: SplitExactness::Binned256,
+            exactness: SplitExactness::Presorted,
             ..Default::default()
         };
-        let presorted =
-            ForestConfig { exactness: SplitExactness::Presorted, ..binned.clone() };
-        let fb = RandomForest::fit(&x, &y, &binned);
         let fp = RandomForest::fit(&x, &y, &presorted);
-        for row in x.rows_iter() {
-            assert_eq!(fb.proba_one(row).to_bits(), fp.proba_one(row).to_bits());
+        for mode in [SplitExactness::Binned256, SplitExactness::Binned4096] {
+            let binned = ForestConfig { exactness: mode, ..presorted.clone() };
+            let fb = RandomForest::fit(&x, &y, &binned);
+            for row in x.rows_iter() {
+                assert_eq!(
+                    fb.proba_one(row).to_bits(),
+                    fp.proba_one(row).to_bits(),
+                    "mode {mode:?}"
+                );
+            }
         }
     }
 

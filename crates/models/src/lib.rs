@@ -42,7 +42,8 @@ pub mod tree;
 
 use dfs_linalg::Matrix;
 
-pub use tree::{BinSet, SplitExactness};
+pub use dp::BinView;
+pub use tree::{BinSet, CodeWidth, GossConfig, SplitExactness, MAX_BINS, MAX_BINS_WIDE};
 
 /// The model families of the study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -162,15 +163,35 @@ impl ModelSpec {
     /// sufficient statistics for NB, noisy-count random tree for DT; SVM
     /// uses the same output perturbation as LR).
     pub fn fit_dp(&self, x: &Matrix, y: &[bool], epsilon: f64, seed: u64) -> TrainedModel {
+        self.fit_dp_with(x, y, epsilon, seed, None)
+    }
+
+    /// [`ModelSpec::fit_dp`] with an optional bound bin-code view for the
+    /// decision tree: when present, the random DP tree partitions from the
+    /// pre-derived codes ([`dp::dp_decision_tree_binned`]) instead of raw
+    /// feature compares — bit-identical output, so the choice is free to
+    /// follow the scenario's split kernel without entering any fingerprint.
+    /// Other model families ignore the view.
+    pub fn fit_dp_with(
+        &self,
+        x: &Matrix,
+        y: &[bool],
+        epsilon: f64,
+        seed: u64,
+        bins: Option<dp::BinView<'_>>,
+    ) -> TrainedModel {
         assert!(epsilon > 0.0, "fit_dp: epsilon must be positive");
         match self {
             ModelSpec::Lr { c } => TrainedModel::Lr(dp::dp_logistic(x, y, *c, epsilon, seed)),
             ModelSpec::Nb { var_smoothing } => {
                 TrainedModel::Nb(dp::dp_naive_bayes(x, y, *var_smoothing, epsilon, seed))
             }
-            ModelSpec::Dt { max_depth } => {
-                TrainedModel::Dt(dp::dp_decision_tree(x, y, *max_depth, epsilon, seed))
-            }
+            ModelSpec::Dt { max_depth } => TrainedModel::Dt(match bins {
+                Some(view) => {
+                    dp::dp_decision_tree_binned(x, y, *max_depth, epsilon, seed, view)
+                }
+                None => dp::dp_decision_tree(x, y, *max_depth, epsilon, seed),
+            }),
             ModelSpec::Svm { c } => TrainedModel::Svm(dp::dp_svm(x, y, *c, epsilon, seed)),
         }
     }

@@ -8,29 +8,46 @@
 //! impurity decrease per feature, normalized to sum to 1 — the same notion
 //! scikit-learn exposes.
 //!
-//! # The histogram-binned kernel (`SplitExactness::Binned256`, default)
+//! # The histogram-binned kernels (`SplitExactness::Binned256`, default,
+//! # and the wide `SplitExactness::Binned4096`)
 //!
-//! Each feature is quantized into at most [`MAX_BINS`] bins *once* — per
-//! dataset when a cached [`BinSet`] is bound to the workspace (see
-//! [`TreeWorkspace::bind_bins`]), or once per fit otherwise — and the fit
-//! keeps the quantized columns as a column-major `u8` arena. A node's split
-//! scan is then O(occupied bins) over per-node weight/count histograms
-//! built in a single pass over the node's rows; after a split only the
-//! *smaller* child's histogram is built fresh, the larger child's being
-//! derived by parent-minus-sibling subtraction in place. Partitioning
+//! Each feature is quantized into at most [`MAX_BINS`] (`Binned256`) or
+//! [`MAX_BINS_WIDE`] (`Binned4096`) bins *once* — per dataset when a cached
+//! [`BinSet`] is bound to the workspace (see [`TreeWorkspace::bind_bins`]),
+//! or once per fit otherwise — and the fit keeps the quantized columns as a
+//! column-major code arena (`u8` or `u16`, see [`CodeWidth`]). A node's
+//! split scan is then O(occupied bins) over per-node weight/count
+//! histograms built in a single pass over the node's rows; after a split
+//! only the *smaller* child's histogram is built fresh, the larger child's
+//! being derived by parent-minus-sibling subtraction in place. Partitioning
 //! touches a single row array instead of `d` per-feature order lists, which
 //! together with the O(bins) scans is where the speedup over the presorted
 //! kernel comes from. See DESIGN.md § 4i for the soundness argument and the
-//! exactness conditions.
+//! exactness conditions, and § 4k for the wide-bin/GOSS scaling story.
 //!
-//! **When binned ≡ presorted.** With ≤ [`MAX_BINS`] distinct values per
+//! **When binned ≡ presorted.** With ≤ `max_bins` distinct values per
 //! column, every distinct value gets its own bin, so the candidate
 //! thresholds are literally the presorted ones; if additionally the weight
 //! prefix sums incur no rounding (always true for unweighted fits, and for
 //! dyadic weights), the two kernels produce bit-identical trees. Beyond
-//! 256 distinct values the binned kernel is a deliberate, deterministic
+//! the bin budget the binned kernels are a deliberate, deterministic
 //! approximation — callers that need the exact tree opt into
 //! `SplitExactness::Presorted`.
+//!
+//! # GOSS-style per-node subsampling ([`GossConfig`])
+//!
+//! At million-row scale even O(n·d) histogram builds dominate. When a
+//! [`GossConfig`] is armed on the workspace (binned kernels only), each
+//! node's histogram is built from a subsample: the top `top_frac` of its
+//! rows by gradient proxy `w_i·|y_i − p̂_node|` are kept exactly, a
+//! `rest_frac` share of the remainder is drawn by a deterministic per-node
+//! hash (seeded from `(seed, node_id)` via `derive_seed`), and the sampled
+//! remainder's weights are amplified by `(n_rest / n_sampled)` so the
+//! split-gain estimates stay unbiased. Leaf tests, probabilities, and
+//! partitions still use the node's *exact* rows and weights — only the
+//! split scan is estimated. A config with `top_frac + rest_frac >= 1.0`
+//! cannot drop any row (the ceil shares cover the node), so it is treated
+//! as disabled and runs the identical unsampled code path bit-for-bit.
 //!
 //! # The presorted kernel (`SplitExactness::Presorted`)
 //!
@@ -64,6 +81,7 @@
 //! The HPO grid exploits this to turn 7 depth fits into 1 fit + 6
 //! truncations.
 
+use dfs_linalg::rng::derive_seed;
 use dfs_linalg::sort::{stable_partition_in_place, stable_sort_indices_by_key};
 use dfs_linalg::Matrix;
 use std::sync::Arc;
@@ -71,20 +89,56 @@ use std::sync::Arc;
 /// Nodes stop splitting below this many instances.
 const MIN_SAMPLES_SPLIT: usize = 4;
 
-/// Maximum bins per feature for the histogram kernel (`u8` codes).
+/// Maximum bins per feature for the default histogram kernel (`u8` codes).
 pub const MAX_BINS: usize = 256;
+
+/// Maximum bins per feature for the wide histogram kernel (`u16` codes).
+pub const MAX_BINS_WIDE: usize = 4096;
+
+/// Storage width of a quantized-code arena, determining the per-feature
+/// bin budget (see [`CodeWidth::max_bins`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CodeWidth {
+    /// `u8` codes, ≤ [`MAX_BINS`] bins per feature (default).
+    #[default]
+    U8,
+    /// `u16` codes, ≤ [`MAX_BINS_WIDE`] bins per feature.
+    U16,
+}
+
+impl CodeWidth {
+    /// The per-feature bin budget this width can address.
+    pub fn max_bins(self) -> usize {
+        match self {
+            CodeWidth::U8 => MAX_BINS,
+            CodeWidth::U16 => MAX_BINS_WIDE,
+        }
+    }
+
+    /// Code size in bits (surfaced in bench/summary provenance).
+    pub fn bits(self) -> u32 {
+        match self {
+            CodeWidth::U8 => 8,
+            CodeWidth::U16 => 16,
+        }
+    }
+}
 
 /// Which split kernel a [`TreeWorkspace`] runs.
 ///
 /// `Binned256` (the default) trades exactness beyond 256 distinct values
-/// per column for O(bins) split scans; `Presorted` keeps the bit-exact
-/// reference behaviour. The two are fingerprinted apart (see
-/// [`SplitExactness::fingerprint`]) so evaluation caches never mix modes.
+/// per column for O(bins) split scans; `Binned4096` widens the budget to
+/// 4096 bins (`u16` codes) for high-cardinality million-row features;
+/// `Presorted` keeps the bit-exact reference behaviour. All modes are
+/// fingerprinted apart (see [`SplitExactness::fingerprint`]) so evaluation
+/// caches never mix modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SplitExactness {
     /// Histogram kernel over ≤256 bins per feature (default).
     #[default]
     Binned256,
+    /// Wide histogram kernel over ≤4096 bins per feature (`u16` codes).
+    Binned4096,
     /// Exact presorted kernel, bit-identical to the naive splitter.
     Presorted,
 }
@@ -95,6 +149,7 @@ impl SplitExactness {
     pub fn fingerprint(self) -> u64 {
         match self {
             SplitExactness::Binned256 => 0xB1A2_5601,
+            SplitExactness::Binned4096 => 0xB1A2_4096,
             SplitExactness::Presorted => 0x9E50_47ED,
         }
     }
@@ -103,6 +158,7 @@ impl SplitExactness {
     pub fn name(self) -> &'static str {
         match self {
             SplitExactness::Binned256 => "binned256",
+            SplitExactness::Binned4096 => "binned4096",
             SplitExactness::Presorted => "presorted",
         }
     }
@@ -111,15 +167,70 @@ impl SplitExactness {
     pub fn parse(s: &str) -> Option<SplitExactness> {
         match s {
             "binned256" | "binned" => Some(SplitExactness::Binned256),
+            "binned4096" => Some(SplitExactness::Binned4096),
             "presorted" => Some(SplitExactness::Presorted),
             _ => None,
+        }
+    }
+
+    /// Code width of the histogram kernels (`None` for the presorted one).
+    pub fn code_width(self) -> Option<CodeWidth> {
+        match self {
+            SplitExactness::Binned256 => Some(CodeWidth::U8),
+            SplitExactness::Binned4096 => Some(CodeWidth::U16),
+            SplitExactness::Presorted => None,
+        }
+    }
+}
+
+/// Default node-size floor below which GOSS passes through unsampled: tiny
+/// nodes are cheap to histogram exactly and subsampling them costs more in
+/// variance than it saves in work.
+pub const GOSS_MIN_ROWS: usize = 256;
+
+/// GOSS-style per-node subsampling of the binned kernels' histogram
+/// builds (see the module docs for the estimator and determinism story).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GossConfig {
+    /// Fraction of a node's rows kept exactly, chosen by largest gradient
+    /// proxy `w_i · |y_i − p̂_node|` (row-ascending tiebreak).
+    pub top_frac: f64,
+    /// Fraction of a node's rows drawn uniformly (deterministic per-node
+    /// hash) from the remainder, reweighted by `n_rest / n_sampled`.
+    pub rest_frac: f64,
+    /// Root seed; each node samples with `derive_seed(seed, node_id)`.
+    pub seed: u64,
+    /// Nodes smaller than this build their full histogram unsampled.
+    pub min_rows: usize,
+}
+
+impl GossConfig {
+    /// A config with the default [`GOSS_MIN_ROWS`] floor.
+    pub fn new(top_frac: f64, rest_frac: f64, seed: u64) -> GossConfig {
+        GossConfig { top_frac, rest_frac, seed, min_rows: GOSS_MIN_ROWS }
+    }
+
+    /// Whether this config can drop rows at all. `top_frac + rest_frac >=
+    /// 1.0` keeps every row of every node (the ceil shares cover it), so
+    /// such configs run the unsampled path bit-for-bit.
+    pub fn active(&self) -> bool {
+        self.top_frac + self.rest_frac < 1.0
+    }
+
+    /// The fraction of rows an active config retains per sampled node
+    /// (`1.0` when inactive) — surfaced in bench/summary provenance.
+    pub fn kept_frac(&self) -> f64 {
+        if self.active() {
+            self.top_frac + self.rest_frac
+        } else {
+            1.0
         }
     }
 }
 
 /// Bin layout of one feature: per-bin lowest and highest source value.
 ///
-/// Bins are derived so that a column with ≤ [`MAX_BINS`] distinct values
+/// Bins are derived so that a column with ≤ `max_bins` distinct values
 /// gets exactly one bin per distinct value (`lo == hi`); wider columns get
 /// near-equal-count bins cut between distinct values. Candidate thresholds
 /// are `0.5 * (hi[left_bin] + lo[right_bin])` at boundaries between
@@ -132,8 +243,15 @@ pub struct FeatureBins {
 }
 
 impl FeatureBins {
-    /// Derives bins from an ascending-sorted column of finite values.
+    /// Derives ≤ [`MAX_BINS`] bins from an ascending-sorted column.
+    #[cfg(test)]
     fn from_sorted(values: &[f64]) -> FeatureBins {
+        FeatureBins::from_sorted_with(values, MAX_BINS)
+    }
+
+    /// Derives at most `max_bins` bins from an ascending-sorted column of
+    /// finite values.
+    fn from_sorted_with(values: &[f64], max_bins: usize) -> FeatureBins {
         let n = values.len();
         if n == 0 {
             return FeatureBins { lo: vec![0.0], hi: vec![0.0] };
@@ -144,9 +262,9 @@ impl FeatureBins {
                 distinct += 1;
             }
         }
-        let mut lo = Vec::with_capacity(distinct.min(MAX_BINS));
-        let mut hi = Vec::with_capacity(distinct.min(MAX_BINS));
-        if distinct <= MAX_BINS {
+        let mut lo = Vec::with_capacity(distinct.min(max_bins));
+        let mut hi = Vec::with_capacity(distinct.min(max_bins));
+        if distinct <= max_bins {
             for k in 0..n {
                 if k == 0 || values[k] > values[k - 1] {
                     lo.push(values[k]);
@@ -160,8 +278,8 @@ impl FeatureBins {
             let mut start = 0usize;
             let mut emitted = 0usize;
             while start < n {
-                let remaining_bins = MAX_BINS - emitted;
-                let take = (n - start + remaining_bins - 1) / remaining_bins;
+                let remaining_bins = max_bins - emitted;
+                let take = (n - start).div_ceil(remaining_bins);
                 let mut end = start + take;
                 let vend = values[end - 1];
                 while end < n && values[end] == vend {
@@ -176,7 +294,7 @@ impl FeatureBins {
         FeatureBins { lo, hi }
     }
 
-    /// Number of bins (1..=[`MAX_BINS`]).
+    /// Number of bins (1..=`max_bins` of the derivation).
     pub fn n_bins(&self) -> usize {
         self.hi.len()
     }
@@ -184,34 +302,65 @@ impl FeatureBins {
     /// Bin code of a value: the first bin whose highest member reaches it,
     /// clamped into range for values outside the derivation set.
     #[inline]
-    fn code_of(&self, v: f64) -> u8 {
+    fn code_of(&self, v: f64) -> u16 {
         let b = self.hi.partition_point(|&h| h < v);
-        b.min(self.hi.len() - 1) as u8
+        b.min(self.hi.len() - 1) as u16
     }
+
+    /// Per-bin lowest source values (ascending).
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Per-bin highest source values (ascending).
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+}
+
+/// Width-tagged column-major code arena of a [`BinSet`]: the `u8` variant
+/// keeps the common ≤256-bin case at half the memory of the wide one.
+#[derive(Debug, Clone, PartialEq)]
+enum CodeArena {
+    U8(Vec<u8>),
+    U16(Vec<u16>),
 }
 
 /// Per-dataset bin edges and quantized codes for every feature, derived
 /// once and shared across fits (arms, row caps, server requests) via
 /// [`TreeWorkspace::bind_bins`] — the tree-kernel analogue of cached
-/// rankings. Quantization is a pure function of the source matrix, so a
-/// `BinSet` is freely shareable across threads behind an `Arc`.
+/// rankings. Quantization is a pure function of the source matrix *and the
+/// code width*, so a `BinSet` is freely shareable across threads behind an
+/// `Arc`; callers caching derived sets must key on the width too.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BinSet {
     feats: Vec<FeatureBins>,
     /// Column-major `d × n_rows` quantized codes of the source matrix.
-    codes: Vec<u8>,
+    codes: CodeArena,
     n_rows: usize,
+    width: CodeWidth,
 }
 
 impl BinSet {
-    /// Derives bins and codes from every column of `x`.
+    /// Derives ≤ [`MAX_BINS`]-bin (`u8`) bins and codes from every column
+    /// of `x`.
     ///
     /// # Panics
     /// Panics when a value is NaN (features are required to be finite).
     pub fn derive(x: &Matrix) -> BinSet {
+        BinSet::derive_with(x, CodeWidth::U8)
+    }
+
+    /// Derives bins and codes from every column of `x` at the given code
+    /// width (`u8` → ≤ [`MAX_BINS`] bins, `u16` → ≤ [`MAX_BINS_WIDE`]).
+    ///
+    /// # Panics
+    /// Panics when a value is NaN (features are required to be finite).
+    pub fn derive_with(x: &Matrix, width: CodeWidth) -> BinSet {
         let (n, d) = x.shape();
+        let max_bins = width.max_bins();
         let mut feats = Vec::with_capacity(d);
-        let mut codes = vec![0u8; d * n];
+        let mut codes = vec![0u16; d * n];
         let mut col = Vec::with_capacity(n);
         for f in 0..d {
             x.col_into(f, &mut col);
@@ -219,13 +368,17 @@ impl BinSet {
                 Some(ord) => ord,
                 None => panic!("BinSet::derive: finite features required"),
             });
-            let fb = FeatureBins::from_sorted(&col);
+            let fb = FeatureBins::from_sorted_with(&col, max_bins);
             for (c, v) in codes[f * n..(f + 1) * n].iter_mut().zip(x.col_iter(f)) {
                 *c = fb.code_of(v);
             }
             feats.push(fb);
         }
-        BinSet { feats, codes, n_rows: n }
+        let codes = match width {
+            CodeWidth::U8 => CodeArena::U8(codes.iter().map(|&c| c as u8).collect()),
+            CodeWidth::U16 => CodeArena::U16(codes),
+        };
+        BinSet { feats, codes, n_rows: n, width }
     }
 
     /// Number of features covered.
@@ -238,9 +391,44 @@ impl BinSet {
         self.n_rows
     }
 
+    /// The code width this set was derived at.
+    pub fn width(&self) -> CodeWidth {
+        self.width
+    }
+
     /// The bin layout of feature `j`.
     pub fn feature(&self, j: usize) -> &FeatureBins {
         &self.feats[j]
+    }
+
+    /// The quantized code of source cell `(row, feature)`.
+    #[inline]
+    pub(crate) fn code_at(&self, feature: usize, row: usize) -> u16 {
+        match &self.codes {
+            CodeArena::U8(v) => v[feature * self.n_rows + row] as u16,
+            CodeArena::U16(v) => v[feature * self.n_rows + row],
+        }
+    }
+
+    /// Widening gather of source column `src`'s codes at the given source
+    /// rows, written element-wise into `out` (which must match `rows` in
+    /// length).
+    fn gather_codes(&self, src: usize, rows: &[u32], out: &mut [u16]) {
+        let n = self.n_rows;
+        match &self.codes {
+            CodeArena::U8(v) => {
+                let src_col = &v[src * n..(src + 1) * n];
+                for (c, &r) in out.iter_mut().zip(rows) {
+                    *c = src_col[r as usize] as u16;
+                }
+            }
+            CodeArena::U16(v) => {
+                let src_col = &v[src * n..(src + 1) * n];
+                for (c, &r) in out.iter_mut().zip(rows) {
+                    *c = src_col[r as usize];
+                }
+            }
+        }
     }
 }
 
@@ -318,8 +506,12 @@ pub struct TreeWorkspace {
     bound_cols: Vec<usize>,
     /// Source-row index of each training-matrix row, when bound.
     bound_rows: Vec<u32>,
-    /// Per-fit column-major `d × n` quantized codes (binned kernel).
-    codes: Vec<u8>,
+    /// Per-node GOSS subsampling config for the binned kernels, if armed.
+    goss: Option<GossConfig>,
+    /// Per-fit column-major `d × n` quantized codes (binned kernels; `u16`
+    /// holds both widths — the arena is per-fit, so the common-case memory
+    /// win lives in the shared [`BinSet`], not here).
+    codes: Vec<u16>,
     /// Flattened per-feature bin `lo` values for the current fit.
     bin_lo: Vec<f64>,
     /// Flattened per-feature bin `hi` values for the current fit.
@@ -330,6 +522,12 @@ pub struct TreeWorkspace {
     w_buf: Vec<f64>,
     /// Per-node compact positive-weight gather (binned kernel).
     pos_buf: Vec<f64>,
+    /// GOSS per-node (gradient proxy, row) selection buffer.
+    goss_g: Vec<(f64, u32)>,
+    /// GOSS per-node (row hash, row) sampling buffer.
+    goss_h: Vec<(u64, u32)>,
+    /// GOSS per-node sampled row list (row-ascending).
+    goss_rows: Vec<u32>,
     /// Histogram buffer pool; all buffers are zeroed between uses.
     hist_pool: Vec<HistBuf>,
     /// Total bins the pool buffers are sized for.
@@ -392,6 +590,19 @@ impl TreeWorkspace {
     /// their own training matrix.
     pub fn clear_bins(&mut self) {
         self.bound_bins = None;
+    }
+
+    /// Arms (or disarms, with `None`) GOSS-style per-node subsampling for
+    /// subsequent binned fits. The presorted kernel ignores it — exact
+    /// fits are exact. Inactive configs (`top_frac + rest_frac >= 1.0`)
+    /// run the unsampled path bit-for-bit.
+    pub fn set_goss(&mut self, goss: Option<GossConfig>) {
+        self.goss = goss;
+    }
+
+    /// The currently armed GOSS config, if any.
+    pub fn goss(&self) -> Option<GossConfig> {
+        self.goss
     }
 
     /// Work counters of the most recent fit through this workspace.
@@ -636,7 +847,9 @@ fn run_kernel(
     ws: &mut TreeWorkspace,
 ) -> DeepTree {
     match ws.exactness {
-        SplitExactness::Binned256 => run_binned_kernel(x, y, max_depth, weights, ws),
+        SplitExactness::Binned256 | SplitExactness::Binned4096 => {
+            run_binned_kernel(x, y, max_depth, weights, ws)
+        }
         SplitExactness::Presorted => run_presorted_kernel(x, y, max_depth, weights, ws),
     }
 }
@@ -911,11 +1124,12 @@ struct SplitChoice {
 const NO_SLOT: usize = usize::MAX;
 
 /// Quantizes the fit matrix into `ws.codes` and fills the flattened bin
-/// tables (`ws.bin_lo` / `ws.bin_hi` / `ws.bin_off`): a pure `u8` gather
-/// from the bound [`BinSet`] when one is armed, a per-fit derivation
-/// otherwise.
+/// tables (`ws.bin_lo` / `ws.bin_hi` / `ws.bin_off`): a pure code gather
+/// from the bound [`BinSet`] when one is armed, a per-fit derivation at
+/// the exactness mode's bin budget otherwise.
 fn prepare_binned_inputs(x: &Matrix, ws: &mut TreeWorkspace) {
     let (n, d) = x.shape();
+    let width = ws.exactness.code_width().unwrap_or_default();
     ws.bin_lo.clear();
     ws.bin_hi.clear();
     ws.bin_off.clear();
@@ -934,20 +1148,23 @@ fn prepare_binned_inputs(x: &Matrix, ws: &mut TreeWorkspace) {
                 n,
                 "TreeWorkspace: bound bins do not match the training matrix height"
             );
-            let src_rows = bins.n_rows;
+            assert_eq!(
+                bins.width(),
+                width,
+                "TreeWorkspace: bound bins were derived at a different code \
+                 width than the workspace exactness mode"
+            );
             for f in 0..d {
                 let src = ws.bound_cols[f];
                 let fb = &bins.feats[src];
                 ws.bin_lo.extend_from_slice(&fb.lo);
                 ws.bin_hi.extend_from_slice(&fb.hi);
                 ws.bin_off.push(ws.bin_lo.len() as u32);
-                let src_col = &bins.codes[src * src_rows..(src + 1) * src_rows];
-                for (c, &r) in ws.codes[f * n..(f + 1) * n].iter_mut().zip(&ws.bound_rows) {
-                    *c = src_col[r as usize];
-                }
+                bins.gather_codes(src, &ws.bound_rows, &mut ws.codes[f * n..(f + 1) * n]);
             }
         }
         None => {
+            let max_bins = width.max_bins();
             let mut col = std::mem::take(&mut ws.col);
             for f in 0..d {
                 x.col_into(f, &mut col);
@@ -955,7 +1172,7 @@ fn prepare_binned_inputs(x: &Matrix, ws: &mut TreeWorkspace) {
                     Some(ord) => ord,
                     None => panic!("DecisionTree: finite features required"),
                 });
-                let fb = FeatureBins::from_sorted(&col);
+                let fb = FeatureBins::from_sorted_with(&col, max_bins);
                 ws.bin_lo.extend_from_slice(&fb.lo);
                 ws.bin_hi.extend_from_slice(&fb.hi);
                 ws.bin_off.push(ws.bin_lo.len() as u32);
@@ -1008,6 +1225,10 @@ fn run_binned_kernel(
     rows.clear();
     rows.extend(0..n as u32);
 
+    // An inactive config cannot drop rows, so it runs the identical
+    // unsampled code path (the `goss(1.0, 1.0) ≡ off` bit-identity).
+    let goss = ws.goss.filter(GossConfig::active);
+
     let mut kernel = BinnedKernel {
         x,
         y,
@@ -1015,6 +1236,7 @@ fn run_binned_kernel(
         n,
         d,
         max_depth,
+        goss,
         codes: std::mem::take(&mut ws.codes),
         bin_lo: std::mem::take(&mut ws.bin_lo),
         bin_hi: std::mem::take(&mut ws.bin_hi),
@@ -1023,6 +1245,9 @@ fn run_binned_kernel(
         scratch: std::mem::take(&mut ws.scratch),
         w_buf: std::mem::take(&mut ws.w_buf),
         pos_buf: std::mem::take(&mut ws.pos_buf),
+        goss_g: std::mem::take(&mut ws.goss_g),
+        goss_h: std::mem::take(&mut ws.goss_h),
+        goss_rows: std::mem::take(&mut ws.goss_rows),
         pool: std::mem::take(&mut ws.hist_pool),
         free: Vec::new(),
         stride,
@@ -1046,7 +1271,10 @@ fn run_binned_kernel(
             w_pos += w[i];
         }
     }
-    let root_slot = if kernel.needs_split_scan(n, 0, gini(w_pos, w_total)) {
+    // Under GOSS every splittable node builds its own (sampled) histogram
+    // at `build` entry — sibling derivation is off, because a subsampled
+    // parent histogram is not the sum of its children's.
+    let root_slot = if goss.is_none() && kernel.needs_split_scan(n, 0, gini(w_pos, w_total)) {
         let s = kernel.alloc_slot();
         kernel.build_hist(0, n, s);
         s
@@ -1064,6 +1292,9 @@ fn run_binned_kernel(
         scratch,
         w_buf,
         pos_buf,
+        goss_g,
+        goss_h,
+        goss_rows,
         pool,
         nodes,
         depth,
@@ -1080,6 +1311,9 @@ fn run_binned_kernel(
     ws.scratch = scratch;
     ws.w_buf = w_buf;
     ws.pos_buf = pos_buf;
+    ws.goss_g = goss_g;
+    ws.goss_h = goss_h;
+    ws.goss_rows = goss_rows;
     ws.hist_pool = pool;
     ws.unit_w = unit_w;
     ws.last_stats = stats;
@@ -1098,8 +1332,11 @@ struct BinnedKernel<'a> {
     n: usize,
     d: usize,
     max_depth: usize,
+    /// Active GOSS config, if any (inactive ones are filtered out by the
+    /// driver).
+    goss: Option<GossConfig>,
     /// Column-major `d × n` quantized feature codes.
-    codes: Vec<u8>,
+    codes: Vec<u16>,
     /// Flattened per-feature bin `lo` values.
     bin_lo: Vec<f64>,
     /// Flattened per-feature bin `hi` values.
@@ -1110,6 +1347,9 @@ struct BinnedKernel<'a> {
     scratch: Vec<u32>,
     w_buf: Vec<f64>,
     pos_buf: Vec<f64>,
+    goss_g: Vec<(f64, u32)>,
+    goss_h: Vec<(u64, u32)>,
+    goss_rows: Vec<u32>,
     pool: Vec<HistBuf>,
     free: Vec<usize>,
     stride: usize,
@@ -1195,12 +1435,126 @@ impl BinnedKernel<'_> {
                 buf.cnt[i] += 1;
                 buf.wtot[i] += wr;
                 buf.wpos[i] += pr;
-                minc = minc.min(b as u16);
-                maxc = maxc.max(b as u16);
+                minc = minc.min(b);
+                maxc = maxc.max(b);
             }
             buf.range[f] = (minc, maxc);
             buf.dirty[f] = (minc, maxc);
         }
+    }
+
+    /// GOSS histogram build for the node over `[lo, hi)` (`node_id` is its
+    /// preorder arena index): keeps the `top_frac` share of rows with the
+    /// largest gradient proxy `w_i·|y_i − proba|` exactly, draws a
+    /// `rest_frac` share of the remainder by smallest per-node row hash
+    /// (`derive_seed(derive_seed(g.seed, node_id), row)` — a pure function
+    /// of the row set, independent of traversal or thread count), and
+    /// amplifies the drawn remainder's weights by `n_rest / n_drawn` so the
+    /// histogram's expected sums equal the exact ones. Rows are accumulated
+    /// in ascending-row order, making the float sums deterministic.
+    ///
+    /// Returns the sampled `(w_pos, w_total)` the split scan must run
+    /// against, or `None` when the node passed through unsampled (too small
+    /// or the ceil shares cover it) and the caller's exact counts apply.
+    fn build_hist_goss(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        slot: usize,
+        node_id: u64,
+        g: GossConfig,
+        proba: f64,
+    ) -> Option<(f64, f64)> {
+        let len = hi - lo;
+        let keep = ((g.top_frac * len as f64).ceil() as usize).min(len);
+        let rest = ((g.rest_frac * len as f64).ceil() as usize).min(len - keep);
+        if len < g.min_rows.max(MIN_SAMPLES_SPLIT) || keep + rest >= len {
+            self.build_hist(lo, hi, slot);
+            return None;
+        }
+        let mut gbuf = std::mem::take(&mut self.goss_g);
+        gbuf.clear();
+        for &r in &self.rows[lo..hi] {
+            let ri = r as usize;
+            let target = if self.y[ri] { 1.0 } else { 0.0 };
+            gbuf.push((self.w[ri] * (target - proba).abs(), r));
+        }
+        // Top-`keep` by gradient (descending, row-ascending tiebreak): a
+        // total order, so the selected *set* is order-independent.
+        if keep > 0 {
+            gbuf.select_nth_unstable_by(keep - 1, |a, b| {
+                b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
+            });
+        }
+        // Uniform draw of `rest` from the remainder: smallest (hash, row)
+        // pairs win. Hash-based selection needs no RNG stream and is again
+        // a pure function of the remainder set and the node seed.
+        let node_seed = derive_seed(g.seed, node_id);
+        let mut hbuf = std::mem::take(&mut self.goss_h);
+        hbuf.clear();
+        hbuf.extend(gbuf[keep..].iter().map(|&(_, r)| (derive_seed(node_seed, r as u64), r)));
+        if rest > 0 {
+            hbuf.select_nth_unstable_by(rest - 1, |a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        }
+        let amp = if rest > 0 { (len - keep) as f64 / rest as f64 } else { 0.0 };
+        gbuf[..keep].sort_unstable_by_key(|&(_, r)| r);
+        hbuf[..rest].sort_unstable_by_key(|&(_, r)| r);
+
+        // Merge the two disjoint row-ascending sets, filling the compact
+        // weight gathers (kept rows exact, drawn rows amplified) and the
+        // sampled totals along the way.
+        let mut samp = std::mem::take(&mut self.goss_rows);
+        samp.clear();
+        self.w_buf.clear();
+        self.pos_buf.clear();
+        let mut scan_pos = 0.0;
+        let mut scan_total = 0.0;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < keep || j < rest {
+            let take_top = j >= rest || (i < keep && gbuf[i].1 < hbuf[j].1);
+            let (r, mult) = if take_top {
+                let r = gbuf[i].1;
+                i += 1;
+                (r, 1.0)
+            } else {
+                let r = hbuf[j].1;
+                j += 1;
+                (r, amp)
+            };
+            let ri = r as usize;
+            let wr = self.w[ri] * mult;
+            let pr = if self.y[ri] { wr } else { 0.0 };
+            samp.push(r);
+            self.w_buf.push(wr);
+            self.pos_buf.push(pr);
+            scan_total += wr;
+            scan_pos += pr;
+        }
+        self.goss_g = gbuf;
+        self.goss_h = hbuf;
+
+        // Scatter the sampled rows into the histogram (the same loop shape
+        // as `build_hist`, over the sampled list).
+        let buf = &mut self.pool[slot];
+        for f in 0..self.d {
+            let base = self.off[f] as usize;
+            let col = &self.codes[f * self.n..(f + 1) * self.n];
+            let mut minc = u16::MAX;
+            let mut maxc = 0u16;
+            for ((&r, &wr), &pr) in samp.iter().zip(&self.w_buf).zip(&self.pos_buf) {
+                let b = col[r as usize];
+                let i = base + b as usize;
+                buf.cnt[i] += 1;
+                buf.wtot[i] += wr;
+                buf.wpos[i] += pr;
+                minc = minc.min(b);
+                maxc = maxc.max(b);
+            }
+            buf.range[f] = (minc, maxc);
+            buf.dirty[f] = (minc, maxc);
+        }
+        self.goss_rows = samp;
+        Some((scan_pos, scan_total))
     }
 
     /// Converts the parent's histogram into the larger child's in place:
@@ -1258,6 +1612,13 @@ impl BinnedKernel<'_> {
     /// sits in `slot`, returning its arena index. `w_pos` / `w_total` are
     /// this node's class counts, accumulated by the parent's partition in
     /// row-ascending order, exactly like the presorted kernel.
+    ///
+    /// Under GOSS, `slot` is always `NO_SLOT` on entry: each splittable
+    /// node allocates a buffer and builds its own sampled histogram here,
+    /// keyed by its preorder arena index (`nodes.len()` at entry, which is
+    /// exactly the index this node will occupy — parents push themselves
+    /// before recursing). Leaf tests, probabilities, partitions, and the
+    /// children's class counts all remain exact.
     fn build(
         &mut self,
         lo: usize,
@@ -1267,6 +1628,7 @@ impl BinnedKernel<'_> {
         w_total: f64,
         slot: usize,
     ) -> usize {
+        let node_id = self.nodes.len() as u64;
         let proba = if w_total > 0.0 { w_pos / w_total } else { 0.5 };
         let node_gini = gini(w_pos, w_total);
 
@@ -1275,13 +1637,27 @@ impl BinnedKernel<'_> {
             return self.push(Node::Leaf { proba }, depth, proba, 0.0);
         }
 
-        match self.best_split(slot, node_gini, w_pos, w_total) {
+        let (slot, scan_pos, scan_total, scan_gini) = match self.goss {
+            Some(g) => {
+                debug_assert_eq!(slot, NO_SLOT);
+                let s = self.alloc_slot();
+                match self.build_hist_goss(lo, hi, s, node_id, g, proba) {
+                    Some((sp, st)) => (s, sp, st, gini(sp, st)),
+                    None => (s, w_pos, w_total, node_gini),
+                }
+            }
+            None => (slot, w_pos, w_total, node_gini),
+        };
+
+        match self.best_split(slot, scan_gini, scan_pos, scan_total) {
             None => {
                 self.release(slot);
                 self.push(Node::Leaf { proba }, depth, proba, 0.0)
             }
             Some(split) => {
-                let gain_w = split.gain * w_total;
+                // With GOSS the gain and totals are the (unbiased) sampled
+                // estimates; without, they are the exact node sums.
+                let gain_w = split.gain * scan_total;
                 let (nl, left_counts, right_counts) =
                     self.partition(lo, hi, split.feature, split.threshold);
                 let nr = (hi - lo) - nl;
@@ -1289,35 +1665,42 @@ impl BinnedKernel<'_> {
                     self.needs_split_scan(nl, depth + 1, gini(left_counts.0, left_counts.1));
                 let right_needs =
                     self.needs_split_scan(nr, depth + 1, gini(right_counts.0, right_counts.1));
-                let (left_slot, right_slot) = match (left_needs, right_needs) {
-                    (false, false) => {
-                        self.release(slot);
-                        (NO_SLOT, NO_SLOT)
-                    }
-                    (true, false) => {
-                        let s = self.alloc_slot();
-                        self.build_hist(lo, lo + nl, s);
-                        self.release(slot);
-                        (s, NO_SLOT)
-                    }
-                    (false, true) => {
-                        let s = self.alloc_slot();
-                        self.build_hist(lo + nl, hi, s);
-                        self.release(slot);
-                        (NO_SLOT, s)
-                    }
-                    (true, true) => {
-                        // Build the smaller child fresh; the larger child
-                        // inherits the parent's buffer by subtraction.
-                        let s = self.alloc_slot();
-                        if nl <= nr {
+                let (left_slot, right_slot) = if self.goss.is_some() {
+                    // Sampled histograms don't subtract: children build
+                    // their own at their turn.
+                    self.release(slot);
+                    (NO_SLOT, NO_SLOT)
+                } else {
+                    match (left_needs, right_needs) {
+                        (false, false) => {
+                            self.release(slot);
+                            (NO_SLOT, NO_SLOT)
+                        }
+                        (true, false) => {
+                            let s = self.alloc_slot();
                             self.build_hist(lo, lo + nl, s);
-                            self.derive_sibling(slot, s);
-                            (s, slot)
-                        } else {
+                            self.release(slot);
+                            (s, NO_SLOT)
+                        }
+                        (false, true) => {
+                            let s = self.alloc_slot();
                             self.build_hist(lo + nl, hi, s);
-                            self.derive_sibling(slot, s);
-                            (slot, s)
+                            self.release(slot);
+                            (NO_SLOT, s)
+                        }
+                        (true, true) => {
+                            // Build the smaller child fresh; the larger child
+                            // inherits the parent's buffer by subtraction.
+                            let s = self.alloc_slot();
+                            if nl <= nr {
+                                self.build_hist(lo, lo + nl, s);
+                                self.derive_sibling(slot, s);
+                                (s, slot)
+                            } else {
+                                self.build_hist(lo + nl, hi, s);
+                                self.derive_sibling(slot, s);
+                                (slot, s)
+                            }
                         }
                     }
                 };
@@ -1749,7 +2132,9 @@ mod tests {
     #[test]
     fn both_kernels_match_naive_reference_on_clean_data() {
         let (x, y) = and_problem();
-        for mode in [SplitExactness::Binned256, SplitExactness::Presorted] {
+        for mode in
+            [SplitExactness::Binned256, SplitExactness::Binned4096, SplitExactness::Presorted]
+        {
             let mut ws = TreeWorkspace::with_exactness(mode);
             for depth in 1..=5 {
                 let kernel = DecisionTree::fit_in(&x, &y, depth, None, &mut ws);
@@ -1763,9 +2148,11 @@ mod tests {
     fn both_kernels_match_naive_reference_on_awkward_data() {
         // Duplicate values, constant features, weighted rows, many seeds.
         // Every column has <= 7 distinct values and the weights are dyadic,
-        // so the binned kernel must be *bit-identical* to the reference, not
-        // merely close.
-        for mode in [SplitExactness::Binned256, SplitExactness::Presorted] {
+        // so the binned kernels must be *bit-identical* to the reference,
+        // not merely close.
+        for mode in
+            [SplitExactness::Binned256, SplitExactness::Binned4096, SplitExactness::Presorted]
+        {
             let mut ws = TreeWorkspace::with_exactness(mode);
             for seed in 0..12u64 {
                 let (x, y, w) = awkward_problem(seed, 90 + (seed as usize % 3) * 17, 5);
@@ -2010,15 +2397,210 @@ mod tests {
 
     #[test]
     fn exactness_fingerprints_are_distinct_and_parseable() {
-        assert_ne!(
-            SplitExactness::Binned256.fingerprint(),
-            SplitExactness::Presorted.fingerprint()
-        );
-        for mode in [SplitExactness::Binned256, SplitExactness::Presorted] {
+        let modes =
+            [SplitExactness::Binned256, SplitExactness::Binned4096, SplitExactness::Presorted];
+        for (i, a) in modes.iter().enumerate() {
+            for b in &modes[i + 1..] {
+                assert_ne!(a.fingerprint(), b.fingerprint(), "{a:?} vs {b:?}");
+            }
+        }
+        for mode in modes {
             assert_eq!(SplitExactness::parse(mode.name()), Some(mode));
         }
         assert_eq!(SplitExactness::parse("binned"), Some(SplitExactness::Binned256));
         assert_eq!(SplitExactness::parse("nonsense"), None);
         assert_eq!(SplitExactness::default(), SplitExactness::Binned256);
+        assert_eq!(SplitExactness::Binned256.code_width(), Some(CodeWidth::U8));
+        assert_eq!(SplitExactness::Binned4096.code_width(), Some(CodeWidth::U16));
+        assert_eq!(SplitExactness::Presorted.code_width(), None);
+        assert_eq!(CodeWidth::U8.max_bins(), MAX_BINS);
+        assert_eq!(CodeWidth::U16.max_bins(), MAX_BINS_WIDE);
+    }
+
+    /// A problem whose columns carry 300–700 distinct values: past the
+    /// `u8` budget (Binned256 must quantize) but comfortably inside the
+    /// `u16` one, so `Binned4096` must still be bit-exact vs presorted.
+    fn mid_cardinality_problem(n: usize) -> (Matrix, Vec<bool>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                vec![t, ((i as f64) * 0.618_033_988) % 1.0, ((i * i % 701) as f64) / 701.0]
+            })
+            .collect();
+        let y: Vec<bool> = (0..n).map(|i| (i as f64 / n as f64) > 0.42).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn binned4096_is_exact_where_binned256_must_quantize() {
+        let (x, y) = mid_cardinality_problem(600);
+        let mut wide = TreeWorkspace::with_exactness(SplitExactness::Binned4096);
+        let mut exact = TreeWorkspace::with_exactness(SplitExactness::Presorted);
+        for depth in [2, 4, 7] {
+            let a = DecisionTree::fit_in(&x, &y, depth, None, &mut wide);
+            let b = DecisionTree::fit_in(&x, &y, depth, None, &mut exact);
+            assert_bit_identical(&a, &b);
+        }
+    }
+
+    #[test]
+    fn wide_bound_bins_match_local_derivation_on_subsets() {
+        let (x, y) = mid_cardinality_problem(500);
+        let bins = Arc::new(BinSet::derive_with(&x, CodeWidth::U16));
+        assert_eq!(bins.width(), CodeWidth::U16);
+        let cols = vec![0usize, 2];
+        let rows: Vec<usize> = (0..x.nrows()).filter(|r| r % 4 != 2).collect();
+        let sub = x.select_rows_cols(&rows, &cols);
+        let suby: Vec<bool> = rows.iter().map(|&r| y[r]).collect();
+
+        let mut bound = TreeWorkspace::with_exactness(SplitExactness::Binned4096);
+        bound.bind_bins(&bins, &cols, &rows);
+        let mut exact = TreeWorkspace::with_exactness(SplitExactness::Presorted);
+        for depth in [2, 5] {
+            let a = DecisionTree::fit_in(&sub, &suby, depth, None, &mut bound);
+            let b = DecisionTree::fit_in(&sub, &suby, depth, None, &mut exact);
+            assert_bit_identical(&a, &b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different code width")]
+    fn binding_narrow_bins_to_a_wide_workspace_panics() {
+        let (x, y, _) = awkward_problem(3, 60, 4);
+        let bins = Arc::new(BinSet::derive(&x)); // u8-width set
+        let mut ws = TreeWorkspace::with_exactness(SplitExactness::Binned4096);
+        let cols: Vec<usize> = (0..x.ncols()).collect();
+        let rows: Vec<usize> = (0..x.nrows()).collect();
+        ws.bind_bins(&bins, &cols, &rows);
+        let _ = DecisionTree::fit_in(&x, &y, 3, None, &mut ws);
+    }
+
+    #[test]
+    fn hist_pool_release_restores_the_all_zero_invariant_for_wide_bins() {
+        // Satellite regression: a 4096-bin buffer must come back from the
+        // pool fully clean. Fit on >256-distinct-value columns (so the wide
+        // layout has thousands of bins), then inspect every pooled buffer
+        // and refit through the same workspace.
+        let (x, y) = mid_cardinality_problem(700);
+        let mut ws = TreeWorkspace::with_exactness(SplitExactness::Binned4096);
+        let first = DecisionTree::fit_in(&x, &y, 7, None, &mut ws);
+        assert!(ws.hist_stride > MAX_BINS, "wide fit should exceed the u8 stride");
+        assert!(!ws.hist_pool.is_empty());
+        for (s, buf) in ws.hist_pool.iter().enumerate() {
+            assert!(buf.cnt.iter().all(|&c| c == 0), "slot {s}: counts not zeroed");
+            assert!(buf.wtot.iter().all(|&v| v == 0.0), "slot {s}: weights not zeroed");
+            assert!(buf.wpos.iter().all(|&v| v == 0.0), "slot {s}: pos weights not zeroed");
+            assert!(buf.range.iter().all(|&r| r == (1, 0)), "slot {s}: range not reset");
+            assert!(buf.dirty.iter().all(|&r| r == (1, 0)), "slot {s}: dirty not reset");
+        }
+        // A re-acquire of the same buffers must behave like fresh ones.
+        let again = DecisionTree::fit_in(&x, &y, 7, None, &mut ws);
+        assert_bit_identical(&first, &again);
+    }
+
+    /// A larger weighted problem for the GOSS paths: enough rows that
+    /// low `min_rows` configs genuinely sample.
+    fn goss_problem() -> (Matrix, Vec<bool>, Vec<f64>) {
+        awkward_problem(17, 400, 6)
+    }
+
+    #[test]
+    fn inactive_goss_is_bit_identical_to_no_goss() {
+        // `top + rest >= 1.0` cannot drop any row, so it must run the
+        // identical (sibling-subtracting) code path bit-for-bit.
+        let (x, y, w) = goss_problem();
+        for mode in [SplitExactness::Binned256, SplitExactness::Binned4096] {
+            let mut off = TreeWorkspace::with_exactness(mode);
+            let mut on = TreeWorkspace::with_exactness(mode);
+            on.set_goss(Some(GossConfig::new(1.0, 1.0, 99)));
+            for depth in [2, 5, 7] {
+                let a = DecisionTree::fit_in(&x, &y, depth, Some(&w), &mut off);
+                let b = DecisionTree::fit_in(&x, &y, depth, Some(&w), &mut on);
+                assert_bit_identical(&a, &b);
+            }
+        }
+    }
+
+    #[test]
+    fn goss_sampling_is_deterministic_per_seed_and_node() {
+        let (x, y, w) = goss_problem();
+        let cfg = GossConfig { top_frac: 0.3, rest_frac: 0.2, seed: 41, min_rows: 16 };
+        let fit = |seed: u64| {
+            let mut ws = TreeWorkspace::with_exactness(SplitExactness::Binned4096);
+            ws.set_goss(Some(GossConfig { seed, ..cfg }));
+            DecisionTree::fit_in(&x, &y, 6, Some(&w), &mut ws)
+        };
+        // Same (seed, node_id) ⇒ same sample ⇒ same tree, fit after fit.
+        let a = fit(41);
+        let b = fit(41);
+        assert_bit_identical(&a, &b);
+        // A different seed draws a different remainder sample somewhere.
+        let c = fit(1777);
+        assert!(
+            a.nodes != c.nodes
+                || a.importances.iter().zip(&c.importances).any(|(x, y)| x.to_bits() != y.to_bits()),
+            "seed change did not perturb the sampled fit"
+        );
+    }
+
+    #[test]
+    fn goss_fit_is_thread_count_invariant() {
+        // The per-node sample is a pure function of (seed, node_id, row
+        // set) — no RNG stream, no traversal state — so concurrent fits on
+        // any number of threads reproduce the serial tree bit-for-bit.
+        let (x, y, w) = goss_problem();
+        let cfg = GossConfig { top_frac: 0.25, rest_frac: 0.15, seed: 7, min_rows: 16 };
+        let serial = {
+            let mut ws = TreeWorkspace::with_exactness(SplitExactness::Binned256);
+            ws.set_goss(Some(cfg));
+            DecisionTree::fit_in(&x, &y, 6, Some(&w), &mut ws)
+        };
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut ws = TreeWorkspace::with_exactness(SplitExactness::Binned256);
+                        ws.set_goss(Some(cfg));
+                        DecisionTree::fit_in(&x, &y, 6, Some(&w), &mut ws)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let t = h.join().expect("goss fit thread");
+                assert_bit_identical(&serial, &t);
+            }
+        });
+    }
+
+    #[test]
+    fn goss_still_learns_and_pool_stays_clean() {
+        // Sampled split scans must still find real structure, and the
+        // per-node alloc/release discipline must leave the pool zeroed.
+        let (x, y) = mid_cardinality_problem(800);
+        let mut ws = TreeWorkspace::with_exactness(SplitExactness::Binned4096);
+        ws.set_goss(Some(GossConfig { top_frac: 0.2, rest_frac: 0.1, seed: 3, min_rows: 32 }));
+        let t = DecisionTree::fit_in(&x, &y, 6, None, &mut ws);
+        let errors =
+            x.rows_iter().zip(&y).filter(|(row, &label)| t.predict_one(row) != label).count();
+        assert!(errors <= 24, "goss tree misclassified {errors} of 800 rows");
+        for buf in &ws.hist_pool {
+            assert!(buf.cnt.iter().all(|&c| c == 0));
+            assert!(buf.wtot.iter().all(|&v| v == 0.0));
+        }
+        // The presorted kernel ignores GOSS: still bit-exact vs reference.
+        ws.set_exactness(SplitExactness::Presorted);
+        let p = DecisionTree::fit_in(&x, &y, 4, None, &mut ws);
+        let naive = reference::fit(&x, &y, 4, None);
+        assert_bit_identical(&p, &naive);
+    }
+
+    #[test]
+    fn goss_kept_frac_and_activity_rules() {
+        assert!(GossConfig::new(0.2, 0.1, 0).active());
+        assert!(!GossConfig::new(1.0, 1.0, 0).active());
+        assert!(!GossConfig::new(0.6, 0.4, 0).active());
+        assert_eq!(GossConfig::new(0.2, 0.1, 0).kept_frac(), 0.30000000000000004);
+        assert_eq!(GossConfig::new(1.0, 1.0, 0).kept_frac(), 1.0);
+        assert_eq!(GossConfig::new(0.2, 0.1, 0).min_rows, GOSS_MIN_ROWS);
     }
 }

@@ -25,6 +25,7 @@ fn tiny_cfg() -> CorpusConfig {
         seed: 7,
         threads: 1,
         exactness: SplitExactness::default(),
+        goss: None,
     }
 }
 
